@@ -1,0 +1,86 @@
+"""Shared fixtures for the figure-regeneration benchmark suite.
+
+Each benchmark regenerates one table or figure from the paper's evaluation
+and asserts its qualitative shape (who wins, by roughly what factor, where
+the crossover falls).  The heavyweight simulations (the testbed comparison
+and the datacenter-scale sweeps) run once per session in fixtures and are
+shared by the benchmarks that read different aspects of the same experiment,
+exactly as one experiment in the paper feeds several figures.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` runs the datacenter sweeps at their full breadth
+  (all ten datacenters, more utilization levels).  The default keeps the
+  whole suite to roughly ten minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.scheduling import run_datacenter_sweep, run_fleet_improvements
+from repro.experiments.testbed import run_scheduling_testbed, run_storage_testbed
+from repro.traces.scaling import ScalingMethod
+
+#: Scale used by the benchmark suite; trimmed so the full suite stays fast.
+BENCH_SCALE = ExperimentScale(
+    num_servers=30,
+    num_tenants=21,
+    experiment_hours=3.0,
+    mean_interarrival_seconds=120.0,
+    simulation_days=1.0,
+    durability_days=60.0,
+    num_blocks=4_000,
+    datacenter_scale=0.15,
+    repetitions=1,
+)
+
+FULL_RUN = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def scheduling_testbed():
+    """Figures 10 and 11: the 3-variant scheduling testbed, run once."""
+    return run_scheduling_testbed(BENCH_SCALE, seed=1)
+
+
+@pytest.fixture(scope="session")
+def storage_testbed():
+    """Figure 12: the 3-variant storage testbed, run once."""
+    return run_storage_testbed(BENCH_SCALE, seed=1)
+
+
+@pytest.fixture(scope="session")
+def dc9_sweep():
+    """Figure 13: the DC-9 utilization sweep under both scalings."""
+    levels = (0.25, 0.45, 0.6) if FULL_RUN else (0.25, 0.45)
+    return run_datacenter_sweep(
+        "DC-9",
+        utilization_levels=levels,
+        scalings=(ScalingMethod.LINEAR, ScalingMethod.ROOT),
+        scale=BENCH_SCALE,
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def fleet_improvements():
+    """Figure 14: per-datacenter improvements (subset unless REPRO_BENCH_FULL)."""
+    names = None if FULL_RUN else ["DC-0", "DC-1", "DC-4", "DC-9"]
+    return run_fleet_improvements(
+        datacenters=names,
+        utilization_levels=(0.45,),
+        scalings=(ScalingMethod.LINEAR,),
+        scale=BENCH_SCALE,
+        seed=1,
+        max_tenants=12,
+        servers_per_tenant_limit=3,
+    )

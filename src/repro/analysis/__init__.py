@@ -1,0 +1,39 @@
+"""Signal analysis and characterization of primary-tenant behaviour.
+
+This package implements Section 3 of the paper: the FFT-based periodicity
+analysis, the periodic / constant / unpredictable pattern classifier, CDF
+helpers, and the characterization routines behind Figures 1 through 6.
+"""
+
+from repro.analysis.fft import FrequencyProfile, compute_spectrum
+from repro.analysis.classification import (
+    ClassificationThresholds,
+    classify_trace,
+    classify_tenants,
+)
+from repro.analysis.cdf import empirical_cdf, cdf_at, fraction_at_or_below
+from repro.analysis.characterization import (
+    DatacenterCharacterization,
+    ReimageGroup,
+    characterize_datacenter,
+    characterize_fleet,
+    reimage_group_changes,
+    split_into_frequency_groups,
+)
+
+__all__ = [
+    "FrequencyProfile",
+    "compute_spectrum",
+    "ClassificationThresholds",
+    "classify_trace",
+    "classify_tenants",
+    "empirical_cdf",
+    "cdf_at",
+    "fraction_at_or_below",
+    "DatacenterCharacterization",
+    "ReimageGroup",
+    "characterize_datacenter",
+    "characterize_fleet",
+    "reimage_group_changes",
+    "split_into_frequency_groups",
+]

@@ -1,0 +1,54 @@
+"""Empirical CDF helpers for the characterization figures.
+
+Figures 4, 5 and 6 of the paper are cumulative distribution functions of
+per-server reimage counts, per-tenant reimage rates, and month-to-month
+group-change counts.  These helpers compute the empirical CDF and answer
+"what fraction of the population is at or below x" queries used by the
+benchmarks to check the published shape statements (e.g. "at least 90% of
+servers are reimaged once or fewer times per month").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def empirical_cdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return sorted sample values and their cumulative fractions.
+
+    The returned arrays ``(values, fractions)`` satisfy: ``fractions[i]`` is
+    the fraction of samples less than or equal to ``values[i]``.
+    """
+    if len(samples) == 0:
+        return np.array([]), np.array([])
+    values = np.sort(np.asarray(samples, dtype=float))
+    fractions = np.arange(1, len(values) + 1) / len(values)
+    return values, fractions
+
+
+def cdf_at(samples: Sequence[float], points: Sequence[float]) -> np.ndarray:
+    """Evaluate the empirical CDF at the given points."""
+    if len(samples) == 0:
+        return np.zeros(len(points))
+    values = np.sort(np.asarray(samples, dtype=float))
+    points_arr = np.asarray(points, dtype=float)
+    return np.searchsorted(values, points_arr, side="right") / len(values)
+
+
+def fraction_at_or_below(samples: Sequence[float], threshold: float) -> float:
+    """Fraction of samples with value <= threshold."""
+    if len(samples) == 0:
+        return 0.0
+    arr = np.asarray(samples, dtype=float)
+    return float((arr <= threshold).mean())
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The q-th percentile of the samples (0 when empty)."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100] (got {q})")
+    if len(samples) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(samples, dtype=float), q))

@@ -1,0 +1,224 @@
+"""Characterization of primary-tenant utilization and reimaging behaviour.
+
+This module produces the statistics behind Figures 2 through 6 of the paper:
+
+* the percentage of primary tenants and of servers in each utilization
+  pattern class (Figures 2 and 3);
+* the CDF of per-server reimages per month and of per-tenant reimages per
+  server per month (Figures 4 and 5);
+* the CDF of the number of times a tenant changes reimage-frequency group
+  (infrequent / intermediate / frequent) from month to month (Figure 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.classification import ClassificationThresholds, classify_tenants
+from repro.simulation.random import RandomSource
+from repro.traces.datacenter import Datacenter, PrimaryTenant
+from repro.traces.reimage import (
+    ReimageEvent,
+    generate_reimage_events,
+    per_month_tenant_rates,
+    per_server_monthly_counts,
+)
+from repro.traces.utilization import UtilizationPattern
+
+
+class ReimageGroup(enum.IntEnum):
+    """Relative reimage-frequency group used in Section 3.3 and Algorithm 2."""
+
+    INFREQUENT = 0
+    INTERMEDIATE = 1
+    FREQUENT = 2
+
+
+@dataclass
+class DatacenterCharacterization:
+    """Per-datacenter characterization results.
+
+    Attributes:
+        name: datacenter name.
+        tenant_fraction_by_pattern: Figure 2 — fraction of tenants per class.
+        server_fraction_by_pattern: Figure 3 — fraction of servers per class.
+        per_server_reimages_per_month: Figure 4 samples.
+        per_tenant_reimages_per_server_month: Figure 5 samples.
+        group_changes_per_tenant: Figure 6 samples.
+        reimage_events: the generated per-tenant reimage streams, keyed by
+            tenant id, reusable by the durability simulations.
+    """
+
+    name: str
+    tenant_fraction_by_pattern: Dict[UtilizationPattern, float]
+    server_fraction_by_pattern: Dict[UtilizationPattern, float]
+    per_server_reimages_per_month: List[float]
+    per_tenant_reimages_per_server_month: List[float]
+    group_changes_per_tenant: List[int]
+    reimage_events: Dict[str, List[ReimageEvent]] = field(default_factory=dict)
+
+    def predictable_server_fraction(self) -> float:
+        """Fraction of servers whose history is a good predictor.
+
+        The paper observes that about 75% of servers run periodic or constant
+        tenants, for which historical utilization predicts the future well.
+        """
+        return (
+            self.server_fraction_by_pattern.get(UtilizationPattern.PERIODIC, 0.0)
+            + self.server_fraction_by_pattern.get(UtilizationPattern.CONSTANT, 0.0)
+        )
+
+
+def split_into_frequency_groups(
+    rates_by_tenant: Mapping[str, float]
+) -> Dict[str, ReimageGroup]:
+    """Split tenants into three equal-sized reimage-frequency groups.
+
+    Section 3.3 splits the tenants of a datacenter into infrequent /
+    intermediate / frequent groups, each with the same number of tenants, by
+    their reimage rate.  Ties are broken by tenant id for determinism.
+    """
+    if not rates_by_tenant:
+        return {}
+    ordered = sorted(rates_by_tenant.items(), key=lambda kv: (kv[1], kv[0]))
+    n = len(ordered)
+    groups: Dict[str, ReimageGroup] = {}
+    for index, (tenant_id, _) in enumerate(ordered):
+        if index < n / 3:
+            groups[tenant_id] = ReimageGroup.INFREQUENT
+        elif index < 2 * n / 3:
+            groups[tenant_id] = ReimageGroup.INTERMEDIATE
+        else:
+            groups[tenant_id] = ReimageGroup.FREQUENT
+    return groups
+
+
+def reimage_group_changes(
+    monthly_rates_by_tenant: Mapping[str, Sequence[float]]
+) -> Dict[str, int]:
+    """Count how many times each tenant changes frequency group month to month.
+
+    For every month the tenants are re-split into three equal groups by that
+    month's rate; a tenant's change count is the number of consecutive months
+    whose group differs (Figure 6: at least 80% of tenants change 8 or fewer
+    times out of 35 possible changes in three years).
+    """
+    tenant_ids = list(monthly_rates_by_tenant.keys())
+    if not tenant_ids:
+        return {}
+    months = min(len(r) for r in monthly_rates_by_tenant.values())
+    if months == 0:
+        return {tenant_id: 0 for tenant_id in tenant_ids}
+
+    previous: Dict[str, ReimageGroup] = {}
+    changes: Dict[str, int] = {tenant_id: 0 for tenant_id in tenant_ids}
+    for month in range(months):
+        month_rates = {
+            tenant_id: float(monthly_rates_by_tenant[tenant_id][month])
+            for tenant_id in tenant_ids
+        }
+        groups = split_into_frequency_groups(month_rates)
+        if previous:
+            for tenant_id in tenant_ids:
+                if groups[tenant_id] is not previous[tenant_id]:
+                    changes[tenant_id] += 1
+        previous = groups
+    return changes
+
+
+def characterize_datacenter(
+    datacenter: Datacenter,
+    months: int = 36,
+    rng: Optional[RandomSource] = None,
+    thresholds: ClassificationThresholds = ClassificationThresholds(),
+) -> DatacenterCharacterization:
+    """Run the Section 3 characterization on one datacenter.
+
+    The utilization classes come from the FFT classifier; the reimaging
+    statistics come from ``months`` months of generated reimage events (the
+    paper uses three years of history).
+    """
+    if months <= 0:
+        raise ValueError(f"months must be positive (got {months})")
+    rng = (rng or RandomSource(0)).fork(f"characterize-{datacenter.name}")
+
+    tenants = list(datacenter.tenants.values())
+    predicted = classify_tenants(tenants, thresholds)
+
+    tenant_counts: Dict[UtilizationPattern, int] = {p: 0 for p in UtilizationPattern}
+    server_counts: Dict[UtilizationPattern, int] = {p: 0 for p in UtilizationPattern}
+    for tenant in tenants:
+        pattern = predicted.get(tenant.tenant_id, UtilizationPattern.UNPREDICTABLE)
+        tenant_counts[pattern] += 1
+        server_counts[pattern] += tenant.num_servers
+
+    total_tenants = max(1, sum(tenant_counts.values()))
+    total_servers = max(1, sum(server_counts.values()))
+
+    per_server_rates: List[float] = []
+    per_tenant_rates: List[float] = []
+    monthly_rates_by_tenant: Dict[str, np.ndarray] = {}
+    events_by_tenant: Dict[str, List[ReimageEvent]] = {}
+
+    for tenant in tenants:
+        server_ids = [s.server_id for s in tenant.servers]
+        events = generate_reimage_events(
+            server_ids, tenant.reimage_profile, months, rng.fork(tenant.tenant_id)
+        )
+        events_by_tenant[tenant.tenant_id] = events
+        per_server = per_server_monthly_counts(events, server_ids, months)
+        per_server_rates.extend(per_server.values())
+        if server_ids:
+            per_tenant_rates.append(
+                sum(1 for _ in events) / (len(server_ids) * months)
+            )
+            monthly_rates_by_tenant[tenant.tenant_id] = per_month_tenant_rates(
+                events, len(server_ids), months
+            )
+
+    changes = reimage_group_changes(monthly_rates_by_tenant)
+
+    return DatacenterCharacterization(
+        name=datacenter.name,
+        tenant_fraction_by_pattern={
+            p: tenant_counts[p] / total_tenants for p in UtilizationPattern
+        },
+        server_fraction_by_pattern={
+            p: server_counts[p] / total_servers for p in UtilizationPattern
+        },
+        per_server_reimages_per_month=per_server_rates,
+        per_tenant_reimages_per_server_month=per_tenant_rates,
+        group_changes_per_tenant=list(changes.values()),
+        reimage_events=events_by_tenant,
+    )
+
+
+def characterize_fleet(
+    fleet: Mapping[str, Datacenter],
+    months: int = 36,
+    rng: Optional[RandomSource] = None,
+) -> Dict[str, DatacenterCharacterization]:
+    """Characterize every datacenter in the fleet."""
+    rng = rng or RandomSource(0)
+    return {
+        name: characterize_datacenter(dc, months=months, rng=rng)
+        for name, dc in fleet.items()
+    }
+
+
+def average_server_fraction(
+    characterizations: Mapping[str, DatacenterCharacterization],
+    pattern: UtilizationPattern,
+) -> float:
+    """Fleet-average fraction of servers in a pattern class (Figure 3)."""
+    if not characterizations:
+        return 0.0
+    fractions = [
+        c.server_fraction_by_pattern.get(pattern, 0.0)
+        for c in characterizations.values()
+    ]
+    return float(np.mean(fractions))

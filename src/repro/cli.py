@@ -1,0 +1,237 @@
+"""Command-line interface for the reproduction experiments.
+
+Exposes the experiment drivers behind a small argparse front end so every
+figure can be regenerated without writing Python::
+
+    python -m repro.cli characterize --scale 0.05
+    python -m repro.cli testbed --hours 1 --servers 24
+    python -m repro.cli storage-testbed --hours 1
+    python -m repro.cli sweep --datacenter DC-9 --levels 0.25 0.45
+    python -m repro.cli durability --blocks 2000
+    python -m repro.cli availability --levels 0.3 0.5 0.66
+    python -m repro.cli microbench
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.analysis import characterize_fleet
+from repro.analysis.cdf import fraction_at_or_below
+from repro.experiments.availability import run_availability_experiment
+from repro.experiments.config import ExperimentScale, QUICK_SCALE
+from repro.experiments.durability import run_durability_experiment
+from repro.experiments.microbench import run_microbenchmarks
+from repro.experiments.report import format_float, format_table
+from repro.experiments.scheduling import run_datacenter_sweep
+from repro.experiments.testbed import run_scheduling_testbed, run_storage_testbed
+from repro.simulation.random import RandomSource
+from repro.traces import build_fleet
+from repro.traces.scaling import ScalingMethod
+from repro.traces.utilization import UtilizationPattern
+
+
+def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    """Build an ExperimentScale from common CLI arguments."""
+    return ExperimentScale(
+        num_servers=getattr(args, "servers", QUICK_SCALE.num_servers),
+        num_tenants=QUICK_SCALE.num_tenants,
+        experiment_hours=getattr(args, "hours", QUICK_SCALE.experiment_hours),
+        mean_interarrival_seconds=QUICK_SCALE.mean_interarrival_seconds,
+        simulation_days=getattr(args, "days", QUICK_SCALE.simulation_days),
+        durability_days=getattr(args, "durability_days", QUICK_SCALE.durability_days),
+        num_blocks=getattr(args, "blocks", QUICK_SCALE.num_blocks),
+        datacenter_scale=getattr(args, "dc_scale", QUICK_SCALE.datacenter_scale),
+        repetitions=1,
+    )
+
+
+def cmd_characterize(args: argparse.Namespace) -> str:
+    """Section 3 characterization across the fleet (Figures 2-6)."""
+    rng = RandomSource(args.seed)
+    fleet = build_fleet(rng, scale=args.scale)
+    results = characterize_fleet(fleet, months=args.months, rng=rng)
+    rows = []
+    for name in sorted(results):
+        r = results[name]
+        rows.append([
+            name,
+            f"{100 * r.tenant_fraction_by_pattern[UtilizationPattern.PERIODIC]:.0f}%",
+            f"{100 * r.server_fraction_by_pattern[UtilizationPattern.PERIODIC]:.0f}%",
+            f"{100 * r.predictable_server_fraction():.0f}%",
+            f"{100 * fraction_at_or_below(r.per_server_reimages_per_month, 1.0):.0f}%",
+        ])
+    return format_table(
+        ["DC", "periodic tenants", "periodic servers", "predictable servers",
+         "servers <=1 reimage/mo"],
+        rows,
+        title="Fleet characterization",
+    )
+
+
+def cmd_testbed(args: argparse.Namespace) -> str:
+    """Scheduling testbed comparison (Figures 10 and 11)."""
+    result = run_scheduling_testbed(_scale_from_args(args), seed=args.seed)
+    rows = [["No-Harvesting", f"{result.no_harvesting_p99_ms:.0f}", "-", "-", "-"]]
+    for name in ("YARN-Stock", "YARN-PT", "YARN-H"):
+        v = result.variant(name)
+        rows.append([
+            name, f"{v.average_p99_ms:.0f}", f"{v.average_job_seconds:.0f}",
+            v.tasks_killed, f"{100 * v.average_cpu_utilization:.0f}%",
+        ])
+    return format_table(
+        ["variant", "avg p99 (ms)", "avg job (s)", "kills", "cpu util"],
+        rows,
+        title="Scheduling testbed",
+    )
+
+
+def cmd_storage_testbed(args: argparse.Namespace) -> str:
+    """Storage testbed comparison (Figure 12)."""
+    result = run_storage_testbed(_scale_from_args(args), seed=args.seed)
+    rows = [["No-Harvesting", f"{result.no_harvesting_p99_ms:.0f}", "-", "-"]]
+    for name in ("HDFS-Stock", "HDFS-PT", "HDFS-H"):
+        v = result.variant(name)
+        rows.append([name, f"{v.average_p99_ms:.0f}", v.failed_accesses, v.served_accesses])
+    return format_table(
+        ["variant", "avg p99 (ms)", "failed accesses", "served accesses"],
+        rows,
+        title="Storage testbed",
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> str:
+    """DC utilization sweep (Figure 13)."""
+    sweep = run_datacenter_sweep(
+        args.datacenter,
+        utilization_levels=tuple(args.levels),
+        scalings=(ScalingMethod(args.scaling),),
+        scale=_scale_from_args(args),
+        seed=args.seed,
+    )
+    rows = [
+        [
+            p.scaling.value, f"{p.target_utilization:.2f}", f"{p.yarn_pt_seconds:.0f}",
+            f"{p.yarn_h_seconds:.0f}", f"{100 * p.improvement:.0f}%",
+        ]
+        for p in sweep.points
+    ]
+    return format_table(
+        ["scaling", "target util", "YARN-PT (s)", "YARN-H (s)", "improvement"],
+        rows,
+        title=f"{args.datacenter} utilization sweep",
+    )
+
+
+def cmd_durability(args: argparse.Namespace) -> str:
+    """Durability comparison (Figure 15)."""
+    result = run_durability_experiment(
+        args.datacenter, scale=_scale_from_args(args), seed=args.seed
+    )
+    rows = []
+    for replication in (3, 4):
+        for variant in ("HDFS-Stock", "HDFS-H"):
+            r = result.result(variant, replication)
+            rows.append([variant, replication, r.blocks_created, r.blocks_lost])
+    table = format_table(
+        ["system", "replication", "blocks", "lost"], rows, title="Durability"
+    )
+    return table + (
+        f"\nLoss reduction factor at R=3: {format_float(result.loss_reduction_factor(3))}"
+    )
+
+
+def cmd_availability(args: argparse.Namespace) -> str:
+    """Availability comparison (Figure 16)."""
+    result = run_availability_experiment(
+        args.datacenter,
+        utilization_levels=tuple(args.levels),
+        scale=_scale_from_args(args),
+        seed=args.seed,
+    )
+    rows = []
+    for util in args.levels:
+        rows.append([
+            f"{util:.2f}",
+            f"{100 * result.failed_fraction('HDFS-Stock', 3, util):.2f}%",
+            f"{100 * result.failed_fraction('HDFS-H', 3, util):.2f}%",
+        ])
+    return format_table(
+        ["avg util", "HDFS-Stock R3 failed", "HDFS-H R3 failed"],
+        rows,
+        title="Availability",
+    )
+
+
+def cmd_microbench(args: argparse.Namespace) -> str:
+    """Policy-operation latencies (Section 6.2)."""
+    result = run_microbenchmarks(scale=_scale_from_args(args), seed=args.seed)
+    return format_table(
+        ["operation", "measured"],
+        [
+            ["clustering (per run)", f"{result.clustering_seconds:.3f} s"],
+            ["utilization classes", result.num_classes],
+            ["class selection (per job)", f"{result.class_selection_ms:.3f} ms"],
+            ["history placement (per block)", f"{result.placement_ms:.3f} ms"],
+            ["stock placement (per block)", f"{result.stock_placement_ms:.3f} ms"],
+        ],
+        title="Microbenchmarks",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p = subparsers.add_parser("characterize", help="Section 3 characterization")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--months", type=int, default=12)
+    p.set_defaults(func=cmd_characterize)
+
+    p = subparsers.add_parser("testbed", help="Figures 10-11 scheduling testbed")
+    p.add_argument("--hours", type=float, default=1.0)
+    p.add_argument("--servers", type=int, default=24)
+    p.set_defaults(func=cmd_testbed)
+
+    p = subparsers.add_parser("storage-testbed", help="Figure 12 storage testbed")
+    p.add_argument("--hours", type=float, default=1.0)
+    p.add_argument("--servers", type=int, default=24)
+    p.set_defaults(func=cmd_storage_testbed)
+
+    p = subparsers.add_parser("sweep", help="Figure 13 utilization sweep")
+    p.add_argument("--datacenter", default="DC-9")
+    p.add_argument("--levels", type=float, nargs="+", default=[0.25, 0.45])
+    p.add_argument("--scaling", choices=[m.value for m in ScalingMethod], default="linear")
+    p.add_argument("--days", type=float, default=1.0)
+    p.set_defaults(func=cmd_sweep)
+
+    p = subparsers.add_parser("durability", help="Figure 15 durability")
+    p.add_argument("--datacenter", default="DC-9")
+    p.add_argument("--blocks", type=int, default=2000)
+    p.add_argument("--durability-days", dest="durability_days", type=float, default=60.0)
+    p.set_defaults(func=cmd_durability)
+
+    p = subparsers.add_parser("availability", help="Figure 16 availability")
+    p.add_argument("--datacenter", default="DC-9")
+    p.add_argument("--levels", type=float, nargs="+", default=[0.3, 0.5, 0.66])
+    p.set_defaults(func=cmd_availability)
+
+    p = subparsers.add_parser("microbench", help="Section 6.2 microbenchmarks")
+    p.set_defaults(func=cmd_microbench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(args.func(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Compute-harvesting substrate: a YARN-like container scheduler simulator.
+
+The paper extends YARN (Resource Manager + per-server Node Manager) so that
+batch containers only use resources the co-located primary tenant leaves
+spare, and kills containers when the primary tenant bursts into its reserve.
+This package models that protocol with three scheduler variants:
+
+* **Stock** — unaware of primary tenants; containers may collide with them.
+* **PT** (primary-tenant aware) — reserves headroom and kills containers
+  youngest-first when the reserve is violated, but schedules without history.
+* **H** (history) — PT plus the clustering-service node labels and the
+  Algorithm 1 class selection implemented in :mod:`repro.core`.
+"""
+
+from repro.cluster.resources import Resource
+from repro.cluster.reserve import ResourceReserve
+from repro.cluster.server import SimulatedServer, Container, ContainerState
+from repro.cluster.node_manager import NodeManager, Heartbeat
+from repro.cluster.resource_manager import (
+    ContainerRequest,
+    ResourceManager,
+    SchedulerMode,
+)
+
+__all__ = [
+    "Resource",
+    "ResourceReserve",
+    "SimulatedServer",
+    "Container",
+    "ContainerState",
+    "NodeManager",
+    "Heartbeat",
+    "ContainerRequest",
+    "ResourceManager",
+    "SchedulerMode",
+]

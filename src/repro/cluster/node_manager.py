@@ -1,0 +1,117 @@
+"""The Node Manager: per-server agent of the container scheduler.
+
+The NodeManager tracks the primary tenant's core and memory utilization,
+rounds it up to whole cores / whole GB, and reports the sum of that rounded
+usage plus the secondary tenants' allocations to the Resource Manager in its
+periodic heartbeat (every 3 seconds in the real systems).  When it detects
+that the primary tenant has burst into the reserve, it kills containers from
+youngest to oldest until the reserve is replenished (Section 5.3).
+
+In Stock mode the NodeManager is oblivious to the primary tenant: it reports
+only the container allocations and never kills for the primary's sake — the
+behaviour that ruins primary tail latency in Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.cluster.resources import Resource
+from repro.cluster.server import Container, SimulatedServer
+
+#: Heartbeat period used by the modelled systems.
+HEARTBEAT_INTERVAL_SECONDS = 3.0
+
+
+@dataclass
+class Heartbeat:
+    """A Node Manager heartbeat to the Resource Manager.
+
+    Attributes:
+        server_id: reporting server.
+        time: simulation time of the report.
+        capacity: the server's total capacity.
+        used: primary usage (rounded up) plus secondary allocations; in Stock
+            mode just the secondary allocations.
+        available: capacity minus used minus (in aware modes) the reserve.
+        primary_utilization: primary tenant CPU fraction (aware modes only).
+        killed_containers: containers killed since the previous heartbeat.
+    """
+
+    server_id: str
+    time: float
+    capacity: Resource
+    used: Resource
+    available: Resource
+    primary_utilization: float
+    killed_containers: List[Container]
+
+
+class NodeManager:
+    """Per-server agent producing heartbeats and enforcing the reserve."""
+
+    def __init__(
+        self,
+        server: SimulatedServer,
+        primary_aware: bool = True,
+        on_kill: Optional[Callable[[Container], None]] = None,
+    ) -> None:
+        self._server = server
+        self._primary_aware = primary_aware
+        self._on_kill = on_kill
+
+    @property
+    def server(self) -> SimulatedServer:
+        """The server this NodeManager runs on."""
+        return self._server
+
+    @property
+    def server_id(self) -> str:
+        """The managed server's id."""
+        return self._server.server_id
+
+    @property
+    def primary_aware(self) -> bool:
+        """Whether this NodeManager accounts for the primary tenant."""
+        return self._primary_aware
+
+    def enforce_reserve(self, time: float) -> List[Container]:
+        """Kill containers (youngest first) if the primary burst into the reserve.
+
+        Stock NodeManagers never kill on the primary tenant's behalf.
+        """
+        if not self._primary_aware:
+            return []
+        killed = self._server.reclaim_reserve(time)
+        if self._on_kill is not None:
+            for container in killed:
+                self._on_kill(container)
+        return killed
+
+    def heartbeat(self, time: float) -> Heartbeat:
+        """Produce the heartbeat the Resource Manager consumes."""
+        killed = self.enforce_reserve(time)
+        allocated = self._server.allocated()
+        if self._primary_aware:
+            primary = self._server.primary_usage(time).rounded_up()
+            used = primary + allocated
+            available = self._server.reserve.harvestable(
+                self._server.capacity, self._server.primary_usage(time)
+            ) - allocated
+            primary_utilization = self._server.primary_utilization(time)
+        else:
+            used = allocated
+            available = self._server.capacity - allocated
+            primary_utilization = 0.0
+        return Heartbeat(
+            server_id=self._server.server_id,
+            time=time,
+            capacity=self._server.capacity,
+            used=used,
+            available=Resource(
+                max(0.0, available.cores), max(0.0, available.memory_gb)
+            ),
+            primary_utilization=primary_utilization,
+            killed_containers=killed,
+        )

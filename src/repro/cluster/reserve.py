@@ -1,0 +1,70 @@
+"""The primary-tenant resource reserve.
+
+Because the paper's systems do not rely on fine-grained performance
+isolation, each server keeps a fixed reserve of cores and memory that batch
+containers may never occupy: a spiking primary tenant can immediately consume
+the reserve while the NodeManager reacts (within a few seconds) by killing
+containers to replenish it.  The testbed reserves 4 of 12 cores (33%) and
+10 of 32 GB (31%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.resources import Resource
+
+
+@dataclass(frozen=True)
+class ResourceReserve:
+    """Per-server reserve held back for primary-tenant bursts.
+
+    Attributes:
+        reserve: the absolute amount of cores and memory reserved.
+    """
+
+    reserve: Resource = Resource(cores=4.0, memory_gb=10.0)
+
+    @staticmethod
+    def from_fractions(
+        capacity: Resource, cpu_fraction: float = 1.0 / 3.0, memory_fraction: float = 0.31
+    ) -> "ResourceReserve":
+        """Build a reserve as a fraction of a server's capacity."""
+        if not 0.0 <= cpu_fraction < 1.0:
+            raise ValueError(f"cpu_fraction must be in [0, 1) (got {cpu_fraction})")
+        if not 0.0 <= memory_fraction < 1.0:
+            raise ValueError(
+                f"memory_fraction must be in [0, 1) (got {memory_fraction})"
+            )
+        return ResourceReserve(
+            Resource(capacity.cores * cpu_fraction, capacity.memory_gb * memory_fraction)
+        )
+
+    def cpu_fraction(self, capacity: Resource) -> float:
+        """Reserved fraction of the server's cores."""
+        if capacity.cores <= 0:
+            return 0.0
+        return self.reserve.cores / capacity.cores
+
+    def harvestable(self, capacity: Resource, primary_usage: Resource) -> Resource:
+        """Resources available to batch containers on a server.
+
+        Whatever the primary tenant is using, plus the reserve, is off limits;
+        the rest can be harvested.
+        """
+        protected = primary_usage.rounded_up() + self.reserve
+        return capacity - protected
+
+    def violated(
+        self, capacity: Resource, primary_usage: Resource, allocated: Resource
+    ) -> Resource:
+        """How much allocated batch capacity intrudes into the reserve.
+
+        Returns the amount of resources that must be reclaimed (by killing
+        containers) to restore the full reserve; zero when the reserve is
+        intact.
+        """
+        available = self.harvestable(capacity, primary_usage)
+        over_cores = max(0.0, allocated.cores - available.cores)
+        over_memory = max(0.0, allocated.memory_gb - available.memory_gb)
+        return Resource(over_cores, over_memory)

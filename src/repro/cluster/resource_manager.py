@@ -1,0 +1,217 @@
+"""The Resource Manager: cluster-wide container arbitration.
+
+The Resource Manager receives heartbeats from every NodeManager, keeps the
+latest view of each server's available resources, and satisfies container
+requests from Application Masters.  A request may carry a *node label* — the
+utilization-class id assigned by the clustering service — or a disjunction of
+labels; the RM then schedules the container onto a server of the requested
+class with probability proportional to the server's available resources
+(Section 5.3).  Requests without a label fall back to the default policy
+(most-available-resources first).
+
+Three modes mirror the paper's baselines:
+
+* ``STOCK``   — YARN-Stock: primary-oblivious NodeManagers, no labels.
+* ``PRIMARY_AWARE`` — YARN-PT: primary-aware NodeManagers, no labels.
+* ``HISTORY`` — YARN-H: primary-aware NodeManagers plus class labels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.node_manager import NodeManager
+from repro.cluster.resources import Resource
+from repro.cluster.server import Container
+from repro.simulation.metrics import MetricRegistry
+from repro.simulation.random import RandomSource
+
+
+class SchedulerMode(str, enum.Enum):
+    """Which scheduler variant the Resource Manager behaves as."""
+
+    STOCK = "stock"
+    PRIMARY_AWARE = "primary_aware"
+    HISTORY = "history"
+
+
+@dataclass
+class ContainerRequest:
+    """A container request from an Application Master.
+
+    Attributes:
+        job_id: requesting job.
+        task_id: the task that will run in the container.
+        allocation: requested cores and memory.
+        node_labels: acceptable utilization-class labels (empty = any server).
+    """
+
+    job_id: str
+    task_id: str
+    allocation: Resource
+    node_labels: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ServerRecord:
+    """RM-side record of one server, refreshed by heartbeats."""
+
+    node_manager: NodeManager
+    label: Optional[str] = None
+    available: Resource = field(default_factory=Resource.zero)
+    last_heartbeat: float = 0.0
+
+
+class ResourceManager:
+    """Cluster-wide container scheduler with pluggable awareness level."""
+
+    def __init__(
+        self,
+        mode: SchedulerMode = SchedulerMode.HISTORY,
+        rng: Optional[RandomSource] = None,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        self.mode = mode
+        self._rng = rng or RandomSource(0)
+        self.metrics = metrics or MetricRegistry()
+        self._servers: Dict[str, ServerRecord] = {}
+
+    # -- membership -----------------------------------------------------------
+
+    def register_node(self, node_manager: NodeManager, label: Optional[str] = None) -> None:
+        """Add a NodeManager to the cluster, optionally with its class label."""
+        if node_manager.server_id in self._servers:
+            raise ValueError(f"server {node_manager.server_id} already registered")
+        self._servers[node_manager.server_id] = ServerRecord(
+            node_manager=node_manager,
+            label=label if self.mode is SchedulerMode.HISTORY else None,
+        )
+
+    def set_label(self, server_id: str, label: Optional[str]) -> None:
+        """Update a server's utilization-class label (after re-clustering)."""
+        self._record(server_id).label = label
+
+    @property
+    def server_ids(self) -> List[str]:
+        """All registered servers."""
+        return sorted(self._servers)
+
+    def node_manager(self, server_id: str) -> NodeManager:
+        """The NodeManager of a registered server."""
+        return self._record(server_id).node_manager
+
+    def _record(self, server_id: str) -> ServerRecord:
+        if server_id not in self._servers:
+            raise KeyError(f"unknown server {server_id}")
+        return self._servers[server_id]
+
+    # -- heartbeats -----------------------------------------------------------
+
+    def process_heartbeats(self, time: float) -> List[Container]:
+        """Collect a heartbeat from every server; returns containers killed.
+
+        The RM's view of available resources is refreshed from the heartbeats,
+        exactly as the real systems piggyback utilization on the existing
+        heartbeat protocol.
+        """
+        killed: List[Container] = []
+        for record in self._servers.values():
+            heartbeat = record.node_manager.heartbeat(time)
+            record.available = heartbeat.available
+            record.last_heartbeat = time
+            killed.extend(heartbeat.killed_containers)
+        if killed:
+            self.metrics.counter("containers_killed").increment(len(killed))
+        return killed
+
+    # -- utilization visibility -------------------------------------------------
+
+    def average_primary_utilization(self, time: float) -> float:
+        """Mean primary-tenant CPU utilization across the cluster."""
+        if not self._servers:
+            return 0.0
+        total = sum(
+            record.node_manager.server.primary_utilization(time)
+            for record in self._servers.values()
+        )
+        return total / len(self._servers)
+
+    def average_total_utilization(self, time: float) -> float:
+        """Mean combined (primary + secondary) CPU utilization."""
+        if not self._servers:
+            return 0.0
+        total = sum(
+            record.node_manager.server.total_cpu_utilization(time)
+            for record in self._servers.values()
+        )
+        return total / len(self._servers)
+
+    def current_class_utilization(self, label: str, time: float) -> float:
+        """Mean total (primary + secondary) utilization of the ``label`` servers.
+
+        This is the "current utilization" Algorithm 1's headroom uses: the
+        class's servers may already be loaded with batch containers, and that
+        load counts against the room left for a new job.
+        """
+        members = [r for r in self._servers.values() if r.label == label]
+        if not members:
+            return 0.0
+        return sum(
+            r.node_manager.server.total_cpu_utilization(time) for r in members
+        ) / len(members)
+
+    def class_capacity_cores(self, label: str) -> float:
+        """Total core capacity of the servers carrying ``label``."""
+        return sum(
+            r.node_manager.server.capacity.cores
+            for r in self._servers.values()
+            if r.label == label
+        )
+
+    # -- scheduling -------------------------------------------------------------
+
+    def _candidates(self, request: ContainerRequest) -> List[ServerRecord]:
+        """Servers eligible for the request (label filter + resource fit)."""
+        records = list(self._servers.values())
+        if self.mode is SchedulerMode.HISTORY and request.node_labels:
+            labelled = [r for r in records if r.label in request.node_labels]
+            # Fall back to the default policy if the labels name no servers,
+            # mirroring the RM's behaviour when a label is unknown.
+            if labelled:
+                records = labelled
+        return [r for r in records if request.allocation.fits_within(r.available)]
+
+    def schedule(self, request: ContainerRequest, time: float) -> Optional[Container]:
+        """Try to place a container for ``request``; None when nothing fits.
+
+        The destination is drawn with probability proportional to available
+        cores (the paper's probabilistic load balancing); Stock mode keeps
+        YARN's default most-available-first choice.
+        """
+        candidates = self._candidates(request)
+        if not candidates:
+            self.metrics.counter("requests_unsatisfied").increment()
+            return None
+
+        if self.mode is SchedulerMode.STOCK:
+            chosen = max(candidates, key=lambda r: (r.available.cores, r.node_manager.server_id))
+        else:
+            weights = [max(1e-9, r.available.cores) for r in candidates]
+            chosen = candidates[self._rng.weighted_index(weights)]
+
+        server = chosen.node_manager.server
+        container = server.launch_container(
+            request.task_id, request.job_id, request.allocation, time
+        )
+        chosen.available = chosen.available - request.allocation
+        self.metrics.counter("containers_launched").increment()
+        return container
+
+    def complete(self, container: Container, time: float) -> None:
+        """Mark a container completed and release its resources on the RM view."""
+        record = self._record(container.server_id)
+        record.node_manager.server.complete_container(container.container_id, time)
+        record.available = record.available + container.allocation
+        self.metrics.counter("containers_completed").increment()

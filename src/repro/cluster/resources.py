@@ -1,0 +1,80 @@
+"""Resource vectors (cores, memory) used by the container scheduler.
+
+YARN arbitrates cores and memory; the simulator does the same.  A
+:class:`Resource` is an immutable (cores, memory) pair with element-wise
+arithmetic and fit comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Resource:
+    """An amount of CPU cores and memory.
+
+    Attributes:
+        cores: CPU cores (may be fractional for utilization-derived values;
+            allocations round up to whole cores).
+        memory_gb: memory in gigabytes.
+    """
+
+    cores: float = 0.0
+    memory_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 0 or self.memory_gb < 0:
+            raise ValueError(
+                f"resources must be non-negative (got {self.cores} cores, "
+                f"{self.memory_gb} GB)"
+            )
+
+    def __add__(self, other: "Resource") -> "Resource":
+        return Resource(self.cores + other.cores, self.memory_gb + other.memory_gb)
+
+    def __sub__(self, other: "Resource") -> "Resource":
+        return Resource(
+            max(0.0, self.cores - other.cores),
+            max(0.0, self.memory_gb - other.memory_gb),
+        )
+
+    def __mul__(self, factor: float) -> "Resource":
+        if factor < 0:
+            raise ValueError(f"cannot scale a resource by a negative factor ({factor})")
+        return Resource(self.cores * factor, self.memory_gb * factor)
+
+    def fits_within(self, other: "Resource") -> bool:
+        """True when this amount can be satisfied out of ``other``."""
+        epsilon = 1e-9
+        return (
+            self.cores <= other.cores + epsilon
+            and self.memory_gb <= other.memory_gb + epsilon
+        )
+
+    def rounded_up(self) -> "Resource":
+        """Cores rounded up to an integer, memory rounded up to an integer GB.
+
+        The NodeManager reports the primary tenant's usage rounded up this way
+        (Section 5.3) so the scheduler never under-estimates it.
+        """
+        return Resource(float(math.ceil(self.cores)), float(math.ceil(self.memory_gb)))
+
+    def is_zero(self) -> bool:
+        """True when both dimensions are (numerically) zero."""
+        return self.cores <= 1e-12 and self.memory_gb <= 1e-12
+
+    def dominant_share(self, capacity: "Resource") -> float:
+        """Largest fraction of ``capacity`` consumed along either dimension."""
+        shares = []
+        if capacity.cores > 0:
+            shares.append(self.cores / capacity.cores)
+        if capacity.memory_gb > 0:
+            shares.append(self.memory_gb / capacity.memory_gb)
+        return max(shares) if shares else 0.0
+
+    @staticmethod
+    def zero() -> "Resource":
+        """The empty resource."""
+        return Resource(0.0, 0.0)

@@ -1,0 +1,219 @@
+"""The simulated shared server: primary tenant plus batch containers.
+
+Each server runs its primary tenant (whose CPU usage is driven by the
+tenant's utilization trace) and any number of batch containers.  The server
+tracks allocations, exposes the harvesting view of its capacity, and applies
+container kills when the primary tenant needs its reserve back.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.reserve import ResourceReserve
+from repro.cluster.resources import Resource
+from repro.traces.datacenter import PrimaryTenant, Server
+
+
+class ContainerState(str, enum.Enum):
+    """Lifecycle of a batch container."""
+
+    RUNNING = "running"
+    COMPLETED = "completed"
+    KILLED = "killed"
+
+
+_container_ids = itertools.count()
+
+
+@dataclass
+class Container:
+    """A batch container running one task on one server.
+
+    Attributes:
+        container_id: globally unique id.
+        task_id: the task executing inside the container.
+        job_id: the owning job.
+        allocation: cores and memory granted to the container.
+        server_id: the hosting server.
+        start_time: simulation time at which the container started.
+        state: current lifecycle state.
+        end_time: completion or kill time (None while running).
+    """
+
+    task_id: str
+    job_id: str
+    allocation: Resource
+    server_id: str
+    start_time: float
+    container_id: int = field(default_factory=lambda: next(_container_ids))
+    state: ContainerState = ContainerState.RUNNING
+    end_time: Optional[float] = None
+
+    @property
+    def age(self) -> float:
+        """Seconds since the container started (requires a clock to compare)."""
+        return self.start_time
+
+    def finish(self, time: float) -> None:
+        """Mark the container as completed at ``time``."""
+        if self.state is not ContainerState.RUNNING:
+            raise ValueError(f"container {self.container_id} is not running")
+        self.state = ContainerState.COMPLETED
+        self.end_time = time
+
+    def kill(self, time: float) -> None:
+        """Mark the container as killed at ``time``."""
+        if self.state is not ContainerState.RUNNING:
+            raise ValueError(f"container {self.container_id} is not running")
+        self.state = ContainerState.KILLED
+        self.end_time = time
+
+
+class SimulatedServer:
+    """One shared server: capacity, primary usage, and running containers."""
+
+    def __init__(
+        self,
+        server: Server,
+        tenant: PrimaryTenant,
+        reserve: Optional[ResourceReserve] = None,
+    ) -> None:
+        self._server = server
+        self._tenant = tenant
+        self.capacity = Resource(float(server.cores), float(server.memory_gb))
+        self.reserve = reserve or ResourceReserve.from_fractions(self.capacity)
+        self._containers: Dict[int, Container] = {}
+        self._utilization_override: Optional[Callable[[float], float]] = None
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def server_id(self) -> str:
+        """Physical server id."""
+        return self._server.server_id
+
+    @property
+    def tenant_id(self) -> str:
+        """Owning primary tenant id."""
+        return self._tenant.tenant_id
+
+    @property
+    def tenant(self) -> PrimaryTenant:
+        """The owning primary tenant."""
+        return self._tenant
+
+    @property
+    def rack(self) -> str:
+        """Physical rack."""
+        return self._server.rack
+
+    # -- primary tenant ------------------------------------------------------
+
+    def set_utilization_override(
+        self, override: Optional[Callable[[float], float]]
+    ) -> None:
+        """Replace the trace-driven utilization with a custom function.
+
+        Used by the testbed experiments to replay scaled traces without
+        mutating the tenant objects.
+        """
+        self._utilization_override = override
+
+    def primary_utilization(self, time: float) -> float:
+        """Primary tenant CPU utilization fraction at simulation time."""
+        if self._utilization_override is not None:
+            return float(min(1.0, max(0.0, self._utilization_override(time))))
+        return self._tenant.utilization_at(time)
+
+    def primary_usage(self, time: float) -> Resource:
+        """Primary tenant resource usage at simulation time.
+
+        Memory usage is modelled as proportional to CPU usage; the policies
+        under study are CPU-driven, as in the paper.
+        """
+        utilization = self.primary_utilization(time)
+        return Resource(
+            cores=utilization * self.capacity.cores,
+            memory_gb=utilization * self.capacity.memory_gb * 0.5,
+        )
+
+    # -- containers -----------------------------------------------------------
+
+    @property
+    def running_containers(self) -> List[Container]:
+        """Containers currently running on this server."""
+        return [
+            c for c in self._containers.values() if c.state is ContainerState.RUNNING
+        ]
+
+    def allocated(self) -> Resource:
+        """Total resources allocated to running containers."""
+        total = Resource.zero()
+        for container in self.running_containers:
+            total = total + container.allocation
+        return total
+
+    def available_for_harvesting(self, time: float) -> Resource:
+        """Resources a new container could be granted right now."""
+        return self.reserve.harvestable(
+            self.capacity, self.primary_usage(time)
+        ) - self.allocated()
+
+    def can_host(self, request: Resource, time: float) -> bool:
+        """Whether a container of size ``request`` fits right now."""
+        return request.fits_within(self.available_for_harvesting(time))
+
+    def launch_container(
+        self, task_id: str, job_id: str, allocation: Resource, time: float
+    ) -> Container:
+        """Start a container; the caller must have checked :meth:`can_host`."""
+        container = Container(
+            task_id=task_id,
+            job_id=job_id,
+            allocation=allocation,
+            server_id=self.server_id,
+            start_time=time,
+        )
+        self._containers[container.container_id] = container
+        return container
+
+    def complete_container(self, container_id: int, time: float) -> Container:
+        """Mark a container as finished and free its resources."""
+        container = self._containers[container_id]
+        container.finish(time)
+        return container
+
+    def reclaim_reserve(self, time: float) -> List[Container]:
+        """Kill containers, youngest first, until the reserve is restored.
+
+        Returns the killed containers.  This is what NM-H does when it detects
+        that the primary tenant has burst into the reserve (Section 5.3).
+        """
+        killed: List[Container] = []
+        violation = self.reserve.violated(
+            self.capacity, self.primary_usage(time), self.allocated()
+        )
+        if violation.is_zero():
+            return killed
+        # Youngest-to-oldest: most recently started containers die first.
+        for container in sorted(
+            self.running_containers, key=lambda c: c.start_time, reverse=True
+        ):
+            if violation.is_zero():
+                break
+            container.kill(time)
+            killed.append(container)
+            violation = self.reserve.violated(
+                self.capacity, self.primary_usage(time), self.allocated()
+            )
+        return killed
+
+    def total_cpu_utilization(self, time: float) -> float:
+        """Combined primary + secondary CPU utilization fraction."""
+        primary = self.primary_utilization(time)
+        secondary = self.allocated().cores / self.capacity.cores
+        return min(1.0, primary + secondary)

@@ -1,0 +1,43 @@
+"""The paper's primary contribution: history-based scheduling and placement.
+
+* :mod:`repro.core.clustering` — the clustering service that groups primary
+  tenants with similar utilization patterns into utilization classes
+  (Section 4.1, first half).
+* :mod:`repro.core.class_selection` — Algorithm 1: pick the utilization
+  class(es) for a batch job's tasks by weighted headroom.
+* :mod:`repro.core.grid` and :mod:`repro.core.placement` — Algorithm 2: the
+  two-dimensional (reimage frequency x peak utilization) clustering scheme
+  and the diversity-maximizing replica placement policy.
+"""
+
+from repro.core.kmeans import KMeansResult, kmeans
+from repro.core.job_types import JobType, JobTypeThresholds, categorize_job
+from repro.core.headroom import class_headroom
+from repro.core.clustering import ClusteringService, UtilizationClass
+from repro.core.class_selection import (
+    ClassSelection,
+    ClassSelector,
+    RankingWeights,
+)
+from repro.core.grid import GridCell, GridClustering, build_grid
+from repro.core.placement import PlacementConstraints, ReplicaPlacer, PlacementDecision
+
+__all__ = [
+    "KMeansResult",
+    "kmeans",
+    "JobType",
+    "JobTypeThresholds",
+    "categorize_job",
+    "class_headroom",
+    "ClusteringService",
+    "UtilizationClass",
+    "ClassSelection",
+    "ClassSelector",
+    "RankingWeights",
+    "GridCell",
+    "GridClustering",
+    "build_grid",
+    "PlacementConstraints",
+    "ReplicaPlacer",
+    "PlacementDecision",
+]

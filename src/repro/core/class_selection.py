@@ -1,0 +1,204 @@
+"""Algorithm 1: class selection for batch task scheduling.
+
+Given the utilization classes produced by the clustering service, the class
+selector decides which class (or combination of classes) should host a batch
+job's tasks:
+
+1. the job is typed short / medium / long from its last run;
+2. its maximum concurrent resource demand is estimated from its DAG;
+3. every class's headroom for that job type is weighted by a pre-determined
+   type-dependent ranking (long jobs prefer constant classes, short jobs
+   prefer unpredictable ones, medium jobs prefer periodic ones);
+4. if at least one class can fit the whole job, one is picked with
+   probability proportional to its weighted headroom; otherwise a set of
+   classes that together fit the job is picked the same way; otherwise no
+   class is selected and the job must wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.clustering import UtilizationClass
+from repro.core.headroom import class_headroom
+from repro.core.job_types import JobType
+from repro.simulation.random import RandomSource
+from repro.traces.utilization import UtilizationPattern
+
+
+#: Default ranking weights W[job_type][pattern] (higher = more preferred).
+#: Long jobs favour constant classes, short jobs favour unpredictable ones,
+#: medium jobs favour periodic ones — exactly the ordering of Section 4.1.
+DEFAULT_RANKING: Dict[JobType, Dict[UtilizationPattern, float]] = {
+    JobType.LONG: {
+        UtilizationPattern.CONSTANT: 3.0,
+        UtilizationPattern.PERIODIC: 2.0,
+        UtilizationPattern.UNPREDICTABLE: 1.0,
+    },
+    JobType.MEDIUM: {
+        UtilizationPattern.PERIODIC: 3.0,
+        UtilizationPattern.CONSTANT: 2.0,
+        UtilizationPattern.UNPREDICTABLE: 1.0,
+    },
+    JobType.SHORT: {
+        UtilizationPattern.UNPREDICTABLE: 3.0,
+        UtilizationPattern.PERIODIC: 2.0,
+        UtilizationPattern.CONSTANT: 1.0,
+    },
+}
+
+
+@dataclass(frozen=True)
+class RankingWeights:
+    """Ranking weight matrix W indexed by job type and pattern."""
+
+    weights: Mapping[JobType, Mapping[UtilizationPattern, float]] = field(
+        default_factory=lambda: DEFAULT_RANKING
+    )
+
+    def weight(self, job_type: JobType, pattern: UtilizationPattern) -> float:
+        """Weight for a (job type, pattern) pair; unknown pairs weigh 1."""
+        return float(self.weights.get(job_type, {}).get(pattern, 1.0))
+
+
+@dataclass
+class ClassCapacity:
+    """Scheduler-visible capacity information for one utilization class.
+
+    Attributes:
+        utilization_class: the class itself.
+        total_capacity: total CPU capacity of the class's servers, in the
+            scheduler's resource unit (e.g. containers or cores).
+        current_utilization: most recent average CPU utilization (fraction)
+            of the class's servers, reported via heartbeats.
+    """
+
+    utilization_class: UtilizationClass
+    total_capacity: float
+    current_utilization: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_capacity < 0:
+            raise ValueError("total_capacity must be non-negative")
+        if not 0.0 <= self.current_utilization <= 1.0:
+            raise ValueError("current_utilization must be in [0, 1]")
+
+
+@dataclass
+class ClassSelection:
+    """Result of running Algorithm 1 for one job.
+
+    Attributes:
+        class_ids: selected class ids (empty when the job cannot be placed).
+        job_type: the type the job was categorized as.
+        required_capacity: the job's estimated maximum concurrent demand.
+        single_class: True when one class fits the whole job.
+    """
+
+    class_ids: List[str]
+    job_type: JobType
+    required_capacity: float
+    single_class: bool
+
+    @property
+    def scheduled(self) -> bool:
+        """Whether any class could be selected."""
+        return bool(self.class_ids)
+
+
+class ClassSelector:
+    """Implements Algorithm 1 over a set of class capacities."""
+
+    def __init__(
+        self,
+        ranking: RankingWeights | None = None,
+        rng: Optional[RandomSource] = None,
+        reserve_fraction: float = 0.0,
+    ) -> None:
+        self._ranking = ranking or RankingWeights()
+        self._rng = rng or RandomSource(0)
+        if not 0.0 <= reserve_fraction < 1.0:
+            raise ValueError("reserve_fraction must be in [0, 1)")
+        self._reserve_fraction = reserve_fraction
+
+    def weighted_headrooms(
+        self, job_type: JobType, capacities: Sequence[ClassCapacity]
+    ) -> List[float]:
+        """Per-class headroom (in capacity units) scaled by the ranking weight."""
+        rooms: List[float] = []
+        for capacity in capacities:
+            headroom_fraction = class_headroom(
+                job_type,
+                capacity.utilization_class,
+                current_utilization=capacity.current_utilization,
+                reserve_fraction=self._reserve_fraction,
+            )
+            weight = self._ranking.weight(job_type, capacity.utilization_class.pattern)
+            rooms.append(headroom_fraction * capacity.total_capacity * weight)
+        return rooms
+
+    def absolute_headrooms(
+        self, job_type: JobType, capacities: Sequence[ClassCapacity]
+    ) -> List[float]:
+        """Per-class headroom in capacity units, unweighted (used for fit)."""
+        rooms: List[float] = []
+        for capacity in capacities:
+            headroom_fraction = class_headroom(
+                job_type,
+                capacity.utilization_class,
+                current_utilization=capacity.current_utilization,
+                reserve_fraction=self._reserve_fraction,
+            )
+            rooms.append(headroom_fraction * capacity.total_capacity)
+        return rooms
+
+    def select(
+        self,
+        job_type: JobType,
+        required_capacity: float,
+        capacities: Sequence[ClassCapacity],
+    ) -> ClassSelection:
+        """Run Algorithm 1: pick the class(es) that will host the job."""
+        if required_capacity < 0:
+            raise ValueError("required_capacity must be non-negative")
+        if not capacities:
+            return ClassSelection([], job_type, required_capacity, False)
+
+        headrooms = self.absolute_headrooms(job_type, capacities)
+        weighted = self.weighted_headrooms(job_type, capacities)
+
+        fitting = [i for i, room in enumerate(headrooms) if room >= required_capacity]
+        if fitting:
+            weights = [weighted[i] for i in fitting]
+            chosen = fitting[self._rng.weighted_index(weights)]
+            return ClassSelection(
+                [capacities[chosen].utilization_class.class_id],
+                job_type,
+                required_capacity,
+                True,
+            )
+
+        # No single class fits: try a combination, picking classes one by one
+        # with probability proportional to their weighted headroom until the
+        # accumulated headroom covers the demand.
+        total_headroom = sum(headrooms)
+        if total_headroom >= required_capacity and required_capacity > 0:
+            remaining = list(range(len(capacities)))
+            selected: List[int] = []
+            accumulated = 0.0
+            while remaining and accumulated < required_capacity:
+                weights = [max(weighted[i], 1e-12) for i in remaining]
+                pick = remaining[self._rng.weighted_index(weights)]
+                selected.append(pick)
+                accumulated += headrooms[pick]
+                remaining.remove(pick)
+            if accumulated >= required_capacity:
+                return ClassSelection(
+                    [capacities[i].utilization_class.class_id for i in selected],
+                    job_type,
+                    required_capacity,
+                    False,
+                )
+
+        return ClassSelection([], job_type, required_capacity, False)

@@ -1,0 +1,198 @@
+"""The clustering service: grouping primary tenants into utilization classes.
+
+Section 4.1: once per day the clustering service takes the most recent
+month-long utilization series of every primary tenant's "average" server,
+runs the FFT on each series, groups the tenants into the three behaviour
+patterns (periodic / constant / unpredictable), and then runs K-Means within
+each pattern to produce utilization *classes*.  Each class is tagged with its
+pattern, average utilization, and peak utilization, and the service keeps the
+mapping from classes to their member tenants.
+
+In the production deployment this runs as a standalone service queried by
+the RM and the job manager (Figure 9); here it is a plain object that the
+simulated RM-H, Tez-H and NN-H share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+import numpy as np
+
+from repro.analysis.classification import ClassificationThresholds, classify_profile
+from repro.analysis.fft import FrequencyProfile, compute_spectrum
+from repro.core.kmeans import kmeans
+from repro.simulation.random import RandomSource
+from repro.traces.datacenter import PrimaryTenant
+from repro.traces.utilization import UtilizationPattern
+
+
+@dataclass
+class UtilizationClass:
+    """A cluster of primary tenants with similar utilization behaviour.
+
+    Attributes:
+        class_id: stable identifier, also used as the YARN node label.
+        pattern: the behaviour pattern shared by the member tenants.
+        average_utilization: mean of the members' average utilizations.
+        peak_utilization: mean of the members' peak (p99) utilizations.
+        tenant_ids: member primary tenants.
+    """
+
+    class_id: str
+    pattern: UtilizationPattern
+    average_utilization: float
+    peak_utilization: float
+    tenant_ids: List[str] = field(default_factory=list)
+
+    @property
+    def num_tenants(self) -> int:
+        """Number of member tenants."""
+        return len(self.tenant_ids)
+
+
+@dataclass
+class _TenantProfile:
+    """Cached per-tenant data the service derives from the trace."""
+
+    tenant: PrimaryTenant
+    profile: FrequencyProfile
+    pattern: UtilizationPattern
+
+
+class ClusteringService:
+    """Clusters primary tenants into utilization classes.
+
+    Args:
+        clusters_per_pattern: target K-Means cluster count per pattern; DC-9
+            in the paper yields 23 classes (13 periodic, 5 constant, 5
+            unpredictable), so the defaults aim for a similar granularity.
+        thresholds: pattern-classification thresholds.
+        rng: random source for K-Means seeding (deterministic by default).
+    """
+
+    def __init__(
+        self,
+        clusters_per_pattern: Optional[Mapping[UtilizationPattern, int]] = None,
+        thresholds: ClassificationThresholds = ClassificationThresholds(),
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        self._clusters_per_pattern = dict(
+            clusters_per_pattern
+            or {
+                UtilizationPattern.PERIODIC: 13,
+                UtilizationPattern.CONSTANT: 5,
+                UtilizationPattern.UNPREDICTABLE: 5,
+            }
+        )
+        for pattern, count in self._clusters_per_pattern.items():
+            if count <= 0:
+                raise ValueError(f"cluster count for {pattern} must be positive")
+        self._thresholds = thresholds
+        self._rng = rng or RandomSource(0)
+        self._classes: Dict[str, UtilizationClass] = {}
+        self._tenant_to_class: Dict[str, str] = {}
+        self._profiles: Dict[str, _TenantProfile] = {}
+
+    # -- clustering --------------------------------------------------------
+
+    def update(self, tenants: Iterable[PrimaryTenant]) -> List[UtilizationClass]:
+        """(Re)cluster the given tenants; replaces any previous clustering.
+
+        This is the periodic (e.g. daily) job the clustering service runs off
+        the critical scheduling path.
+        """
+        profiles: List[_TenantProfile] = []
+        for tenant in tenants:
+            if tenant.trace is None:
+                continue
+            profile = compute_spectrum(tenant.trace)
+            pattern = classify_profile(profile, self._thresholds)
+            profiles.append(_TenantProfile(tenant, profile, pattern))
+
+        self._classes = {}
+        self._tenant_to_class = {}
+        self._profiles = {p.tenant.tenant_id: p for p in profiles}
+
+        for pattern in UtilizationPattern:
+            members = [p for p in profiles if p.pattern is pattern]
+            if not members:
+                continue
+            self._cluster_pattern(pattern, members)
+
+        return self.classes()
+
+    def _cluster_pattern(
+        self, pattern: UtilizationPattern, members: List[_TenantProfile]
+    ) -> None:
+        """K-Means the members of one pattern and register the classes."""
+        features = np.vstack([m.profile.feature_vector() for m in members])
+        k = min(self._clusters_per_pattern[pattern], len(members))
+        result = kmeans(features, k, rng=self._rng.fork(f"kmeans-{pattern.value}"))
+
+        for cluster_index in range(result.num_clusters):
+            member_indices = [
+                i for i, label in enumerate(result.labels) if label == cluster_index
+            ]
+            if not member_indices:
+                continue
+            cluster_members = [members[i] for i in member_indices]
+            class_id = f"{pattern.value}-{cluster_index}"
+            avg_util = float(
+                np.mean([m.profile.mean_utilization for m in cluster_members])
+            )
+            peak_util = float(
+                np.mean([m.profile.peak_utilization for m in cluster_members])
+            )
+            cls = UtilizationClass(
+                class_id=class_id,
+                pattern=pattern,
+                average_utilization=avg_util,
+                peak_utilization=peak_util,
+                tenant_ids=[m.tenant.tenant_id for m in cluster_members],
+            )
+            self._classes[class_id] = cls
+            for m in cluster_members:
+                self._tenant_to_class[m.tenant.tenant_id] = class_id
+
+    # -- queries -----------------------------------------------------------
+
+    def classes(self) -> List[UtilizationClass]:
+        """All current utilization classes, sorted by class id."""
+        return [self._classes[key] for key in sorted(self._classes)]
+
+    def classes_by_pattern(
+        self, pattern: UtilizationPattern
+    ) -> List[UtilizationClass]:
+        """Classes belonging to one pattern."""
+        return [c for c in self.classes() if c.pattern is pattern]
+
+    def get_class(self, class_id: str) -> UtilizationClass:
+        """Look up a class by id."""
+        if class_id not in self._classes:
+            raise KeyError(f"unknown utilization class {class_id}")
+        return self._classes[class_id]
+
+    def class_of_tenant(self, tenant_id: str) -> Optional[str]:
+        """Class id for a tenant, or None if the tenant was never clustered."""
+        return self._tenant_to_class.get(tenant_id)
+
+    def tenant_pattern(self, tenant_id: str) -> Optional[UtilizationPattern]:
+        """Inferred behaviour pattern for a tenant."""
+        profile = self._profiles.get(tenant_id)
+        if profile is None:
+            return None
+        return profile.pattern
+
+    def tenant_peak_utilization(self, tenant_id: str) -> Optional[float]:
+        """Peak (p99) utilization of a tenant from its cached profile."""
+        profile = self._profiles.get(tenant_id)
+        if profile is None:
+            return None
+        return profile.profile.peak_utilization
+
+    @property
+    def num_classes(self) -> int:
+        """Total number of utilization classes."""
+        return len(self._classes)

@@ -1,0 +1,65 @@
+"""Headroom computation for Algorithm 1.
+
+The headroom of a utilization class is the fraction of CPU its servers are
+expected to leave available for the duration of a job, and it depends on the
+job type (Section 4.1):
+
+* **short** job — ``1 - current average utilization`` of the class's servers:
+  the job finishes before the pattern can change, so the present is enough;
+* **medium** job — ``1 - max(historical average utilization, current)``: the
+  job spans long enough that the class's typical level matters;
+* **long** job — ``1 - max(historical peak utilization, current)``: only
+  resources free even at the class's peak are safe for the whole run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.clustering import UtilizationClass
+from repro.core.job_types import JobType
+
+
+def class_headroom(
+    job_type: JobType,
+    utilization_class: UtilizationClass,
+    current_utilization: Optional[float] = None,
+    reserve_fraction: float = 0.0,
+) -> float:
+    """Fractional CPU headroom of a class for a job of the given type.
+
+    Args:
+        job_type: short, medium, or long.
+        utilization_class: the class whose headroom is being evaluated.
+        current_utilization: most recent average CPU utilization of the
+            class's servers; defaults to the class's historical average when
+            the caller has no fresher signal.
+        reserve_fraction: fraction of each server held back as the primary
+            tenants' burst reserve; it is never available for harvesting and
+            is therefore subtracted from the headroom.
+
+    Returns:
+        Headroom in ``[0, 1]``.
+    """
+    if current_utilization is None:
+        current_utilization = utilization_class.average_utilization
+    if not 0.0 <= current_utilization <= 1.0:
+        raise ValueError(
+            f"current_utilization must be in [0, 1] (got {current_utilization})"
+        )
+    if not 0.0 <= reserve_fraction < 1.0:
+        raise ValueError(
+            f"reserve_fraction must be in [0, 1) (got {reserve_fraction})"
+        )
+
+    if job_type is JobType.SHORT:
+        busy = current_utilization
+    elif job_type is JobType.MEDIUM:
+        busy = max(utilization_class.average_utilization, current_utilization)
+    elif job_type is JobType.LONG:
+        busy = max(utilization_class.peak_utilization, current_utilization)
+    else:  # pragma: no cover - enum is exhaustive
+        raise ValueError(f"unknown job type {job_type}")
+
+    headroom = 1.0 - busy - reserve_fraction
+    return max(0.0, min(1.0, headroom))

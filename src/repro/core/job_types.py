@@ -1,0 +1,141 @@
+"""Job length categorization (short / medium / long).
+
+Algorithm 1 (line 3) types a batch job by comparing the duration of its last
+execution against two pre-defined thresholds.  The testbed sets those
+thresholds to 173 and 433 seconds so that each type's aggregate resource
+demand roughly matches the capacity of its preferred utilization-pattern
+class (Section 6.1).  A job that has never executed is assumed to be medium;
+after a possible error on this first guess jobs consistently fall into the
+same type.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+class JobType(str, enum.Enum):
+    """The three rough job-length types Algorithm 1 distinguishes."""
+
+    SHORT = "short"
+    MEDIUM = "medium"
+    LONG = "long"
+
+
+@dataclass(frozen=True)
+class JobTypeThresholds:
+    """Duration thresholds splitting jobs into short / medium / long.
+
+    Attributes:
+        short_seconds: jobs whose last run was at most this long are short.
+        long_seconds: jobs whose last run was longer than this are long.
+    """
+
+    short_seconds: float = 173.0
+    long_seconds: float = 433.0
+
+    def __post_init__(self) -> None:
+        if self.short_seconds <= 0:
+            raise ValueError("short threshold must be positive")
+        if self.long_seconds <= self.short_seconds:
+            raise ValueError("long threshold must exceed the short threshold")
+
+
+DEFAULT_THRESHOLDS = JobTypeThresholds()
+
+
+def categorize_job(
+    last_duration_seconds: Optional[float],
+    thresholds: JobTypeThresholds = DEFAULT_THRESHOLDS,
+) -> JobType:
+    """Type a job from the duration of its last execution.
+
+    ``None`` (the job has never run before) maps to medium, per the paper.
+    """
+    if last_duration_seconds is None:
+        return JobType.MEDIUM
+    if last_duration_seconds < 0:
+        raise ValueError(f"duration must be non-negative (got {last_duration_seconds})")
+    if last_duration_seconds <= thresholds.short_seconds:
+        return JobType.SHORT
+    if last_duration_seconds <= thresholds.long_seconds:
+        return JobType.MEDIUM
+    return JobType.LONG
+
+
+def thresholds_from_history(
+    durations: Sequence[float],
+    capacity_share: Optional[Mapping[JobType, float]] = None,
+) -> JobTypeThresholds:
+    """Derive thresholds from a historical job-length distribution.
+
+    The paper sets the thresholds so that the total computation required by
+    each type is roughly proportional to the computational capacity of its
+    preferred primary-tenant class.  We approximate that rule by choosing
+    duration quantiles whose cumulative durations match the given capacity
+    shares (defaults: short 1/3, medium 1/3, long 1/3).
+    """
+    if not durations:
+        return DEFAULT_THRESHOLDS
+    share = capacity_share or {
+        JobType.SHORT: 1.0 / 3.0,
+        JobType.MEDIUM: 1.0 / 3.0,
+        JobType.LONG: 1.0 / 3.0,
+    }
+    total_share = sum(share.values())
+    if total_share <= 0:
+        raise ValueError("capacity shares must sum to a positive value")
+    short_share = share.get(JobType.SHORT, 0.0) / total_share
+    medium_share = share.get(JobType.MEDIUM, 0.0) / total_share
+
+    ordered = np.sort(np.asarray(durations, dtype=float))
+    cumulative = np.cumsum(ordered)
+    total_work = float(cumulative[-1])
+    if total_work <= 0:
+        return DEFAULT_THRESHOLDS
+
+    short_cut = np.searchsorted(cumulative, short_share * total_work)
+    medium_cut = np.searchsorted(cumulative, (short_share + medium_share) * total_work)
+    short_cut = int(np.clip(short_cut, 0, len(ordered) - 2))
+    medium_cut = int(np.clip(medium_cut, short_cut + 1, len(ordered) - 1))
+
+    short_seconds = float(ordered[short_cut])
+    long_seconds = float(ordered[medium_cut])
+    if long_seconds <= short_seconds:
+        long_seconds = short_seconds + 1.0
+    return JobTypeThresholds(short_seconds, long_seconds)
+
+
+class JobHistory:
+    """Remembers the last observed duration of every job by name.
+
+    The scheduler looks up a job's last duration to type it; the duration of
+    each completed run is recorded back so future runs of the same job (the
+    recurring analytics jobs the paper targets) are typed from history.
+    """
+
+    def __init__(self) -> None:
+        self._last_duration: Dict[str, float] = {}
+
+    def last_duration(self, job_name: str) -> Optional[float]:
+        """Duration of the last completed run, or None for a new job."""
+        return self._last_duration.get(job_name)
+
+    def record(self, job_name: str, duration_seconds: float) -> None:
+        """Record a completed run's duration."""
+        if duration_seconds < 0:
+            raise ValueError(f"duration must be non-negative (got {duration_seconds})")
+        self._last_duration[job_name] = float(duration_seconds)
+
+    def categorize(
+        self, job_name: str, thresholds: JobTypeThresholds = DEFAULT_THRESHOLDS
+    ) -> JobType:
+        """Type a job by name using its recorded history."""
+        return categorize_job(self.last_duration(job_name), thresholds)
+
+    def __len__(self) -> int:
+        return len(self._last_duration)

@@ -1,0 +1,114 @@
+"""A small, deterministic K-Means implementation.
+
+The clustering service uses K-Means to cluster the frequency profiles of the
+primary tenants within each behaviour pattern (Section 4.1).  The clusters
+are small (a handful per pattern, 23 classes in total for DC-9), so a plain
+Lloyd's-algorithm implementation with k-means++ style seeding from an
+explicit random source is sufficient and keeps the library dependency-free
+beyond numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.simulation.random import RandomSource
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of a K-Means run.
+
+    Attributes:
+        centroids: array of shape ``(k, num_features)``.
+        labels: cluster index for every input point.
+        inertia: sum of squared distances of points to their centroid.
+        iterations: number of Lloyd iterations executed.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters actually produced."""
+        return len(self.centroids)
+
+
+def _seed_centroids(points: np.ndarray, k: int, rng: RandomSource) -> np.ndarray:
+    """k-means++ style seeding: spread initial centroids apart."""
+    n = len(points)
+    first = rng.integer(0, n)
+    centroids = [points[first]]
+    for _ in range(1, k):
+        distances = np.min(
+            [np.sum((points - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        total = float(distances.sum())
+        if total <= 0:
+            # All remaining points coincide with an existing centroid.
+            centroids.append(points[rng.integer(0, n)])
+            continue
+        idx = rng.weighted_index(distances)
+        centroids.append(points[idx])
+    return np.vstack(centroids)
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: Optional[RandomSource] = None,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+) -> KMeansResult:
+    """Cluster ``points`` (shape ``(n, f)``) into at most ``k`` clusters.
+
+    If there are fewer distinct points than ``k``, the effective number of
+    clusters is reduced so that no centroid ends up empty.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim == 1:
+        points = points.reshape(-1, 1)
+    if points.ndim != 2 or len(points) == 0:
+        raise ValueError("points must be a non-empty 2-D array")
+    if k <= 0:
+        raise ValueError(f"k must be positive (got {k})")
+
+    rng = rng or RandomSource(0)
+    distinct = np.unique(points, axis=0)
+    k = min(k, len(distinct))
+
+    if k == 1:
+        centroid = points.mean(axis=0, keepdims=True)
+        inertia = float(np.sum((points - centroid) ** 2))
+        return KMeansResult(centroid, np.zeros(len(points), dtype=int), inertia, 0)
+
+    centroids = _seed_centroids(points, k, rng)
+    labels = np.zeros(len(points), dtype=int)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        distances = np.linalg.norm(points[:, None, :] - centroids[None, :, :], axis=2)
+        labels = np.argmin(distances, axis=1)
+        new_centroids = np.empty_like(centroids)
+        for cluster in range(k):
+            members = points[labels == cluster]
+            if len(members) == 0:
+                # Re-seed an empty cluster at the point farthest from its centroid.
+                farthest = int(np.argmax(distances.min(axis=1)))
+                new_centroids[cluster] = points[farthest]
+            else:
+                new_centroids[cluster] = members.mean(axis=0)
+        shift = float(np.linalg.norm(new_centroids - centroids))
+        centroids = new_centroids
+        if shift < tolerance:
+            break
+
+    distances = np.linalg.norm(points[:, None, :] - centroids[None, :, :], axis=2)
+    labels = np.argmin(distances, axis=1)
+    inertia = float(np.sum((points - centroids[labels]) ** 2))
+    return KMeansResult(centroids, labels, inertia, iterations)

@@ -1,0 +1,365 @@
+"""Algorithm 2: diversity-maximizing replica placement.
+
+Given the 3x3 grid clustering of primary tenants (reimage frequency x peak
+utilization), the replica placer chooses one server for each replica of a new
+block:
+
+1. the first replica goes to the server creating the block (locality), and
+   that server's grid cell counts as "used";
+2. every subsequent replica picks a random cell whose row *and* column have
+   not been used yet in the current round, then a random tenant in that cell
+   whose environment (and, optionally, rack) has not already received a
+   replica, then a random server of that tenant;
+3. after every three replicas the row/column history is forgotten, so
+   replication levels above three keep spreading across the grid.
+
+The placer also supports a *soft-constraint* mode that mirrors the initial
+production configuration (space over diversity): when the hard constraints
+cannot be met, they are relaxed in order (rack, environment, row/column)
+instead of failing the block creation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.grid import GridCell, GridClustering, TenantPlacementStats
+from repro.simulation.random import RandomSource
+
+
+@dataclass(frozen=True)
+class PlacementConstraints:
+    """Which diversity constraints the placer enforces.
+
+    Attributes:
+        distinct_rows_and_columns: never reuse a grid row or column within a
+            round of three replicas (the core of Algorithm 2).
+        distinct_environments: never place two replicas of a block in the
+            same management environment.
+        distinct_racks: never place two replicas of a block in the same
+            physical rack (production extension, Section 7).
+        hard: when True a block creation fails if the constraints cannot be
+            met; when False the constraints are relaxed in order (rack, then
+            environment, then rows/columns) — the "space over diversity"
+            configuration.
+    """
+
+    distinct_rows_and_columns: bool = True
+    distinct_environments: bool = True
+    distinct_racks: bool = False
+    hard: bool = True
+
+
+@dataclass
+class PlacementDecision:
+    """The outcome of placing one block's replicas.
+
+    Attributes:
+        server_ids: chosen servers, one per replica, in placement order.
+        tenant_ids: owning tenant of each chosen server.
+        cells: grid cell of each chosen server.
+        relaxed_constraints: names of constraints that had to be relaxed
+            (only possible in soft mode).
+        complete: True when the requested replication level was reached.
+    """
+
+    server_ids: List[str] = field(default_factory=list)
+    tenant_ids: List[str] = field(default_factory=list)
+    cells: List[Tuple[int, int]] = field(default_factory=list)
+    relaxed_constraints: List[str] = field(default_factory=list)
+    complete: bool = False
+
+    @property
+    def replication(self) -> int:
+        """Number of replicas actually placed."""
+        return len(self.server_ids)
+
+
+class ReplicaPlacer:
+    """Implements Algorithm 2 over a grid clustering."""
+
+    def __init__(
+        self,
+        grid: GridClustering,
+        rng: Optional[RandomSource] = None,
+        constraints: PlacementConstraints = PlacementConstraints(),
+        space_used_gb: Optional[Dict[str, float]] = None,
+        block_size_gb: float = 0.25,
+    ) -> None:
+        self._grid = grid
+        self._rng = rng or RandomSource(0)
+        self._constraints = constraints
+        #: Space already consumed on each tenant, so the placer can skip
+        #: tenants whose harvestable space is exhausted.
+        self._space_used_gb: Dict[str, float] = dict(space_used_gb or {})
+        if block_size_gb <= 0:
+            raise ValueError("block_size_gb must be positive")
+        self._block_size_gb = block_size_gb
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def grid(self) -> GridClustering:
+        """The grid clustering the placer operates on."""
+        return self._grid
+
+    def update_grid(self, grid: GridClustering) -> None:
+        """Swap in a re-clustered grid (the clustering runs periodically)."""
+        self._grid = grid
+
+    def space_used_gb(self, tenant_id: str) -> float:
+        """Space already consumed on a tenant by placed replicas."""
+        return self._space_used_gb.get(tenant_id, 0.0)
+
+    def remaining_space_gb(self, tenant_id: str) -> float:
+        """Harvestable space a tenant still offers."""
+        stats = self._grid.stats_by_tenant.get(tenant_id)
+        if stats is None:
+            return 0.0
+        return max(0.0, stats.available_space_gb - self.space_used_gb(tenant_id))
+
+    def release_space(self, tenant_id: str, gigabytes: float) -> None:
+        """Return space (e.g. after a block is deleted or a replica lost)."""
+        if gigabytes < 0:
+            raise ValueError("released space must be non-negative")
+        current = self._space_used_gb.get(tenant_id, 0.0)
+        self._space_used_gb[tenant_id] = max(0.0, current - gigabytes)
+
+    # -- candidate filtering -------------------------------------------------
+
+    def _tenant_has_space(self, tenant_id: str) -> bool:
+        return self.remaining_space_gb(tenant_id) >= self._block_size_gb
+
+    def _candidate_tenants(
+        self,
+        cell: GridCell,
+        used_environments: Set[str],
+        enforce_environment: bool,
+    ) -> List[TenantPlacementStats]:
+        candidates: List[TenantPlacementStats] = []
+        for tenant_id in cell.tenant_ids:
+            stats = self._grid.stats_by_tenant[tenant_id]
+            if not stats.server_ids:
+                continue
+            if not self._tenant_has_space(tenant_id):
+                continue
+            if enforce_environment and stats.environment in used_environments:
+                continue
+            candidates.append(stats)
+        return candidates
+
+    def _candidate_servers(
+        self,
+        stats: TenantPlacementStats,
+        used_servers: Set[str],
+        used_racks: Set[str],
+        enforce_rack: bool,
+    ) -> List[str]:
+        servers: List[str] = []
+        for server_id in stats.server_ids:
+            if server_id in used_servers:
+                continue
+            rack = stats.racks_by_server.get(server_id)
+            if enforce_rack and rack is not None and rack in used_racks:
+                continue
+            servers.append(server_id)
+        return servers
+
+    # -- placement -----------------------------------------------------------
+
+    def place_block(
+        self,
+        replication: int,
+        creating_server_id: Optional[str] = None,
+        excluded_servers: Optional[Set[str]] = None,
+    ) -> PlacementDecision:
+        """Choose a server for each of a new block's ``replication`` replicas.
+
+        ``excluded_servers`` are servers that cannot receive a replica right
+        now (e.g. the NameNode marked them busy); they are skipped entirely,
+        including for the locality replica.
+        """
+        if replication <= 0:
+            raise ValueError(f"replication must be positive (got {replication})")
+
+        decision = PlacementDecision()
+        used_rows: Set[int] = set()
+        used_columns: Set[int] = set()
+        used_environments: Set[str] = set()
+        used_racks: Set[str] = set()
+        used_servers: Set[str] = set(excluded_servers or ())
+
+        creating_tenant = self._tenant_of_server(creating_server_id)
+        if (
+            creating_server_id is not None
+            and creating_tenant is not None
+            and creating_server_id not in used_servers
+            and self._tenant_has_space(creating_tenant.tenant_id)
+        ):
+            # Replica 1: the creating server itself, for locality.
+            self._record_replica(
+                decision,
+                creating_server_id,
+                creating_tenant,
+                used_rows,
+                used_columns,
+                used_environments,
+                used_racks,
+                used_servers,
+            )
+
+        while decision.replication < replication:
+            placed = self._place_one(
+                decision,
+                used_rows,
+                used_columns,
+                used_environments,
+                used_racks,
+                used_servers,
+            )
+            if not placed:
+                decision.complete = False
+                return decision
+            # Line 15-17 of Algorithm 2: after every three replicas, forget
+            # the rows and columns selected so far.
+            if decision.replication % 3 == 0:
+                used_rows.clear()
+                used_columns.clear()
+
+        decision.complete = True
+        return decision
+
+    def _place_one(
+        self,
+        decision: PlacementDecision,
+        used_rows: Set[int],
+        used_columns: Set[int],
+        used_environments: Set[str],
+        used_racks: Set[str],
+        used_servers: Set[str],
+    ) -> bool:
+        """Place the next replica; returns False when no placement exists."""
+        relaxation_plan: List[Tuple[bool, bool, bool, Optional[str]]] = [
+            (
+                self._constraints.distinct_rows_and_columns,
+                self._constraints.distinct_environments,
+                self._constraints.distinct_racks,
+                None,
+            )
+        ]
+        if not self._constraints.hard:
+            if self._constraints.distinct_racks:
+                relaxation_plan.append(
+                    (
+                        self._constraints.distinct_rows_and_columns,
+                        self._constraints.distinct_environments,
+                        False,
+                        "rack",
+                    )
+                )
+            if self._constraints.distinct_environments:
+                relaxation_plan.append(
+                    (self._constraints.distinct_rows_and_columns, False, False, "environment")
+                )
+            if self._constraints.distinct_rows_and_columns:
+                relaxation_plan.append((False, False, False, "rows_and_columns"))
+
+        for enforce_grid, enforce_env, enforce_rack, relaxed in relaxation_plan:
+            chosen = self._try_place(
+                enforce_grid,
+                enforce_env,
+                enforce_rack,
+                used_rows,
+                used_columns,
+                used_environments,
+                used_racks,
+                used_servers,
+            )
+            if chosen is not None:
+                server_id, stats = chosen
+                if relaxed is not None and relaxed not in decision.relaxed_constraints:
+                    decision.relaxed_constraints.append(relaxed)
+                self._record_replica(
+                    decision,
+                    server_id,
+                    stats,
+                    used_rows,
+                    used_columns,
+                    used_environments,
+                    used_racks,
+                    used_servers,
+                )
+                return True
+        return False
+
+    def _try_place(
+        self,
+        enforce_grid: bool,
+        enforce_env: bool,
+        enforce_rack: bool,
+        used_rows: Set[int],
+        used_columns: Set[int],
+        used_environments: Set[str],
+        used_racks: Set[str],
+        used_servers: Set[str],
+    ) -> Optional[Tuple[str, TenantPlacementStats]]:
+        """One attempt at placing a replica under the given constraint set."""
+        cells = self._grid.non_empty_cells()
+        if enforce_grid:
+            cells = [
+                cell
+                for cell in cells
+                if cell.row not in used_rows and cell.column not in used_columns
+            ]
+        # Shuffle cells so the random choice below explores all of them.
+        cells = self._rng.shuffle(list(cells))
+        for cell in cells:
+            tenants = self._candidate_tenants(cell, used_environments, enforce_env)
+            if not tenants:
+                continue
+            tenants = self._rng.shuffle(tenants)
+            for stats in tenants:
+                servers = self._candidate_servers(
+                    stats, used_servers, used_racks, enforce_rack
+                )
+                if servers:
+                    return self._rng.choice(servers), stats
+        return None
+
+    def _record_replica(
+        self,
+        decision: PlacementDecision,
+        server_id: str,
+        stats: TenantPlacementStats,
+        used_rows: Set[int],
+        used_columns: Set[int],
+        used_environments: Set[str],
+        used_racks: Set[str],
+        used_servers: Set[str],
+    ) -> None:
+        cell = self._grid.cell_of_tenant.get(stats.tenant_id)
+        decision.server_ids.append(server_id)
+        decision.tenant_ids.append(stats.tenant_id)
+        decision.cells.append(cell if cell is not None else (-1, -1))
+        if cell is not None:
+            used_rows.add(cell[0])
+            used_columns.add(cell[1])
+        used_environments.add(stats.environment)
+        rack = stats.racks_by_server.get(server_id)
+        if rack is not None:
+            used_racks.add(rack)
+        used_servers.add(server_id)
+        self._space_used_gb[stats.tenant_id] = (
+            self._space_used_gb.get(stats.tenant_id, 0.0) + self._block_size_gb
+        )
+
+    def _tenant_of_server(
+        self, server_id: Optional[str]
+    ) -> Optional[TenantPlacementStats]:
+        if server_id is None:
+            return None
+        for stats in self._grid.stats_by_tenant.values():
+            if server_id in stats.server_ids:
+                return stats
+        return None

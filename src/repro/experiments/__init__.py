@@ -1,0 +1,45 @@
+"""Experiment drivers: one per table or figure in the paper's evaluation.
+
+Every driver builds its workload from the synthetic fleet, runs the relevant
+simulators for each system variant, and returns a small result dataclass the
+benchmarks and EXPERIMENTS.md consume.  The drivers expose ``quick`` knobs
+(shorter durations, fewer blocks, smaller clusters) so the benchmark suite
+can regenerate every figure's shape in minutes.
+"""
+
+from repro.experiments.config import ExperimentScale, TESTBED_SCALE, QUICK_SCALE
+from repro.experiments.testbed import (
+    SchedulingTestbedResult,
+    StorageTestbedResult,
+    run_scheduling_testbed,
+    run_storage_testbed,
+)
+from repro.experiments.scheduling import (
+    SchedulingSweepPoint,
+    SchedulingSweepResult,
+    run_datacenter_sweep,
+    run_fleet_improvements,
+)
+from repro.experiments.durability import DurabilityResult, run_durability_experiment
+from repro.experiments.availability import AvailabilityResult, run_availability_experiment
+from repro.experiments.microbench import MicrobenchResult, run_microbenchmarks
+
+__all__ = [
+    "ExperimentScale",
+    "TESTBED_SCALE",
+    "QUICK_SCALE",
+    "SchedulingTestbedResult",
+    "StorageTestbedResult",
+    "run_scheduling_testbed",
+    "run_storage_testbed",
+    "SchedulingSweepPoint",
+    "SchedulingSweepResult",
+    "run_datacenter_sweep",
+    "run_fleet_improvements",
+    "DurabilityResult",
+    "run_durability_experiment",
+    "AvailabilityResult",
+    "run_availability_experiment",
+    "MicrobenchResult",
+    "run_microbenchmarks",
+]

@@ -1,0 +1,32 @@
+"""Batch jobs: DAG model, TPC-DS-like workload, and the Application Master.
+
+The paper's secondary tenants are data-analytics jobs expressed as DAGs of
+tasks (Hive queries on Tez).  This package provides:
+
+* :mod:`repro.jobs.dag` — the job DAG model plus the breadth-first maximum
+  concurrent-container estimate Algorithm 1 uses;
+* :mod:`repro.jobs.tpcds` — a synthetic 52-query TPC-DS-like workload whose
+  DAG shapes match the published example (Figure 7);
+* :mod:`repro.jobs.app_master` — the history-aware Application Master that
+  tracks task execution, restarts killed tasks, and records job durations;
+* :mod:`repro.jobs.workload` — Poisson job arrival streams.
+"""
+
+from repro.jobs.dag import JobDag, Task, TaskState, Vertex
+from repro.jobs.tpcds import TpcdsWorkloadFactory, tpcds_query_dag
+from repro.jobs.app_master import ApplicationMaster, JobExecution, JobResult
+from repro.jobs.workload import JobArrival, WorkloadGenerator
+
+__all__ = [
+    "JobDag",
+    "Task",
+    "TaskState",
+    "Vertex",
+    "TpcdsWorkloadFactory",
+    "tpcds_query_dag",
+    "ApplicationMaster",
+    "JobExecution",
+    "JobResult",
+    "JobArrival",
+    "WorkloadGenerator",
+]

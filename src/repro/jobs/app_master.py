@@ -1,0 +1,239 @@
+"""The Application Master: per-job task tracking and container requests.
+
+Each job gets an Application Master that requests containers from the
+Resource Manager, decides which task runs in each granted container, tracks
+completions, restarts killed tasks, and records the job's final duration in
+the shared :class:`~repro.core.job_types.JobHistory` so the next run of the
+same job can be typed from history.
+
+In the history (Tez-H) variant the AM consults the clustering service and the
+Algorithm 1 class selector once per job to pick the node label(s) its
+container requests carry; Stock and PT variants request unlabeled containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.resource_manager import ContainerRequest, ResourceManager
+from repro.cluster.resources import Resource
+from repro.cluster.server import Container, ContainerState
+from repro.core.class_selection import ClassSelection
+from repro.core.job_types import JobHistory, JobType
+from repro.jobs.dag import JobDag, Task, TaskState
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.metrics import MetricRegistry
+
+
+@dataclass
+class JobResult:
+    """Summary of one finished job execution.
+
+    Attributes:
+        job_name: the job's stable name.
+        job_type: the type the scheduler assigned to this run.
+        submit_time: when the job arrived.
+        start_time: when its first container started.
+        finish_time: when its last task completed.
+        tasks_killed: number of task attempts killed by primary-tenant bursts.
+        tasks_completed: number of tasks that finished successfully.
+        selected_classes: utilization classes chosen by Algorithm 1 (empty
+            for Stock / PT runs or when no class fit).
+    """
+
+    job_name: str
+    job_type: JobType
+    submit_time: float
+    start_time: Optional[float]
+    finish_time: float
+    tasks_killed: int
+    tasks_completed: int
+    selected_classes: List[str] = field(default_factory=list)
+
+    @property
+    def execution_seconds(self) -> float:
+        """Job execution time measured from submission to completion."""
+        return self.finish_time - self.submit_time
+
+
+@dataclass
+class JobExecution:
+    """Mutable state of a job while it runs."""
+
+    dag: JobDag
+    submit_time: float
+    job_type: JobType
+    selection: Optional[ClassSelection] = None
+    tasks: Dict[str, List[Task]] = field(default_factory=dict)
+    running: Dict[int, Task] = field(default_factory=dict)
+    start_time: Optional[float] = None
+    tasks_killed: int = 0
+    tasks_completed: int = 0
+    finished: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            self.tasks = self.dag.build_tasks()
+
+    def vertex_completed(self, vertex_name: str) -> bool:
+        """Whether every task of a vertex has completed."""
+        return all(t.state is TaskState.COMPLETED for t in self.tasks[vertex_name])
+
+    def runnable_tasks(self) -> List[Task]:
+        """Pending tasks whose upstream vertices have all completed."""
+        runnable: List[Task] = []
+        for vertex in self.dag.vertices.values():
+            if not all(self.vertex_completed(up) for up in vertex.upstream):
+                continue
+            for task in self.tasks[vertex.name]:
+                if task.state in (TaskState.PENDING, TaskState.KILLED):
+                    runnable.append(task)
+        return runnable
+
+    def all_completed(self) -> bool:
+        """Whether every task of every vertex has completed."""
+        return all(
+            self.vertex_completed(vertex_name) for vertex_name in self.dag.vertices
+        )
+
+
+class ApplicationMaster:
+    """Drives one job's tasks through the Resource Manager.
+
+    Args:
+        engine: the shared simulation engine.
+        resource_manager: the RM (of whichever variant) to request from.
+        history: shared job history for typing and duration recording.
+        metrics: shared metric registry.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        resource_manager: ResourceManager,
+        history: JobHistory,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        self._engine = engine
+        self._rm = resource_manager
+        self._history = history
+        self.metrics = metrics or resource_manager.metrics
+        self._results: List[JobResult] = []
+
+    @property
+    def results(self) -> List[JobResult]:
+        """Results of every job that has finished so far."""
+        return list(self._results)
+
+    # -- job lifecycle -----------------------------------------------------
+
+    def submit(
+        self,
+        dag: JobDag,
+        job_type: JobType,
+        selection: Optional[ClassSelection] = None,
+    ) -> JobExecution:
+        """Submit a job and immediately try to schedule its runnable tasks."""
+        execution = JobExecution(
+            dag=dag,
+            submit_time=self._engine.now,
+            job_type=job_type,
+            selection=selection,
+        )
+        self._schedule_runnable(execution)
+        return execution
+
+    def _container_allocation(self, dag: JobDag) -> Resource:
+        return Resource(dag.container_resource_cores, dag.container_resource_memory_gb)
+
+    def _node_labels(self, execution: JobExecution) -> List[str]:
+        if execution.selection is None:
+            return []
+        return list(execution.selection.class_ids)
+
+    def _schedule_runnable(self, execution: JobExecution) -> None:
+        """Request a container for every currently runnable task."""
+        if execution.finished:
+            return
+        allocation = self._container_allocation(execution.dag)
+        labels = self._node_labels(execution)
+        for task in execution.runnable_tasks():
+            request = ContainerRequest(
+                job_id=execution.dag.name,
+                task_id=task.task_id,
+                allocation=allocation,
+                node_labels=labels,
+            )
+            container = self._rm.schedule(request, self._engine.now)
+            if container is None:
+                # Could not place the task now; retry on the next pump.
+                continue
+            self._launch(execution, task, container)
+
+    def _launch(self, execution: JobExecution, task: Task, container: Container) -> None:
+        task.state = TaskState.RUNNING
+        task.attempts += 1
+        execution.running[container.container_id] = task
+        if execution.start_time is None:
+            execution.start_time = self._engine.now
+        self._engine.schedule(
+            task.duration_seconds,
+            lambda engine, c=container, e=execution: self._on_task_finished(e, c),
+            name=f"finish-{task.task_id}",
+        )
+
+    def _on_task_finished(self, execution: JobExecution, container: Container) -> None:
+        """A task's duration elapsed; completes unless the container was killed."""
+        task = execution.running.pop(container.container_id, None)
+        if task is None:
+            return
+        if container.state is ContainerState.KILLED:
+            # The kill was already handled by handle_kills; nothing to do.
+            return
+        self._rm.complete(container, self._engine.now)
+        task.state = TaskState.COMPLETED
+        execution.tasks_completed += 1
+        if execution.all_completed():
+            self._finish(execution)
+        else:
+            self._schedule_runnable(execution)
+
+    def handle_kills(self, execution: JobExecution, killed: List[Container]) -> None:
+        """React to containers killed by NodeManagers replenishing the reserve.
+
+        Killed tasks go back to the runnable pool and are re-requested, which
+        is exactly the re-execution cost that inflates YARN-PT's job times.
+        """
+        for container in killed:
+            task = execution.running.pop(container.container_id, None)
+            if task is None:
+                continue
+            task.state = TaskState.KILLED
+            execution.tasks_killed += 1
+            self.metrics.counter("tasks_killed").increment()
+        if killed and not execution.finished:
+            self._schedule_runnable(execution)
+
+    def pump(self, execution: JobExecution) -> None:
+        """Periodic retry of unsatisfied container requests."""
+        if not execution.finished:
+            self._schedule_runnable(execution)
+
+    def _finish(self, execution: JobExecution) -> None:
+        execution.finished = True
+        duration = self._engine.now - execution.submit_time
+        self._history.record(execution.dag.name, duration)
+        result = JobResult(
+            job_name=execution.dag.name,
+            job_type=execution.job_type,
+            submit_time=execution.submit_time,
+            start_time=execution.start_time,
+            finish_time=self._engine.now,
+            tasks_killed=execution.tasks_killed,
+            tasks_completed=execution.tasks_completed,
+            selected_classes=self._node_labels(execution),
+        )
+        self._results.append(result)
+        self.metrics.distribution("job_execution_seconds").add(result.execution_seconds)
+        self.metrics.counter("jobs_completed").increment()

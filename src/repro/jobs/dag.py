@@ -1,0 +1,234 @@
+"""Job DAG model and concurrency estimation.
+
+A job is a directed acyclic graph of *vertices* (e.g. a mapper or reducer
+stage); each vertex expands into some number of parallel *tasks*, every one
+of which needs one container for some duration.  Algorithm 1 estimates the
+maximum amount of concurrent resources a job will need with a breadth-first
+traversal of the DAG: the widest "wave" of simultaneously runnable tasks
+bounds the concurrent container count (Figure 7 estimates 469 containers for
+TPC-DS query 19).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+
+class TaskState(str, enum.Enum):
+    """Lifecycle of a single task."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    KILLED = "killed"
+
+
+@dataclass
+class Task:
+    """One unit of work requiring one container.
+
+    Attributes:
+        task_id: unique within the job.
+        vertex_name: the DAG vertex this task belongs to.
+        duration_seconds: how long the task runs once started.
+        state: current lifecycle state.
+        attempts: how many times the task has been (re)started.
+    """
+
+    task_id: str
+    vertex_name: str
+    duration_seconds: float
+    state: TaskState = TaskState.PENDING
+    attempts: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0:
+            raise ValueError(
+                f"task duration must be positive (got {self.duration_seconds})"
+            )
+
+
+@dataclass
+class Vertex:
+    """A stage of the job: a set of identical parallel tasks.
+
+    Attributes:
+        name: vertex name (e.g. ``Mapper 2``).
+        num_tasks: number of parallel tasks in the vertex.
+        task_duration_seconds: duration of each task.
+        upstream: names of vertices that must fully complete first.
+    """
+
+    name: str
+    num_tasks: int
+    task_duration_seconds: float
+    upstream: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_tasks <= 0:
+            raise ValueError(f"vertex {self.name} must have at least one task")
+        if self.task_duration_seconds <= 0:
+            raise ValueError(f"vertex {self.name} task duration must be positive")
+
+
+class JobDag:
+    """A batch job: named DAG of vertices plus per-job metadata.
+
+    Args:
+        name: stable job name (recurring runs of the same query share it, so
+            the scheduler can type the job from its last duration).
+        vertices: the DAG stages.
+        container_resource_cores / container_resource_memory_gb: size of each
+            task's container.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        vertices: Iterable[Vertex],
+        container_resource_cores: float = 1.0,
+        container_resource_memory_gb: float = 2.0,
+    ) -> None:
+        self.name = name
+        self.vertices: Dict[str, Vertex] = {}
+        for vertex in vertices:
+            if vertex.name in self.vertices:
+                raise ValueError(f"duplicate vertex name {vertex.name}")
+            self.vertices[vertex.name] = vertex
+        if not self.vertices:
+            raise ValueError("a job needs at least one vertex")
+        for vertex in self.vertices.values():
+            for upstream in vertex.upstream:
+                if upstream not in self.vertices:
+                    raise ValueError(
+                        f"vertex {vertex.name} depends on unknown vertex {upstream}"
+                    )
+        if container_resource_cores <= 0 or container_resource_memory_gb <= 0:
+            raise ValueError("container resources must be positive")
+        self.container_resource_cores = container_resource_cores
+        self.container_resource_memory_gb = container_resource_memory_gb
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        """Reject DAG definitions that contain cycles."""
+        state: Dict[str, int] = {}  # 0 = unvisited, 1 = visiting, 2 = done
+
+        def visit(name: str, stack: List[str]) -> None:
+            if state.get(name) == 1:
+                raise ValueError(f"cycle detected involving vertex {name}: {stack}")
+            if state.get(name) == 2:
+                return
+            state[name] = 1
+            for upstream in self.vertices[name].upstream:
+                visit(upstream, stack + [upstream])
+            state[name] = 2
+
+        for name in self.vertices:
+            visit(name, [name])
+
+    # -- structure queries ------------------------------------------------
+
+    @property
+    def total_tasks(self) -> int:
+        """Total number of tasks across all vertices."""
+        return sum(v.num_tasks for v in self.vertices.values())
+
+    def downstream(self, vertex_name: str) -> List[str]:
+        """Vertices that directly depend on ``vertex_name``."""
+        return [
+            v.name for v in self.vertices.values() if vertex_name in v.upstream
+        ]
+
+    def roots(self) -> List[str]:
+        """Vertices with no upstream dependencies."""
+        return [v.name for v in self.vertices.values() if not v.upstream]
+
+    def topological_levels(self) -> List[List[str]]:
+        """Breadth-first levels: vertices grouped by dependency depth."""
+        remaining: Set[str] = set(self.vertices)
+        completed: Set[str] = set()
+        levels: List[List[str]] = []
+        while remaining:
+            level = [
+                name
+                for name in sorted(remaining)
+                if all(up in completed for up in self.vertices[name].upstream)
+            ]
+            if not level:  # pragma: no cover - cycles rejected at construction
+                raise ValueError("DAG has unsatisfiable dependencies")
+            levels.append(level)
+            completed.update(level)
+            remaining.difference_update(level)
+        return levels
+
+    def max_concurrent_containers(self) -> int:
+        """Maximum concurrent container estimate (Algorithm 1, line 4).
+
+        A breadth-first traversal groups vertices into dependency levels; the
+        widest level bounds the number of simultaneously runnable tasks.
+        """
+        return max(
+            sum(self.vertices[name].num_tasks for name in level)
+            for level in self.topological_levels()
+        )
+
+    def max_concurrent_cores(self) -> float:
+        """Maximum concurrent demand expressed in cores."""
+        return self.max_concurrent_containers() * self.container_resource_cores
+
+    def critical_path_seconds(self) -> float:
+        """Lower bound on the job's duration with unlimited resources."""
+        finish: Dict[str, float] = {}
+        for level in self.topological_levels():
+            for name in level:
+                vertex = self.vertices[name]
+                start = max((finish[u] for u in vertex.upstream), default=0.0)
+                finish[name] = start + vertex.task_duration_seconds
+        return max(finish.values())
+
+    def serial_work_seconds(self) -> float:
+        """Total task-seconds of work in the job."""
+        return sum(
+            v.num_tasks * v.task_duration_seconds for v in self.vertices.values()
+        )
+
+    def build_tasks(self) -> Dict[str, List[Task]]:
+        """Instantiate the task objects for one execution of the job."""
+        tasks: Dict[str, List[Task]] = {}
+        for vertex in self.vertices.values():
+            tasks[vertex.name] = [
+                Task(
+                    task_id=f"{self.name}/{vertex.name}/{index}",
+                    vertex_name=vertex.name,
+                    duration_seconds=vertex.task_duration_seconds,
+                )
+                for index in range(vertex.num_tasks)
+            ]
+        return tasks
+
+    def scaled(self, duration_factor: float, width_factor: float = 1.0) -> "JobDag":
+        """A copy with task durations and vertex widths multiplied.
+
+        The datacenter-scale simulation multiplies job lengths and container
+        usage by a scaling factor to generate enough load for many thousands
+        of servers (Section 6.1).
+        """
+        if duration_factor <= 0 or width_factor <= 0:
+            raise ValueError("scaling factors must be positive")
+        vertices = [
+            Vertex(
+                name=v.name,
+                num_tasks=max(1, int(round(v.num_tasks * width_factor))),
+                task_duration_seconds=v.task_duration_seconds * duration_factor,
+                upstream=list(v.upstream),
+            )
+            for v in self.vertices.values()
+        ]
+        return JobDag(
+            self.name,
+            vertices,
+            self.container_resource_cores,
+            self.container_resource_memory_gb,
+        )

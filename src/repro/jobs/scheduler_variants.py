@@ -1,0 +1,240 @@
+"""End-to-end compute-harvesting cluster assembled from the building blocks.
+
+A :class:`HarvestingCluster` wires together the servers of a datacenter (or a
+scaled-down sample of them), per-server NodeManagers, a ResourceManager of
+one of the three variants, the clustering service, the Algorithm 1 class
+selector, and one ApplicationMaster per submitted job.  It is the object the
+testbed and datacenter-scale experiments drive.
+
+Variant summary (Section 6.1 baselines):
+
+=============  =====================  ===========================  =================
+Variant        NodeManager            Scheduling                   Task placement
+=============  =====================  ===========================  =================
+YARN-Stock     primary-oblivious      default (most available)     any server
+YARN-PT        primary-aware, kills   probabilistic by available   any server
+YARN-H/Tez-H   primary-aware, kills   probabilistic by available   Algorithm 1 labels
+=============  =====================  ===========================  =================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.node_manager import HEARTBEAT_INTERVAL_SECONDS, NodeManager
+from repro.cluster.resource_manager import ResourceManager, SchedulerMode
+from repro.cluster.reserve import ResourceReserve
+from repro.cluster.resources import Resource
+from repro.cluster.server import SimulatedServer
+from repro.core.class_selection import ClassCapacity, ClassSelection, ClassSelector
+from repro.core.clustering import ClusteringService
+from repro.core.job_types import JobHistory, JobType, JobTypeThresholds
+from repro.jobs.app_master import ApplicationMaster, JobExecution, JobResult
+from repro.jobs.dag import JobDag
+from repro.jobs.workload import JobArrival
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.metrics import MetricRegistry
+from repro.simulation.random import RandomSource
+from repro.traces.datacenter import PrimaryTenant
+
+
+@dataclass
+class ClusterConfig:
+    """Configuration of a harvesting cluster run.
+
+    Attributes:
+        mode: which scheduler variant to run.
+        reserve_cpu_fraction: fraction of each server's cores held in reserve.
+        reserve_memory_fraction: fraction of memory held in reserve.
+        heartbeat_seconds: NodeManager heartbeat period.
+        pump_seconds: how often pending jobs retry unsatisfied requests.
+        thresholds: job-length thresholds for Algorithm 1 typing.
+        record_server_series: when True, per-server primary and secondary CPU
+            time series are recorded at every heartbeat (needed by the
+            testbed latency analysis; too expensive for large sweeps).
+    """
+
+    mode: SchedulerMode = SchedulerMode.HISTORY
+    reserve_cpu_fraction: float = 1.0 / 3.0
+    reserve_memory_fraction: float = 0.31
+    heartbeat_seconds: float = HEARTBEAT_INTERVAL_SECONDS
+    pump_seconds: float = 15.0
+    thresholds: JobTypeThresholds = JobTypeThresholds()
+    record_server_series: bool = False
+
+
+class HarvestingCluster:
+    """A compute-harvesting cluster of shared servers plus its scheduler."""
+
+    def __init__(
+        self,
+        tenants: Sequence[PrimaryTenant],
+        config: Optional[ClusterConfig] = None,
+        rng: Optional[RandomSource] = None,
+        engine: Optional[SimulationEngine] = None,
+        servers_per_tenant_limit: Optional[int] = None,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        self._rng = rng or RandomSource(0)
+        self.engine = engine or SimulationEngine()
+        self.metrics = MetricRegistry()
+        self._tenants = {t.tenant_id: t for t in tenants}
+
+        self.servers: Dict[str, SimulatedServer] = {}
+        for tenant in tenants:
+            tenant_servers = tenant.servers
+            if servers_per_tenant_limit is not None:
+                tenant_servers = tenant_servers[:servers_per_tenant_limit]
+            for server in tenant_servers:
+                capacity = Resource(float(server.cores), float(server.memory_gb))
+                reserve = ResourceReserve.from_fractions(
+                    capacity,
+                    self.config.reserve_cpu_fraction,
+                    self.config.reserve_memory_fraction,
+                )
+                simulated = SimulatedServer(server, tenant, reserve)
+                self.servers[server.server_id] = simulated
+
+        self.resource_manager = ResourceManager(
+            mode=self.config.mode, rng=self._rng.fork("rm"), metrics=self.metrics
+        )
+        self.clustering = ClusteringService(rng=self._rng.fork("clustering"))
+        self.selector = ClassSelector(
+            rng=self._rng.fork("selector"),
+            reserve_fraction=self.config.reserve_cpu_fraction,
+        )
+        self.history = JobHistory()
+        self.app_master = ApplicationMaster(
+            self.engine, self.resource_manager, self.history, self.metrics
+        )
+
+        primary_aware = self.config.mode is not SchedulerMode.STOCK
+        for server in self.servers.values():
+            node_manager = NodeManager(server, primary_aware=primary_aware)
+            self.resource_manager.register_node(node_manager)
+
+        if self.config.mode is SchedulerMode.HISTORY:
+            self.refresh_clustering()
+
+        self._executions: List[JobExecution] = []
+
+    # -- clustering --------------------------------------------------------
+
+    def refresh_clustering(self) -> None:
+        """(Re)run the clustering service and re-label every server."""
+        self.clustering.update(self._tenants.values())
+        for server in self.servers.values():
+            label = self.clustering.class_of_tenant(server.tenant_id)
+            self.resource_manager.set_label(server.server_id, label)
+
+    def class_capacities(self, time: float) -> List[ClassCapacity]:
+        """Per-class capacity view built from current heartbeat information."""
+        capacities: List[ClassCapacity] = []
+        for cls in self.clustering.classes():
+            total_cores = self.resource_manager.class_capacity_cores(cls.class_id)
+            if total_cores <= 0:
+                continue
+            current = self.resource_manager.current_class_utilization(cls.class_id, time)
+            capacities.append(
+                ClassCapacity(
+                    utilization_class=cls,
+                    total_capacity=total_cores,
+                    current_utilization=current,
+                )
+            )
+        return capacities
+
+    # -- job submission -------------------------------------------------------
+
+    def _select_classes(self, dag: JobDag, job_type: JobType) -> Optional[ClassSelection]:
+        if self.config.mode is not SchedulerMode.HISTORY:
+            return None
+        capacities = self.class_capacities(self.engine.now)
+        return self.selector.select(job_type, dag.max_concurrent_cores(), capacities)
+
+    def submit_job(self, dag: JobDag) -> JobExecution:
+        """Submit one job now."""
+        job_type = self.history.categorize(dag.name, self.config.thresholds)
+        selection = self._select_classes(dag, job_type)
+        execution = self.app_master.submit(dag, job_type, selection)
+        self._executions.append(execution)
+        return execution
+
+    def submit_arrivals(self, arrivals: Sequence[JobArrival]) -> None:
+        """Schedule a whole arrival stream onto the engine."""
+        for arrival in arrivals:
+            self.engine.schedule_at(
+                arrival.time,
+                lambda engine, dag=arrival.dag: self.submit_job(dag),
+                name=f"arrival-{arrival.dag.name}",
+            )
+
+    # -- simulation loop --------------------------------------------------------
+
+    def _heartbeat_step(self, engine: SimulationEngine) -> None:
+        killed = self.resource_manager.process_heartbeats(engine.now)
+        if killed:
+            for execution in self._executions:
+                self.app_master.handle_kills(execution, killed)
+        self.metrics.time_series("primary_utilization").add(
+            engine.now, self.resource_manager.average_primary_utilization(engine.now)
+        )
+        self.metrics.time_series("total_utilization").add(
+            engine.now, self.resource_manager.average_total_utilization(engine.now)
+        )
+        # Per-server view of primary demand and batch allocation, used by the
+        # testbed experiments to evaluate the primary tail-latency model at
+        # every point of the run rather than only at its end.
+        if self.config.record_server_series:
+            for server_id, server in self.servers.items():
+                self.metrics.time_series(f"secondary_cpu.{server_id}").add(
+                    engine.now, server.allocated().cores / server.capacity.cores
+                )
+                self.metrics.time_series(f"primary_cpu.{server_id}").add(
+                    engine.now, server.primary_utilization(engine.now)
+                )
+
+    def _pump_step(self, engine: SimulationEngine) -> None:
+        for execution in self._executions:
+            self.app_master.pump(execution)
+
+    def run(self, duration_seconds: float) -> None:
+        """Run the cluster for ``duration_seconds`` of simulated time."""
+        if duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        self.engine.schedule_periodic(
+            self.config.heartbeat_seconds,
+            self._heartbeat_step,
+            name="heartbeats",
+            until=duration_seconds,
+        )
+        self.engine.schedule_periodic(
+            self.config.pump_seconds,
+            self._pump_step,
+            name="pump",
+            until=duration_seconds,
+        )
+        self.engine.run_until(duration_seconds)
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def results(self) -> List[JobResult]:
+        """Results for all completed jobs."""
+        return self.app_master.results
+
+    def average_job_execution_seconds(self) -> float:
+        """Mean execution time of the completed jobs (0 when none finished)."""
+        results = self.results
+        if not results:
+            return 0.0
+        return sum(r.execution_seconds for r in results) / len(results)
+
+    def total_tasks_killed(self) -> int:
+        """Total task attempts killed by reserve enforcement."""
+        return self.metrics.counter_value("tasks_killed")
+
+    def completed_job_count(self) -> int:
+        """How many jobs finished during the run."""
+        return len(self.results)

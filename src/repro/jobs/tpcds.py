@@ -1,0 +1,130 @@
+"""A synthetic TPC-DS-like batch workload.
+
+The testbed runs 52 different Hive queries from the TPC-DS benchmark, which
+translate into DAGs of relational processing tasks, arriving as a Poisson
+stream with a 300-second mean inter-arrival time (Section 6.1).  The actual
+query plans are not published, so this module synthesizes a family of 52
+query DAGs whose structural statistics match what the paper reveals:
+
+* query 19 is the published example (Figure 7): a multi-stage map/reduce
+  pipeline whose widest wave of concurrent tasks is 469 containers;
+* the remaining queries span small lookup-style queries (a handful of tasks)
+  to wide scan-heavy queries (hundreds of concurrent tasks);
+* job lengths spread across the short / medium / long thresholds (173 s and
+  433 s) so the class-selection policy sees all three types.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.jobs.dag import JobDag, Vertex
+from repro.simulation.random import RandomSource
+
+#: Number of distinct queries in the workload, as in the paper's testbed.
+NUM_QUERIES = 52
+
+
+def _query19_dag() -> JobDag:
+    """The published example DAG (Figure 7): peak concurrency 469.
+
+    The figure shows a pipeline of mapper stages feeding reducer stages; the
+    widest wave combines Mapper 2 with Mapper 8 for 469 concurrent tasks.
+    """
+    vertices = [
+        Vertex("Mapper 1", 1, 40.0),
+        Vertex("Mapper 2", 468, 45.0, upstream=["Mapper 1"]),
+        Vertex("Mapper 8", 1, 30.0, upstream=["Mapper 1"]),
+        Vertex("Reducer 3", 113, 60.0, upstream=["Mapper 2", "Mapper 8"]),
+        Vertex("Reducer 4", 126, 55.0, upstream=["Reducer 3"]),
+        Vertex("Reducer 5", 138, 50.0, upstream=["Reducer 4"]),
+        Vertex("Mapper 9", 3, 25.0, upstream=["Reducer 5"]),
+        Vertex("Mapper 10", 2, 25.0, upstream=["Reducer 5"]),
+        Vertex("Reducer 6", 6, 35.0, upstream=["Mapper 9", "Mapper 10"]),
+        Vertex("Mapper 11", 1, 20.0, upstream=["Reducer 6"]),
+        Vertex("Reducer 7", 1, 30.0, upstream=["Mapper 11"]),
+    ]
+    return JobDag("tpcds-q19", vertices)
+
+
+def _synthetic_query_dag(query_number: int, rng: RandomSource) -> JobDag:
+    """A synthetic query DAG whose shape depends on the query number.
+
+    One third of the queries are small interactive-style lookups (short
+    jobs), one third medium aggregations, one third wide multi-stage joins
+    (long jobs).  The widths and durations are drawn deterministically from
+    the query number so the same query always has the same DAG.
+    """
+    query_rng = rng.fork(f"query-{query_number}")
+    bucket = query_number % 3
+    if bucket == 0:
+        num_stages = query_rng.integer(2, 4)
+        base_width = query_rng.integer(2, 20)
+        base_duration = query_rng.uniform(20.0, 60.0)
+    elif bucket == 1:
+        num_stages = query_rng.integer(3, 6)
+        base_width = query_rng.integer(20, 120)
+        base_duration = query_rng.uniform(40.0, 90.0)
+    else:
+        num_stages = query_rng.integer(4, 8)
+        base_width = query_rng.integer(100, 400)
+        base_duration = query_rng.uniform(60.0, 140.0)
+
+    vertices: List[Vertex] = []
+    previous: Optional[str] = None
+    for stage in range(num_stages):
+        # Widths taper towards the end of the pipeline (reduce stages are
+        # narrower than the scans that feed them).
+        taper = max(0.15, 1.0 - 0.25 * stage)
+        width = max(1, int(round(base_width * taper * query_rng.uniform(0.7, 1.3))))
+        duration = base_duration * query_rng.uniform(0.6, 1.4)
+        name = f"Stage {stage + 1}"
+        upstream = [previous] if previous is not None else []
+        vertices.append(Vertex(name, width, duration, upstream=upstream))
+        previous = name
+    return JobDag(f"tpcds-q{query_number}", vertices)
+
+
+def tpcds_query_dag(query_number: int, rng: Optional[RandomSource] = None) -> JobDag:
+    """DAG for TPC-DS query ``query_number`` (1-based, 1..52)."""
+    if not 1 <= query_number <= NUM_QUERIES:
+        raise ValueError(
+            f"query_number must be in [1, {NUM_QUERIES}] (got {query_number})"
+        )
+    if query_number == 19:
+        return _query19_dag()
+    return _synthetic_query_dag(query_number, rng or RandomSource(7))
+
+
+class TpcdsWorkloadFactory:
+    """Produces the 52-query workload and per-job scaled copies."""
+
+    def __init__(
+        self,
+        rng: Optional[RandomSource] = None,
+        duration_scale: float = 1.0,
+        width_scale: float = 1.0,
+    ) -> None:
+        if duration_scale <= 0 or width_scale <= 0:
+            raise ValueError("scale factors must be positive")
+        self._rng = rng or RandomSource(7)
+        self._duration_scale = duration_scale
+        self._width_scale = width_scale
+        self._dags: Dict[int, JobDag] = {}
+
+    def query(self, query_number: int) -> JobDag:
+        """The (cached) DAG for one query, with scaling applied."""
+        if query_number not in self._dags:
+            dag = tpcds_query_dag(query_number, self._rng)
+            if self._duration_scale != 1.0 or self._width_scale != 1.0:
+                dag = dag.scaled(self._duration_scale, self._width_scale)
+            self._dags[query_number] = dag
+        return self._dags[query_number]
+
+    def all_queries(self) -> List[JobDag]:
+        """Every query DAG in the workload."""
+        return [self.query(number) for number in range(1, NUM_QUERIES + 1)]
+
+    def duration_distribution(self) -> List[float]:
+        """Critical-path durations of all queries (for threshold derivation)."""
+        return [dag.critical_path_seconds() for dag in self.all_queries()]

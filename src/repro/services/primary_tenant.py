@@ -1,0 +1,67 @@
+"""Trace-driven primary-tenant service running on the testbed servers.
+
+The testbed directs traffic to a Lucene instance on every server so that its
+CPU utilization reproduces the utilization of 21 primary tenants from DC-9
+(13 periodic, 3 constant, 5 unpredictable), scaled down to 102 servers
+(Section 6.1).  This class couples a server's utilization trace with the
+latency model and records the per-minute p99 samples the figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.services.latency_model import LatencyModel
+from repro.simulation.metrics import TimeSeries
+from repro.traces.utilization import UtilizationTrace
+
+
+class PrimaryTenantService:
+    """The latency-critical service on one testbed server."""
+
+    def __init__(
+        self,
+        server_id: str,
+        trace: UtilizationTrace,
+        latency_model: Optional[LatencyModel] = None,
+        traffic_scale: float = 1.0,
+    ) -> None:
+        if traffic_scale <= 0:
+            raise ValueError("traffic_scale must be positive")
+        self.server_id = server_id
+        self._trace = trace
+        self._latency_model = latency_model or LatencyModel()
+        self._traffic_scale = traffic_scale
+        self.latency_series = TimeSeries(f"p99-{server_id}")
+
+    @property
+    def trace(self) -> UtilizationTrace:
+        """The utilization trace driving the service's load."""
+        return self._trace
+
+    def utilization_at(self, time: float) -> float:
+        """The service's CPU demand (fraction of the server) at ``time``."""
+        return float(min(1.0, self._trace.value_at(time) * self._traffic_scale))
+
+    def observe(
+        self,
+        time: float,
+        secondary_cpu_fraction: float,
+        secondary_io_fraction: float = 0.0,
+    ) -> float:
+        """Record and return the service's p99 latency at ``time``."""
+        latency = self._latency_model.p99_latency_ms(
+            self.utilization_at(time),
+            secondary_cpu_fraction,
+            secondary_io_fraction,
+        )
+        self.latency_series.add(time, latency)
+        return latency
+
+    def average_p99_ms(self) -> float:
+        """Mean of the recorded p99 samples."""
+        return self.latency_series.mean()
+
+    def max_p99_ms(self) -> float:
+        """Maximum recorded p99 sample."""
+        return self.latency_series.maximum()

@@ -1,0 +1,128 @@
+"""The Data Node: per-server replica storage and access gating.
+
+Each shared server runs a DataNode that stores block replicas on the disk
+space its primary tenant allows.  The primary-tenant-aware DataNode (DN-H /
+DN-PT) denies data accesses whenever serving them would consume the server's
+CPU reserve — i.e. when the primary tenant's utilization exceeds the busy
+threshold — and reports its busy/available status to the NameNode in its
+heartbeat so the NameNode stops listing it as a replica source or placement
+target (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.storage.block import Block
+from repro.traces.datacenter import PrimaryTenant, Server
+
+
+@dataclass
+class DataNode:
+    """Per-server storage agent.
+
+    Attributes:
+        server: the underlying physical server.
+        tenant: the server's primary tenant (drives the busy signal).
+        primary_aware: whether the DataNode denies accesses under load.
+        busy_threshold: primary CPU utilization above which accesses are
+            denied; the paper's testbed reserves a third of the CPU, so a
+            server whose primary tenant exceeds roughly two thirds cannot
+            serve secondary I/O.
+    """
+
+    server: Server
+    tenant: PrimaryTenant
+    primary_aware: bool = True
+    busy_threshold: float = 2.0 / 3.0
+    _stored_blocks: Set[str] = field(default_factory=set)
+    _used_space_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.busy_threshold <= 1.0:
+            raise ValueError("busy_threshold must be in (0, 1]")
+
+    @property
+    def server_id(self) -> str:
+        """The hosting server's id."""
+        return self.server.server_id
+
+    @property
+    def tenant_id(self) -> str:
+        """The hosting server's primary tenant."""
+        return self.tenant.tenant_id
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def capacity_gb(self) -> float:
+        """Disk space the primary tenant allows the file system to use."""
+        return self.server.harvestable_disk_gb
+
+    @property
+    def used_space_gb(self) -> float:
+        """Space currently consumed by stored replicas."""
+        return self._used_space_gb
+
+    @property
+    def free_space_gb(self) -> float:
+        """Remaining harvestable space."""
+        return max(0.0, self.capacity_gb - self._used_space_gb)
+
+    def has_space_for(self, size_gb: float) -> bool:
+        """Whether a replica of ``size_gb`` fits (goal G1: never exceed the quota)."""
+        return size_gb <= self.free_space_gb + 1e-9
+
+    # -- replica storage ------------------------------------------------------
+
+    @property
+    def stored_block_ids(self) -> Set[str]:
+        """Blocks with a replica on this DataNode."""
+        return set(self._stored_blocks)
+
+    def store_replica(self, block: Block) -> None:
+        """Account for a new replica of ``block`` on this server."""
+        if block.block_id in self._stored_blocks:
+            raise ValueError(
+                f"server {self.server_id} already stores block {block.block_id}"
+            )
+        if not self.has_space_for(block.size_gb):
+            raise ValueError(
+                f"server {self.server_id} has no space for block {block.block_id}"
+            )
+        self._stored_blocks.add(block.block_id)
+        self._used_space_gb += block.size_gb
+
+    def remove_replica(self, block: Block) -> None:
+        """Release the space of a replica (after loss or deletion)."""
+        if block.block_id in self._stored_blocks:
+            self._stored_blocks.discard(block.block_id)
+            self._used_space_gb = max(0.0, self._used_space_gb - block.size_gb)
+
+    def reimage(self) -> Set[str]:
+        """Wipe the disk: every stored replica is destroyed.
+
+        Returns the ids of the blocks that lost a replica; the NameNode uses
+        them to queue re-replication.
+        """
+        lost = set(self._stored_blocks)
+        self._stored_blocks.clear()
+        self._used_space_gb = 0.0
+        return lost
+
+    # -- availability ------------------------------------------------------------
+
+    def is_busy(self, time: float) -> bool:
+        """Whether the DataNode currently denies secondary accesses.
+
+        A primary-oblivious (stock) DataNode never reports busy — it simply
+        interferes with the primary tenant instead.
+        """
+        if not self.primary_aware:
+            return False
+        return self.tenant.utilization_at(time) > self.busy_threshold
+
+    def can_serve(self, time: float) -> bool:
+        """Whether a read of a stored replica would be served right now."""
+        return not self.is_busy(time)

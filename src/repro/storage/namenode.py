@@ -1,0 +1,268 @@
+"""The Name Node: block namespace, placement, access, and recovery.
+
+The NameNode owns the block namespace, asks its placement policy for replica
+destinations when a client creates a block, answers block accesses by listing
+the servers holding healthy replicas (excluding busy ones when primary-tenant
+aware), and re-creates replicas destroyed by reimages subject to the
+replication rate limit.
+
+Three awareness levels match the paper's HDFS variants:
+
+* ``HDFS-Stock`` — ``primary_aware=False`` with :class:`StockPlacementPolicy`;
+* ``HDFS-PT`` — ``primary_aware=True`` with :class:`StockPlacementPolicy`;
+* ``HDFS-H`` — ``primary_aware=True`` with :class:`HistoryPlacementPolicy`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.simulation.metrics import MetricRegistry
+from repro.simulation.random import RandomSource
+from repro.storage.block import Block, BlockReplica
+from repro.storage.datanode import DataNode
+from repro.storage.placement_policies import PlacementPolicy
+from repro.storage.replication import ReplicationManager
+
+
+class AccessResult(str, enum.Enum):
+    """Outcome of a block access attempt."""
+
+    SERVED = "served"
+    UNAVAILABLE = "unavailable"
+    LOST = "lost"
+
+
+@dataclass
+class CreateResult:
+    """Outcome of a block creation."""
+
+    block: Optional[Block]
+    placed_replicas: int
+    requested_replicas: int
+
+    @property
+    def fully_replicated(self) -> bool:
+        """Whether the desired replication level was achieved at creation."""
+        return self.block is not None and self.placed_replicas >= self.requested_replicas
+
+
+class NameNode:
+    """Block namespace manager with pluggable placement policy."""
+
+    def __init__(
+        self,
+        datanodes: Iterable[DataNode],
+        placement_policy: PlacementPolicy,
+        primary_aware: bool = True,
+        default_replication: int = 3,
+        rng: Optional[RandomSource] = None,
+        metrics: Optional[MetricRegistry] = None,
+        replication_manager: Optional[ReplicationManager] = None,
+    ) -> None:
+        self._datanodes: Dict[str, DataNode] = {dn.server_id: dn for dn in datanodes}
+        if not self._datanodes:
+            raise ValueError("a NameNode needs at least one DataNode")
+        self._policy = placement_policy
+        self._primary_aware = primary_aware
+        if default_replication <= 0:
+            raise ValueError("default_replication must be positive")
+        self._default_replication = default_replication
+        self._rng = rng or RandomSource(0)
+        self.metrics = metrics or MetricRegistry()
+        self._replication = replication_manager or ReplicationManager()
+        self._blocks: Dict[str, Block] = {}
+        self._block_counter = 0
+
+    # -- namespace ----------------------------------------------------------
+
+    @property
+    def blocks(self) -> Dict[str, Block]:
+        """All blocks ever created, keyed by id."""
+        return self._blocks
+
+    @property
+    def datanodes(self) -> Dict[str, DataNode]:
+        """All registered DataNodes keyed by server id."""
+        return self._datanodes
+
+    def lost_blocks(self) -> List[Block]:
+        """Blocks whose every replica has been destroyed."""
+        return [b for b in self._blocks.values() if b.lost]
+
+    def under_replicated_blocks(self) -> List[Block]:
+        """Blocks below their target replication but not lost."""
+        return [
+            b for b in self._blocks.values() if not b.lost and b.missing_replicas > 0
+        ]
+
+    # -- block creation ----------------------------------------------------------
+
+    def create_block(
+        self,
+        time: float,
+        replication: Optional[int] = None,
+        creating_server_id: Optional[str] = None,
+        size_gb: float = 0.25,
+    ) -> CreateResult:
+        """Create a block and place its replicas via the placement policy.
+
+        Busy servers are excluded from the candidate set when primary-aware
+        (the NameNode stops using busy DataNodes as destinations).
+        """
+        replication = replication or self._default_replication
+        self._block_counter += 1
+        block_id = f"block-{self._block_counter}"
+        block = Block(block_id, size_gb=size_gb, target_replication=replication)
+
+        exclude = self._busy_servers(time) if self._primary_aware else []
+        chosen = self._policy.choose_servers(
+            replication, creating_server_id, self._datanodes, size_gb, exclude=exclude
+        )
+        if not chosen:
+            self.metrics.counter("block_creations_failed").increment()
+            return CreateResult(None, 0, replication)
+
+        for server_id in chosen:
+            self._store_replica(block, server_id, time)
+
+        self._blocks[block_id] = block
+        self.metrics.counter("blocks_created").increment()
+        if block.healthy_count < replication:
+            self._replication.enqueue(block_id)
+        return CreateResult(block, block.healthy_count, replication)
+
+    def _store_replica(self, block: Block, server_id: str, time: float) -> None:
+        datanode = self._datanodes[server_id]
+        datanode.store_replica(block)
+        block.add_replica(
+            BlockReplica(
+                server_id=server_id,
+                tenant_id=datanode.tenant_id,
+                created_time=time,
+            )
+        )
+
+    def _busy_servers(self, time: float) -> List[str]:
+        return [
+            server_id
+            for server_id, dn in self._datanodes.items()
+            if dn.is_busy(time)
+        ]
+
+    # -- access -------------------------------------------------------------------
+
+    def access_block(self, block_id: str, time: float) -> AccessResult:
+        """Attempt to read a block.
+
+        A primary-aware NameNode only lists non-busy replicas; the access
+        fails (``UNAVAILABLE``) when all healthy replicas sit on busy servers.
+        A primary-oblivious deployment serves the access regardless, paying
+        with primary-tenant interference instead (that cost is modelled by
+        the latency model, not here).
+        """
+        block = self._blocks.get(block_id)
+        if block is None:
+            raise KeyError(f"unknown block {block_id}")
+        if block.lost:
+            self.metrics.counter("accesses_lost_block").increment()
+            return AccessResult.LOST
+
+        healthy = block.servers_with_healthy_replicas()
+        if not healthy:
+            self.metrics.counter("accesses_lost_block").increment()
+            return AccessResult.LOST
+
+        if not self._primary_aware:
+            self.metrics.counter("accesses_served").increment()
+            return AccessResult.SERVED
+
+        available = [s for s in healthy if self._datanodes[s].can_serve(time)]
+        if available:
+            self.metrics.counter("accesses_served").increment()
+            return AccessResult.SERVED
+        self.metrics.counter("accesses_failed").increment()
+        return AccessResult.UNAVAILABLE
+
+    # -- reimages and recovery -------------------------------------------------------
+
+    def handle_reimage(self, server_id: str, time: float) -> List[str]:
+        """A server's disk was reimaged: destroy its replicas, queue recovery.
+
+        Returns the ids of blocks that became lost as a result.
+        """
+        datanode = self._datanodes.get(server_id)
+        if datanode is None:
+            return []
+        affected = datanode.reimage()
+        newly_lost: List[str] = []
+        for block_id in affected:
+            block = self._blocks.get(block_id)
+            if block is None:
+                continue
+            was_lost = block.lost
+            block.destroy_replica_on(server_id, time)
+            if block.lost and not was_lost:
+                newly_lost.append(block_id)
+                self._replication.discard(block_id)
+                self.metrics.counter("blocks_lost").increment()
+            elif not block.lost:
+                self._replication.enqueue(block_id)
+        if affected:
+            self.metrics.counter("reimages_processed").increment()
+        return newly_lost
+
+    def run_replication(self, time: float) -> int:
+        """Re-create replicas for queued blocks, subject to the rate limit.
+
+        Returns the number of replicas restored in this round.
+        """
+        healthy_servers = sum(
+            1 for dn in self._datanodes.values() if dn.free_space_gb > 0
+        )
+        drained = self._replication.drain(time, healthy_servers)
+        restored = 0
+        for block_id in drained:
+            block = self._blocks.get(block_id)
+            if block is None or block.lost:
+                continue
+            while block.missing_replicas > 0:
+                target = self._pick_recovery_target(block, time)
+                if target is None:
+                    # Out of viable targets; try again on a later round.
+                    self._replication.enqueue(block_id)
+                    break
+                self._store_replica(block, target, time)
+                restored += 1
+        if restored:
+            self.metrics.counter("replicas_restored").increment(restored)
+        return restored
+
+    def _pick_recovery_target(self, block: Block, time: float) -> Optional[str]:
+        """A server for a recovered replica: has space, not already holding one."""
+        holders = set(block.replicas.keys())
+        busy = set(self._busy_servers(time)) if self._primary_aware else set()
+        candidates = [
+            server_id
+            for server_id, dn in self._datanodes.items()
+            if server_id not in holders
+            and server_id not in busy
+            and dn.has_space_for(block.size_gb)
+        ]
+        if not candidates:
+            return None
+        return self._rng.choice(sorted(candidates))
+
+    # -- statistics -------------------------------------------------------------------
+
+    def lost_block_fraction(self) -> float:
+        """Fraction of created blocks that have been lost."""
+        if not self._blocks:
+            return 0.0
+        return len(self.lost_blocks()) / len(self._blocks)
+
+    def total_used_space_gb(self) -> float:
+        """Space consumed across all DataNodes."""
+        return sum(dn.used_space_gb for dn in self._datanodes.values())

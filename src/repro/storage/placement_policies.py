@@ -1,0 +1,183 @@
+"""Replica placement policies for the NameNode.
+
+Three policies mirror the paper's systems:
+
+* :class:`StockPlacementPolicy` — the default HDFS rule: first replica on the
+  creating server, second on another server of the same rack, third on a
+  remote rack.  It knows nothing about primary tenants.
+* the PT variant simply reuses the stock policy but the NameNode excludes
+  busy servers from the candidate set (that part lives in the NameNode).
+* :class:`HistoryPlacementPolicy` — Algorithm 2: the two-dimensional grid
+  clustering plus the row/column/environment diversity constraints,
+  delegating to :class:`repro.core.placement.ReplicaPlacer`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Sequence
+
+from repro.core.grid import GridClustering, TenantPlacementStats, build_grid
+from repro.core.placement import PlacementConstraints, ReplicaPlacer
+from repro.simulation.random import RandomSource
+from repro.storage.datanode import DataNode
+
+
+class PlacementPolicy(Protocol):
+    """Interface the NameNode uses to pick replica destinations."""
+
+    def choose_servers(
+        self,
+        replication: int,
+        creating_server_id: Optional[str],
+        datanodes: Dict[str, DataNode],
+        block_size_gb: float,
+        exclude: Sequence[str] = (),
+    ) -> List[str]:
+        """Return up to ``replication`` distinct server ids for a new block."""
+        ...
+
+
+class StockPlacementPolicy:
+    """Default HDFS placement: local server, same rack, then remote racks."""
+
+    def __init__(self, rng: Optional[RandomSource] = None) -> None:
+        self._rng = rng or RandomSource(0)
+
+    def choose_servers(
+        self,
+        replication: int,
+        creating_server_id: Optional[str],
+        datanodes: Dict[str, DataNode],
+        block_size_gb: float,
+        exclude: Sequence[str] = (),
+    ) -> List[str]:
+        """Pick servers with the rack-aware stock rule."""
+        if replication <= 0:
+            raise ValueError("replication must be positive")
+        excluded = set(exclude)
+        candidates = [
+            dn
+            for dn in datanodes.values()
+            if dn.server_id not in excluded and dn.has_space_for(block_size_gb)
+        ]
+        if not candidates:
+            return []
+
+        chosen: List[str] = []
+        chosen_racks: List[str] = []
+
+        def pick(pool: List[DataNode]) -> Optional[DataNode]:
+            pool = [dn for dn in pool if dn.server_id not in chosen]
+            if not pool:
+                return None
+            return self._rng.choice(pool)
+
+        # Replica 1: the creating server when possible, otherwise random.
+        first: Optional[DataNode] = None
+        if creating_server_id is not None and creating_server_id in datanodes:
+            local = datanodes[creating_server_id]
+            if local.has_space_for(block_size_gb) and local.server_id not in excluded:
+                first = local
+        if first is None:
+            first = pick(candidates)
+        if first is None:
+            return []
+        chosen.append(first.server_id)
+        chosen_racks.append(first.server.rack)
+
+        # Replica 2: same rack as the first, if any other server is there.
+        if len(chosen) < replication:
+            same_rack = [
+                dn for dn in candidates if dn.server.rack == chosen_racks[0]
+            ]
+            second = pick(same_rack) or pick(candidates)
+            if second is not None:
+                chosen.append(second.server_id)
+                chosen_racks.append(second.server.rack)
+
+        # Remaining replicas: prefer racks not used yet.
+        while len(chosen) < replication:
+            remote = [dn for dn in candidates if dn.server.rack not in chosen_racks]
+            nxt = pick(remote) or pick(candidates)
+            if nxt is None:
+                break
+            chosen.append(nxt.server_id)
+            chosen_racks.append(nxt.server.rack)
+        return chosen
+
+
+class HistoryPlacementPolicy:
+    """Algorithm 2 placement on top of the two-dimensional grid clustering."""
+
+    def __init__(
+        self,
+        rng: Optional[RandomSource] = None,
+        constraints: PlacementConstraints = PlacementConstraints(),
+        rows: int = 3,
+        columns: int = 3,
+        block_size_gb: float = 0.25,
+    ) -> None:
+        self._rng = rng or RandomSource(0)
+        self._constraints = constraints
+        self._rows = rows
+        self._columns = columns
+        self._block_size_gb = block_size_gb
+        self._placer: Optional[ReplicaPlacer] = None
+
+    @property
+    def grid(self) -> Optional[GridClustering]:
+        """The current grid clustering (None before the first update)."""
+        if self._placer is None:
+            return None
+        return self._placer.grid
+
+    def update_clustering(self, stats: Sequence[TenantPlacementStats]) -> None:
+        """(Re)build the grid from fresh tenant statistics.
+
+        Space already consumed by previously placed replicas is carried over
+        so the placer keeps respecting per-tenant quotas across refreshes.
+        """
+        grid = build_grid(stats, rows=self._rows, columns=self._columns)
+        space_used = None
+        if self._placer is not None:
+            space_used = {
+                tenant_id: self._placer.space_used_gb(tenant_id)
+                for tenant_id in grid.stats_by_tenant
+            }
+        self._placer = ReplicaPlacer(
+            grid,
+            rng=self._rng,
+            constraints=self._constraints,
+            space_used_gb=space_used,
+            block_size_gb=self._block_size_gb,
+        )
+
+    def choose_servers(
+        self,
+        replication: int,
+        creating_server_id: Optional[str],
+        datanodes: Dict[str, DataNode],
+        block_size_gb: float,
+        exclude: Sequence[str] = (),
+    ) -> List[str]:
+        """Pick servers with Algorithm 2; falls back to nothing when unclustered."""
+        if self._placer is None:
+            raise RuntimeError(
+                "HistoryPlacementPolicy.update_clustering must run before placement"
+            )
+        # Servers that are busy or out of space cannot receive a replica; the
+        # placer must know this up front so it can pick alternatives that
+        # still satisfy the diversity constraints.
+        excluded = set(exclude)
+        for server_id, datanode in datanodes.items():
+            if not datanode.has_space_for(block_size_gb):
+                excluded.add(server_id)
+        decision = self._placer.place_block(
+            replication, creating_server_id, excluded_servers=excluded
+        )
+        return list(decision.server_ids)
+
+    def release_space(self, tenant_id: str, gigabytes: float) -> None:
+        """Return space to a tenant after a replica is destroyed or deleted."""
+        if self._placer is not None:
+            self._placer.release_space(tenant_id, gigabytes)

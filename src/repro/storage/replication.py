@@ -1,0 +1,83 @@
+"""Re-replication of under-replicated blocks.
+
+When a DataNode stops heartbeating (or its disk is reimaged), the NameNode
+re-creates the lost replicas on other servers — but throttled so re-creation
+does not overload the network: 30 blocks per hour per server in the real
+system (Section 5.1).  Whether a block survives a burst of reimages therefore
+depends on the race between replica destruction and this bounded recovery
+rate, which is exactly what the durability simulations measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Re-replication throughput limit per source server.
+DEFAULT_BLOCKS_PER_HOUR_PER_SERVER = 30.0
+
+
+@dataclass
+class ReplicationManager:
+    """Tracks the re-replication queue and enforces the recovery rate limit.
+
+    Attributes:
+        blocks_per_hour_per_server: how many replicas each surviving server
+            can source per hour.
+    """
+
+    blocks_per_hour_per_server: float = DEFAULT_BLOCKS_PER_HOUR_PER_SERVER
+    _pending: List[str] = field(default_factory=list)
+    _pending_set: set[str] = field(default_factory=set)
+    _last_drain_time: float = 0.0
+    _credit: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.blocks_per_hour_per_server <= 0:
+            raise ValueError("blocks_per_hour_per_server must be positive")
+
+    @property
+    def pending_count(self) -> int:
+        """Blocks waiting for re-replication."""
+        return len(self._pending)
+
+    def enqueue(self, block_id: str) -> None:
+        """Add a block to the re-replication queue (idempotent)."""
+        if block_id not in self._pending_set:
+            self._pending.append(block_id)
+            self._pending_set.add(block_id)
+
+    def discard(self, block_id: str) -> None:
+        """Drop a block from the queue (e.g. it was lost entirely)."""
+        if block_id in self._pending_set:
+            self._pending_set.discard(block_id)
+            self._pending.remove(block_id)
+
+    def drainable(self, now: float, healthy_servers: int) -> int:
+        """How many queued blocks may be re-replicated by time ``now``.
+
+        The budget accumulates continuously at
+        ``blocks_per_hour_per_server * healthy_servers`` and is capped at one
+        hour's worth so long idle periods do not bank an unbounded burst.
+        """
+        if healthy_servers <= 0:
+            self._last_drain_time = now
+            return 0
+        elapsed_hours = max(0.0, (now - self._last_drain_time) / 3600.0)
+        self._credit += elapsed_hours * self.blocks_per_hour_per_server * healthy_servers
+        self._credit = min(self._credit, self.blocks_per_hour_per_server * healthy_servers)
+        self._last_drain_time = now
+        return int(self._credit)
+
+    def drain(self, now: float, healthy_servers: int) -> List[str]:
+        """Pop the block ids whose re-replication may start now."""
+        budget = self.drainable(now, healthy_servers)
+        if budget <= 0 or not self._pending:
+            return []
+        count = min(budget, len(self._pending))
+        drained = self._pending[:count]
+        self._pending = self._pending[count:]
+        for block_id in drained:
+            self._pending_set.discard(block_id)
+        self._credit -= count
+        return drained

@@ -1,0 +1,56 @@
+"""Synthetic primary-tenant trace substrate.
+
+The paper's policies consume AutoPilot telemetry: per-server CPU utilization
+sampled every two minutes and per-server disk reimage events.  Those traces
+are proprietary, so this package synthesizes statistically equivalent ones:
+
+* :mod:`repro.traces.utilization` — month-long CPU utilization series for the
+  three behaviour patterns the paper identifies (periodic, constant,
+  unpredictable).
+* :mod:`repro.traces.reimage` — Poisson reimage event streams with correlated
+  (environment-wide) reimage bursts.
+* :mod:`repro.traces.scaling` — the linear and nth-root utilization scaling
+  methods used by the simulator to explore the utilization spectrum.
+* :mod:`repro.traces.datacenter` — primary tenants, servers, environments,
+  racks, and whole datacenters.
+* :mod:`repro.traces.fleet` — presets for the ten production datacenters
+  (DC-0 .. DC-9) with class mixes matching the published characterization.
+"""
+
+from repro.traces.utilization import (
+    SAMPLE_INTERVAL_SECONDS,
+    SAMPLES_PER_DAY,
+    SAMPLES_PER_MONTH,
+    TraceSpec,
+    UtilizationPattern,
+    UtilizationTrace,
+    generate_trace,
+)
+from repro.traces.reimage import ReimageEvent, ReimageProfile, generate_reimage_events
+from repro.traces.scaling import ScalingMethod, scale_trace, scale_to_target_mean
+from repro.traces.datacenter import Datacenter, Environment, PrimaryTenant, Server
+from repro.traces.fleet import DatacenterSpec, build_datacenter, build_fleet, fleet_specs
+
+__all__ = [
+    "SAMPLE_INTERVAL_SECONDS",
+    "SAMPLES_PER_DAY",
+    "SAMPLES_PER_MONTH",
+    "TraceSpec",
+    "UtilizationPattern",
+    "UtilizationTrace",
+    "generate_trace",
+    "ReimageEvent",
+    "ReimageProfile",
+    "generate_reimage_events",
+    "ScalingMethod",
+    "scale_trace",
+    "scale_to_target_mean",
+    "Datacenter",
+    "Environment",
+    "PrimaryTenant",
+    "Server",
+    "DatacenterSpec",
+    "build_datacenter",
+    "build_fleet",
+    "fleet_specs",
+]

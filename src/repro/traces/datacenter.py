@@ -1,0 +1,207 @@
+"""Datacenter, primary-tenant, and server models.
+
+Under AutoPilot, every server belongs to an *environment* (a logically
+related collection of servers, e.g. the indexing tier of a search engine) and
+runs a *machine function* (a specific role, e.g. result ranking).  A primary
+tenant is an ``<environment, machine function>`` pair; each datacenter hosts
+between a few hundred and a few thousand primary tenants (Section 3.1).
+
+These classes carry the synthetic utilization traces and reimage profiles the
+policies consume, plus the physical attributes (rack, cores, memory, disk)
+the simulators need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.traces.reimage import ReimageProfile
+from repro.traces.utilization import UtilizationPattern, UtilizationTrace
+
+
+@dataclass
+class Server:
+    """A physical server owned by one primary tenant.
+
+    Attributes:
+        server_id: globally unique identifier.
+        tenant_id: owning primary tenant.
+        rack: physical rack identifier used as a placement constraint.
+        cores: number of CPU cores (the testbed uses 12).
+        memory_gb: physical memory in GB (the testbed uses 32).
+        disk_gb: total disk capacity in GB.
+        harvestable_disk_gb: disk space the primary tenant allows the
+            harvesting file system to use.
+    """
+
+    server_id: str
+    tenant_id: str
+    rack: str = "rack-0"
+    cores: int = 12
+    memory_gb: float = 32.0
+    disk_gb: float = 2048.0
+    harvestable_disk_gb: float = 1024.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"cores must be positive (got {self.cores})")
+        if self.memory_gb <= 0:
+            raise ValueError(f"memory_gb must be positive (got {self.memory_gb})")
+        if self.harvestable_disk_gb < 0:
+            raise ValueError("harvestable_disk_gb must be non-negative")
+        if self.harvestable_disk_gb > self.disk_gb:
+            raise ValueError("harvestable_disk_gb cannot exceed disk_gb")
+
+
+@dataclass
+class PrimaryTenant:
+    """An ``<environment, machine function>`` pair and its servers.
+
+    Attributes:
+        tenant_id: unique identifier (``environment/machine_function``).
+        environment: logical environment the tenant belongs to.
+        machine_function: role of the tenant's servers.
+        servers: the servers owned by this tenant.
+        trace: month-long CPU utilization of the tenant's average server.
+        reimage_profile: reimaging behaviour for durability simulation.
+        pattern: ground-truth utilization pattern (for validation only).
+    """
+
+    tenant_id: str
+    environment: str
+    machine_function: str
+    servers: List[Server] = field(default_factory=list)
+    trace: Optional[UtilizationTrace] = None
+    reimage_profile: ReimageProfile = field(default_factory=ReimageProfile)
+    pattern: Optional[UtilizationPattern] = None
+
+    @property
+    def num_servers(self) -> int:
+        """How many servers the tenant owns."""
+        return len(self.servers)
+
+    @property
+    def harvestable_disk_gb(self) -> float:
+        """Total disk space the tenant makes available for harvesting."""
+        return float(sum(s.harvestable_disk_gb for s in self.servers))
+
+    def mean_utilization(self) -> float:
+        """Average CPU utilization of the tenant's average server."""
+        if self.trace is None:
+            raise ValueError(f"tenant {self.tenant_id} has no utilization trace")
+        return self.trace.mean()
+
+    def peak_utilization(self, percentile: float = 99.0) -> float:
+        """Peak (high-percentile) CPU utilization of the tenant."""
+        if self.trace is None:
+            raise ValueError(f"tenant {self.tenant_id} has no utilization trace")
+        return self.trace.peak(percentile)
+
+    def utilization_at(self, time_seconds: float) -> float:
+        """Tenant utilization at a simulation time (trace wraps around)."""
+        if self.trace is None:
+            raise ValueError(f"tenant {self.tenant_id} has no utilization trace")
+        return self.trace.value_at(time_seconds)
+
+
+@dataclass
+class Environment:
+    """A named group of related primary tenants (AutoPilot environment)."""
+
+    name: str
+    tenant_ids: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Datacenter:
+    """A datacenter: primary tenants, their servers, and environments.
+
+    Attributes:
+        name: datacenter identifier (DC-0 .. DC-9 in the paper).
+        tenants: primary tenants keyed by tenant id.
+    """
+
+    name: str
+    tenants: Dict[str, PrimaryTenant] = field(default_factory=dict)
+
+    def add_tenant(self, tenant: PrimaryTenant) -> None:
+        """Register a tenant; ids must be unique within the datacenter."""
+        if tenant.tenant_id in self.tenants:
+            raise ValueError(f"duplicate tenant id {tenant.tenant_id}")
+        self.tenants[tenant.tenant_id] = tenant
+
+    @property
+    def num_tenants(self) -> int:
+        """Number of primary tenants."""
+        return len(self.tenants)
+
+    @property
+    def num_servers(self) -> int:
+        """Total number of servers across all tenants."""
+        return sum(t.num_servers for t in self.tenants.values())
+
+    @property
+    def servers(self) -> List[Server]:
+        """Every server in the datacenter."""
+        return [s for t in self.tenants.values() for s in t.servers]
+
+    @property
+    def environments(self) -> Dict[str, Environment]:
+        """Environments keyed by name, derived from the tenants."""
+        envs: Dict[str, Environment] = {}
+        for tenant in self.tenants.values():
+            env = envs.setdefault(tenant.environment, Environment(tenant.environment))
+            env.tenant_ids.append(tenant.tenant_id)
+        return envs
+
+    def tenant_of_server(self, server_id: str) -> PrimaryTenant:
+        """Look up the owning tenant of a server id."""
+        for tenant in self.tenants.values():
+            for server in tenant.servers:
+                if server.server_id == server_id:
+                    return tenant
+        raise KeyError(f"unknown server id {server_id}")
+
+    def tenants_by_pattern(self) -> Dict[UtilizationPattern, List[PrimaryTenant]]:
+        """Group tenants by their ground-truth utilization pattern."""
+        groups: Dict[UtilizationPattern, List[PrimaryTenant]] = {
+            pattern: [] for pattern in UtilizationPattern
+        }
+        for tenant in self.tenants.values():
+            if tenant.pattern is not None:
+                groups[tenant.pattern].append(tenant)
+        return groups
+
+    def server_fraction_by_pattern(self) -> Dict[UtilizationPattern, float]:
+        """Fraction of servers per ground-truth pattern (Figure 3 shape)."""
+        total = self.num_servers
+        if total == 0:
+            return {pattern: 0.0 for pattern in UtilizationPattern}
+        groups = self.tenants_by_pattern()
+        return {
+            pattern: sum(t.num_servers for t in tenants) / total
+            for pattern, tenants in groups.items()
+        }
+
+    def mean_utilization(self) -> float:
+        """Server-weighted mean CPU utilization of the datacenter."""
+        total_servers = self.num_servers
+        if total_servers == 0:
+            return 0.0
+        weighted = sum(
+            t.mean_utilization() * t.num_servers
+            for t in self.tenants.values()
+            if t.trace is not None
+        )
+        return float(weighted / total_servers)
+
+    def utilization_matrix(self) -> np.ndarray:
+        """Stack of every tenant's utilization trace (tenants x samples)."""
+        traces = [t.trace.values for t in self.tenants.values() if t.trace is not None]
+        if not traces:
+            return np.zeros((0, 0))
+        min_len = min(len(v) for v in traces)
+        return np.vstack([v[:min_len] for v in traces])

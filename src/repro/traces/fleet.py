@@ -1,0 +1,300 @@
+"""Presets for the ten production datacenters (DC-0 .. DC-9).
+
+The paper characterizes ten datacenters without publishing absolute numbers,
+so these presets encode the *shapes* it reports:
+
+* the vast majority of primary tenants show roughly constant utilization,
+  periodic (user-facing) tenants are a small minority, yet periodic tenants
+  own roughly 40% of the servers on average (Figures 2 and 3);
+* per-server reimage rates are low on average (at least 90% of servers see
+  one or fewer reimages per month) with a frequent-reimage tail, and a few
+  datacenters reimage substantially less than the others (Figures 4 and 5);
+* DC-0 and DC-2 show the least temporal utilization variation while DC-1 and
+  DC-4 show the most (Figure 14's explanation of per-DC gains).
+
+The presets are scaled down (hundreds of tenants, a few thousand servers per
+datacenter) so that the full fleet simulates quickly; the scale can be
+increased by passing ``scale`` to :func:`build_fleet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.simulation.random import RandomSource
+from repro.traces.datacenter import Datacenter, PrimaryTenant, Server
+from repro.traces.reimage import ReimageProfile
+from repro.traces.utilization import (
+    TraceSpec,
+    UtilizationPattern,
+    generate_trace,
+)
+
+
+@dataclass
+class DatacenterSpec:
+    """Parameters used to synthesize one datacenter.
+
+    Attributes:
+        name: datacenter identifier.
+        num_tenants: number of primary tenants to generate.
+        tenant_class_mix: fraction of *tenants* per utilization pattern.
+        server_class_mix: fraction of *servers* per utilization pattern
+            (periodic tenants are few but own many servers).
+        mean_servers_per_tenant: average tenant size in servers.
+        base_mean_utilization: typical tenant mean utilization.
+        utilization_variation: how much temporal variation the periodic and
+            unpredictable tenants show (drives per-DC scheduler gains).
+        reimage_rate_scale: multiplier on the fleet-default reimage rates
+            (three datacenters reimage substantially less than the others).
+        frequent_reimage_fraction: fraction of tenants in the heavy-reimage
+            tail.
+    """
+
+    name: str
+    num_tenants: int = 200
+    tenant_class_mix: Dict[UtilizationPattern, float] = field(
+        default_factory=lambda: {
+            UtilizationPattern.PERIODIC: 0.12,
+            UtilizationPattern.CONSTANT: 0.68,
+            UtilizationPattern.UNPREDICTABLE: 0.20,
+        }
+    )
+    server_class_mix: Dict[UtilizationPattern, float] = field(
+        default_factory=lambda: {
+            UtilizationPattern.PERIODIC: 0.40,
+            UtilizationPattern.CONSTANT: 0.40,
+            UtilizationPattern.UNPREDICTABLE: 0.20,
+        }
+    )
+    mean_servers_per_tenant: float = 16.0
+    base_mean_utilization: float = 0.25
+    utilization_variation: float = 0.6
+    reimage_rate_scale: float = 1.0
+    frequent_reimage_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.num_tenants <= 0:
+            raise ValueError("num_tenants must be positive")
+        for mix_name, mix in (
+            ("tenant_class_mix", self.tenant_class_mix),
+            ("server_class_mix", self.server_class_mix),
+        ):
+            total = sum(mix.values())
+            if abs(total - 1.0) > 1e-6:
+                raise ValueError(f"{mix_name} fractions must sum to 1 (got {total})")
+
+
+def fleet_specs() -> List[DatacenterSpec]:
+    """The ten datacenter presets, DC-0 through DC-9.
+
+    DC-0 and DC-2 are the low-variation datacenters; DC-1 and DC-4 the
+    high-variation ones; DC-3, DC-5 and DC-8 reimage less aggressively.
+    DC-9 (the datacenter used for the testbed and the Figure 13 sweep) sits
+    in the middle of both spectra.
+    """
+    specs: List[DatacenterSpec] = []
+    variation_by_dc = {
+        0: 0.25, 1: 0.95, 2: 0.30, 3: 0.55, 4: 0.90,
+        5: 0.50, 6: 0.65, 7: 0.60, 8: 0.45, 9: 0.70,
+    }
+    reimage_scale_by_dc = {
+        0: 1.0, 1: 1.2, 2: 0.9, 3: 0.4, 4: 1.1,
+        5: 0.45, 6: 1.0, 7: 0.95, 8: 0.5, 9: 0.85,
+    }
+    tenants_by_dc = {
+        0: 260, 1: 180, 2: 220, 3: 200, 4: 240,
+        5: 160, 6: 210, 7: 230, 8: 190, 9: 250,
+    }
+    periodic_server_share = {
+        0: 0.45, 1: 0.35, 2: 0.50, 3: 0.38, 4: 0.36,
+        5: 0.42, 6: 0.40, 7: 0.44, 8: 0.37, 9: 0.41,
+    }
+    for dc in range(10):
+        periodic = periodic_server_share[dc]
+        specs.append(
+            DatacenterSpec(
+                name=f"DC-{dc}",
+                num_tenants=tenants_by_dc[dc],
+                server_class_mix={
+                    UtilizationPattern.PERIODIC: periodic,
+                    UtilizationPattern.CONSTANT: 0.75 * (1.0 - periodic),
+                    UtilizationPattern.UNPREDICTABLE: 0.25 * (1.0 - periodic),
+                },
+                utilization_variation=variation_by_dc[dc],
+                reimage_rate_scale=reimage_scale_by_dc[dc],
+            )
+        )
+    return specs
+
+
+def _tenant_counts(spec: DatacenterSpec) -> Dict[UtilizationPattern, int]:
+    """Integer tenant counts per pattern that sum to ``spec.num_tenants``."""
+    counts = {
+        pattern: int(round(spec.num_tenants * fraction))
+        for pattern, fraction in spec.tenant_class_mix.items()
+    }
+    # Fix rounding drift by adjusting the largest class.
+    drift = spec.num_tenants - sum(counts.values())
+    largest = max(counts, key=lambda p: counts[p])
+    counts[largest] += drift
+    for pattern in UtilizationPattern:
+        counts.setdefault(pattern, 0)
+        counts[pattern] = max(1, counts[pattern])
+    # Re-fix after enforcing the minimum of one tenant per pattern.
+    drift = spec.num_tenants - sum(counts.values())
+    counts[largest] += drift
+    return counts
+
+
+def _servers_per_pattern(spec: DatacenterSpec, total_servers: int) -> Dict[UtilizationPattern, int]:
+    """Server budget per pattern from the server class mix."""
+    budget = {
+        pattern: int(round(total_servers * fraction))
+        for pattern, fraction in spec.server_class_mix.items()
+    }
+    drift = total_servers - sum(budget.values())
+    largest = max(budget, key=lambda p: budget[p])
+    budget[largest] += drift
+    return budget
+
+
+def _trace_spec(
+    pattern: UtilizationPattern, spec: DatacenterSpec, rng: RandomSource
+) -> TraceSpec:
+    """Draw per-tenant trace parameters for a pattern."""
+    mean = rng.bounded_normal(spec.base_mean_utilization, 0.10, 0.03, 0.75)
+    if pattern is UtilizationPattern.PERIODIC:
+        return TraceSpec(
+            pattern=pattern,
+            mean_utilization=mean,
+            daily_amplitude=rng.bounded_normal(spec.utilization_variation, 0.15, 0.2, 0.95),
+            noise_std=0.02,
+        )
+    if pattern is UtilizationPattern.CONSTANT:
+        return TraceSpec(pattern=pattern, mean_utilization=mean, noise_std=0.015)
+    return TraceSpec(
+        pattern=pattern,
+        mean_utilization=mean,
+        noise_std=0.03,
+        burst_probability=0.004 + 0.01 * spec.utilization_variation,
+        burst_magnitude=0.25 + 0.4 * spec.utilization_variation,
+    )
+
+
+def _reimage_profile(
+    spec: DatacenterSpec, rng: RandomSource, frequent: bool
+) -> ReimageProfile:
+    """Draw a tenant reimage profile; the frequent tail reimages ~5-10x more.
+
+    Base rates are drawn log-normally so that tenants spread over a wide range
+    of reimage frequencies: the wide spread is what makes the relative
+    frequency ranking stable month over month (Figure 6) even though any
+    individual month's count is noisy.
+    """
+    if frequent:
+        base_rate = float(
+            np.clip(rng.generator.lognormal(mean=np.log(0.9), sigma=0.5), 0.3, 3.0)
+        )
+        burst_rate = rng.bounded_normal(0.08, 0.04, 0.01, 0.3)
+    else:
+        base_rate = float(
+            np.clip(rng.generator.lognormal(mean=np.log(0.10), sigma=1.1), 0.005, 0.6)
+        )
+        burst_rate = rng.bounded_normal(0.015, 0.01, 0.0, 0.06)
+    return ReimageProfile(
+        rate_per_server_month=base_rate * spec.reimage_rate_scale,
+        burst_rate_per_month=burst_rate * spec.reimage_rate_scale,
+        burst_fraction=rng.bounded_normal(0.7, 0.2, 0.2, 1.0),
+        monthly_variation=rng.bounded_normal(0.25, 0.08, 0.1, 0.5),
+    )
+
+
+def build_datacenter(
+    spec: DatacenterSpec,
+    rng: Optional[RandomSource] = None,
+    scale: float = 1.0,
+    racks: int = 20,
+) -> Datacenter:
+    """Synthesize one datacenter from its spec.
+
+    ``scale`` multiplies the tenant count (and therefore the server count)
+    so the same presets serve both quick tests and larger simulations.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive (got {scale})")
+    if racks <= 0:
+        raise ValueError(f"racks must be positive (got {racks})")
+    rng = rng or RandomSource(0)
+    rng = rng.fork(spec.name)
+
+    scaled_spec = DatacenterSpec(
+        name=spec.name,
+        num_tenants=max(3, int(round(spec.num_tenants * scale))),
+        tenant_class_mix=dict(spec.tenant_class_mix),
+        server_class_mix=dict(spec.server_class_mix),
+        mean_servers_per_tenant=spec.mean_servers_per_tenant,
+        base_mean_utilization=spec.base_mean_utilization,
+        utilization_variation=spec.utilization_variation,
+        reimage_rate_scale=spec.reimage_rate_scale,
+        frequent_reimage_fraction=spec.frequent_reimage_fraction,
+    )
+
+    datacenter = Datacenter(scaled_spec.name)
+    tenant_counts = _tenant_counts(scaled_spec)
+    total_servers = int(round(scaled_spec.num_tenants * scaled_spec.mean_servers_per_tenant))
+    server_budget = _servers_per_pattern(scaled_spec, total_servers)
+
+    tenant_index = 0
+    server_index = 0
+    for pattern in UtilizationPattern:
+        count = tenant_counts[pattern]
+        budget = max(count, server_budget[pattern])
+        # Split the pattern's server budget unevenly across its tenants so
+        # tenant sizes vary (a few big user-facing tenants, many small ones).
+        raw_shares = rng.generator.lognormal(mean=0.0, sigma=0.9, size=count)
+        shares = raw_shares / raw_shares.sum()
+        sizes = [max(1, int(round(budget * share))) for share in shares]
+
+        for size in sizes:
+            environment = f"{scaled_spec.name.lower()}-env-{tenant_index % max(1, scaled_spec.num_tenants // 3)}"
+            machine_function = f"mf-{tenant_index}"
+            tenant_id = f"{environment}/{machine_function}"
+            tenant_rng = rng.fork(tenant_id)
+            trace_spec = _trace_spec(pattern, scaled_spec, tenant_rng)
+            frequent = tenant_rng.uniform() < scaled_spec.frequent_reimage_fraction
+            tenant = PrimaryTenant(
+                tenant_id=tenant_id,
+                environment=environment,
+                machine_function=machine_function,
+                trace=generate_trace(trace_spec, tenant_rng),
+                reimage_profile=_reimage_profile(scaled_spec, tenant_rng, frequent),
+                pattern=pattern,
+            )
+            for _ in range(size):
+                tenant.servers.append(
+                    Server(
+                        server_id=f"{scaled_spec.name.lower()}-srv-{server_index}",
+                        tenant_id=tenant_id,
+                        rack=f"rack-{server_index % racks}",
+                    )
+                )
+                server_index += 1
+            datacenter.add_tenant(tenant)
+            tenant_index += 1
+
+    return datacenter
+
+
+def build_fleet(
+    rng: Optional[RandomSource] = None,
+    scale: float = 1.0,
+    specs: Optional[List[DatacenterSpec]] = None,
+) -> Dict[str, Datacenter]:
+    """Build all ten datacenters keyed by name."""
+    rng = rng or RandomSource(0)
+    specs = specs if specs is not None else fleet_specs()
+    return {spec.name: build_datacenter(spec, rng, scale=scale) for spec in specs}

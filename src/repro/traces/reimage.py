@@ -1,0 +1,161 @@
+"""Synthetic disk reimage event streams.
+
+Section 3.3 characterizes three years of AutoPilot reimaging data: most
+servers see at most one reimage per month, but a significant tail of servers
+(about 10%) and primary tenants (about 20%) are reimaged much more often, and
+reimages are frequently *correlated* — many servers of an environment are
+reimaged together when the environment is redeployed or repurposed.
+
+The generator models each primary tenant with a base per-server reimage rate
+plus occasional environment-wide reimage bursts, and adds month-to-month rate
+wobble so that tenants move between frequency groups occasionally (Figure 6)
+while mostly keeping their rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.simulation.random import RandomSource
+
+#: Seconds in the 30-day month used throughout the characterization.
+SECONDS_PER_MONTH = 30 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class ReimageEvent:
+    """A single disk reimage.
+
+    Attributes:
+        time: seconds from the start of the observation window.
+        server_id: identifier of the reimaged server.
+        correlated: True when the reimage was part of an environment-wide
+            burst (redeployment, repurposing) rather than an isolated event.
+    """
+
+    time: float
+    server_id: str
+    correlated: bool = False
+
+
+@dataclass
+class ReimageProfile:
+    """Per-tenant reimaging behaviour.
+
+    Attributes:
+        rate_per_server_month: mean number of reimages per server per month.
+        burst_rate_per_month: mean number of environment-wide reimage bursts
+            per month (each burst reimages ``burst_fraction`` of the servers).
+        burst_fraction: fraction of the tenant's servers hit by each burst.
+        monthly_variation: multiplicative log-normal sigma applied to the
+            base rate each month, producing the month-to-month group changes
+            observed in Figure 6.
+    """
+
+    rate_per_server_month: float = 0.2
+    burst_rate_per_month: float = 0.02
+    burst_fraction: float = 0.8
+    monthly_variation: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.rate_per_server_month < 0:
+            raise ValueError("rate_per_server_month must be non-negative")
+        if self.burst_rate_per_month < 0:
+            raise ValueError("burst_rate_per_month must be non-negative")
+        if not 0.0 <= self.burst_fraction <= 1.0:
+            raise ValueError("burst_fraction must be in [0, 1]")
+        if self.monthly_variation < 0:
+            raise ValueError("monthly_variation must be non-negative")
+
+    def monthly_rates(self, months: int, rng: RandomSource) -> np.ndarray:
+        """Per-month per-server rates with log-normal wobble around the base."""
+        if months <= 0:
+            raise ValueError(f"months must be positive (got {months})")
+        if self.rate_per_server_month == 0:
+            return np.zeros(months)
+        noise = rng.generator.lognormal(
+            mean=0.0, sigma=self.monthly_variation, size=months
+        )
+        return self.rate_per_server_month * noise
+
+
+def generate_reimage_events(
+    server_ids: Sequence[str],
+    profile: ReimageProfile,
+    months: int,
+    rng: RandomSource,
+) -> List[ReimageEvent]:
+    """Generate reimage events for one tenant's servers over ``months`` months.
+
+    Independent per-server reimages follow a Poisson process whose rate varies
+    month to month; correlated bursts reimage a random subset of the servers
+    at a single instant.  Events are returned sorted by time.
+    """
+    if months <= 0:
+        raise ValueError(f"months must be positive (got {months})")
+    if not server_ids:
+        return []
+
+    events: List[ReimageEvent] = []
+    monthly_rates = profile.monthly_rates(months, rng)
+
+    for month, rate in enumerate(monthly_rates):
+        month_start = month * SECONDS_PER_MONTH
+        rate_per_second = rate / SECONDS_PER_MONTH
+        for server_id in server_ids:
+            for offset in rng.poisson_process(rate_per_second, SECONDS_PER_MONTH):
+                events.append(ReimageEvent(month_start + offset, server_id, False))
+
+        burst_per_second = profile.burst_rate_per_month / SECONDS_PER_MONTH
+        for offset in rng.poisson_process(burst_per_second, SECONDS_PER_MONTH):
+            burst_time = month_start + offset
+            k = max(1, int(round(profile.burst_fraction * len(server_ids))))
+            for server_id in rng.sample(list(server_ids), k):
+                events.append(ReimageEvent(burst_time, server_id, True))
+
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+def reimages_per_server_month(
+    events: Iterable[ReimageEvent], num_servers: int, months: int
+) -> float:
+    """Average number of reimages per server per month for an event stream."""
+    if num_servers <= 0:
+        raise ValueError(f"num_servers must be positive (got {num_servers})")
+    if months <= 0:
+        raise ValueError(f"months must be positive (got {months})")
+    total = sum(1 for _ in events)
+    return total / (num_servers * months)
+
+
+def per_server_monthly_counts(
+    events: Iterable[ReimageEvent], server_ids: Sequence[str], months: int
+) -> Dict[str, float]:
+    """Average reimages per month for each server in ``server_ids``."""
+    if months <= 0:
+        raise ValueError(f"months must be positive (got {months})")
+    counts: Dict[str, int] = {server_id: 0 for server_id in server_ids}
+    for event in events:
+        if event.server_id in counts:
+            counts[event.server_id] += 1
+    return {server_id: count / months for server_id, count in counts.items()}
+
+
+def per_month_tenant_rates(
+    events: Iterable[ReimageEvent], num_servers: int, months: int
+) -> np.ndarray:
+    """Per-month reimages-per-server rate for a tenant (length ``months``)."""
+    if num_servers <= 0:
+        raise ValueError(f"num_servers must be positive (got {num_servers})")
+    if months <= 0:
+        raise ValueError(f"months must be positive (got {months})")
+    counts = np.zeros(months)
+    for event in events:
+        month = int(event.time // SECONDS_PER_MONTH)
+        if 0 <= month < months:
+            counts[month] += 1
+    return counts / num_servers

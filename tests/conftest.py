@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.random import RandomSource
+from repro.traces.datacenter import Datacenter, PrimaryTenant, Server
+from repro.traces.fleet import DatacenterSpec, build_datacenter, fleet_specs
+from repro.traces.reimage import ReimageProfile
+from repro.traces.utilization import TraceSpec, UtilizationPattern, generate_trace
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """A deterministic random source."""
+    return RandomSource(42)
+
+
+def make_tenant(
+    tenant_id: str,
+    pattern: UtilizationPattern,
+    num_servers: int = 4,
+    mean_utilization: float = 0.3,
+    reimage_rate: float = 0.2,
+    environment: str | None = None,
+    rack_prefix: str = "rack",
+    seed: int = 1,
+) -> PrimaryTenant:
+    """Build a small synthetic tenant for unit tests."""
+    trace_rng = RandomSource(seed)
+    tenant = PrimaryTenant(
+        tenant_id=tenant_id,
+        environment=environment or f"env-{tenant_id}",
+        machine_function=f"mf-{tenant_id}",
+        trace=generate_trace(
+            TraceSpec(pattern=pattern, mean_utilization=mean_utilization), trace_rng
+        ),
+        reimage_profile=ReimageProfile(rate_per_server_month=reimage_rate),
+        pattern=pattern,
+    )
+    for index in range(num_servers):
+        tenant.servers.append(
+            Server(
+                server_id=f"{tenant_id}-srv-{index}",
+                tenant_id=tenant_id,
+                rack=f"{rack_prefix}-{index % 4}",
+            )
+        )
+    return tenant
+
+
+@pytest.fixture
+def small_tenants() -> list[PrimaryTenant]:
+    """A handful of tenants covering all three patterns."""
+    return [
+        make_tenant("periodic-a", UtilizationPattern.PERIODIC, seed=1),
+        make_tenant("periodic-b", UtilizationPattern.PERIODIC, seed=2, mean_utilization=0.4),
+        make_tenant("constant-a", UtilizationPattern.CONSTANT, seed=3),
+        make_tenant("constant-b", UtilizationPattern.CONSTANT, seed=4, mean_utilization=0.2),
+        make_tenant("unpredictable-a", UtilizationPattern.UNPREDICTABLE, seed=5),
+        make_tenant("unpredictable-b", UtilizationPattern.UNPREDICTABLE, seed=6),
+    ]
+
+
+@pytest.fixture
+def small_datacenter(small_tenants: list[PrimaryTenant]) -> Datacenter:
+    """A tiny datacenter built from the small tenant set."""
+    datacenter = Datacenter("DC-test")
+    for tenant in small_tenants:
+        datacenter.add_tenant(tenant)
+    return datacenter
+
+
+@pytest.fixture
+def tiny_dc9(rng: RandomSource) -> Datacenter:
+    """A very small synthetic DC-9 used by integration tests."""
+    spec = [s for s in fleet_specs() if s.name == "DC-9"][0]
+    return build_datacenter(spec, rng, scale=0.03)

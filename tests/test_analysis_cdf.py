@@ -1,0 +1,61 @@
+"""Tests for the CDF helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import cdf_at, empirical_cdf, fraction_at_or_below, percentile
+
+
+class TestEmpiricalCdf:
+    def test_simple_cdf(self):
+        values, fractions = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(values, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(fractions, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty_input(self):
+        values, fractions = empirical_cdf([])
+        assert len(values) == 0 and len(fractions) == 0
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_is_monotone_and_ends_at_one(self, samples):
+        values, fractions = empirical_cdf(samples)
+        assert np.all(np.diff(values) >= 0)
+        assert np.all(np.diff(fractions) > 0)
+        assert fractions[-1] == pytest.approx(1.0)
+
+
+class TestCdfQueries:
+    def test_cdf_at_points(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        result = cdf_at(samples, [0.5, 2.0, 10.0])
+        np.testing.assert_allclose(result, [0.0, 0.5, 1.0])
+
+    def test_cdf_at_empty_samples(self):
+        np.testing.assert_array_equal(cdf_at([], [1.0, 2.0]), [0.0, 0.0])
+
+    def test_fraction_at_or_below(self):
+        samples = [0.1, 0.5, 1.0, 2.0]
+        assert fraction_at_or_below(samples, 1.0) == pytest.approx(0.75)
+        assert fraction_at_or_below([], 1.0) == 0.0
+
+    def test_percentile(self):
+        samples = list(range(101))
+        assert percentile(samples, 50) == pytest.approx(50.0)
+        assert percentile([], 50) == 0.0
+        with pytest.raises(ValueError):
+            percentile(samples, 150)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=10), min_size=1, max_size=30),
+        st.floats(min_value=0, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fraction_matches_cdf_at(self, samples, threshold):
+        assert fraction_at_or_below(samples, threshold) == pytest.approx(
+            float(cdf_at(samples, [threshold])[0])
+        )

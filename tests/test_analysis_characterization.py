@@ -1,0 +1,115 @@
+"""Tests for the Section 3 characterization (Figures 2-6 statistics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cdf import fraction_at_or_below
+from repro.analysis.characterization import (
+    ReimageGroup,
+    characterize_datacenter,
+    characterize_fleet,
+    average_server_fraction,
+    reimage_group_changes,
+    split_into_frequency_groups,
+)
+from repro.simulation.random import RandomSource
+from repro.traces.utilization import UtilizationPattern
+
+
+class TestFrequencyGroups:
+    def test_split_into_three_equal_groups(self):
+        rates = {f"t{i}": float(i) for i in range(9)}
+        groups = split_into_frequency_groups(rates)
+        counts = {group: 0 for group in ReimageGroup}
+        for group in groups.values():
+            counts[group] += 1
+        assert counts[ReimageGroup.INFREQUENT] == 3
+        assert counts[ReimageGroup.INTERMEDIATE] == 3
+        assert counts[ReimageGroup.FREQUENT] == 3
+
+    def test_ordering_respected(self):
+        rates = {"low": 0.1, "mid": 1.0, "high": 5.0}
+        groups = split_into_frequency_groups(rates)
+        assert groups["low"] is ReimageGroup.INFREQUENT
+        assert groups["mid"] is ReimageGroup.INTERMEDIATE
+        assert groups["high"] is ReimageGroup.FREQUENT
+
+    def test_empty_input(self):
+        assert split_into_frequency_groups({}) == {}
+
+    def test_deterministic_with_ties(self):
+        rates = {"a": 1.0, "b": 1.0, "c": 1.0}
+        assert split_into_frequency_groups(rates) == split_into_frequency_groups(rates)
+
+
+class TestGroupChanges:
+    def test_stable_tenants_never_change(self):
+        monthly = {
+            "low": [0.1] * 6,
+            "mid": [1.0] * 6,
+            "high": [5.0] * 6,
+        }
+        changes = reimage_group_changes(monthly)
+        assert all(count == 0 for count in changes.values())
+
+    def test_rank_swap_counts_as_change(self):
+        monthly = {
+            "a": [0.1, 5.0, 0.1],
+            "b": [1.0, 1.0, 1.0],
+            "c": [5.0, 0.1, 5.0],
+        }
+        changes = reimage_group_changes(monthly)
+        assert changes["a"] == 2
+        assert changes["c"] == 2
+        assert changes["b"] == 0
+
+    def test_empty_and_zero_month_inputs(self):
+        assert reimage_group_changes({}) == {}
+        assert reimage_group_changes({"a": []}) == {"a": 0}
+
+
+class TestCharacterization:
+    def test_fractions_sum_to_one(self, tiny_dc9):
+        result = characterize_datacenter(tiny_dc9, months=6, rng=RandomSource(1))
+        assert sum(result.tenant_fraction_by_pattern.values()) == pytest.approx(1.0)
+        assert sum(result.server_fraction_by_pattern.values()) == pytest.approx(1.0)
+
+    def test_reimage_samples_cover_all_servers_and_tenants(self, tiny_dc9):
+        result = characterize_datacenter(tiny_dc9, months=6, rng=RandomSource(1))
+        assert len(result.per_server_reimages_per_month) == tiny_dc9.num_servers
+        assert len(result.per_tenant_reimages_per_server_month) == tiny_dc9.num_tenants
+        assert len(result.group_changes_per_tenant) == tiny_dc9.num_tenants
+
+    def test_majority_of_servers_are_predictable(self, tiny_dc9):
+        """Paper: ~75% of servers run periodic or constant primary tenants."""
+        result = characterize_datacenter(tiny_dc9, months=6, rng=RandomSource(1))
+        assert result.predictable_server_fraction() > 0.6
+
+    def test_reimage_rates_mostly_low(self, tiny_dc9):
+        """Figure 4/5: at least ~80% of tenants see <= 1 reimage/server/month."""
+        result = characterize_datacenter(tiny_dc9, months=12, rng=RandomSource(1))
+        fraction = fraction_at_or_below(
+            result.per_tenant_reimages_per_server_month, 1.0
+        )
+        assert fraction > 0.6
+
+    def test_group_changes_bounded_by_possible_changes(self, tiny_dc9):
+        months = 12
+        result = characterize_datacenter(tiny_dc9, months=months, rng=RandomSource(1))
+        assert all(0 <= c <= months - 1 for c in result.group_changes_per_tenant)
+
+    def test_months_validated(self, tiny_dc9):
+        with pytest.raises(ValueError):
+            characterize_datacenter(tiny_dc9, months=0)
+
+    def test_characterize_fleet_and_average(self, rng):
+        from repro.traces.fleet import build_fleet
+
+        fleet = build_fleet(rng, scale=0.02)
+        subset = {name: fleet[name] for name in ("DC-0", "DC-9")}
+        results = characterize_fleet(subset, months=3, rng=rng)
+        assert set(results) == {"DC-0", "DC-9"}
+        avg = average_server_fraction(results, UtilizationPattern.PERIODIC)
+        assert 0.0 <= avg <= 1.0
+        assert average_server_fraction({}, UtilizationPattern.PERIODIC) == 0.0

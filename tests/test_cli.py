@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subactions = [
+            action for action in parser._actions if hasattr(action, "choices") and action.choices
+        ]
+        commands = set(subactions[0].choices)
+        assert commands == {
+            "characterize",
+            "testbed",
+            "storage-testbed",
+            "sweep",
+            "durability",
+            "availability",
+            "microbench",
+        }
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_characterize_prints_table(self, capsys):
+        exit_code = main(["characterize", "--scale", "0.02", "--months", "3"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Fleet characterization" in out
+        assert "DC-9" in out
+
+    def test_microbench_prints_latencies(self, capsys):
+        exit_code = main(["microbench"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "class selection" in out
+        assert "ms" in out
+
+    def test_durability_small(self, capsys):
+        exit_code = main([
+            "durability", "--blocks", "200", "--durability-days", "15",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "HDFS-Stock" in out and "HDFS-H" in out
+        assert "Loss reduction factor" in out
+
+    def test_availability_small(self, capsys):
+        exit_code = main(["availability", "--levels", "0.4"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "HDFS-H R3 failed" in out

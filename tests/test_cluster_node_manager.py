@@ -1,0 +1,78 @@
+"""Tests for the Node Manager heartbeat and reserve enforcement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.node_manager import NodeManager
+from repro.cluster.resources import Resource
+from repro.cluster.server import ContainerState, SimulatedServer
+from repro.traces.datacenter import PrimaryTenant, Server
+from repro.traces.utilization import UtilizationPattern, UtilizationTrace
+
+
+def make_server(utilization: float = 0.25) -> SimulatedServer:
+    tenant = PrimaryTenant(
+        tenant_id="t",
+        environment="env",
+        machine_function="mf",
+        trace=UtilizationTrace(np.full(100, utilization), UtilizationPattern.CONSTANT),
+        pattern=UtilizationPattern.CONSTANT,
+    )
+    server = Server("s0", "t", cores=12, memory_gb=32.0)
+    tenant.servers.append(server)
+    return SimulatedServer(server, tenant)
+
+
+class TestPrimaryAwareHeartbeat:
+    def test_heartbeat_reports_rounded_primary_plus_allocations(self):
+        server = make_server(utilization=0.21)  # 2.52 cores -> rounds to 3
+        server.launch_container("task", "job", Resource(2.0, 4.0), 0.0)
+        heartbeat = NodeManager(server, primary_aware=True).heartbeat(0.0)
+        assert heartbeat.used.cores == pytest.approx(3.0 + 2.0)
+        assert heartbeat.primary_utilization == pytest.approx(0.21)
+        # Available = 12 - 3 (primary) - 4 (reserve) - 2 (allocated) = 3.
+        assert heartbeat.available.cores == pytest.approx(3.0)
+
+    def test_heartbeat_kills_on_primary_spike(self):
+        server = make_server(utilization=0.25)
+        container = server.launch_container("task", "job", Resource(5.0, 8.0), 0.0)
+        server.set_utilization_override(lambda t: 0.6)
+        heartbeat = NodeManager(server, primary_aware=True).heartbeat(10.0)
+        assert container in heartbeat.killed_containers
+        assert container.state is ContainerState.KILLED
+
+    def test_kill_callback_invoked(self):
+        killed = []
+        server = make_server(utilization=0.25)
+        node_manager = NodeManager(server, primary_aware=True, on_kill=killed.append)
+        server.launch_container("task", "job", Resource(5.0, 8.0), 0.0)
+        server.set_utilization_override(lambda t: 0.6)
+        node_manager.heartbeat(10.0)
+        assert len(killed) == 1
+
+    def test_available_never_negative(self):
+        server = make_server(utilization=0.95)
+        heartbeat = NodeManager(server, primary_aware=True).heartbeat(0.0)
+        assert heartbeat.available.cores >= 0.0
+        assert heartbeat.available.memory_gb >= 0.0
+
+
+class TestStockHeartbeat:
+    def test_stock_ignores_primary(self):
+        server = make_server(utilization=0.5)
+        server.launch_container("task", "job", Resource(2.0, 4.0), 0.0)
+        heartbeat = NodeManager(server, primary_aware=False).heartbeat(0.0)
+        assert heartbeat.used.cores == pytest.approx(2.0)
+        assert heartbeat.available.cores == pytest.approx(10.0)
+        assert heartbeat.primary_utilization == 0.0
+
+    def test_stock_never_kills(self):
+        server = make_server(utilization=0.25)
+        server.launch_container("task", "job", Resource(8.0, 16.0), 0.0)
+        server.set_utilization_override(lambda t: 0.9)
+        node_manager = NodeManager(server, primary_aware=False)
+        assert node_manager.enforce_reserve(10.0) == []
+        heartbeat = node_manager.heartbeat(10.0)
+        assert heartbeat.killed_containers == []

@@ -1,0 +1,162 @@
+"""Tests for the Resource Manager scheduling modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.node_manager import NodeManager
+from repro.cluster.resource_manager import (
+    ContainerRequest,
+    ResourceManager,
+    SchedulerMode,
+)
+from repro.cluster.resources import Resource
+from repro.cluster.server import SimulatedServer
+from repro.simulation.random import RandomSource
+from repro.traces.datacenter import PrimaryTenant, Server
+from repro.traces.utilization import UtilizationPattern, UtilizationTrace
+
+
+def make_simulated_server(
+    server_id: str, utilization: float, tenant_id: str | None = None
+) -> SimulatedServer:
+    tenant_id = tenant_id or f"tenant-{server_id}"
+    tenant = PrimaryTenant(
+        tenant_id=tenant_id,
+        environment=f"env-{tenant_id}",
+        machine_function="mf",
+        trace=UtilizationTrace(np.full(100, utilization), UtilizationPattern.CONSTANT),
+        pattern=UtilizationPattern.CONSTANT,
+    )
+    server = Server(server_id, tenant_id, cores=12, memory_gb=32.0)
+    tenant.servers.append(server)
+    return SimulatedServer(server, tenant)
+
+
+def build_rm(
+    mode: SchedulerMode, utilizations: dict[str, float], labels: dict[str, str] | None = None
+) -> ResourceManager:
+    rm = ResourceManager(mode=mode, rng=RandomSource(1))
+    for server_id, utilization in utilizations.items():
+        sim = make_simulated_server(server_id, utilization)
+        node_manager = NodeManager(sim, primary_aware=mode is not SchedulerMode.STOCK)
+        rm.register_node(node_manager, label=(labels or {}).get(server_id))
+    rm.process_heartbeats(0.0)
+    return rm
+
+
+def request(labels: list[str] | None = None) -> ContainerRequest:
+    return ContainerRequest(
+        job_id="job", task_id="task", allocation=Resource(1.0, 2.0),
+        node_labels=labels or [],
+    )
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self):
+        rm = build_rm(SchedulerMode.PRIMARY_AWARE, {"a": 0.2})
+        sim = make_simulated_server("a", 0.2)
+        with pytest.raises(ValueError):
+            rm.register_node(NodeManager(sim))
+
+    def test_unknown_server_lookup_raises(self):
+        rm = build_rm(SchedulerMode.PRIMARY_AWARE, {"a": 0.2})
+        with pytest.raises(KeyError):
+            rm.node_manager("missing")
+
+    def test_labels_ignored_outside_history_mode(self):
+        rm = build_rm(
+            SchedulerMode.PRIMARY_AWARE, {"a": 0.2}, labels={"a": "constant-0"}
+        )
+        container = rm.schedule(request(labels=["some-other-label"]), 0.0)
+        assert container is not None
+
+
+class TestScheduling:
+    def test_schedules_to_server_with_capacity(self):
+        rm = build_rm(SchedulerMode.PRIMARY_AWARE, {"a": 0.2, "b": 0.2})
+        container = rm.schedule(request(), 0.0)
+        assert container is not None
+        assert container.server_id in {"a", "b"}
+        assert rm.metrics.counter_value("containers_launched") == 1
+
+    def test_returns_none_when_nothing_fits(self):
+        rm = build_rm(SchedulerMode.PRIMARY_AWARE, {"a": 0.9})
+        big_request = ContainerRequest("job", "task", Resource(10.0, 20.0))
+        assert rm.schedule(big_request, 0.0) is None
+        assert rm.metrics.counter_value("requests_unsatisfied") == 1
+
+    def test_history_mode_honours_labels(self):
+        rm = build_rm(
+            SchedulerMode.HISTORY,
+            {"a": 0.2, "b": 0.2},
+            labels={"a": "constant-0", "b": "periodic-0"},
+        )
+        # Server "a" offers 12 - 3 (primary) - 4 (reserve) = 5 harvestable
+        # cores; every one-core labelled request must land there.
+        for _ in range(5):
+            container = rm.schedule(request(labels=["constant-0"]), 0.0)
+            assert container is not None
+            assert container.server_id == "a"
+        # Once the labelled class is full the request cannot be satisfied.
+        assert rm.schedule(request(labels=["constant-0"]), 0.0) is None
+
+    def test_history_mode_unknown_label_falls_back(self):
+        rm = build_rm(
+            SchedulerMode.HISTORY, {"a": 0.2}, labels={"a": "constant-0"}
+        )
+        container = rm.schedule(request(labels=["missing-label"]), 0.0)
+        assert container is not None
+
+    def test_stock_mode_prefers_most_available(self):
+        rm = build_rm(SchedulerMode.STOCK, {"busy": 0.0, "idle": 0.0})
+        # Pre-load one server so the other has strictly more available cores.
+        first = rm.schedule(request(), 0.0)
+        rm.process_heartbeats(1.0)
+        second = rm.schedule(request(), 1.0)
+        assert first is not None and second is not None
+        assert first.server_id != second.server_id
+
+    def test_completion_releases_resources(self):
+        rm = build_rm(SchedulerMode.PRIMARY_AWARE, {"a": 0.2})
+        container = rm.schedule(request(), 0.0)
+        assert container is not None
+        rm.complete(container, 10.0)
+        assert rm.metrics.counter_value("containers_completed") == 1
+        # Releasing makes room for another container immediately.
+        assert rm.schedule(request(), 10.0) is not None
+
+
+class TestHeartbeatsAndUtilization:
+    def test_heartbeats_report_kills(self):
+        rm = build_rm(SchedulerMode.PRIMARY_AWARE, {"a": 0.25})
+        server = rm.node_manager("a").server
+        for i in range(5):
+            launched = rm.schedule(request(), 0.0)
+            assert launched is not None
+        server.set_utilization_override(lambda t: 0.7)
+        killed = rm.process_heartbeats(10.0)
+        assert killed
+        assert rm.metrics.counter_value("containers_killed") == len(killed)
+
+    def test_average_utilizations(self):
+        rm = build_rm(SchedulerMode.PRIMARY_AWARE, {"a": 0.2, "b": 0.4})
+        assert rm.average_primary_utilization(0.0) == pytest.approx(0.3)
+        total = rm.average_total_utilization(0.0)
+        assert total >= 0.3
+
+    def test_class_capacity_and_utilization(self):
+        rm = build_rm(
+            SchedulerMode.HISTORY,
+            {"a": 0.2, "b": 0.6},
+            labels={"a": "c0", "b": "c1"},
+        )
+        assert rm.class_capacity_cores("c0") == pytest.approx(12.0)
+        assert rm.current_class_utilization("c1", 0.0) == pytest.approx(0.6)
+        assert rm.current_class_utilization("missing", 0.0) == 0.0
+
+    def test_empty_rm_statistics(self):
+        rm = ResourceManager(mode=SchedulerMode.HISTORY)
+        assert rm.average_primary_utilization(0.0) == 0.0
+        assert rm.average_total_utilization(0.0) == 0.0

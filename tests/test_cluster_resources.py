@@ -1,0 +1,104 @@
+"""Tests for resource vectors and the primary-tenant reserve."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.reserve import ResourceReserve
+from repro.cluster.resources import Resource
+
+
+class TestResource:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(-1.0, 0.0)
+
+    def test_arithmetic(self):
+        a = Resource(4.0, 8.0)
+        b = Resource(1.0, 2.0)
+        assert a + b == Resource(5.0, 10.0)
+        assert a - b == Resource(3.0, 6.0)
+        assert b * 3 == Resource(3.0, 6.0)
+
+    def test_subtraction_floors_at_zero(self):
+        assert Resource(1.0, 1.0) - Resource(5.0, 5.0) == Resource(0.0, 0.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(1.0, 1.0) * -1.0
+
+    def test_fits_within(self):
+        assert Resource(2.0, 4.0).fits_within(Resource(2.0, 4.0))
+        assert not Resource(2.1, 4.0).fits_within(Resource(2.0, 4.0))
+        assert not Resource(2.0, 4.1).fits_within(Resource(2.0, 4.0))
+
+    def test_rounded_up(self):
+        assert Resource(2.3, 7.01).rounded_up() == Resource(3.0, 8.0)
+        assert Resource(2.0, 7.0).rounded_up() == Resource(2.0, 7.0)
+
+    def test_is_zero(self):
+        assert Resource.zero().is_zero()
+        assert not Resource(0.1, 0.0).is_zero()
+
+    def test_dominant_share(self):
+        capacity = Resource(10.0, 100.0)
+        assert Resource(5.0, 10.0).dominant_share(capacity) == pytest.approx(0.5)
+        assert Resource(1.0, 90.0).dominant_share(capacity) == pytest.approx(0.9)
+        assert Resource(1.0, 1.0).dominant_share(Resource(0.0, 0.0)) == 0.0
+
+    @given(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_add_then_subtract_recovers_original(self, c1, m1, c2, m2):
+        a = Resource(c1, m1)
+        b = Resource(c2, m2)
+        recovered = (a + b) - b
+        assert recovered.cores == pytest.approx(a.cores, abs=1e-9)
+        assert recovered.memory_gb == pytest.approx(a.memory_gb, abs=1e-9)
+
+
+class TestResourceReserve:
+    def test_paper_default_reserve(self):
+        reserve = ResourceReserve()
+        assert reserve.reserve == Resource(4.0, 10.0)
+
+    def test_from_fractions_matches_paper_testbed(self):
+        capacity = Resource(12.0, 32.0)
+        reserve = ResourceReserve.from_fractions(capacity)
+        assert reserve.reserve.cores == pytest.approx(4.0)
+        assert reserve.reserve.memory_gb == pytest.approx(32.0 * 0.31)
+        assert reserve.cpu_fraction(capacity) == pytest.approx(1.0 / 3.0)
+
+    def test_from_fractions_validation(self):
+        with pytest.raises(ValueError):
+            ResourceReserve.from_fractions(Resource(12, 32), cpu_fraction=1.0)
+
+    def test_harvestable_subtracts_primary_and_reserve(self):
+        capacity = Resource(12.0, 32.0)
+        reserve = ResourceReserve(Resource(4.0, 10.0))
+        harvestable = reserve.harvestable(capacity, Resource(2.4, 3.9))
+        # Primary usage is rounded up to 3 cores and 4 GB.
+        assert harvestable.cores == pytest.approx(12 - 3 - 4)
+        assert harvestable.memory_gb == pytest.approx(32 - 4 - 10)
+
+    def test_violation_zero_when_within_budget(self):
+        capacity = Resource(12.0, 32.0)
+        reserve = ResourceReserve(Resource(4.0, 10.0))
+        violation = reserve.violated(capacity, Resource(2.0, 2.0), Resource(5.0, 10.0))
+        assert violation.is_zero()
+
+    def test_violation_positive_when_primary_spikes(self):
+        capacity = Resource(12.0, 32.0)
+        reserve = ResourceReserve(Resource(4.0, 10.0))
+        # Primary now needs 6 cores: only 2 harvestable, but 5 are allocated.
+        violation = reserve.violated(capacity, Resource(6.0, 6.0), Resource(5.0, 10.0))
+        assert violation.cores == pytest.approx(3.0)
+
+    def test_cpu_fraction_zero_capacity(self):
+        assert ResourceReserve().cpu_fraction(Resource(0.0, 0.0)) == 0.0

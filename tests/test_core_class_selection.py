@@ -1,0 +1,159 @@
+"""Tests for Algorithm 1: class selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.class_selection import (
+    ClassCapacity,
+    ClassSelector,
+    DEFAULT_RANKING,
+    RankingWeights,
+)
+from repro.core.clustering import UtilizationClass
+from repro.core.job_types import JobType
+from repro.simulation.random import RandomSource
+from repro.traces.utilization import UtilizationPattern
+
+
+def capacity(
+    class_id: str,
+    pattern: UtilizationPattern,
+    average: float,
+    peak: float,
+    total: float = 100.0,
+    current: float | None = None,
+) -> ClassCapacity:
+    cls = UtilizationClass(
+        class_id=class_id,
+        pattern=pattern,
+        average_utilization=average,
+        peak_utilization=peak,
+        tenant_ids=[class_id],
+    )
+    return ClassCapacity(
+        utilization_class=cls,
+        total_capacity=total,
+        current_utilization=average if current is None else current,
+    )
+
+
+@pytest.fixture
+def three_classes() -> list[ClassCapacity]:
+    return [
+        capacity("constant-0", UtilizationPattern.CONSTANT, average=0.3, peak=0.35),
+        capacity("periodic-0", UtilizationPattern.PERIODIC, average=0.3, peak=0.8),
+        capacity("unpredictable-0", UtilizationPattern.UNPREDICTABLE, average=0.3, peak=0.9),
+    ]
+
+
+class TestRankingWeights:
+    def test_default_ranking_orders_match_paper(self):
+        ranking = RankingWeights()
+        # Long jobs: constant > periodic > unpredictable.
+        assert (
+            ranking.weight(JobType.LONG, UtilizationPattern.CONSTANT)
+            > ranking.weight(JobType.LONG, UtilizationPattern.PERIODIC)
+            > ranking.weight(JobType.LONG, UtilizationPattern.UNPREDICTABLE)
+        )
+        # Short jobs: unpredictable > periodic > constant.
+        assert (
+            ranking.weight(JobType.SHORT, UtilizationPattern.UNPREDICTABLE)
+            > ranking.weight(JobType.SHORT, UtilizationPattern.PERIODIC)
+            > ranking.weight(JobType.SHORT, UtilizationPattern.CONSTANT)
+        )
+        # Medium jobs: periodic > constant > unpredictable.
+        assert (
+            ranking.weight(JobType.MEDIUM, UtilizationPattern.PERIODIC)
+            > ranking.weight(JobType.MEDIUM, UtilizationPattern.CONSTANT)
+            > ranking.weight(JobType.MEDIUM, UtilizationPattern.UNPREDICTABLE)
+        )
+
+    def test_unknown_pairs_weigh_one(self):
+        ranking = RankingWeights(weights={})
+        assert ranking.weight(JobType.LONG, UtilizationPattern.CONSTANT) == 1.0
+
+
+class TestSelection:
+    def test_single_class_selected_when_it_fits(self, three_classes):
+        selector = ClassSelector(rng=RandomSource(1))
+        selection = selector.select(JobType.MEDIUM, 10.0, three_classes)
+        assert selection.scheduled
+        assert selection.single_class
+        assert len(selection.class_ids) == 1
+
+    def test_long_jobs_prefer_constant_classes(self, three_classes):
+        selector = ClassSelector(rng=RandomSource(2))
+        picks = [
+            selector.select(JobType.LONG, 10.0, three_classes).class_ids[0]
+            for _ in range(300)
+        ]
+        constant_share = picks.count("constant-0") / len(picks)
+        unpredictable_share = picks.count("unpredictable-0") / len(picks)
+        assert constant_share > unpredictable_share
+
+    def test_short_jobs_prefer_unpredictable_classes(self):
+        # Same current utilization everywhere so only the ranking differs.
+        classes = [
+            capacity("constant-0", UtilizationPattern.CONSTANT, 0.3, 0.35, current=0.3),
+            capacity("periodic-0", UtilizationPattern.PERIODIC, 0.3, 0.8, current=0.3),
+            capacity("unpredictable-0", UtilizationPattern.UNPREDICTABLE, 0.3, 0.9, current=0.3),
+        ]
+        selector = ClassSelector(rng=RandomSource(3))
+        picks = [
+            selector.select(JobType.SHORT, 10.0, classes).class_ids[0]
+            for _ in range(300)
+        ]
+        assert picks.count("unpredictable-0") > picks.count("constant-0")
+
+    def test_job_too_large_for_single_class_selects_multiple(self, three_classes):
+        selector = ClassSelector(rng=RandomSource(4))
+        # Each class offers at most ~70 units of headroom; ask for 150.
+        selection = selector.select(JobType.SHORT, 150.0, three_classes)
+        assert selection.scheduled
+        assert not selection.single_class
+        assert len(selection.class_ids) >= 2
+        assert len(set(selection.class_ids)) == len(selection.class_ids)
+
+    def test_job_too_large_for_all_classes_selects_nothing(self, three_classes):
+        selector = ClassSelector(rng=RandomSource(5))
+        selection = selector.select(JobType.SHORT, 10_000.0, three_classes)
+        assert not selection.scheduled
+        assert selection.class_ids == []
+
+    def test_empty_class_list(self):
+        selector = ClassSelector(rng=RandomSource(6))
+        selection = selector.select(JobType.SHORT, 1.0, [])
+        assert not selection.scheduled
+
+    def test_negative_requirement_rejected(self, three_classes):
+        selector = ClassSelector(rng=RandomSource(7))
+        with pytest.raises(ValueError):
+            selector.select(JobType.SHORT, -1.0, three_classes)
+
+    def test_reserve_reduces_fit(self):
+        classes = [capacity("constant-0", UtilizationPattern.CONSTANT, 0.5, 0.55, total=100.0)]
+        no_reserve = ClassSelector(rng=RandomSource(8), reserve_fraction=0.0)
+        with_reserve = ClassSelector(rng=RandomSource(8), reserve_fraction=1.0 / 3.0)
+        demand = 40.0
+        assert no_reserve.select(JobType.SHORT, demand, classes).scheduled
+        assert not with_reserve.select(JobType.SHORT, demand, classes).single_class
+
+    def test_full_class_never_selected_alone(self):
+        classes = [
+            capacity("constant-0", UtilizationPattern.CONSTANT, 0.99, 1.0, current=0.99),
+            capacity("periodic-0", UtilizationPattern.PERIODIC, 0.1, 0.2, current=0.1),
+        ]
+        selector = ClassSelector(rng=RandomSource(9))
+        for _ in range(50):
+            selection = selector.select(JobType.SHORT, 50.0, classes)
+            assert selection.class_ids == ["periodic-0"]
+
+    def test_headroom_vectors_match_definition(self, three_classes):
+        selector = ClassSelector(rng=RandomSource(10), reserve_fraction=0.0)
+        absolute = selector.absolute_headrooms(JobType.LONG, three_classes)
+        # Long jobs: 1 - max(peak, current) times total capacity.
+        assert absolute[0] == pytest.approx((1 - 0.35) * 100.0)
+        assert absolute[1] == pytest.approx((1 - 0.8) * 100.0)
+        weighted = selector.weighted_headrooms(JobType.LONG, three_classes)
+        assert weighted[0] == pytest.approx(absolute[0] * 3.0)

@@ -1,0 +1,100 @@
+"""Tests for the clustering service (Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clustering import ClusteringService, UtilizationClass
+from repro.simulation.random import RandomSource
+from repro.traces.utilization import UtilizationPattern
+
+
+class TestClusteringService:
+    def test_every_traced_tenant_gets_a_class(self, small_tenants):
+        service = ClusteringService(rng=RandomSource(1))
+        service.update(small_tenants)
+        for tenant in small_tenants:
+            class_id = service.class_of_tenant(tenant.tenant_id)
+            assert class_id is not None
+            cls = service.get_class(class_id)
+            assert tenant.tenant_id in cls.tenant_ids
+
+    def test_classes_tagged_with_pattern_and_utilizations(self, small_tenants):
+        service = ClusteringService(rng=RandomSource(1))
+        classes = service.update(small_tenants)
+        assert classes
+        for cls in classes:
+            assert isinstance(cls, UtilizationClass)
+            assert 0.0 <= cls.average_utilization <= 1.0
+            assert cls.average_utilization <= cls.peak_utilization + 1e-9
+            assert cls.class_id.startswith(cls.pattern.value)
+            assert cls.num_tenants > 0
+
+    def test_cluster_count_bounded_by_configuration(self, tiny_dc9):
+        service = ClusteringService(
+            clusters_per_pattern={
+                UtilizationPattern.PERIODIC: 2,
+                UtilizationPattern.CONSTANT: 2,
+                UtilizationPattern.UNPREDICTABLE: 2,
+            },
+            rng=RandomSource(1),
+        )
+        service.update(tiny_dc9.tenants.values())
+        assert service.num_classes <= 6
+        for pattern in UtilizationPattern:
+            assert len(service.classes_by_pattern(pattern)) <= 2
+
+    def test_dc9_granularity_matches_paper_scale(self, tiny_dc9):
+        """DC-9 in the paper clusters into 23 classes; the default settings
+        should yield a comparable granularity (bounded by 13 + 5 + 5)."""
+        service = ClusteringService(rng=RandomSource(1))
+        service.update(tiny_dc9.tenants.values())
+        assert 3 <= service.num_classes <= 23
+
+    def test_update_replaces_previous_clustering(self, small_tenants):
+        service = ClusteringService(rng=RandomSource(1))
+        service.update(small_tenants)
+        service.update(small_tenants[:2])
+        clustered = [
+            t.tenant_id
+            for t in small_tenants
+            if service.class_of_tenant(t.tenant_id) is not None
+        ]
+        assert clustered == [t.tenant_id for t in small_tenants[:2]]
+
+    def test_tenants_without_traces_skipped(self, small_tenants):
+        from repro.traces.datacenter import PrimaryTenant
+
+        service = ClusteringService(rng=RandomSource(1))
+        service.update(list(small_tenants) + [PrimaryTenant("bare", "env", "mf")])
+        assert service.class_of_tenant("bare") is None
+
+    def test_unknown_class_lookup_raises(self):
+        service = ClusteringService()
+        with pytest.raises(KeyError):
+            service.get_class("nope")
+
+    def test_invalid_cluster_count_rejected(self):
+        with pytest.raises(ValueError):
+            ClusteringService(clusters_per_pattern={UtilizationPattern.PERIODIC: 0})
+
+    def test_tenant_pattern_and_peak_exposed(self, small_tenants):
+        service = ClusteringService(rng=RandomSource(1))
+        service.update(small_tenants)
+        for tenant in small_tenants:
+            pattern = service.tenant_pattern(tenant.tenant_id)
+            peak = service.tenant_peak_utilization(tenant.tenant_id)
+            assert pattern in set(UtilizationPattern)
+            assert peak is not None and 0.0 <= peak <= 1.0
+        assert service.tenant_pattern("missing") is None
+        assert service.tenant_peak_utilization("missing") is None
+
+    def test_patterns_not_mixed_within_a_class(self, small_tenants):
+        service = ClusteringService(rng=RandomSource(1))
+        service.update(small_tenants)
+        tenant_by_id = {t.tenant_id: t for t in small_tenants}
+        for cls in service.classes():
+            inferred = {service.tenant_pattern(tid) for tid in cls.tenant_ids}
+            assert len(inferred) == 1
+            # The inferred pattern should usually match the generator's.
+            assert cls.pattern in inferred

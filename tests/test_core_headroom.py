@@ -1,0 +1,77 @@
+"""Tests for the job-type-dependent headroom computation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import UtilizationClass
+from repro.core.headroom import class_headroom
+from repro.core.job_types import JobType
+from repro.traces.utilization import UtilizationPattern
+
+
+def make_class(average: float, peak: float) -> UtilizationClass:
+    return UtilizationClass(
+        class_id="c", pattern=UtilizationPattern.PERIODIC,
+        average_utilization=average, peak_utilization=peak, tenant_ids=["t"],
+    )
+
+
+class TestHeadroomDefinitions:
+    def test_short_uses_current_only(self):
+        cls = make_class(average=0.5, peak=0.9)
+        assert class_headroom(JobType.SHORT, cls, current_utilization=0.2) == pytest.approx(0.8)
+
+    def test_medium_uses_max_of_average_and_current(self):
+        cls = make_class(average=0.5, peak=0.9)
+        assert class_headroom(JobType.MEDIUM, cls, current_utilization=0.2) == pytest.approx(0.5)
+        assert class_headroom(JobType.MEDIUM, cls, current_utilization=0.7) == pytest.approx(0.3)
+
+    def test_long_uses_max_of_peak_and_current(self):
+        cls = make_class(average=0.5, peak=0.9)
+        assert class_headroom(JobType.LONG, cls, current_utilization=0.2) == pytest.approx(0.1)
+        assert class_headroom(JobType.LONG, cls, current_utilization=0.95) == pytest.approx(0.05)
+
+    def test_current_defaults_to_class_average(self):
+        cls = make_class(average=0.4, peak=0.8)
+        assert class_headroom(JobType.SHORT, cls) == pytest.approx(0.6)
+
+    def test_reserve_subtracted(self):
+        cls = make_class(average=0.3, peak=0.5)
+        with_reserve = class_headroom(
+            JobType.SHORT, cls, current_utilization=0.3, reserve_fraction=1.0 / 3.0
+        )
+        assert with_reserve == pytest.approx(1.0 - 0.3 - 1.0 / 3.0)
+
+    def test_headroom_never_negative(self):
+        cls = make_class(average=0.9, peak=0.99)
+        assert class_headroom(JobType.LONG, cls, current_utilization=1.0,
+                              reserve_fraction=0.3) == 0.0
+
+    def test_validation(self):
+        cls = make_class(average=0.3, peak=0.5)
+        with pytest.raises(ValueError):
+            class_headroom(JobType.SHORT, cls, current_utilization=1.5)
+        with pytest.raises(ValueError):
+            class_headroom(JobType.SHORT, cls, reserve_fraction=1.0)
+
+    @given(
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=1),
+        st.sampled_from(list(JobType)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_headroom_in_unit_interval_and_ordered_by_job_type(
+        self, average, peak, current, job_type
+    ):
+        cls = make_class(average=min(average, peak), peak=max(average, peak))
+        room = class_headroom(job_type, cls, current_utilization=current)
+        assert 0.0 <= room <= 1.0
+        # Longer jobs can never see more headroom than shorter jobs.
+        short = class_headroom(JobType.SHORT, cls, current_utilization=current)
+        medium = class_headroom(JobType.MEDIUM, cls, current_utilization=current)
+        long_room = class_headroom(JobType.LONG, cls, current_utilization=current)
+        assert long_room <= medium <= short

@@ -1,0 +1,107 @@
+"""Tests for job-length categorization and history."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.job_types import (
+    JobHistory,
+    JobType,
+    JobTypeThresholds,
+    categorize_job,
+    thresholds_from_history,
+)
+
+
+class TestThresholds:
+    def test_defaults_match_paper(self):
+        thresholds = JobTypeThresholds()
+        assert thresholds.short_seconds == 173.0
+        assert thresholds.long_seconds == 433.0
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            JobTypeThresholds(short_seconds=0.0)
+        with pytest.raises(ValueError):
+            JobTypeThresholds(short_seconds=100.0, long_seconds=50.0)
+
+
+class TestCategorize:
+    def test_paper_boundaries(self):
+        assert categorize_job(100.0) is JobType.SHORT
+        assert categorize_job(173.0) is JobType.SHORT
+        assert categorize_job(300.0) is JobType.MEDIUM
+        assert categorize_job(433.0) is JobType.MEDIUM
+        assert categorize_job(434.0) is JobType.LONG
+
+    def test_unknown_job_is_medium(self):
+        assert categorize_job(None) is JobType.MEDIUM
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            categorize_job(-1.0)
+
+    @given(st.floats(min_value=0, max_value=10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_every_duration_maps_to_exactly_one_type(self, duration):
+        assert categorize_job(duration) in set(JobType)
+
+
+class TestThresholdsFromHistory:
+    def test_empty_history_returns_defaults(self):
+        assert thresholds_from_history([]) == JobTypeThresholds()
+
+    def test_derived_thresholds_split_workload(self):
+        durations = [float(d) for d in range(10, 1010, 10)]
+        thresholds = thresholds_from_history(durations)
+        assert thresholds.short_seconds < thresholds.long_seconds
+        types = [categorize_job(d, thresholds) for d in durations]
+        assert all(t in set(JobType) for t in types)
+        assert types.count(JobType.SHORT) > 0
+        assert types.count(JobType.LONG) > 0
+
+    def test_capacity_shares_shift_thresholds(self):
+        durations = [float(d) for d in range(10, 1010, 10)]
+        short_heavy = thresholds_from_history(
+            durations,
+            {JobType.SHORT: 0.8, JobType.MEDIUM: 0.1, JobType.LONG: 0.1},
+        )
+        long_heavy = thresholds_from_history(
+            durations,
+            {JobType.SHORT: 0.1, JobType.MEDIUM: 0.1, JobType.LONG: 0.8},
+        )
+        assert short_heavy.short_seconds > long_heavy.short_seconds
+
+    def test_zero_share_rejected(self):
+        with pytest.raises(ValueError):
+            thresholds_from_history([1.0, 2.0], {JobType.SHORT: 0.0})
+
+    def test_identical_durations_still_valid(self):
+        thresholds = thresholds_from_history([100.0] * 20)
+        assert thresholds.long_seconds > thresholds.short_seconds
+
+
+class TestJobHistory:
+    def test_unknown_job_typed_medium(self):
+        history = JobHistory()
+        assert history.categorize("new-job") is JobType.MEDIUM
+
+    def test_recorded_duration_drives_type(self):
+        history = JobHistory()
+        history.record("q1", 50.0)
+        history.record("q2", 900.0)
+        assert history.categorize("q1") is JobType.SHORT
+        assert history.categorize("q2") is JobType.LONG
+        assert len(history) == 2
+
+    def test_latest_duration_wins(self):
+        history = JobHistory()
+        history.record("q", 50.0)
+        history.record("q", 900.0)
+        assert history.last_duration("q") == 900.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            JobHistory().record("q", -5.0)

@@ -1,0 +1,80 @@
+"""Tests for the K-Means implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.kmeans import kmeans
+from repro.simulation.random import RandomSource
+
+
+class TestKMeans:
+    def test_well_separated_clusters_recovered(self):
+        rng = np.random.default_rng(0)
+        cluster_a = rng.normal(0.0, 0.1, size=(30, 2))
+        cluster_b = rng.normal(5.0, 0.1, size=(30, 2))
+        points = np.vstack([cluster_a, cluster_b])
+        result = kmeans(points, 2, RandomSource(1))
+        assert result.num_clusters == 2
+        labels_a = set(result.labels[:30])
+        labels_b = set(result.labels[30:])
+        assert len(labels_a) == 1 and len(labels_b) == 1
+        assert labels_a != labels_b
+
+    def test_k_greater_than_distinct_points_reduced(self):
+        points = np.array([[0.0], [0.0], [1.0]])
+        result = kmeans(points, 5, RandomSource(0))
+        assert result.num_clusters <= 2
+
+    def test_single_cluster(self):
+        points = np.random.default_rng(1).normal(0, 1, size=(20, 3))
+        result = kmeans(points, 1, RandomSource(0))
+        assert result.num_clusters == 1
+        np.testing.assert_allclose(result.centroids[0], points.mean(axis=0))
+
+    def test_one_dimensional_input_reshaped(self):
+        points = np.array([0.0, 0.1, 5.0, 5.1])
+        result = kmeans(points, 2, RandomSource(0))
+        assert result.centroids.shape == (2, 1)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 2)), 2)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((5, 2)), 0)
+
+    def test_deterministic_given_seed(self):
+        points = np.random.default_rng(3).normal(0, 1, size=(50, 4))
+        a = kmeans(points, 4, RandomSource(9))
+        b = kmeans(points, 4, RandomSource(9))
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_labels_reference_valid_centroids(self):
+        points = np.random.default_rng(4).normal(0, 1, size=(40, 2))
+        result = kmeans(points, 5, RandomSource(2))
+        assert result.labels.min() >= 0
+        assert result.labels.max() < result.num_clusters
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(min_value=2, max_value=30), st.just(3)),
+            elements=st.floats(min_value=-10, max_value=10),
+        ),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_inertia_non_negative_and_every_point_labelled(self, points, k):
+        result = kmeans(points, k, RandomSource(0))
+        assert result.inertia >= 0.0
+        assert len(result.labels) == len(points)
+
+    def test_more_clusters_do_not_increase_inertia(self):
+        points = np.random.default_rng(5).normal(0, 1, size=(60, 2))
+        few = kmeans(points, 2, RandomSource(1))
+        many = kmeans(points, 8, RandomSource(1))
+        assert many.inertia <= few.inertia + 1e-6

@@ -1,0 +1,217 @@
+"""Tests for Algorithm 2: diversity-maximizing replica placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.grid import TenantPlacementStats, build_grid
+from repro.core.placement import PlacementConstraints, ReplicaPlacer
+from repro.simulation.random import RandomSource
+
+
+def make_stats(
+    tenant_id: str,
+    reimage_rate: float,
+    peak: float,
+    space: float = 100.0,
+    environment: str | None = None,
+    num_servers: int = 3,
+    rack: str | None = None,
+) -> TenantPlacementStats:
+    servers = [f"{tenant_id}-s{i}" for i in range(num_servers)]
+    return TenantPlacementStats(
+        tenant_id=tenant_id,
+        environment=environment or f"env-{tenant_id}",
+        reimage_rate=reimage_rate,
+        peak_utilization=peak,
+        available_space_gb=space,
+        server_ids=servers,
+        racks_by_server={s: (rack or f"rack-{tenant_id}") for s in servers},
+    )
+
+
+def diverse_stats(count: int = 27) -> list[TenantPlacementStats]:
+    stats = []
+    for i in range(count):
+        stats.append(
+            make_stats(
+                f"t{i:02d}",
+                reimage_rate=0.05 + 0.07 * (i % 9),
+                peak=0.1 + 0.09 * (i // 3 % 9),
+            )
+        )
+    return stats
+
+
+def make_placer(
+    stats=None, constraints: PlacementConstraints | None = None, seed: int = 1
+) -> ReplicaPlacer:
+    grid = build_grid(stats if stats is not None else diverse_stats())
+    return ReplicaPlacer(
+        grid, rng=RandomSource(seed), constraints=constraints or PlacementConstraints()
+    )
+
+
+class TestBasicPlacement:
+    def test_three_replicas_on_distinct_servers_and_tenants(self):
+        placer = make_placer()
+        decision = placer.place_block(3)
+        assert decision.complete
+        assert len(decision.server_ids) == 3
+        assert len(set(decision.server_ids)) == 3
+        assert len(set(decision.tenant_ids)) == 3
+
+    def test_first_replica_on_creating_server(self):
+        placer = make_placer()
+        creator = placer.grid.stats_by_tenant["t00"].server_ids[0]
+        decision = placer.place_block(3, creating_server_id=creator)
+        assert decision.server_ids[0] == creator
+
+    def test_rows_and_columns_distinct_within_round(self):
+        placer = make_placer()
+        for _ in range(50):
+            decision = placer.place_block(3)
+            rows = [cell[0] for cell in decision.cells]
+            columns = [cell[1] for cell in decision.cells]
+            assert len(set(rows)) == 3
+            assert len(set(columns)) == 3
+
+    def test_environments_never_repeat(self):
+        placer = make_placer()
+        for _ in range(50):
+            decision = placer.place_block(3)
+            environments = [
+                placer.grid.stats_by_tenant[t].environment for t in decision.tenant_ids
+            ]
+            assert len(set(environments)) == len(environments)
+
+    def test_replication_validation(self):
+        placer = make_placer()
+        with pytest.raises(ValueError):
+            placer.place_block(0)
+
+
+class TestHigherReplication:
+    def test_four_replicas_allowed_after_round_reset(self):
+        """Algorithm 2 forgets rows/columns after every three replicas."""
+        placer = make_placer()
+        decision = placer.place_block(4)
+        assert decision.complete
+        assert len(decision.server_ids) == 4
+        # First three replicas span distinct rows and columns.
+        first_round = decision.cells[:3]
+        assert len({c[0] for c in first_round}) == 3
+        assert len({c[1] for c in first_round}) == 3
+
+    def test_six_replicas_use_two_full_rounds(self):
+        placer = make_placer()
+        decision = placer.place_block(6)
+        assert decision.complete
+        second_round = decision.cells[3:6]
+        assert len({c[0] for c in second_round}) == 3
+        assert len({c[1] for c in second_round}) == 3
+
+
+class TestConstraintsAndFailure:
+    def test_insufficient_diversity_fails_under_hard_constraints(self):
+        # Only two tenants: a third environment-distinct replica cannot exist,
+        # so a hard-constraint placement must stop short of full replication.
+        stats = [
+            make_stats("a", 0.1, 0.2),
+            make_stats("b", 0.9, 0.9),
+        ]
+        placer = make_placer(stats)
+        decision = placer.place_block(3)
+        assert not decision.complete
+        assert 1 <= decision.replication <= 2
+
+    def test_soft_constraints_relax_instead_of_failing(self):
+        stats = [
+            make_stats("a", 0.1, 0.2),
+            make_stats("b", 0.9, 0.9),
+        ]
+        placer = make_placer(
+            stats, constraints=PlacementConstraints(hard=False)
+        )
+        decision = placer.place_block(3)
+        assert decision.complete
+        assert decision.relaxed_constraints
+
+    def test_same_environment_blocks_second_replica(self):
+        stats = [
+            make_stats("a", 0.1, 0.2, environment="shared"),
+            make_stats("b", 0.9, 0.9, environment="shared"),
+        ]
+        placer = make_placer(stats)
+        decision = placer.place_block(2)
+        assert decision.replication == 1
+
+    def test_rack_constraint_enforced_when_enabled(self):
+        stats = [
+            make_stats("a", 0.1, 0.2, rack="same-rack"),
+            make_stats("b", 0.5, 0.5, rack="same-rack"),
+            make_stats("c", 0.9, 0.9, rack="other-rack"),
+        ]
+        constraints = PlacementConstraints(distinct_racks=True)
+        placer = make_placer(stats, constraints=constraints)
+        for _ in range(20):
+            decision = placer.place_block(2)
+            racks = {
+                placer.grid.stats_by_tenant[t].racks_by_server[s]
+                for t, s in zip(decision.tenant_ids, decision.server_ids)
+            }
+            assert len(racks) == decision.replication
+
+    def test_excluded_servers_never_used(self):
+        stats = diverse_stats()
+        placer = make_placer(stats)
+        excluded = {s for st in stats[:9] for s in st.server_ids}
+        for _ in range(20):
+            decision = placer.place_block(3, excluded_servers=excluded)
+            assert not set(decision.server_ids) & excluded
+
+
+class TestSpaceAccounting:
+    def test_space_consumed_per_replica(self):
+        placer = make_placer()
+        before = placer.space_used_gb("t00")
+        creator = placer.grid.stats_by_tenant["t00"].server_ids[0]
+        placer.place_block(3, creating_server_id=creator)
+        assert placer.space_used_gb("t00") == pytest.approx(before + 0.25)
+
+    def test_full_tenant_not_chosen(self):
+        stats = [
+            make_stats("full", 0.1, 0.1, space=0.1),
+            make_stats("a", 0.4, 0.4),
+            make_stats("b", 0.7, 0.7),
+            make_stats("c", 0.9, 0.9),
+        ]
+        placer = make_placer(stats)
+        for _ in range(20):
+            decision = placer.place_block(3)
+            assert "full" not in decision.tenant_ids
+
+    def test_release_space(self):
+        placer = make_placer()
+        placer.place_block(3)
+        tenant = placer.grid.stats_by_tenant["t00"].tenant_id
+        used = placer.space_used_gb(tenant)
+        placer.release_space(tenant, used)
+        assert placer.space_used_gb(tenant) == 0.0
+        with pytest.raises(ValueError):
+            placer.release_space(tenant, -1.0)
+
+    def test_remaining_space_unknown_tenant_is_zero(self):
+        placer = make_placer()
+        assert placer.remaining_space_gb("missing") == 0.0
+
+
+class TestDiversityOutcome:
+    def test_replicas_spread_over_many_tenants_across_blocks(self):
+        """Consistent spreading: many blocks should not pile onto few tenants."""
+        placer = make_placer()
+        used_tenants = set()
+        for _ in range(100):
+            decision = placer.place_block(3)
+            used_tenants.update(decision.tenant_ids)
+        assert len(used_tenants) >= 20

@@ -1,0 +1,141 @@
+"""Tests for the Application Master driving jobs through the Resource Manager."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.node_manager import NodeManager
+from repro.cluster.resource_manager import ResourceManager, SchedulerMode
+from repro.cluster.server import SimulatedServer
+from repro.core.job_types import JobHistory, JobType
+from repro.jobs.app_master import ApplicationMaster
+from repro.jobs.dag import JobDag, Vertex
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.random import RandomSource
+from repro.traces.datacenter import PrimaryTenant, Server
+from repro.traces.utilization import UtilizationPattern, UtilizationTrace
+
+
+def build_rig(
+    num_servers: int = 4,
+    utilization: float = 0.1,
+    mode: SchedulerMode = SchedulerMode.PRIMARY_AWARE,
+):
+    engine = SimulationEngine()
+    rm = ResourceManager(mode=mode, rng=RandomSource(1))
+    servers = []
+    for i in range(num_servers):
+        tenant = PrimaryTenant(
+            tenant_id=f"t{i}",
+            environment=f"env-{i}",
+            machine_function="mf",
+            trace=UtilizationTrace(
+                np.full(100, utilization), UtilizationPattern.CONSTANT
+            ),
+            pattern=UtilizationPattern.CONSTANT,
+        )
+        server = Server(f"s{i}", f"t{i}", cores=12, memory_gb=32.0)
+        tenant.servers.append(server)
+        simulated = SimulatedServer(server, tenant)
+        servers.append(simulated)
+        rm.register_node(
+            NodeManager(simulated, primary_aware=mode is not SchedulerMode.STOCK)
+        )
+    rm.process_heartbeats(0.0)
+    history = JobHistory()
+    am = ApplicationMaster(engine, rm, history)
+    return engine, rm, am, history, servers
+
+
+def small_dag(name: str = "job") -> JobDag:
+    return JobDag(
+        name,
+        [
+            Vertex("map", 4, 30.0),
+            Vertex("reduce", 2, 20.0, upstream=["map"]),
+        ],
+    )
+
+
+class TestJobExecution:
+    def test_job_runs_to_completion(self):
+        engine, rm, am, history, _ = build_rig()
+        execution = am.submit(small_dag(), JobType.MEDIUM)
+        engine.run_until(200.0)
+        assert execution.finished
+        assert len(am.results) == 1
+        result = am.results[0]
+        # Critical path is 50 s; with ample resources that is the runtime.
+        assert result.execution_seconds == pytest.approx(50.0)
+        assert result.tasks_completed == 6
+        assert result.tasks_killed == 0
+
+    def test_duration_recorded_in_history(self):
+        engine, rm, am, history, _ = build_rig()
+        am.submit(small_dag("recurring"), JobType.MEDIUM)
+        engine.run_until(200.0)
+        assert history.last_duration("recurring") == pytest.approx(50.0)
+        # A second run of the same job is now typed from history (short).
+        assert history.categorize("recurring") is JobType.SHORT
+
+    def test_dependencies_respected(self):
+        engine, rm, am, _, _ = build_rig()
+        execution = am.submit(small_dag(), JobType.MEDIUM)
+        # Just after the mappers start, no reducer may run yet.
+        engine.run_until(10.0)
+        running_vertices = {t.vertex_name for t in execution.running.values()}
+        assert running_vertices == {"map"}
+
+    def test_queueing_when_cluster_is_small(self):
+        engine, rm, am, _, _ = build_rig(num_servers=1)
+        wide = JobDag("wide", [Vertex("stage", 30, 10.0)])
+        execution = am.submit(wide, JobType.SHORT)
+        engine.run_until(5.0)
+        # A single 12-core server (minus reserve and primary) cannot run all
+        # 30 single-core tasks at once.
+        assert len(execution.running) < 30
+        # Periodic pumping eventually finishes the job.
+        for t in range(10, 400, 10):
+            am.pump(execution)
+            engine.run_until(float(t))
+        assert execution.finished
+
+    def test_metrics_updated(self):
+        engine, rm, am, _, _ = build_rig()
+        am.submit(small_dag(), JobType.MEDIUM)
+        engine.run_until(200.0)
+        assert am.metrics.counter_value("jobs_completed") == 1
+        assert am.metrics.distributions["job_execution_seconds"].count == 1
+
+
+class TestKillHandling:
+    def test_killed_tasks_are_restarted(self):
+        engine, rm, am, _, servers = build_rig(num_servers=1, utilization=0.1)
+        execution = am.submit(small_dag(), JobType.MEDIUM)
+        engine.run_until(5.0)
+        assert execution.running, "tasks should be running before the spike"
+
+        # Primary spikes; the next heartbeat kills the youngest containers.
+        servers[0].set_utilization_override(lambda t: 0.7)
+        killed = rm.process_heartbeats(6.0)
+        assert killed
+        am.handle_kills(execution, killed)
+        assert execution.tasks_killed == len(killed)
+
+        # Primary calms down; pumping re-runs the killed tasks to completion.
+        servers[0].set_utilization_override(lambda t: 0.1)
+        rm.process_heartbeats(7.0)
+        for t in range(10, 600, 10):
+            am.pump(execution)
+            engine.run_until(float(t))
+        assert execution.finished
+        result = am.results[0]
+        assert result.tasks_killed >= 1
+        assert result.tasks_completed == 6
+
+    def test_kills_of_unknown_containers_ignored(self):
+        engine, rm, am, _, _ = build_rig()
+        execution = am.submit(small_dag(), JobType.MEDIUM)
+        am.handle_kills(execution, [])
+        assert execution.tasks_killed == 0

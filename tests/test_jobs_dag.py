@@ -1,0 +1,167 @@
+"""Tests for the job DAG model and concurrency estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jobs.dag import JobDag, Task, TaskState, Vertex
+from repro.jobs.tpcds import NUM_QUERIES, TpcdsWorkloadFactory, tpcds_query_dag
+from repro.simulation.random import RandomSource
+
+
+def linear_dag() -> JobDag:
+    return JobDag(
+        "linear",
+        [
+            Vertex("a", 4, 10.0),
+            Vertex("b", 2, 20.0, upstream=["a"]),
+            Vertex("c", 1, 30.0, upstream=["b"]),
+        ],
+    )
+
+
+def diamond_dag() -> JobDag:
+    return JobDag(
+        "diamond",
+        [
+            Vertex("source", 1, 5.0),
+            Vertex("left", 3, 10.0, upstream=["source"]),
+            Vertex("right", 5, 10.0, upstream=["source"]),
+            Vertex("sink", 2, 5.0, upstream=["left", "right"]),
+        ],
+    )
+
+
+class TestValidation:
+    def test_duplicate_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            JobDag("bad", [Vertex("a", 1, 1.0), Vertex("a", 2, 2.0)])
+
+    def test_unknown_upstream_rejected(self):
+        with pytest.raises(ValueError):
+            JobDag("bad", [Vertex("a", 1, 1.0, upstream=["ghost"])])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            JobDag(
+                "bad",
+                [
+                    Vertex("a", 1, 1.0, upstream=["b"]),
+                    Vertex("b", 1, 1.0, upstream=["a"]),
+                ],
+            )
+
+    def test_empty_dag_rejected(self):
+        with pytest.raises(ValueError):
+            JobDag("bad", [])
+
+    def test_invalid_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            Vertex("a", 0, 1.0)
+        with pytest.raises(ValueError):
+            Vertex("a", 1, 0.0)
+
+    def test_invalid_task_rejected(self):
+        with pytest.raises(ValueError):
+            Task("t", "v", 0.0)
+
+
+class TestStructure:
+    def test_roots_and_downstream(self):
+        dag = diamond_dag()
+        assert dag.roots() == ["source"]
+        assert set(dag.downstream("source")) == {"left", "right"}
+        assert dag.downstream("sink") == []
+
+    def test_topological_levels(self):
+        dag = diamond_dag()
+        levels = dag.topological_levels()
+        assert levels[0] == ["source"]
+        assert set(levels[1]) == {"left", "right"}
+        assert levels[2] == ["sink"]
+
+    def test_total_tasks(self):
+        assert diamond_dag().total_tasks == 11
+
+    def test_max_concurrent_containers_widest_level(self):
+        assert diamond_dag().max_concurrent_containers() == 8
+        assert linear_dag().max_concurrent_containers() == 4
+
+    def test_max_concurrent_cores_scales_with_container_size(self):
+        dag = JobDag("j", [Vertex("a", 10, 1.0)], container_resource_cores=2.0)
+        assert dag.max_concurrent_cores() == pytest.approx(20.0)
+
+    def test_critical_path_is_sum_of_chain(self):
+        assert linear_dag().critical_path_seconds() == pytest.approx(60.0)
+        assert diamond_dag().critical_path_seconds() == pytest.approx(20.0)
+
+    def test_serial_work(self):
+        assert linear_dag().serial_work_seconds() == pytest.approx(4 * 10 + 2 * 20 + 30)
+
+    def test_build_tasks_counts_and_ids_unique(self):
+        dag = diamond_dag()
+        tasks = dag.build_tasks()
+        all_ids = [t.task_id for tasks_of_vertex in tasks.values() for t in tasks_of_vertex]
+        assert len(all_ids) == dag.total_tasks
+        assert len(set(all_ids)) == len(all_ids)
+        assert all(
+            t.state is TaskState.PENDING
+            for tasks_of_vertex in tasks.values()
+            for t in tasks_of_vertex
+        )
+
+    def test_scaled_dag(self):
+        dag = diamond_dag().scaled(duration_factor=2.0, width_factor=3.0)
+        assert dag.vertices["right"].num_tasks == 15
+        assert dag.vertices["right"].task_duration_seconds == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            diamond_dag().scaled(0.0)
+
+
+class TestTpcdsWorkload:
+    def test_query_19_matches_figure_7(self):
+        """Figure 7: maximum of 469 concurrent containers for query 19."""
+        dag = tpcds_query_dag(19)
+        assert dag.max_concurrent_containers() == 469
+
+    def test_query_numbers_validated(self):
+        with pytest.raises(ValueError):
+            tpcds_query_dag(0)
+        with pytest.raises(ValueError):
+            tpcds_query_dag(NUM_QUERIES + 1)
+
+    def test_all_52_queries_build(self):
+        factory = TpcdsWorkloadFactory(RandomSource(3))
+        queries = factory.all_queries()
+        assert len(queries) == NUM_QUERIES
+        assert len({q.name for q in queries}) == NUM_QUERIES
+        for dag in queries:
+            assert dag.total_tasks >= 1
+            assert dag.critical_path_seconds() > 0
+
+    def test_queries_are_deterministic(self):
+        a = TpcdsWorkloadFactory(RandomSource(3)).query(7)
+        b = TpcdsWorkloadFactory(RandomSource(3)).query(7)
+        assert a.total_tasks == b.total_tasks
+        assert a.critical_path_seconds() == b.critical_path_seconds()
+
+    def test_duration_distribution_spans_job_types(self):
+        """The workload must exercise short, medium, and long jobs."""
+        factory = TpcdsWorkloadFactory(RandomSource(3))
+        durations = factory.duration_distribution()
+        assert len(durations) == NUM_QUERIES
+        assert min(durations) < 433.0
+        assert max(durations) > 173.0
+
+    def test_scaling_applied_to_queries(self):
+        base = TpcdsWorkloadFactory(RandomSource(3)).query(5)
+        scaled = TpcdsWorkloadFactory(
+            RandomSource(3), duration_scale=2.0, width_scale=1.0
+        ).query(5)
+        assert scaled.critical_path_seconds() == pytest.approx(
+            2.0 * base.critical_path_seconds()
+        )
+
+    def test_invalid_scales_rejected(self):
+        with pytest.raises(ValueError):
+            TpcdsWorkloadFactory(duration_scale=0.0)

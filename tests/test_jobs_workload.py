@@ -1,0 +1,72 @@
+"""Tests for the Poisson job arrival streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.jobs.tpcds import NUM_QUERIES, TpcdsWorkloadFactory
+from repro.jobs.workload import WorkloadGenerator
+from repro.simulation.random import RandomSource
+
+
+class TestArrivals:
+    def test_arrivals_sorted_and_within_window(self):
+        generator = WorkloadGenerator(
+            mean_interarrival_seconds=100.0, rng=RandomSource(1)
+        )
+        arrivals = generator.arrivals(10_000.0)
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        assert all(0 < t < 10_000.0 for t in times)
+
+    def test_mean_interarrival_roughly_respected(self):
+        generator = WorkloadGenerator(
+            mean_interarrival_seconds=50.0, rng=RandomSource(2)
+        )
+        arrivals = generator.arrivals(100_000.0)
+        expected = 100_000.0 / 50.0
+        assert 0.8 * expected < len(arrivals) < 1.2 * expected
+
+    def test_arrivals_reference_known_queries(self):
+        factory = TpcdsWorkloadFactory(RandomSource(3))
+        generator = WorkloadGenerator(factory, 100.0, RandomSource(3))
+        names = {a.dag.name for a in generator.arrivals(50_000.0)}
+        valid = {dag.name for dag in factory.all_queries()}
+        assert names <= valid
+        # With hundreds of arrivals most queries should recur at least once.
+        assert len(names) > NUM_QUERIES // 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(mean_interarrival_seconds=0.0)
+        generator = WorkloadGenerator(mean_interarrival_seconds=10.0)
+        with pytest.raises(ValueError):
+            generator.arrivals(0.0)
+
+    def test_deterministic_given_seed(self):
+        a = WorkloadGenerator(mean_interarrival_seconds=100.0, rng=RandomSource(5))
+        b = WorkloadGenerator(mean_interarrival_seconds=100.0, rng=RandomSource(5))
+        assert [x.time for x in a.arrivals(5000.0)] == [
+            x.time for x in b.arrivals(5000.0)
+        ]
+
+
+class TestOnePass:
+    def test_one_pass_covers_every_query_once(self):
+        generator = WorkloadGenerator(
+            mean_interarrival_seconds=300.0, rng=RandomSource(4)
+        )
+        arrivals = generator.one_pass()
+        assert len(arrivals) == NUM_QUERIES
+        names = [a.dag.name for a in arrivals]
+        assert len(set(names)) == NUM_QUERIES
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+
+    def test_one_pass_start_offset(self):
+        generator = WorkloadGenerator(
+            mean_interarrival_seconds=300.0, rng=RandomSource(4)
+        )
+        arrivals = generator.one_pass(start_time=1000.0)
+        assert arrivals[0].time > 1000.0

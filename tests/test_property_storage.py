@@ -1,0 +1,182 @@
+"""Property-based and failure-injection tests for the storage subsystem.
+
+These drive the NameNode with randomized workloads (creations, reimages,
+recovery rounds, accesses) and check the invariants that must hold no matter
+what order events arrive in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import TenantPlacementStats
+from repro.simulation.random import RandomSource
+from repro.storage.datanode import DataNode
+from repro.storage.namenode import AccessResult, NameNode
+from repro.storage.placement_policies import (
+    HistoryPlacementPolicy,
+    StockPlacementPolicy,
+)
+from repro.traces.datacenter import PrimaryTenant, Server
+from repro.traces.utilization import UtilizationPattern, UtilizationTrace
+
+
+def build_namenode(
+    num_tenants: int, servers_per_tenant: int, policy: str, seed: int
+) -> NameNode:
+    tenants = []
+    for i in range(num_tenants):
+        tenant = PrimaryTenant(
+            tenant_id=f"t{i}",
+            environment=f"env-{i % max(1, num_tenants // 2)}",
+            machine_function="mf",
+            trace=UtilizationTrace(
+                np.full(50, 0.1 + 0.07 * (i % 10)), UtilizationPattern.CONSTANT
+            ),
+            pattern=UtilizationPattern.CONSTANT,
+        )
+        for j in range(servers_per_tenant):
+            tenant.servers.append(
+                Server(
+                    server_id=f"t{i}-s{j}",
+                    tenant_id=tenant.tenant_id,
+                    rack=f"rack-{(i * servers_per_tenant + j) % 5}",
+                    harvestable_disk_gb=4.0,
+                )
+            )
+        tenants.append(tenant)
+    datanodes = [
+        DataNode(server=s, tenant=t, primary_aware=True)
+        for t in tenants
+        for s in t.servers
+    ]
+    if policy == "history":
+        placement = HistoryPlacementPolicy(rng=RandomSource(seed))
+        placement.update_clustering(
+            [
+                TenantPlacementStats(
+                    tenant_id=t.tenant_id,
+                    environment=t.environment,
+                    reimage_rate=0.1 * (1 + i),
+                    peak_utilization=t.peak_utilization(),
+                    available_space_gb=t.harvestable_disk_gb,
+                    server_ids=[s.server_id for s in t.servers],
+                    racks_by_server={s.server_id: s.rack for s in t.servers},
+                )
+                for i, t in enumerate(tenants)
+            ]
+        )
+    else:
+        placement = StockPlacementPolicy(RandomSource(seed))
+    return NameNode(datanodes, placement, rng=RandomSource(seed + 1))
+
+
+def check_invariants(namenode: NameNode) -> None:
+    """Invariants that must hold after any event sequence."""
+    # 1. No DataNode ever exceeds its harvestable space quota.
+    for datanode in namenode.datanodes.values():
+        assert datanode.used_space_gb <= datanode.capacity_gb + 1e-9
+    # 2. DataNode space accounting matches the healthy replicas it stores.
+    stored_count = {server_id: 0 for server_id in namenode.datanodes}
+    for block in namenode.blocks.values():
+        for replica in block.healthy_replicas():
+            stored_count[replica.server_id] += 1
+    for server_id, datanode in namenode.datanodes.items():
+        assert len(datanode.stored_block_ids) == stored_count[server_id]
+    # 3. A block is lost exactly when it has no healthy replica.
+    for block in namenode.blocks.values():
+        if block.lost:
+            assert block.healthy_count == 0
+        else:
+            assert block.healthy_count >= 1
+    # 4. No block ever exceeds its target replication.
+    for block in namenode.blocks.values():
+        assert block.healthy_count <= block.target_replication
+    # 5. A server holds at most one replica of any block.
+    for block in namenode.blocks.values():
+        healthy_servers = block.servers_with_healthy_replicas()
+        assert len(healthy_servers) == len(set(healthy_servers))
+
+
+@st.composite
+def workload(draw):
+    """A random sequence of storage events."""
+    events = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("create"), st.integers(0, 1_000_000)),
+                st.tuples(st.just("reimage"), st.integers(0, 1_000_000)),
+                st.tuples(st.just("recover"), st.integers(0, 1_000_000)),
+                st.tuples(st.just("access"), st.integers(0, 1_000_000)),
+            ),
+            min_size=5,
+            max_size=60,
+        )
+    )
+    return sorted(events, key=lambda e: e[1])
+
+
+class TestStorageInvariants:
+    @pytest.mark.parametrize("policy", ["stock", "history"])
+    @given(events=workload(), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_hold_under_random_workloads(self, policy, events, seed):
+        namenode = build_namenode(
+            num_tenants=8, servers_per_tenant=2, policy=policy, seed=seed
+        )
+        rng = RandomSource(seed)
+        server_ids = sorted(namenode.datanodes)
+        block_ids: list[str] = []
+        for kind, time in events:
+            time = float(time)
+            if kind == "create":
+                outcome = namenode.create_block(
+                    time, creating_server_id=rng.choice(server_ids)
+                )
+                if outcome.block is not None:
+                    block_ids.append(outcome.block.block_id)
+            elif kind == "reimage":
+                namenode.handle_reimage(rng.choice(server_ids), time)
+            elif kind == "recover":
+                namenode.run_replication(time)
+            elif kind == "access" and block_ids:
+                result = namenode.access_block(rng.choice(block_ids), time)
+                assert result in set(AccessResult)
+        check_invariants(namenode)
+
+    def test_mass_reimage_then_recovery(self):
+        """Failure injection: wipe most of the cluster, then let it recover."""
+        namenode = build_namenode(
+            num_tenants=10, servers_per_tenant=3, policy="history", seed=3
+        )
+        rng = RandomSource(3)
+        servers = sorted(namenode.datanodes)
+        for _ in range(40):
+            namenode.create_block(0.0, creating_server_id=rng.choice(servers))
+        # Reimage two thirds of the servers at nearly the same time.
+        for server_id in servers[: 2 * len(servers) // 3]:
+            namenode.handle_reimage(server_id, 100.0)
+        check_invariants(namenode)
+        # Recovery over the following hours restores every surviving block.
+        for hour in range(1, 20):
+            namenode.run_replication(100.0 + hour * 3600.0)
+        check_invariants(namenode)
+        for block in namenode.blocks.values():
+            if not block.lost:
+                assert block.missing_replicas == 0
+
+    def test_creation_storm_respects_quotas(self):
+        """Filling the file system never overflows any server's quota."""
+        namenode = build_namenode(
+            num_tenants=4, servers_per_tenant=2, policy="stock", seed=5
+        )
+        rng = RandomSource(5)
+        servers = sorted(namenode.datanodes)
+        for _ in range(500):
+            namenode.create_block(0.0, creating_server_id=rng.choice(servers))
+        check_invariants(namenode)
+        # Eventually creations fail rather than over-commit space.
+        assert namenode.metrics.counter_value("block_creations_failed") > 0

@@ -1,0 +1,111 @@
+"""Tests for the seeded random source."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.random import RandomSource
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(7)
+        b = RandomSource(7)
+        assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(1)
+        b = RandomSource(2)
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_fork_is_deterministic(self):
+        a = RandomSource(7).fork("child")
+        b = RandomSource(7).fork("child")
+        assert a.uniform() == b.uniform()
+
+    def test_fork_labels_give_distinct_streams(self):
+        parent = RandomSource(7)
+        a = parent.fork("alpha")
+        b = parent.fork("beta")
+        assert a.uniform() != b.uniform()
+
+
+class TestDraws:
+    def test_bounded_normal_respects_bounds(self):
+        rng = RandomSource(3)
+        values = [rng.bounded_normal(0.5, 10.0, 0.0, 1.0) for _ in range(200)]
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_exponential_requires_positive_mean(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).exponential(0.0)
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).choice([])
+
+    def test_choice_returns_member(self):
+        rng = RandomSource(0)
+        items = ["a", "b", "c"]
+        assert rng.choice(items) in items
+
+    def test_sample_without_replacement(self):
+        rng = RandomSource(0)
+        sample = rng.sample(list(range(10)), 5)
+        assert len(sample) == len(set(sample)) == 5
+
+    def test_sample_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).sample([1, 2], 3)
+
+    def test_shuffle_preserves_elements(self):
+        rng = RandomSource(0)
+        original = list(range(20))
+        shuffled = rng.shuffle(original)
+        assert sorted(shuffled) == original
+        assert original == list(range(20))
+
+
+class TestWeightedIndex:
+    def test_zero_weights_fall_back_to_uniform(self):
+        rng = RandomSource(0)
+        picks = {rng.weighted_index([0.0, 0.0, 0.0]) for _ in range(50)}
+        assert picks <= {0, 1, 2}
+        assert len(picks) > 1
+
+    def test_dominant_weight_usually_wins(self):
+        rng = RandomSource(0)
+        picks = [rng.weighted_index([0.001, 100.0, 0.001]) for _ in range(200)]
+        assert picks.count(1) > 180
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).weighted_index([])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_weighted_index_in_range(self, weights):
+        index = RandomSource(0).weighted_index(weights)
+        assert 0 <= index < len(weights)
+
+
+class TestPoissonProcess:
+    def test_zero_rate_yields_no_events(self):
+        assert RandomSource(0).poisson_process(0.0, 1000.0) == []
+
+    def test_events_within_duration_and_sorted(self):
+        rng = RandomSource(0)
+        events = rng.poisson_process(0.01, 10_000.0)
+        assert all(0.0 <= t < 10_000.0 for t in events)
+        assert events == sorted(events)
+
+    def test_rate_roughly_matches(self):
+        rng = RandomSource(5)
+        duration = 200_000.0
+        rate = 0.005
+        events = rng.poisson_process(rate, duration)
+        expected = rate * duration
+        assert expected * 0.7 < len(events) < expected * 1.3

@@ -1,0 +1,127 @@
+"""Tests for blocks, replicas, and the per-server DataNode."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage.block import Block, BlockReplica, ReplicaState
+from repro.storage.datanode import DataNode
+from repro.traces.datacenter import PrimaryTenant, Server
+from repro.traces.utilization import UtilizationPattern, UtilizationTrace
+
+
+def make_block(replication: int = 3) -> Block:
+    return Block("b1", target_replication=replication)
+
+
+def make_datanode(
+    utilization: float = 0.3, primary_aware: bool = True, disk: float = 10.0
+) -> DataNode:
+    tenant = PrimaryTenant(
+        tenant_id="t",
+        environment="env",
+        machine_function="mf",
+        trace=UtilizationTrace(np.full(50, utilization), UtilizationPattern.CONSTANT),
+        pattern=UtilizationPattern.CONSTANT,
+    )
+    server = Server("s0", "t", disk_gb=disk * 2, harvestable_disk_gb=disk)
+    tenant.servers.append(server)
+    return DataNode(server=server, tenant=tenant, primary_aware=primary_aware)
+
+
+class TestBlock:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Block("b", size_gb=0.0)
+        with pytest.raises(ValueError):
+            Block("b", target_replication=0)
+
+    def test_add_and_count_replicas(self):
+        block = make_block()
+        block.add_replica(BlockReplica("s1", "t1"))
+        block.add_replica(BlockReplica("s2", "t2"))
+        assert block.healthy_count == 2
+        assert block.missing_replicas == 1
+        assert set(block.servers_with_healthy_replicas()) == {"s1", "s2"}
+        assert set(block.tenants_with_healthy_replicas()) == {"t1", "t2"}
+
+    def test_duplicate_server_replica_rejected(self):
+        block = make_block()
+        block.add_replica(BlockReplica("s1", "t1"))
+        with pytest.raises(ValueError):
+            block.add_replica(BlockReplica("s1", "t1"))
+
+    def test_destroy_and_loss(self):
+        block = make_block(replication=2)
+        block.add_replica(BlockReplica("s1", "t1"))
+        block.add_replica(BlockReplica("s2", "t2"))
+        assert block.destroy_replica_on("s1", 10.0)
+        assert not block.lost
+        assert block.missing_replicas == 1
+        assert block.destroy_replica_on("s2", 20.0)
+        assert block.lost
+        assert block.healthy_count == 0
+
+    def test_destroying_missing_replica_is_noop(self):
+        block = make_block()
+        assert not block.destroy_replica_on("unknown", 0.0)
+        block.add_replica(BlockReplica("s1", "t1"))
+        block.destroy_replica_on("s1", 0.0)
+        assert not block.destroy_replica_on("s1", 1.0)
+
+
+class TestDataNode:
+    def test_space_accounting(self):
+        datanode = make_datanode(disk=1.0)
+        block = Block("b1", size_gb=0.25)
+        datanode.store_replica(block)
+        assert datanode.used_space_gb == pytest.approx(0.25)
+        assert datanode.free_space_gb == pytest.approx(0.75)
+        datanode.remove_replica(block)
+        assert datanode.used_space_gb == 0.0
+
+    def test_quota_never_exceeded(self):
+        """Goal G1: never use more space than the primary tenant allows."""
+        datanode = make_datanode(disk=0.5)
+        datanode.store_replica(Block("b1", size_gb=0.25))
+        datanode.store_replica(Block("b2", size_gb=0.25))
+        with pytest.raises(ValueError):
+            datanode.store_replica(Block("b3", size_gb=0.25))
+
+    def test_duplicate_replica_rejected(self):
+        datanode = make_datanode()
+        block = Block("b1", size_gb=0.25)
+        datanode.store_replica(block)
+        with pytest.raises(ValueError):
+            datanode.store_replica(block)
+
+    def test_reimage_clears_everything(self):
+        datanode = make_datanode()
+        blocks = [Block(f"b{i}", size_gb=0.25) for i in range(3)]
+        for block in blocks:
+            datanode.store_replica(block)
+        lost = datanode.reimage()
+        assert lost == {"b0", "b1", "b2"}
+        assert datanode.used_space_gb == 0.0
+        assert datanode.stored_block_ids == set()
+
+    def test_busy_above_threshold(self):
+        busy = make_datanode(utilization=0.8)
+        idle = make_datanode(utilization=0.3)
+        assert busy.is_busy(0.0)
+        assert not busy.can_serve(0.0)
+        assert not idle.is_busy(0.0)
+
+    def test_stock_datanode_never_busy(self):
+        datanode = make_datanode(utilization=0.9, primary_aware=False)
+        assert not datanode.is_busy(0.0)
+        assert datanode.can_serve(0.0)
+
+    def test_busy_threshold_validated(self):
+        with pytest.raises(ValueError):
+            DataNode(
+                server=Server("s", "t"),
+                tenant=PrimaryTenant("t", "e", "m"),
+                busy_threshold=0.0,
+            )

@@ -1,0 +1,74 @@
+"""Tests for the rate-limited re-replication manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.replication import ReplicationManager
+
+
+class TestQueue:
+    def test_enqueue_is_idempotent(self):
+        manager = ReplicationManager()
+        manager.enqueue("b1")
+        manager.enqueue("b1")
+        assert manager.pending_count == 1
+
+    def test_discard(self):
+        manager = ReplicationManager()
+        manager.enqueue("b1")
+        manager.enqueue("b2")
+        manager.discard("b1")
+        assert manager.pending_count == 1
+        manager.discard("missing")
+        assert manager.pending_count == 1
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicationManager(blocks_per_hour_per_server=0.0)
+
+
+class TestRateLimit:
+    def test_budget_accumulates_with_time_and_servers(self):
+        manager = ReplicationManager(blocks_per_hour_per_server=30.0)
+        for i in range(100):
+            manager.enqueue(f"b{i}")
+        # After six minutes with 10 healthy servers: 30 * 10 * 0.1 = 30 blocks.
+        drained = manager.drain(360.0, healthy_servers=10)
+        assert len(drained) == 30
+        assert manager.pending_count == 70
+
+    def test_no_budget_without_elapsed_time(self):
+        manager = ReplicationManager()
+        manager.enqueue("b1")
+        assert manager.drain(0.0, healthy_servers=10) == []
+
+    def test_no_drain_without_healthy_servers(self):
+        manager = ReplicationManager()
+        manager.enqueue("b1")
+        assert manager.drain(3600.0, healthy_servers=0) == []
+
+    def test_budget_capped_at_one_hour_worth(self):
+        manager = ReplicationManager(blocks_per_hour_per_server=30.0)
+        for i in range(1000):
+            manager.enqueue(f"b{i}")
+        # A very long idle period must not bank an unbounded burst.
+        drained = manager.drain(100 * 3600.0, healthy_servers=5)
+        assert len(drained) == 150
+
+    def test_drain_order_is_fifo(self):
+        manager = ReplicationManager(blocks_per_hour_per_server=3600.0)
+        manager.enqueue("first")
+        manager.enqueue("second")
+        drained = manager.drain(3600.0, healthy_servers=1)
+        assert drained[:2] == ["first", "second"]
+
+    def test_credit_consumed_by_drain(self):
+        manager = ReplicationManager(blocks_per_hour_per_server=30.0)
+        for i in range(60):
+            manager.enqueue(f"b{i}")
+        first = manager.drain(3600.0, healthy_servers=1)
+        assert len(first) == 30
+        # No time has passed since the first drain: no extra budget.
+        second = manager.drain(3600.0, healthy_servers=1)
+        assert second == []

@@ -1,0 +1,140 @@
+"""Tests for the datacenter / tenant / server models and the fleet presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.random import RandomSource
+from repro.traces.datacenter import Datacenter, PrimaryTenant, Server
+from repro.traces.fleet import (
+    DatacenterSpec,
+    build_datacenter,
+    build_fleet,
+    fleet_specs,
+)
+from repro.traces.utilization import UtilizationPattern
+
+
+class TestServer:
+    def test_invalid_resources_rejected(self):
+        with pytest.raises(ValueError):
+            Server("s", "t", cores=0)
+        with pytest.raises(ValueError):
+            Server("s", "t", memory_gb=0)
+
+    def test_harvestable_cannot_exceed_total_disk(self):
+        with pytest.raises(ValueError):
+            Server("s", "t", disk_gb=100.0, harvestable_disk_gb=200.0)
+
+
+class TestPrimaryTenant:
+    def test_statistics_require_trace(self):
+        tenant = PrimaryTenant("t", "env", "mf")
+        with pytest.raises(ValueError):
+            tenant.mean_utilization()
+        with pytest.raises(ValueError):
+            tenant.utilization_at(0.0)
+
+    def test_harvestable_disk_sums_servers(self, small_tenants):
+        tenant = small_tenants[0]
+        expected = sum(s.harvestable_disk_gb for s in tenant.servers)
+        assert tenant.harvestable_disk_gb == pytest.approx(expected)
+
+    def test_peak_at_least_mean(self, small_tenants):
+        for tenant in small_tenants:
+            assert tenant.peak_utilization() >= tenant.mean_utilization() - 1e-9
+
+
+class TestDatacenter:
+    def test_duplicate_tenant_rejected(self, small_tenants):
+        datacenter = Datacenter("DC-test")
+        datacenter.add_tenant(small_tenants[0])
+        with pytest.raises(ValueError):
+            datacenter.add_tenant(small_tenants[0])
+
+    def test_counts(self, small_datacenter):
+        assert small_datacenter.num_tenants == 6
+        assert small_datacenter.num_servers == 6 * 4
+        assert len(small_datacenter.servers) == small_datacenter.num_servers
+
+    def test_tenant_of_server(self, small_datacenter):
+        server = small_datacenter.servers[0]
+        tenant = small_datacenter.tenant_of_server(server.server_id)
+        assert server.tenant_id == tenant.tenant_id
+        with pytest.raises(KeyError):
+            small_datacenter.tenant_of_server("nonexistent")
+
+    def test_environments_derived_from_tenants(self, small_datacenter):
+        envs = small_datacenter.environments
+        assert len(envs) == 6
+        for env in envs.values():
+            assert len(env.tenant_ids) == 1
+
+    def test_server_fraction_by_pattern_sums_to_one(self, small_datacenter):
+        fractions = small_datacenter.server_fraction_by_pattern()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_mean_utilization_weighted_by_servers(self, small_datacenter):
+        mean = small_datacenter.mean_utilization()
+        assert 0.0 < mean < 1.0
+
+    def test_utilization_matrix_shape(self, small_datacenter):
+        matrix = small_datacenter.utilization_matrix()
+        assert matrix.shape[0] == small_datacenter.num_tenants
+
+
+class TestFleet:
+    def test_ten_datacenter_specs(self):
+        specs = fleet_specs()
+        assert len(specs) == 10
+        assert [s.name for s in specs] == [f"DC-{i}" for i in range(10)]
+
+    def test_spec_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            DatacenterSpec(
+                name="bad",
+                tenant_class_mix={
+                    UtilizationPattern.PERIODIC: 0.5,
+                    UtilizationPattern.CONSTANT: 0.2,
+                    UtilizationPattern.UNPREDICTABLE: 0.1,
+                },
+            )
+
+    def test_build_datacenter_has_all_patterns(self, rng):
+        spec = fleet_specs()[9]
+        datacenter = build_datacenter(spec, rng, scale=0.05)
+        by_pattern = datacenter.tenants_by_pattern()
+        for pattern in UtilizationPattern:
+            assert by_pattern[pattern], f"no tenants with pattern {pattern}"
+
+    def test_build_datacenter_is_deterministic(self):
+        spec = fleet_specs()[0]
+        a = build_datacenter(spec, RandomSource(3), scale=0.05)
+        b = build_datacenter(spec, RandomSource(3), scale=0.05)
+        assert sorted(a.tenants) == sorted(b.tenants)
+        assert a.num_servers == b.num_servers
+
+    def test_scale_changes_size(self, rng):
+        spec = fleet_specs()[0]
+        small = build_datacenter(spec, rng, scale=0.05)
+        large = build_datacenter(spec, rng, scale=0.1)
+        assert large.num_tenants > small.num_tenants
+
+    def test_periodic_minority_of_tenants_majority_weighted_servers(self, rng):
+        """Figures 2 and 3: periodic tenants are few but own many servers."""
+        spec = fleet_specs()[9]
+        datacenter = build_datacenter(spec, rng, scale=0.2)
+        by_pattern = datacenter.tenants_by_pattern()
+        periodic_tenants = len(by_pattern[UtilizationPattern.PERIODIC])
+        constant_tenants = len(by_pattern[UtilizationPattern.CONSTANT])
+        assert periodic_tenants < constant_tenants
+        server_fraction = datacenter.server_fraction_by_pattern()
+        assert server_fraction[UtilizationPattern.PERIODIC] > 0.25
+
+    def test_build_fleet_returns_all_names(self, rng):
+        fleet = build_fleet(rng, scale=0.02)
+        assert set(fleet) == {f"DC-{i}" for i in range(10)}
+
+    def test_invalid_scale_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_datacenter(fleet_specs()[0], rng, scale=0.0)

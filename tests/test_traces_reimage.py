@@ -1,0 +1,131 @@
+"""Tests for reimage event generation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.random import RandomSource
+from repro.traces.reimage import (
+    SECONDS_PER_MONTH,
+    ReimageProfile,
+    generate_reimage_events,
+    per_month_tenant_rates,
+    per_server_monthly_counts,
+    reimages_per_server_month,
+)
+
+
+class TestReimageProfile:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ReimageProfile(rate_per_server_month=-0.1)
+
+    def test_burst_fraction_validated(self):
+        with pytest.raises(ValueError):
+            ReimageProfile(burst_fraction=1.5)
+
+    def test_monthly_rates_shape_and_positivity(self):
+        profile = ReimageProfile(rate_per_server_month=0.5)
+        rates = profile.monthly_rates(12, RandomSource(1))
+        assert len(rates) == 12
+        assert (rates > 0).all()
+
+    def test_zero_rate_gives_zero_monthly_rates(self):
+        profile = ReimageProfile(rate_per_server_month=0.0, burst_rate_per_month=0.0)
+        rates = profile.monthly_rates(6, RandomSource(1))
+        assert (rates == 0).all()
+
+    def test_monthly_rates_requires_positive_months(self):
+        with pytest.raises(ValueError):
+            ReimageProfile().monthly_rates(0, RandomSource(1))
+
+
+class TestGeneration:
+    def test_no_servers_no_events(self):
+        events = generate_reimage_events([], ReimageProfile(), 12, RandomSource(0))
+        assert events == []
+
+    def test_events_sorted_and_within_window(self):
+        servers = [f"s{i}" for i in range(10)]
+        events = generate_reimage_events(
+            servers, ReimageProfile(rate_per_server_month=1.0), 6, RandomSource(1)
+        )
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(0 <= t < 6 * SECONDS_PER_MONTH for t in times)
+        assert all(e.server_id in servers for e in events)
+
+    def test_rate_roughly_matches_profile(self):
+        servers = [f"s{i}" for i in range(20)]
+        months = 24
+        profile = ReimageProfile(
+            rate_per_server_month=0.5, burst_rate_per_month=0.0, monthly_variation=0.0
+        )
+        events = generate_reimage_events(servers, profile, months, RandomSource(2))
+        observed = reimages_per_server_month(events, len(servers), months)
+        assert 0.3 < observed < 0.7
+
+    def test_bursts_are_correlated(self):
+        servers = [f"s{i}" for i in range(50)]
+        profile = ReimageProfile(
+            rate_per_server_month=0.0,
+            burst_rate_per_month=2.0,
+            burst_fraction=0.8,
+            monthly_variation=0.0,
+        )
+        events = generate_reimage_events(servers, profile, 3, RandomSource(3))
+        assert events, "expected at least one burst"
+        assert all(e.correlated for e in events)
+        # All events of one burst share a timestamp and hit many servers.
+        by_time: dict[float, int] = {}
+        for event in events:
+            by_time[event.time] = by_time.get(event.time, 0) + 1
+        assert max(by_time.values()) >= 0.8 * len(servers) * 0.9
+
+    def test_months_validated(self):
+        with pytest.raises(ValueError):
+            generate_reimage_events(["s0"], ReimageProfile(), 0, RandomSource(0))
+
+
+class TestAggregation:
+    def test_per_server_counts_average_to_rate(self):
+        servers = ["a", "b"]
+        events = generate_reimage_events(
+            servers,
+            ReimageProfile(rate_per_server_month=1.0, burst_rate_per_month=0.0),
+            12,
+            RandomSource(4),
+        )
+        counts = per_server_monthly_counts(events, servers, 12)
+        assert set(counts) == {"a", "b"}
+        total_rate = sum(counts.values())
+        assert total_rate == pytest.approx(len(events) / 12, rel=1e-9)
+
+    def test_per_month_rates_sum_to_total(self):
+        servers = [f"s{i}" for i in range(5)]
+        months = 6
+        events = generate_reimage_events(
+            servers, ReimageProfile(rate_per_server_month=0.8), months, RandomSource(5)
+        )
+        monthly = per_month_tenant_rates(events, len(servers), months)
+        assert len(monthly) == months
+        assert monthly.sum() * len(servers) == pytest.approx(len(events))
+
+    def test_validation_of_aggregators(self):
+        with pytest.raises(ValueError):
+            reimages_per_server_month([], 0, 1)
+        with pytest.raises(ValueError):
+            per_server_monthly_counts([], ["a"], 0)
+        with pytest.raises(ValueError):
+            per_month_tenant_rates([], 1, 0)
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_rates_are_non_negative(self, num_servers, months):
+        servers = [f"s{i}" for i in range(num_servers)]
+        events = generate_reimage_events(
+            servers, ReimageProfile(rate_per_server_month=0.3), months, RandomSource(6)
+        )
+        assert reimages_per_server_month(events, num_servers, months) >= 0.0

@@ -1,0 +1,154 @@
+"""Tests for the synthetic utilization trace generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.random import RandomSource
+from repro.traces.utilization import (
+    SAMPLE_INTERVAL_SECONDS,
+    SAMPLES_PER_DAY,
+    SAMPLES_PER_MONTH,
+    TraceSpec,
+    UtilizationPattern,
+    UtilizationTrace,
+    average_trace,
+    generate_trace,
+)
+
+
+class TestTraceSpec:
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSpec(UtilizationPattern.CONSTANT, mean_utilization=1.5)
+
+    def test_invalid_days_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSpec(UtilizationPattern.CONSTANT, days=0)
+
+    def test_num_samples(self):
+        spec = TraceSpec(UtilizationPattern.CONSTANT, days=2)
+        assert spec.num_samples == 2 * SAMPLES_PER_DAY
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("pattern", list(UtilizationPattern))
+    def test_values_in_unit_interval(self, pattern):
+        trace = generate_trace(
+            TraceSpec(pattern, mean_utilization=0.4), RandomSource(1)
+        )
+        assert trace.num_samples == SAMPLES_PER_MONTH
+        assert float(trace.values.min()) >= 0.0
+        assert float(trace.values.max()) <= 1.0
+
+    def test_generation_is_deterministic(self):
+        spec = TraceSpec(UtilizationPattern.PERIODIC)
+        a = generate_trace(spec, RandomSource(5))
+        b = generate_trace(spec, RandomSource(5))
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_periodic_has_daily_structure(self):
+        trace = generate_trace(
+            TraceSpec(UtilizationPattern.PERIODIC, mean_utilization=0.4),
+            RandomSource(2),
+        )
+        # Autocorrelation at a one-day lag should be strongly positive.
+        values = trace.values - trace.values.mean()
+        day = SAMPLES_PER_DAY
+        corr = float(
+            np.corrcoef(values[:-day], values[day:])[0, 1]
+        )
+        assert corr > 0.5
+
+    def test_constant_has_low_variation(self):
+        trace = generate_trace(
+            TraceSpec(UtilizationPattern.CONSTANT, mean_utilization=0.3),
+            RandomSource(3),
+        )
+        assert float(trace.values.std()) < 0.06
+
+    def test_unpredictable_has_more_variation_than_constant(self):
+        constant = generate_trace(
+            TraceSpec(UtilizationPattern.CONSTANT, mean_utilization=0.3),
+            RandomSource(4),
+        )
+        unpredictable = generate_trace(
+            TraceSpec(UtilizationPattern.UNPREDICTABLE, mean_utilization=0.3),
+            RandomSource(4),
+        )
+        assert unpredictable.values.std() > constant.values.std()
+
+    @given(st.floats(min_value=0.05, max_value=0.7))
+    @settings(max_examples=20, deadline=None)
+    def test_constant_mean_close_to_spec(self, mean):
+        trace = generate_trace(
+            TraceSpec(UtilizationPattern.CONSTANT, mean_utilization=mean, days=5),
+            RandomSource(9),
+        )
+        assert abs(trace.mean() - mean) < 0.1
+
+
+class TestUtilizationTrace:
+    def test_rejects_out_of_range_values(self):
+        with pytest.raises(ValueError):
+            UtilizationTrace(np.array([0.5, 1.4]), UtilizationPattern.CONSTANT)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            UtilizationTrace(np.array([]), UtilizationPattern.CONSTANT)
+
+    def test_value_at_wraps_around(self):
+        trace = UtilizationTrace(
+            np.array([0.1, 0.2, 0.3]), UtilizationPattern.CONSTANT
+        )
+        period = 3 * SAMPLE_INTERVAL_SECONDS
+        assert trace.value_at(0.0) == pytest.approx(0.1)
+        assert trace.value_at(SAMPLE_INTERVAL_SECONDS) == pytest.approx(0.2)
+        assert trace.value_at(period) == pytest.approx(0.1)
+
+    def test_value_at_negative_time_rejected(self):
+        trace = UtilizationTrace(np.array([0.1]), UtilizationPattern.CONSTANT)
+        with pytest.raises(ValueError):
+            trace.value_at(-1.0)
+
+    def test_peak_is_at_least_mean(self):
+        trace = generate_trace(
+            TraceSpec(UtilizationPattern.PERIODIC, mean_utilization=0.4),
+            RandomSource(6),
+        )
+        assert trace.peak() >= trace.mean()
+
+    def test_window_mean_matches_manual_average(self):
+        values = np.linspace(0.0, 0.9, 10)
+        trace = UtilizationTrace(values, UtilizationPattern.CONSTANT)
+        window = trace.window_mean(0.0, 5 * SAMPLE_INTERVAL_SECONDS)
+        assert window == pytest.approx(values[:5].mean())
+
+    def test_duration(self):
+        trace = UtilizationTrace(np.array([0.1, 0.2]), UtilizationPattern.CONSTANT)
+        assert trace.duration_seconds == 2 * SAMPLE_INTERVAL_SECONDS
+
+
+class TestAverageTrace:
+    def test_average_of_identical_traces_is_identity(self):
+        base = generate_trace(TraceSpec(UtilizationPattern.CONSTANT), RandomSource(1))
+        averaged = average_trace([base, base])
+        np.testing.assert_allclose(averaged.values, base.values)
+
+    def test_average_requires_same_length(self):
+        a = UtilizationTrace(np.array([0.1, 0.2]), UtilizationPattern.CONSTANT)
+        b = UtilizationTrace(np.array([0.1]), UtilizationPattern.CONSTANT)
+        with pytest.raises(ValueError):
+            average_trace([a, b])
+
+    def test_average_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_trace([])
+
+    def test_mixed_patterns_become_unpredictable(self):
+        a = UtilizationTrace(np.array([0.1, 0.2]), UtilizationPattern.CONSTANT)
+        b = UtilizationTrace(np.array([0.3, 0.4]), UtilizationPattern.PERIODIC)
+        assert average_trace([a, b]).pattern is UtilizationPattern.UNPREDICTABLE

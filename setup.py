@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` in environments that lack the ``wheel``
+package (PEP 517 editable builds need it, the legacy path does not).
+"""
+
+from setuptools import setup
+
+setup()

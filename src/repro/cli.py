@@ -10,6 +10,10 @@ figure can be regenerated without writing Python::
     python -m repro.cli durability --blocks 2000
     python -m repro.cli availability --levels 0.3 0.5 0.66
     python -m repro.cli microbench
+    python -m repro.cli run-scenario --list
+    python -m repro.cli run-scenario fig15-durability
+
+(With the package installed, ``repro <subcommand>`` works as well.)
 """
 
 from __future__ import annotations
@@ -26,6 +30,15 @@ from repro.experiments.microbench import run_microbenchmarks
 from repro.experiments.report import format_float, format_table
 from repro.experiments.scheduling import run_datacenter_sweep
 from repro.experiments.testbed import run_scheduling_testbed, run_storage_testbed
+from repro.harness import get_scenario, iter_scenarios, run_scenario
+from repro.harness.results import (
+    AvailabilityResult,
+    DurabilityResult,
+    FleetImprovementResult,
+    SchedulingSweepResult,
+    SchedulingTestbedResult,
+    StorageTestbedResult,
+)
 from repro.simulation.random import RandomSource
 from repro.traces import build_fleet
 from repro.traces.scaling import ScalingMethod
@@ -73,32 +86,13 @@ def cmd_characterize(args: argparse.Namespace) -> str:
 def cmd_testbed(args: argparse.Namespace) -> str:
     """Scheduling testbed comparison (Figures 10 and 11)."""
     result = run_scheduling_testbed(_scale_from_args(args), seed=args.seed)
-    rows = [["No-Harvesting", f"{result.no_harvesting_p99_ms:.0f}", "-", "-", "-"]]
-    for name in ("YARN-Stock", "YARN-PT", "YARN-H"):
-        v = result.variant(name)
-        rows.append([
-            name, f"{v.average_p99_ms:.0f}", f"{v.average_job_seconds:.0f}",
-            v.tasks_killed, f"{100 * v.average_cpu_utilization:.0f}%",
-        ])
-    return format_table(
-        ["variant", "avg p99 (ms)", "avg job (s)", "kills", "cpu util"],
-        rows,
-        title="Scheduling testbed",
-    )
+    return render_scenario_result(result)
 
 
 def cmd_storage_testbed(args: argparse.Namespace) -> str:
     """Storage testbed comparison (Figure 12)."""
     result = run_storage_testbed(_scale_from_args(args), seed=args.seed)
-    rows = [["No-Harvesting", f"{result.no_harvesting_p99_ms:.0f}", "-", "-"]]
-    for name in ("HDFS-Stock", "HDFS-PT", "HDFS-H"):
-        v = result.variant(name)
-        rows.append([name, f"{v.average_p99_ms:.0f}", v.failed_accesses, v.served_accesses])
-    return format_table(
-        ["variant", "avg p99 (ms)", "failed accesses", "served accesses"],
-        rows,
-        title="Storage testbed",
-    )
+    return render_scenario_result(result)
 
 
 def cmd_sweep(args: argparse.Namespace) -> str:
@@ -110,18 +104,7 @@ def cmd_sweep(args: argparse.Namespace) -> str:
         scale=_scale_from_args(args),
         seed=args.seed,
     )
-    rows = [
-        [
-            p.scaling.value, f"{p.target_utilization:.2f}", f"{p.yarn_pt_seconds:.0f}",
-            f"{p.yarn_h_seconds:.0f}", f"{100 * p.improvement:.0f}%",
-        ]
-        for p in sweep.points
-    ]
-    return format_table(
-        ["scaling", "target util", "YARN-PT (s)", "YARN-H (s)", "improvement"],
-        rows,
-        title=f"{args.datacenter} utilization sweep",
-    )
+    return render_scenario_result(sweep)
 
 
 def cmd_durability(args: argparse.Namespace) -> str:
@@ -180,6 +163,102 @@ def cmd_microbench(args: argparse.Namespace) -> str:
     )
 
 
+def render_scenario_result(result: object) -> str:
+    """Format any scenario result as the table its figure uses."""
+    if isinstance(result, DurabilityResult):
+        rows = [
+            [variant, replication, r.blocks_created, r.blocks_lost,
+             f"{100 * r.lost_fraction:.4f}%"]
+            for (variant, replication), r in sorted(result.results.items())
+        ]
+        return format_table(
+            ["system", "replication", "blocks", "lost", "lost fraction"],
+            rows,
+            title=f"Durability ({result.datacenter})",
+        )
+    if isinstance(result, AvailabilityResult):
+        variants = sorted({(p.variant, p.replication) for p in result.points})
+        levels = sorted({p.target_utilization for p in result.points})
+        rows = [
+            [f"{util:.2f}"]
+            + [
+                f"{100 * result.failed_fraction(v, r, util):.2f}%"
+                for v, r in variants
+            ]
+            for util in levels
+        ]
+        return format_table(
+            ["avg util"] + [f"{v} R{r}" for v, r in variants],
+            rows,
+            title=f"Availability ({result.datacenter}, {result.scaling.value})",
+        )
+    if isinstance(result, SchedulingSweepResult):
+        rows = [
+            [p.scaling.value, f"{p.target_utilization:.2f}",
+             f"{p.yarn_pt_seconds:.0f}", f"{p.yarn_h_seconds:.0f}",
+             f"{100 * p.improvement:.0f}%"]
+            for p in result.points
+        ]
+        return format_table(
+            ["scaling", "target util", "YARN-PT (s)", "YARN-H (s)", "improvement"],
+            rows,
+            title=f"{result.datacenter} utilization sweep",
+        )
+    if isinstance(result, FleetImprovementResult):
+        rows = [
+            [name, f"{100 * s['min']:.0f}%", f"{100 * s['avg']:.0f}%",
+             f"{100 * s['max']:.0f}%"]
+            for name, s in sorted(result.summary().items())
+        ]
+        return format_table(
+            ["DC", "min", "avg", "max"], rows, title="Fleet improvements"
+        )
+    if isinstance(result, SchedulingTestbedResult):
+        rows = [["No-Harvesting", f"{result.no_harvesting_p99_ms:.0f}", "-", "-", "-"]]
+        for name, v in result.variants.items():
+            rows.append([
+                name, f"{v.average_p99_ms:.0f}", f"{v.average_job_seconds:.0f}",
+                v.tasks_killed, f"{100 * v.average_cpu_utilization:.0f}%",
+            ])
+        return format_table(
+            ["variant", "avg p99 (ms)", "avg job (s)", "kills", "cpu util"],
+            rows,
+            title="Scheduling testbed",
+        )
+    if isinstance(result, StorageTestbedResult):
+        rows = [["No-Harvesting", f"{result.no_harvesting_p99_ms:.0f}", "-", "-"]]
+        for name, v in result.variants.items():
+            rows.append([
+                name, f"{v.average_p99_ms:.0f}", v.failed_accesses, v.served_accesses,
+            ])
+        return format_table(
+            ["variant", "avg p99 (ms)", "failed accesses", "served accesses"],
+            rows,
+            title="Storage testbed",
+        )
+    return repr(result)
+
+
+def cmd_run_scenario(args: argparse.Namespace) -> str:
+    """Run any registered scenario by name (or list them)."""
+    if args.list or not args.name:
+        rows = [
+            [spec.name, spec.kind, spec.figure or "-", spec.description]
+            for spec in iter_scenarios()
+        ]
+        return format_table(
+            ["scenario", "kind", "figure", "description"],
+            rows,
+            title="Registered scenarios",
+        )
+    try:
+        spec = get_scenario(args.name)
+    except KeyError as error:
+        raise SystemExit(f"error: {error.args[0]}") from None
+    result = run_scenario(spec, seed=args.seed)
+    return render_scenario_result(result)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -222,6 +301,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = subparsers.add_parser("microbench", help="Section 6.2 microbenchmarks")
     p.set_defaults(func=cmd_microbench)
 
+    p = subparsers.add_parser(
+        "run-scenario", help="run any registered scenario by name"
+    )
+    p.add_argument("name", nargs="?", default=None)
+    p.add_argument("--list", action="store_true", help="list registered scenarios")
+    p.set_defaults(func=cmd_run_scenario)
+
     return parser
 
 
@@ -229,7 +315,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    print(args.func(args))
+    try:
+        print(args.func(args))
+    except BrokenPipeError:  # e.g. `repro ... | head` closing the pipe early
+        return 0
     return 0
 
 

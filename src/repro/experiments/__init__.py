@@ -1,10 +1,12 @@
-"""Experiment drivers: one per table or figure in the paper's evaluation.
+"""Experiment entry points: one per table or figure in the paper's evaluation.
 
-Every driver builds its workload from the synthetic fleet, runs the relevant
-simulators for each system variant, and returns a small result dataclass the
-benchmarks and EXPERIMENTS.md consume.  The drivers expose ``quick`` knobs
-(shorter durations, fewer blocks, smaller clusters) so the benchmark suite
-can regenerate every figure's shape in minutes.
+Every driver assembles a :class:`repro.harness.ScenarioSpec` from its
+arguments and hands it to the shared :class:`repro.harness.ExperimentHarness`,
+which builds the synthetic fleet, runs the relevant simulators for each
+system variant, and returns a small result dataclass the benchmarks consume.
+The drivers expose ``quick`` knobs (shorter durations, fewer blocks, smaller
+clusters) so the benchmark suite can regenerate every figure's shape in
+minutes.
 """
 
 from repro.experiments.config import ExperimentScale, TESTBED_SCALE, QUICK_SCALE

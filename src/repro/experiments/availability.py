@@ -8,149 +8,27 @@ currently above the busy threshold.  The paper reports that HDFS-H shows no
 unavailability up to roughly 40% average utilization under linear scaling
 (50% under root scaling), and that HDFS-H at three-way replication beats
 HDFS-Stock at four-way replication for most utilization levels.
+
+The experiment itself runs on the shared scenario harness
+(:mod:`repro.harness`), where the sampled accesses are evaluated as one
+batch over the vectorized :class:`repro.traces.matrix.TraceMatrix`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.core.grid import TenantPlacementStats
 from repro.experiments.config import ExperimentScale, QUICK_SCALE
-from repro.simulation.random import RandomSource
-from repro.storage.datanode import DataNode
-from repro.storage.namenode import AccessResult, NameNode
-from repro.storage.placement_policies import (
-    HistoryPlacementPolicy,
-    StockPlacementPolicy,
-)
-from repro.traces.datacenter import PrimaryTenant
-from repro.traces.fleet import build_datacenter, fleet_specs
-from repro.traces.scaling import ScalingMethod, fleet_scaling_factor, scale_trace
+from repro.harness.harness import ExperimentHarness
+from repro.harness.results import AvailabilityPoint, AvailabilityResult
+from repro.harness.spec import ScenarioSpec
+from repro.traces.scaling import ScalingMethod
 
-
-@dataclass
-class AvailabilityPoint:
-    """Failed-access fraction for one (system, replication, utilization)."""
-
-    variant: str
-    replication: int
-    target_utilization: float
-    accesses: int
-    failed_accesses: int
-
-    @property
-    def failed_fraction(self) -> float:
-        """Fraction of accesses that could not be served."""
-        if self.accesses == 0:
-            return 0.0
-        return self.failed_accesses / self.accesses
-
-
-@dataclass
-class AvailabilityResult:
-    """Figure 16: failed accesses vs utilization per system and replication."""
-
-    datacenter: str
-    scaling: ScalingMethod
-    points: List[AvailabilityPoint] = field(default_factory=list)
-
-    def series(self, variant: str, replication: int) -> List[AvailabilityPoint]:
-        """Points for one system/replication ordered by utilization."""
-        return sorted(
-            (
-                p
-                for p in self.points
-                if p.variant == variant and p.replication == replication
-            ),
-            key=lambda p: p.target_utilization,
-        )
-
-    def failed_fraction(
-        self, variant: str, replication: int, target_utilization: float
-    ) -> float:
-        """Failed fraction at one utilization level (nearest point)."""
-        series = self.series(variant, replication)
-        if not series:
-            return 0.0
-        closest = min(series, key=lambda p: abs(p.target_utilization - target_utilization))
-        return closest.failed_fraction
-
-
-def _placement_stats(tenants: Sequence[PrimaryTenant]) -> List[TenantPlacementStats]:
-    return [
-        TenantPlacementStats(
-            tenant_id=t.tenant_id,
-            environment=t.environment,
-            reimage_rate=t.reimage_profile.rate_per_server_month,
-            peak_utilization=t.peak_utilization(),
-            available_space_gb=t.harvestable_disk_gb,
-            server_ids=[s.server_id for s in t.servers],
-            racks_by_server={s.server_id: s.rack for s in t.servers},
-        )
-        for t in tenants
-    ]
-
-
-def _build_namenode(
-    variant: str,
-    tenants: Sequence[PrimaryTenant],
-    replication: int,
-    rng: RandomSource,
-) -> NameNode:
-    datanodes = [
-        DataNode(server=s, tenant=t, primary_aware=True)
-        for t in tenants
-        for s in t.servers
-    ]
-    if variant == "HDFS-H":
-        policy = HistoryPlacementPolicy(rng=rng.fork("policy"))
-        policy.update_clustering(_placement_stats(tenants))
-    else:
-        policy = StockPlacementPolicy(rng=rng.fork("policy"))
-    # Accesses are always checked against busy servers here (even for the
-    # stock placement) because Figure 16 measures whether the *placement*
-    # provides enough diversity, not whether the DataNode throttles.
-    return NameNode(
-        datanodes,
-        policy,
-        primary_aware=True,
-        default_replication=replication,
-        rng=rng.fork("namenode"),
-    )
-
-
-def _scaled_tenants(
-    tenants: Sequence[PrimaryTenant],
-    target: float,
-    scaling: ScalingMethod,
-) -> List[PrimaryTenant]:
-    """Scale every tenant by one common factor towards the fleet target mean."""
-    traced = [t for t in tenants if t.trace is not None]
-    if not traced:
-        return []
-    factor = fleet_scaling_factor(
-        [t.trace for t in traced],
-        target,
-        scaling,
-        weights=[float(max(1, t.num_servers)) for t in traced],
-    )
-    scaled: List[PrimaryTenant] = []
-    for tenant in traced:
-        scaled.append(
-            PrimaryTenant(
-                tenant_id=tenant.tenant_id,
-                environment=tenant.environment,
-                machine_function=tenant.machine_function,
-                servers=list(tenant.servers),
-                trace=scale_trace(tenant.trace, factor, scaling),
-                reimage_profile=tenant.reimage_profile,
-                pattern=tenant.pattern,
-            )
-        )
-    return scaled
+__all__ = [
+    "AvailabilityPoint",
+    "AvailabilityResult",
+    "run_availability_experiment",
+]
 
 
 def run_availability_experiment(
@@ -165,75 +43,19 @@ def run_availability_experiment(
     servers_per_tenant_limit: Optional[int] = 4,
 ) -> AvailabilityResult:
     """Figure 16: failed-access fraction across the utilization spectrum."""
-    if accesses_per_point <= 0:
-        raise ValueError("accesses_per_point must be positive")
-    rng = RandomSource(seed)
-    spec = [s for s in fleet_specs() if s.name == datacenter_name]
-    if not spec:
-        raise ValueError(f"unknown datacenter {datacenter_name}")
-    datacenter = build_datacenter(spec[0], rng.fork("fleet"), scale=scale.datacenter_scale)
-
-    base_tenants = sorted(datacenter.tenants.values(), key=lambda t: t.tenant_id)
-    if max_tenants is not None:
-        base_tenants = base_tenants[:max_tenants]
-    trimmed: List[PrimaryTenant] = []
-    for tenant in base_tenants:
-        servers = tenant.servers
-        if servers_per_tenant_limit is not None:
-            servers = servers[:servers_per_tenant_limit]
-        trimmed.append(
-            PrimaryTenant(
-                tenant_id=tenant.tenant_id,
-                environment=tenant.environment,
-                machine_function=tenant.machine_function,
-                servers=list(servers),
-                trace=tenant.trace,
-                reimage_profile=tenant.reimage_profile,
-                pattern=tenant.pattern,
-            )
-        )
-
-    duration_seconds = scale.simulation_days * 24 * 3600.0
-    num_blocks = min(scale.num_blocks, 2000)
-
-    result = AvailabilityResult(datacenter_name, scaling)
-    for target in utilization_levels:
-        tenants = _scaled_tenants(trimmed, target, scaling)
-        all_servers = [s.server_id for t in tenants for s in t.servers]
-        for replication in replication_levels:
-            for variant in ("HDFS-Stock", "HDFS-H"):
-                variant_rng = rng.fork(f"{variant}-{replication}-{target}")
-                namenode = _build_namenode(variant, tenants, replication, variant_rng)
-                block_ids: List[str] = []
-                for _ in range(num_blocks):
-                    creator = variant_rng.choice(all_servers)
-                    outcome = namenode.create_block(0.0, creating_server_id=creator)
-                    if outcome.block is not None:
-                        block_ids.append(outcome.block.block_id)
-                # Blocks whose creation coincided with busy candidate servers
-                # start under-replicated; the background re-replication loop
-                # tops them up before accesses are sampled, as it would in a
-                # steadily running deployment.
-                for topup_round in range(1, 7):
-                    namenode.run_replication(topup_round * 1800.0)
-
-                failed = 0
-                total = 0
-                if block_ids:
-                    for _ in range(accesses_per_point):
-                        access_time = variant_rng.uniform(0.0, duration_seconds)
-                        block_id = variant_rng.choice(block_ids)
-                        outcome = namenode.access_block(block_id, access_time)
-                        total += 1
-                        if outcome is AccessResult.UNAVAILABLE:
-                            failed += 1
-                result.points.append(
-                    AvailabilityPoint(
-                        variant=variant,
-                        replication=replication,
-                        target_utilization=target,
-                        accesses=total,
-                        failed_accesses=failed,
-                    )
-                )
-    return result
+    spec = ScenarioSpec(
+        name="availability",
+        kind="availability",
+        figure="16",
+        datacenter=datacenter_name,
+        scale=scale,
+        variants=("HDFS-Stock", "HDFS-H"),
+        replication_levels=tuple(replication_levels),
+        utilization_levels=tuple(utilization_levels),
+        scalings=(scaling,),
+        max_tenants=max_tenants,
+        servers_per_tenant_limit=servers_per_tenant_limit,
+        seed=seed,
+        params={"accesses_per_point": accesses_per_point},
+    )
+    return ExperimentHarness(spec).run()

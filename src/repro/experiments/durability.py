@@ -6,201 +6,27 @@ how many blocks lose every replica before re-replication can restore them.
 HDFS-Stock and HDFS-H are compared at replication levels three and four; the
 paper reports that HDFS-H reduces loss by more than two orders of magnitude
 at R=3 and eliminates it at R=4.
+
+The experiment itself runs on the shared scenario harness
+(:mod:`repro.harness`); this module is the thin, figure-named entry point.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.core.grid import TenantPlacementStats
 from repro.experiments.config import ExperimentScale, QUICK_SCALE
-from repro.simulation.random import RandomSource
-from repro.storage.datanode import DataNode
-from repro.storage.namenode import NameNode
-from repro.storage.placement_policies import (
-    HistoryPlacementPolicy,
-    StockPlacementPolicy,
-)
-from repro.traces.datacenter import Datacenter, PrimaryTenant
-from repro.traces.fleet import build_datacenter, fleet_specs
-from repro.traces.reimage import ReimageEvent, generate_reimage_events
+from repro.harness.harness import ExperimentHarness
+from repro.harness.results import DurabilityResult, VariantDurabilityResult
+from repro.harness.runners import REPLICATION_PERIOD_SECONDS
+from repro.harness.spec import ScenarioSpec
 
-#: How often the NameNode's re-replication loop runs in the simulation.
-REPLICATION_PERIOD_SECONDS = 600.0
-
-
-@dataclass
-class VariantDurabilityResult:
-    """Durability outcome for one (system, replication level) pair."""
-
-    variant: str
-    replication: int
-    blocks_created: int
-    blocks_lost: int
-    reimage_events: int
-
-    @property
-    def lost_fraction(self) -> float:
-        """Fraction of blocks lost during the simulated period."""
-        if self.blocks_created == 0:
-            return 0.0
-        return self.blocks_lost / self.blocks_created
-
-
-@dataclass
-class DurabilityResult:
-    """Figure 15: lost blocks per datacenter, system, and replication level."""
-
-    datacenter: str
-    results: Dict[Tuple[str, int], VariantDurabilityResult] = field(default_factory=dict)
-
-    def result(self, variant: str, replication: int) -> VariantDurabilityResult:
-        """Result for one system at one replication level."""
-        return self.results[(variant, replication)]
-
-    def loss_reduction_factor(self, replication: int) -> float:
-        """How many times fewer blocks HDFS-H loses than HDFS-Stock.
-
-        Infinite (represented as ``float('inf')``) when HDFS-H loses nothing
-        while HDFS-Stock loses some.
-        """
-        stock = self.result("HDFS-Stock", replication).blocks_lost
-        history = self.result("HDFS-H", replication).blocks_lost
-        if history == 0:
-            return float("inf") if stock > 0 else 1.0
-        return stock / history
-
-
-def _placement_stats(tenants: Sequence[PrimaryTenant]) -> List[TenantPlacementStats]:
-    stats: List[TenantPlacementStats] = []
-    for tenant in tenants:
-        stats.append(
-            TenantPlacementStats(
-                tenant_id=tenant.tenant_id,
-                environment=tenant.environment,
-                reimage_rate=tenant.reimage_profile.rate_per_server_month,
-                peak_utilization=tenant.peak_utilization(),
-                available_space_gb=tenant.harvestable_disk_gb,
-                server_ids=[s.server_id for s in tenant.servers],
-                racks_by_server={s.server_id: s.rack for s in tenant.servers},
-            )
-        )
-    return stats
-
-
-def _build_namenode(
-    variant: str,
-    tenants: Sequence[PrimaryTenant],
-    replication: int,
-    rng: RandomSource,
-) -> NameNode:
-    primary_aware = variant != "HDFS-Stock"
-    datanodes = [
-        DataNode(server=s, tenant=t, primary_aware=primary_aware)
-        for t in tenants
-        for s in t.servers
-    ]
-    if variant == "HDFS-H":
-        policy = HistoryPlacementPolicy(rng=rng.fork("policy"))
-        policy.update_clustering(_placement_stats(tenants))
-    else:
-        policy = StockPlacementPolicy(rng=rng.fork("policy"))
-    return NameNode(
-        datanodes,
-        policy,
-        primary_aware=primary_aware,
-        default_replication=replication,
-        rng=rng.fork("namenode"),
-    )
-
-
-def _reimage_schedule(
-    tenants: Sequence[PrimaryTenant],
-    months: int,
-    rng: RandomSource,
-    environment_burst_rate_per_month: float = 0.1,
-    environment_burst_fraction: float = 0.9,
-) -> List[ReimageEvent]:
-    """All reimage events across the tenants, sorted by time.
-
-    Two sources are combined: each tenant's own reimage profile (independent
-    per-server reimages plus tenant-level bursts) and *environment-wide*
-    bursts that reimage most servers of an environment at once — the
-    redeployment / repurposing events the paper identifies as the main threat
-    to durability, and the reason Algorithm 2 never co-locates replicas in
-    one environment.
-    """
-    from repro.traces.reimage import ReimageProfile
-
-    events: List[ReimageEvent] = []
-    environments: dict[str, List[str]] = {}
-    for tenant in tenants:
-        server_ids = [s.server_id for s in tenant.servers]
-        environments.setdefault(tenant.environment, []).extend(server_ids)
-        events.extend(
-            generate_reimage_events(
-                server_ids, tenant.reimage_profile, months, rng.fork(tenant.tenant_id)
-            )
-        )
-    burst_profile = ReimageProfile(
-        rate_per_server_month=0.0,
-        burst_rate_per_month=environment_burst_rate_per_month,
-        burst_fraction=environment_burst_fraction,
-        monthly_variation=0.0,
-    )
-    for environment, server_ids in environments.items():
-        events.extend(
-            generate_reimage_events(
-                server_ids, burst_profile, months, rng.fork(f"env-burst-{environment}")
-            )
-        )
-    events.sort(key=lambda e: e.time)
-    return events
-
-
-def _run_durability_variant(
-    variant: str,
-    replication: int,
-    tenants: Sequence[PrimaryTenant],
-    reimages: Sequence[ReimageEvent],
-    num_blocks: int,
-    duration_seconds: float,
-    rng: RandomSource,
-) -> VariantDurabilityResult:
-    """Create blocks up front, then replay the reimage schedule."""
-    namenode = _build_namenode(variant, tenants, replication, rng)
-    all_servers = [s.server_id for t in tenants for s in t.servers]
-
-    created = 0
-    for _ in range(num_blocks):
-        creator = rng.choice(all_servers)
-        outcome = namenode.create_block(0.0, creating_server_id=creator)
-        if outcome.block is not None:
-            created += 1
-
-    # Replay reimages interleaved with periodic re-replication rounds.
-    next_replication = REPLICATION_PERIOD_SECONDS
-    for event in reimages:
-        if event.time > duration_seconds:
-            break
-        while next_replication < event.time:
-            namenode.run_replication(next_replication)
-            next_replication += REPLICATION_PERIOD_SECONDS
-        namenode.handle_reimage(event.server_id, event.time)
-    while next_replication <= duration_seconds:
-        namenode.run_replication(next_replication)
-        next_replication += REPLICATION_PERIOD_SECONDS
-
-    return VariantDurabilityResult(
-        variant=variant,
-        replication=replication,
-        blocks_created=created,
-        blocks_lost=len(namenode.lost_blocks()),
-        reimage_events=sum(1 for e in reimages if e.time <= duration_seconds),
-    )
+__all__ = [
+    "DurabilityResult",
+    "VariantDurabilityResult",
+    "REPLICATION_PERIOD_SECONDS",
+    "run_durability_experiment",
+]
 
 
 def run_durability_experiment(
@@ -214,53 +40,20 @@ def run_durability_experiment(
     environment_burst_fraction: float = 0.9,
 ) -> DurabilityResult:
     """Figure 15: one-year durability comparison for one datacenter."""
-    rng = RandomSource(seed)
-    spec = [s for s in fleet_specs() if s.name == datacenter_name]
-    if not spec:
-        raise ValueError(f"unknown datacenter {datacenter_name}")
-    datacenter = build_datacenter(spec[0], rng.fork("fleet"), scale=scale.datacenter_scale)
-
-    tenants = sorted(datacenter.tenants.values(), key=lambda t: t.tenant_id)
-    if max_tenants is not None:
-        tenants = tenants[:max_tenants]
-    limited: List[PrimaryTenant] = []
-    for tenant in tenants:
-        servers = tenant.servers
-        if servers_per_tenant_limit is not None:
-            servers = servers[:servers_per_tenant_limit]
-        limited.append(
-            PrimaryTenant(
-                tenant_id=tenant.tenant_id,
-                environment=tenant.environment,
-                machine_function=tenant.machine_function,
-                servers=list(servers),
-                trace=tenant.trace,
-                reimage_profile=tenant.reimage_profile,
-                pattern=tenant.pattern,
-            )
-        )
-
-    months = max(1, int(round(scale.durability_days / 30.0)))
-    duration_seconds = scale.durability_days * 24 * 3600.0
-    reimages = _reimage_schedule(
-        limited,
-        months,
-        rng.fork("reimages"),
-        environment_burst_rate_per_month=environment_burst_rate_per_month,
-        environment_burst_fraction=environment_burst_fraction,
+    spec = ScenarioSpec(
+        name="durability",
+        kind="durability",
+        figure="15",
+        datacenter=datacenter_name,
+        scale=scale,
+        variants=("HDFS-Stock", "HDFS-H"),
+        replication_levels=tuple(replication_levels),
+        max_tenants=max_tenants,
+        servers_per_tenant_limit=servers_per_tenant_limit,
+        seed=seed,
+        params={
+            "environment_burst_rate_per_month": environment_burst_rate_per_month,
+            "environment_burst_fraction": environment_burst_fraction,
+        },
     )
-
-    result = DurabilityResult(datacenter_name)
-    for replication in replication_levels:
-        for variant in ("HDFS-Stock", "HDFS-H"):
-            variant_rng = rng.fork(f"{variant}-{replication}")
-            result.results[(variant, replication)] = _run_durability_variant(
-                variant,
-                replication,
-                limited,
-                reimages,
-                scale.num_blocks,
-                duration_seconds,
-                variant_rng,
-            )
-    return result
+    return ExperimentHarness(spec).run()

@@ -5,178 +5,38 @@ down (linear and root scaling), run the same TPC-DS-like workload under
 YARN-PT and YARN-H/Tez-H, and compare average batch job execution times.
 Figure 13 sweeps the utilization spectrum for DC-9; Figure 14 summarizes the
 minimum / average / maximum improvement for every datacenter.
+
+Both run on the shared scenario harness (:mod:`repro.harness`); this module
+is the thin, figure-named entry point.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.cluster.resource_manager import SchedulerMode
-from repro.core.job_types import thresholds_from_history
 from repro.experiments.config import ExperimentScale, QUICK_SCALE
-from repro.jobs.scheduler_variants import ClusterConfig, HarvestingCluster
-from repro.jobs.tpcds import TpcdsWorkloadFactory
-from repro.jobs.workload import WorkloadGenerator
-from repro.simulation.random import RandomSource
-from repro.traces.datacenter import Datacenter, PrimaryTenant
-from repro.traces.fleet import build_datacenter, fleet_specs
-from repro.traces.scaling import ScalingMethod, fleet_scaling_factor, scale_trace
-from repro.traces.utilization import UtilizationTrace
+from repro.harness.harness import ExperimentHarness
+from repro.harness.results import (
+    FleetImprovementResult,
+    SchedulingSweepPoint,
+    SchedulingSweepResult,
+)
+from repro.harness.runners import (
+    SIMULATION_DURATION_SCALE,
+    SIMULATION_INTERARRIVAL_SECONDS,
+)
+from repro.harness.spec import ScenarioSpec
+from repro.traces.scaling import ScalingMethod
 
-
-@dataclass
-class SchedulingSweepPoint:
-    """One (utilization level, scaling method) point of the Figure 13 sweep."""
-
-    target_utilization: float
-    scaling: ScalingMethod
-    yarn_pt_seconds: float
-    yarn_h_seconds: float
-    yarn_pt_tasks_killed: int
-    yarn_h_tasks_killed: int
-    jobs_completed_pt: int
-    jobs_completed_h: int
-
-    @property
-    def improvement(self) -> float:
-        """Relative run-time reduction of YARN-H over YARN-PT (0..1)."""
-        if self.yarn_pt_seconds <= 0:
-            return 0.0
-        return max(0.0, 1.0 - self.yarn_h_seconds / self.yarn_pt_seconds)
-
-
-@dataclass
-class SchedulingSweepResult:
-    """Figure 13: sweep points for one datacenter under both scalings."""
-
-    datacenter: str
-    points: List[SchedulingSweepPoint] = field(default_factory=list)
-
-    def points_for(self, scaling: ScalingMethod) -> List[SchedulingSweepPoint]:
-        """The sweep restricted to one scaling method, ordered by utilization."""
-        return sorted(
-            (p for p in self.points if p.scaling is scaling),
-            key=lambda p: p.target_utilization,
-        )
-
-    def improvements(self, scaling: Optional[ScalingMethod] = None) -> List[float]:
-        """Improvement fractions, optionally restricted to one scaling."""
-        points = self.points if scaling is None else self.points_for(scaling)
-        return [p.improvement for p in points]
-
-    def average_improvement(self, scaling: Optional[ScalingMethod] = None) -> float:
-        """Mean improvement over the sweep."""
-        improvements = self.improvements(scaling)
-        return float(np.mean(improvements)) if improvements else 0.0
-
-    def max_improvement(self, scaling: Optional[ScalingMethod] = None) -> float:
-        """Largest improvement seen in the sweep."""
-        improvements = self.improvements(scaling)
-        return float(np.max(improvements)) if improvements else 0.0
-
-    def min_improvement(self, scaling: Optional[ScalingMethod] = None) -> float:
-        """Smallest improvement seen in the sweep."""
-        improvements = self.improvements(scaling)
-        return float(np.min(improvements)) if improvements else 0.0
-
-
-def _scaled_tenants(
-    datacenter: Datacenter,
-    target_utilization: float,
-    scaling: ScalingMethod,
-    max_tenants: Optional[int],
-    servers_per_tenant_limit: Optional[int],
-) -> List[PrimaryTenant]:
-    """Copies of the datacenter's tenants with scaled utilization traces.
-
-    Every tenant is scaled by the *same* factor (chosen so the server-weighted
-    fleet mean reaches the target), preserving the cross-tenant diversity that
-    the history-based policies exploit.
-    """
-    tenants = sorted(datacenter.tenants.values(), key=lambda t: t.tenant_id)
-    if max_tenants is not None:
-        tenants = tenants[:max_tenants]
-    tenants = [t for t in tenants if t.trace is not None]
-    if not tenants:
-        return []
-
-    trimmed_servers = []
-    for tenant in tenants:
-        servers = tenant.servers
-        if servers_per_tenant_limit is not None:
-            servers = servers[:servers_per_tenant_limit]
-        trimmed_servers.append(list(servers))
-
-    factor = fleet_scaling_factor(
-        [t.trace for t in tenants],
-        target_utilization,
-        scaling,
-        weights=[float(max(1, len(s))) for s in trimmed_servers],
-    )
-
-    scaled: List[PrimaryTenant] = []
-    for tenant, servers in zip(tenants, trimmed_servers):
-        scaled.append(
-            PrimaryTenant(
-                tenant_id=tenant.tenant_id,
-                environment=tenant.environment,
-                machine_function=tenant.machine_function,
-                servers=servers,
-                trace=scale_trace(tenant.trace, factor, scaling),
-                reimage_profile=tenant.reimage_profile,
-                pattern=tenant.pattern,
-            )
-        )
-    return scaled
-
-
-#: Job-length multiplier for the datacenter-scale simulations.  The paper
-#: multiplies job lengths and container usage by a scaling factor to generate
-#: enough load for large clusters (Section 6.1); stretching the jobs to hours
-#: also means their lifetimes overlap the primary tenants' diurnal swings,
-#: which is precisely the regime where historical knowledge matters.
-SIMULATION_DURATION_SCALE = 40.0
-
-#: Mean job inter-arrival time used by the datacenter-scale simulations.
-#: Chosen so that batch demand roughly fills the harvestable capacity of the
-#: scaled-down cluster, as in the paper's experiments where long queues form
-#: once primary utilization approaches 60%.
-SIMULATION_INTERARRIVAL_SECONDS = 200.0
-
-
-def _run_variant(
-    mode: SchedulerMode,
-    tenants: Sequence[PrimaryTenant],
-    scale: ExperimentScale,
-    rng: RandomSource,
-) -> HarvestingCluster:
-    """Run one scheduler variant over the scaled tenants."""
-    duration = scale.simulation_days * 24 * 3600.0
-    factory = TpcdsWorkloadFactory(
-        rng.fork("tpcds"), duration_scale=SIMULATION_DURATION_SCALE, width_scale=0.05
-    )
-    thresholds = thresholds_from_history(factory.duration_distribution())
-    cluster = HarvestingCluster(
-        tenants,
-        config=ClusterConfig(
-            mode=mode,
-            heartbeat_seconds=30.0,
-            pump_seconds=120.0,
-            thresholds=thresholds,
-        ),
-        rng=rng.fork(f"cluster-{mode.value}"),
-    )
-    generator = WorkloadGenerator(
-        factory,
-        SIMULATION_INTERARRIVAL_SECONDS,
-        rng.fork(f"workload-{mode.value}"),
-    )
-    cluster.submit_arrivals(generator.arrivals(duration * 0.8))
-    cluster.run(duration)
-    return cluster
+__all__ = [
+    "SchedulingSweepPoint",
+    "SchedulingSweepResult",
+    "FleetImprovementResult",
+    "SIMULATION_DURATION_SCALE",
+    "SIMULATION_INTERARRIVAL_SECONDS",
+    "run_datacenter_sweep",
+    "run_fleet_improvements",
+]
 
 
 def run_datacenter_sweep(
@@ -194,56 +54,19 @@ def run_datacenter_sweep(
     to the target mean, then YARN-PT and YARN-H run the same workload and the
     average job execution times are compared.
     """
-    rng = RandomSource(seed)
-    spec = [s for s in fleet_specs() if s.name == datacenter_name]
-    if not spec:
-        raise ValueError(f"unknown datacenter {datacenter_name}")
-    datacenter = build_datacenter(
-        spec[0], rng.fork("fleet"), scale=scale.datacenter_scale
+    spec = ScenarioSpec(
+        name="scheduling-sweep",
+        kind="scheduling_sweep",
+        figure="13",
+        datacenter=datacenter_name,
+        scale=scale,
+        utilization_levels=tuple(utilization_levels),
+        scalings=tuple(scalings),
+        max_tenants=max_tenants,
+        servers_per_tenant_limit=servers_per_tenant_limit,
+        seed=seed,
     )
-
-    result = SchedulingSweepResult(datacenter_name)
-    for scaling in scalings:
-        for target in utilization_levels:
-            tenants = _scaled_tenants(
-                datacenter, target, scaling, max_tenants, servers_per_tenant_limit
-            )
-            if not tenants:
-                continue
-            point_rng = rng.fork(f"{scaling.value}-{target}")
-            pt = _run_variant(SchedulerMode.PRIMARY_AWARE, tenants, scale, point_rng)
-            h = _run_variant(SchedulerMode.HISTORY, tenants, scale, point_rng)
-            result.points.append(
-                SchedulingSweepPoint(
-                    target_utilization=target,
-                    scaling=scaling,
-                    yarn_pt_seconds=pt.average_job_execution_seconds(),
-                    yarn_h_seconds=h.average_job_execution_seconds(),
-                    yarn_pt_tasks_killed=pt.total_tasks_killed(),
-                    yarn_h_tasks_killed=h.total_tasks_killed(),
-                    jobs_completed_pt=pt.completed_job_count(),
-                    jobs_completed_h=h.completed_job_count(),
-                )
-            )
-    return result
-
-
-@dataclass
-class FleetImprovementResult:
-    """Figure 14: per-datacenter improvement summary."""
-
-    sweeps: Dict[str, SchedulingSweepResult] = field(default_factory=dict)
-
-    def summary(self, scaling: Optional[ScalingMethod] = None) -> Dict[str, Dict[str, float]]:
-        """min / avg / max improvement per datacenter."""
-        table: Dict[str, Dict[str, float]] = {}
-        for name, sweep in self.sweeps.items():
-            table[name] = {
-                "min": sweep.min_improvement(scaling),
-                "avg": sweep.average_improvement(scaling),
-                "max": sweep.max_improvement(scaling),
-            }
-        return table
+    return ExperimentHarness(spec).run()
 
 
 def run_fleet_improvements(
@@ -256,18 +79,18 @@ def run_fleet_improvements(
     servers_per_tenant_limit: Optional[int] = 3,
 ) -> FleetImprovementResult:
     """Figure 14: run the sweep for every datacenter and summarize."""
-    names = list(datacenters) if datacenters is not None else [
-        spec.name for spec in fleet_specs()
-    ]
-    result = FleetImprovementResult()
-    for name in names:
-        result.sweeps[name] = run_datacenter_sweep(
-            datacenter_name=name,
-            utilization_levels=utilization_levels,
-            scalings=scalings,
-            scale=scale,
-            seed=seed,
-            max_tenants=max_tenants,
-            servers_per_tenant_limit=servers_per_tenant_limit,
-        )
-    return result
+    spec = ScenarioSpec(
+        name="fleet-improvements",
+        kind="fleet_improvement",
+        figure="14",
+        scale=scale,
+        utilization_levels=tuple(utilization_levels),
+        scalings=tuple(scalings),
+        max_tenants=max_tenants,
+        servers_per_tenant_limit=servers_per_tenant_limit,
+        seed=seed,
+        params={
+            "datacenters": list(datacenters) if datacenters is not None else None
+        },
+    )
+    return ExperimentHarness(spec).run()

@@ -9,200 +9,33 @@ experiments are run:
   execution times (Figure 11);
 * the *storage* experiment compares HDFS-Stock, HDFS-PT, and HDFS-H on
   primary p99 tail latency and failed accesses (Figure 12 and its text).
+
+Both run on the shared scenario harness (:mod:`repro.harness`); this module
+is the thin, figure-named entry point.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
-
-from repro.cluster.resource_manager import SchedulerMode
-from repro.core.grid import TenantPlacementStats
 from repro.experiments.config import ExperimentScale, QUICK_SCALE
-from repro.jobs.scheduler_variants import ClusterConfig, HarvestingCluster
-from repro.jobs.tpcds import TpcdsWorkloadFactory
-from repro.jobs.workload import WorkloadGenerator
-from repro.services.latency_model import LatencyModel
-from repro.simulation.random import RandomSource
-from repro.storage.datanode import DataNode
-from repro.storage.namenode import AccessResult, NameNode
-from repro.storage.placement_policies import (
-    HistoryPlacementPolicy,
-    StockPlacementPolicy,
+from repro.harness.builders import build_testbed_tenants
+from repro.harness.harness import ExperimentHarness
+from repro.harness.results import (
+    SchedulingTestbedResult,
+    StorageTestbedResult,
+    VariantSchedulingResult,
+    VariantStorageResult,
 )
-from repro.traces.datacenter import Datacenter, PrimaryTenant, Server
-from repro.traces.fleet import build_datacenter, fleet_specs
-from repro.traces.scaling import ScalingMethod, fleet_scaling_factor, scale_trace
-from repro.traces.utilization import UtilizationPattern
+from repro.harness.spec import ScenarioSpec
 
-
-def build_testbed_tenants(
-    scale: ExperimentScale, rng: RandomSource
-) -> List[PrimaryTenant]:
-    """Scale DC-9 down to the testbed: N tenants sharing ``num_servers`` servers.
-
-    The paper reproduces 21 DC-9 primary tenants (13 periodic, 3 constant,
-    5 unpredictable) on 102 servers.  We sample tenants from the synthetic
-    DC-9 with the same pattern mix and re-assign them the testbed's servers.
-    """
-    dc9_spec = [s for s in fleet_specs() if s.name == "DC-9"][0]
-    datacenter = build_datacenter(dc9_spec, rng.fork("testbed-dc9"), scale=0.3)
-
-    desired_mix = {
-        UtilizationPattern.PERIODIC: 13,
-        UtilizationPattern.CONSTANT: 3,
-        UtilizationPattern.UNPREDICTABLE: 5,
-    }
-    total_desired = sum(desired_mix.values())
-    scale_factor = scale.num_tenants / total_desired
-    desired = {
-        pattern: max(1, int(round(count * scale_factor)))
-        for pattern, count in desired_mix.items()
-    }
-
-    by_pattern = datacenter.tenants_by_pattern()
-    selected: List[PrimaryTenant] = []
-    for pattern, count in desired.items():
-        pool = sorted(by_pattern.get(pattern, []), key=lambda t: t.tenant_id)
-        selected.extend(pool[:count])
-
-    if not selected:
-        raise RuntimeError("failed to sample testbed tenants from DC-9")
-
-    # Re-home the tenants onto exactly num_servers testbed servers (12 cores
-    # and 32 GB each as in the paper), dealing the servers out round-robin so
-    # every testbed server is used and tenant sizes stay balanced.
-    testbed_tenants: List[PrimaryTenant] = [
-        PrimaryTenant(
-            tenant_id=tenant.tenant_id,
-            environment=tenant.environment,
-            machine_function=tenant.machine_function,
-            trace=tenant.trace,
-            reimage_profile=tenant.reimage_profile,
-            pattern=tenant.pattern,
-        )
-        for tenant in selected
-    ]
-    for server_index in range(scale.num_servers):
-        owner = testbed_tenants[server_index % len(testbed_tenants)]
-        owner.servers.append(
-            Server(
-                server_id=f"testbed-srv-{server_index}",
-                tenant_id=owner.tenant_id,
-                rack=f"rack-{server_index % 8}",
-                cores=12,
-                memory_gb=32.0,
-            )
-        )
-    return [tenant for tenant in testbed_tenants if tenant.servers]
-
-
-# ---------------------------------------------------------------------------
-# Scheduling testbed (Figures 10 and 11)
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class VariantSchedulingResult:
-    """Per-variant outcome of the scheduling testbed."""
-
-    variant: str
-    average_p99_ms: float
-    max_p99_ms: float
-    average_job_seconds: float
-    jobs_completed: int
-    tasks_killed: int
-    average_cpu_utilization: float
-    latency_samples: List[float] = field(default_factory=list)
-    job_execution_seconds: List[float] = field(default_factory=list)
-
-
-@dataclass
-class SchedulingTestbedResult:
-    """Figure 10/11 results: one entry per system variant plus the baseline."""
-
-    no_harvesting_p99_ms: float
-    variants: Dict[str, VariantSchedulingResult]
-
-    def variant(self, name: str) -> VariantSchedulingResult:
-        """Result for one variant by name (e.g. ``"YARN-H"``)."""
-        return self.variants[name]
-
-
-_SCHEDULING_VARIANTS = {
-    "YARN-Stock": SchedulerMode.STOCK,
-    "YARN-PT": SchedulerMode.PRIMARY_AWARE,
-    "YARN-H": SchedulerMode.HISTORY,
-}
-
-
-def _run_one_scheduling_variant(
-    name: str,
-    mode: SchedulerMode,
-    tenants: Sequence[PrimaryTenant],
-    scale: ExperimentScale,
-    rng: RandomSource,
-) -> VariantSchedulingResult:
-    """Run the testbed workload under one scheduler variant."""
-    duration = scale.experiment_hours * 3600.0
-    cluster = HarvestingCluster(
-        tenants,
-        config=ClusterConfig(mode=mode, record_server_series=True),
-        rng=rng.fork(f"cluster-{name}"),
-    )
-    factory = TpcdsWorkloadFactory(rng.fork("tpcds"), duration_scale=1.0, width_scale=0.35)
-    generator = WorkloadGenerator(
-        factory, scale.mean_interarrival_seconds, rng.fork(f"workload-{name}")
-    )
-    cluster.submit_arrivals(generator.arrivals(duration * 0.8))
-    cluster.run(duration)
-
-    latency_model = LatencyModel(
-        rng=rng.fork(f"latency-{name}"),
-        reserve_fraction=cluster.config.reserve_cpu_fraction,
-    )
-    # Evaluate the primary tail latency per minute from the per-server demand
-    # recorded at every heartbeat during the run.
-    latencies: List[float] = []
-    server_ids = list(cluster.servers.keys())
-    resampled = {}
-    for server_id in server_ids:
-        secondary = cluster.metrics.time_series(f"secondary_cpu.{server_id}")
-        primary = cluster.metrics.time_series(f"primary_cpu.{server_id}")
-        resampled[server_id] = (
-            secondary.resample_mean(60.0),
-            primary.resample_mean(60.0),
-        )
-    num_minutes = min(
-        len(values[0][1]) for values in resampled.values()
-    ) if resampled else 0
-    for minute in range(num_minutes):
-        per_server = []
-        for server_id in server_ids:
-            (_, secondary_values), (_, primary_values) = resampled[server_id]
-            per_server.append(
-                latency_model.p99_latency_ms(
-                    float(min(1.0, primary_values[minute])),
-                    float(secondary_values[minute]),
-                )
-            )
-        latencies.append(float(np.mean(per_server)))
-
-    utilization_series = cluster.metrics.time_series("total_utilization")
-    job_times = [r.execution_seconds for r in cluster.results]
-    return VariantSchedulingResult(
-        variant=name,
-        average_p99_ms=float(np.mean(latencies)) if latencies else 0.0,
-        max_p99_ms=float(np.max(latencies)) if latencies else 0.0,
-        average_job_seconds=cluster.average_job_execution_seconds(),
-        jobs_completed=cluster.completed_job_count(),
-        tasks_killed=cluster.total_tasks_killed(),
-        average_cpu_utilization=utilization_series.mean(),
-        latency_samples=latencies,
-        job_execution_seconds=job_times,
-    )
+__all__ = [
+    "SchedulingTestbedResult",
+    "StorageTestbedResult",
+    "VariantSchedulingResult",
+    "VariantStorageResult",
+    "build_testbed_tenants",
+    "run_scheduling_testbed",
+    "run_storage_testbed",
+]
 
 
 def run_scheduling_testbed(
@@ -210,102 +43,15 @@ def run_scheduling_testbed(
     seed: int = 0,
 ) -> SchedulingTestbedResult:
     """Run the full scheduling testbed comparison (Figures 10 and 11)."""
-    rng = RandomSource(seed)
-    tenants = build_testbed_tenants(scale, rng)
-
-    # No-Harvesting baseline: the primary service alone, no batch containers.
-    latency_model = LatencyModel(rng=rng.fork("latency-baseline"))
-    duration = scale.experiment_hours * 3600.0
-    sample_times = np.arange(60.0, duration, 60.0)
-    baseline_samples = []
-    for t in sample_times:
-        per_server = [
-            latency_model.p99_latency_ms(tenant.utilization_at(t), 0.0)
-            for tenant in tenants
-            for _ in tenant.servers
-        ]
-        baseline_samples.append(float(np.mean(per_server)))
-    baseline_p99 = float(np.mean(baseline_samples)) if baseline_samples else 0.0
-
-    variants: Dict[str, VariantSchedulingResult] = {}
-    for name, mode in _SCHEDULING_VARIANTS.items():
-        variants[name] = _run_one_scheduling_variant(name, mode, tenants, scale, rng)
-
-    return SchedulingTestbedResult(no_harvesting_p99_ms=baseline_p99, variants=variants)
-
-
-# ---------------------------------------------------------------------------
-# Storage testbed (Figure 12)
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class VariantStorageResult:
-    """Per-variant outcome of the storage testbed."""
-
-    variant: str
-    average_p99_ms: float
-    max_p99_ms: float
-    failed_accesses: int
-    served_accesses: int
-    blocks_created: int
-
-
-@dataclass
-class StorageTestbedResult:
-    """Figure 12 results keyed by HDFS variant."""
-
-    no_harvesting_p99_ms: float
-    variants: Dict[str, VariantStorageResult]
-
-    def variant(self, name: str) -> VariantStorageResult:
-        """Result for one variant by name (e.g. ``"HDFS-H"``)."""
-        return self.variants[name]
-
-
-def _placement_stats(tenants: Sequence[PrimaryTenant]) -> List[TenantPlacementStats]:
-    """Grid-clustering inputs derived from the tenants' histories."""
-    stats: List[TenantPlacementStats] = []
-    for tenant in tenants:
-        stats.append(
-            TenantPlacementStats(
-                tenant_id=tenant.tenant_id,
-                environment=tenant.environment,
-                reimage_rate=tenant.reimage_profile.rate_per_server_month,
-                peak_utilization=tenant.peak_utilization(),
-                available_space_gb=tenant.harvestable_disk_gb,
-                server_ids=[s.server_id for s in tenant.servers],
-                racks_by_server={s.server_id: s.rack for s in tenant.servers},
-            )
-        )
-    return stats
-
-
-def _build_namenode(
-    variant: str,
-    tenants: Sequence[PrimaryTenant],
-    rng: RandomSource,
-    replication: int = 3,
-) -> NameNode:
-    """Assemble the NameNode + DataNodes for one HDFS variant."""
-    primary_aware = variant != "HDFS-Stock"
-    datanodes = [
-        DataNode(server=s, tenant=t, primary_aware=primary_aware)
-        for t in tenants
-        for s in t.servers
-    ]
-    if variant == "HDFS-H":
-        policy = HistoryPlacementPolicy(rng=rng.fork("policy"))
-        policy.update_clustering(_placement_stats(tenants))
-    else:
-        policy = StockPlacementPolicy(rng=rng.fork("policy"))
-    return NameNode(
-        datanodes,
-        policy,
-        primary_aware=primary_aware,
-        default_replication=replication,
-        rng=rng.fork("namenode"),
+    spec = ScenarioSpec(
+        name="scheduling-testbed",
+        kind="scheduling_testbed",
+        figure="10-11",
+        scale=scale,
+        variants=("YARN-Stock", "YARN-PT", "YARN-H"),
+        seed=seed,
     )
+    return ExperimentHarness(spec).run()
 
 
 def run_storage_testbed(
@@ -314,121 +60,17 @@ def run_storage_testbed(
     accesses_per_minute: int = 60,
     utilization_target: float = 0.5,
 ) -> StorageTestbedResult:
-    """Run the storage testbed comparison (Figure 12).
-
-    Blocks are created throughout the experiment and read back at a constant
-    rate; primary p99 latency is sampled per minute with the extra I/O
-    contention each variant imposes on busy servers.  The primary traces are
-    scaled towards ``utilization_target`` so that busy periods (utilization
-    above the two-thirds access threshold) actually occur within the scaled-
-    down experiment, as they do in the paper's production-derived traces.
-    """
-    if accesses_per_minute <= 0:
-        raise ValueError("accesses_per_minute must be positive")
-    if not 0.0 < utilization_target < 1.0:
-        raise ValueError("utilization_target must be in (0, 1)")
-    rng = RandomSource(seed)
-    tenants = build_testbed_tenants(scale, rng)
-    factor = fleet_scaling_factor(
-        [t.trace for t in tenants if t.trace is not None],
-        utilization_target,
-        ScalingMethod.LINEAR,
-        weights=[float(max(1, t.num_servers)) for t in tenants if t.trace is not None],
+    """Run the storage testbed comparison (Figure 12)."""
+    spec = ScenarioSpec(
+        name="storage-testbed",
+        kind="storage_testbed",
+        figure="12",
+        scale=scale,
+        variants=("HDFS-Stock", "HDFS-PT", "HDFS-H"),
+        seed=seed,
+        params={
+            "accesses_per_minute": accesses_per_minute,
+            "utilization_target": utilization_target,
+        },
     )
-    tenants = [
-        PrimaryTenant(
-            tenant_id=t.tenant_id,
-            environment=t.environment,
-            machine_function=t.machine_function,
-            servers=list(t.servers),
-            trace=scale_trace(t.trace, factor, ScalingMethod.LINEAR)
-            if t.trace is not None
-            else None,
-            reimage_profile=t.reimage_profile,
-            pattern=t.pattern,
-        )
-        for t in tenants
-    ]
-    duration = scale.experiment_hours * 3600.0
-
-    latency_model = LatencyModel(rng=rng.fork("latency-baseline"))
-    baseline_samples = [
-        float(
-            np.mean(
-                [
-                    latency_model.p99_latency_ms(t.utilization_at(minute), 0.0)
-                    for t in tenants
-                    for _ in t.servers
-                ]
-            )
-        )
-        for minute in np.arange(60.0, duration, 60.0)
-    ]
-    baseline_p99 = float(np.mean(baseline_samples)) if baseline_samples else 0.0
-
-    results: Dict[str, VariantStorageResult] = {}
-    for variant in ("HDFS-Stock", "HDFS-PT", "HDFS-H"):
-        variant_rng = rng.fork(variant)
-        namenode = _build_namenode(variant, tenants, variant_rng)
-        model = LatencyModel(rng=variant_rng.fork("latency"))
-        all_servers = [s for t in tenants for s in t.servers]
-
-        block_ids: List[str] = []
-        failed = 0
-        served = 0
-        latencies: List[float] = []
-        for minute in np.arange(60.0, duration, 60.0):
-            creator = variant_rng.choice(all_servers).server_id
-            created = namenode.create_block(minute, creating_server_id=creator)
-            if created.block is not None:
-                block_ids.append(created.block.block_id)
-            # Background re-replication restores replicas that could not be
-            # placed while their candidate servers were busy.
-            namenode.run_replication(minute)
-
-            io_load: Dict[str, float] = {}
-            for _ in range(accesses_per_minute):
-                if not block_ids:
-                    break
-                block_id = variant_rng.choice(block_ids)
-                outcome = namenode.access_block(block_id, minute)
-                if outcome is AccessResult.SERVED:
-                    served += 1
-                    block = namenode.blocks[block_id]
-                    healthy = block.servers_with_healthy_replicas()
-                    if variant != "HDFS-Stock":
-                        # Primary-aware variants only direct clients to
-                        # replicas whose server is not busy.
-                        healthy = [
-                            s
-                            for s in healthy
-                            if namenode.datanodes[s].can_serve(minute)
-                        ] or healthy
-                    if healthy:
-                        target = variant_rng.choice(healthy)
-                        io_load[target] = io_load.get(target, 0.0) + 0.05
-                elif outcome is AccessResult.UNAVAILABLE:
-                    failed += 1
-
-            per_server = []
-            for tenant in tenants:
-                for server in tenant.servers:
-                    per_server.append(
-                        model.p99_latency_ms(
-                            tenant.utilization_at(minute),
-                            0.0,
-                            secondary_io_fraction=min(1.0, io_load.get(server.server_id, 0.0)),
-                        )
-                    )
-            latencies.append(float(np.mean(per_server)))
-
-        results[variant] = VariantStorageResult(
-            variant=variant,
-            average_p99_ms=float(np.mean(latencies)) if latencies else 0.0,
-            max_p99_ms=float(np.max(latencies)) if latencies else 0.0,
-            failed_accesses=failed,
-            served_accesses=served,
-            blocks_created=len(block_ids),
-        )
-
-    return StorageTestbedResult(no_harvesting_p99_ms=baseline_p99, variants=results)
+    return ExperimentHarness(spec).run()

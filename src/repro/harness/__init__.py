@@ -1,0 +1,45 @@
+"""Shared scenario harness for the paper's evaluation experiments.
+
+Every figure in the evaluation is one simulator instantiated under a
+different scenario.  This package factors the pipeline every driver used to
+hand-roll — fleet build, trace scaling, grid clustering, variant loop,
+metric collection — into three pieces:
+
+* :class:`~repro.harness.spec.ScenarioSpec` — a declarative description of a
+  scenario (datacenter, scale, tenant trimming, utilization levels, policy
+  variants), plus a registry so scenarios can be listed and run by name
+  (``repro run-scenario fig15-durability``);
+* :class:`~repro.harness.harness.ExperimentHarness` — builds the datacenter
+  once per scenario, forks seeded random streams per variant, drives all
+  time-stepped logic through :class:`repro.simulation.engine.SimulationEngine`,
+  and emits headline numbers through a
+  :class:`repro.simulation.metrics.MetricRegistry`;
+* the per-kind runners in :mod:`repro.harness.runners`, which share the
+  fleet/scaling/NameNode builders in :mod:`repro.harness.builders` and the
+  vectorized :class:`repro.traces.matrix.TraceMatrix` substrate.
+
+The legacy ``repro.experiments.run_*`` entry points survive as thin wrappers
+that assemble a spec and hand it to the harness.
+"""
+
+from repro.harness.spec import (
+    ScenarioSpec,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from repro.harness.harness import ExperimentHarness, run_scenario
+from repro.harness import scenarios as _scenarios  # registers the defaults
+
+_scenarios.register_default_scenarios()
+
+__all__ = [
+    "ScenarioSpec",
+    "ExperimentHarness",
+    "run_scenario",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+]

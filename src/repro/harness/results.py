@@ -1,0 +1,251 @@
+"""Result dataclasses produced by the scenario runners.
+
+These used to live in the per-experiment driver modules; they moved here when
+the drivers were unified on :class:`repro.harness.ExperimentHarness` so the
+runners and the (thin) legacy wrappers can share them without import cycles.
+The driver modules re-export them under their historical names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.traces.scaling import ScalingMethod
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: durability
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VariantDurabilityResult:
+    """Durability outcome for one (system, replication level) pair."""
+
+    variant: str
+    replication: int
+    blocks_created: int
+    blocks_lost: int
+    reimage_events: int
+
+    @property
+    def lost_fraction(self) -> float:
+        """Fraction of blocks lost during the simulated period."""
+        if self.blocks_created == 0:
+            return 0.0
+        return self.blocks_lost / self.blocks_created
+
+
+@dataclass
+class DurabilityResult:
+    """Figure 15: lost blocks per datacenter, system, and replication level."""
+
+    datacenter: str
+    results: Dict[Tuple[str, int], VariantDurabilityResult] = field(default_factory=dict)
+
+    def result(self, variant: str, replication: int) -> VariantDurabilityResult:
+        """Result for one system at one replication level."""
+        return self.results[(variant, replication)]
+
+    def loss_reduction_factor(self, replication: int) -> float:
+        """How many times fewer blocks HDFS-H loses than HDFS-Stock.
+
+        Infinite (represented as ``float('inf')``) when HDFS-H loses nothing
+        while HDFS-Stock loses some.
+        """
+        stock = self.result("HDFS-Stock", replication).blocks_lost
+        history = self.result("HDFS-H", replication).blocks_lost
+        if history == 0:
+            return float("inf") if stock > 0 else 1.0
+        return stock / history
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: availability
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AvailabilityPoint:
+    """Failed-access fraction for one (system, replication, utilization)."""
+
+    variant: str
+    replication: int
+    target_utilization: float
+    accesses: int
+    failed_accesses: int
+
+    @property
+    def failed_fraction(self) -> float:
+        """Fraction of accesses that could not be served."""
+        if self.accesses == 0:
+            return 0.0
+        return self.failed_accesses / self.accesses
+
+
+@dataclass
+class AvailabilityResult:
+    """Figure 16: failed accesses vs utilization per system and replication."""
+
+    datacenter: str
+    scaling: ScalingMethod
+    points: List[AvailabilityPoint] = field(default_factory=list)
+
+    def series(self, variant: str, replication: int) -> List[AvailabilityPoint]:
+        """Points for one system/replication ordered by utilization."""
+        return sorted(
+            (
+                p
+                for p in self.points
+                if p.variant == variant and p.replication == replication
+            ),
+            key=lambda p: p.target_utilization,
+        )
+
+    def failed_fraction(
+        self, variant: str, replication: int, target_utilization: float
+    ) -> float:
+        """Failed fraction at one utilization level (nearest point)."""
+        series = self.series(variant, replication)
+        if not series:
+            return 0.0
+        closest = min(series, key=lambda p: abs(p.target_utilization - target_utilization))
+        return closest.failed_fraction
+
+
+# ---------------------------------------------------------------------------
+# Figures 13 and 14: datacenter-scale scheduling
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SchedulingSweepPoint:
+    """One (utilization level, scaling method) point of the Figure 13 sweep."""
+
+    target_utilization: float
+    scaling: ScalingMethod
+    yarn_pt_seconds: float
+    yarn_h_seconds: float
+    yarn_pt_tasks_killed: int
+    yarn_h_tasks_killed: int
+    jobs_completed_pt: int
+    jobs_completed_h: int
+
+    @property
+    def improvement(self) -> float:
+        """Relative run-time reduction of YARN-H over YARN-PT (0..1)."""
+        if self.yarn_pt_seconds <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.yarn_h_seconds / self.yarn_pt_seconds)
+
+
+@dataclass
+class SchedulingSweepResult:
+    """Figure 13: sweep points for one datacenter under both scalings."""
+
+    datacenter: str
+    points: List[SchedulingSweepPoint] = field(default_factory=list)
+
+    def points_for(self, scaling: ScalingMethod) -> List[SchedulingSweepPoint]:
+        """The sweep restricted to one scaling method, ordered by utilization."""
+        return sorted(
+            (p for p in self.points if p.scaling is scaling),
+            key=lambda p: p.target_utilization,
+        )
+
+    def improvements(self, scaling: Optional[ScalingMethod] = None) -> List[float]:
+        """Improvement fractions, optionally restricted to one scaling."""
+        points = self.points if scaling is None else self.points_for(scaling)
+        return [p.improvement for p in points]
+
+    def average_improvement(self, scaling: Optional[ScalingMethod] = None) -> float:
+        """Mean improvement over the sweep."""
+        improvements = self.improvements(scaling)
+        return float(np.mean(improvements)) if improvements else 0.0
+
+    def max_improvement(self, scaling: Optional[ScalingMethod] = None) -> float:
+        """Largest improvement seen in the sweep."""
+        improvements = self.improvements(scaling)
+        return float(np.max(improvements)) if improvements else 0.0
+
+    def min_improvement(self, scaling: Optional[ScalingMethod] = None) -> float:
+        """Smallest improvement seen in the sweep."""
+        improvements = self.improvements(scaling)
+        return float(np.min(improvements)) if improvements else 0.0
+
+
+@dataclass
+class FleetImprovementResult:
+    """Figure 14: per-datacenter improvement summary."""
+
+    sweeps: Dict[str, SchedulingSweepResult] = field(default_factory=dict)
+
+    def summary(self, scaling: Optional[ScalingMethod] = None) -> Dict[str, Dict[str, float]]:
+        """min / avg / max improvement per datacenter."""
+        table: Dict[str, Dict[str, float]] = {}
+        for name, sweep in self.sweeps.items():
+            table[name] = {
+                "min": sweep.min_improvement(scaling),
+                "avg": sweep.average_improvement(scaling),
+                "max": sweep.max_improvement(scaling),
+            }
+        return table
+
+
+# ---------------------------------------------------------------------------
+# Figures 10-12: the testbed
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VariantSchedulingResult:
+    """Per-variant outcome of the scheduling testbed."""
+
+    variant: str
+    average_p99_ms: float
+    max_p99_ms: float
+    average_job_seconds: float
+    jobs_completed: int
+    tasks_killed: int
+    average_cpu_utilization: float
+    latency_samples: List[float] = field(default_factory=list)
+    job_execution_seconds: List[float] = field(default_factory=list)
+
+
+@dataclass
+class SchedulingTestbedResult:
+    """Figure 10/11 results: one entry per system variant plus the baseline."""
+
+    no_harvesting_p99_ms: float
+    variants: Dict[str, VariantSchedulingResult]
+
+    def variant(self, name: str) -> VariantSchedulingResult:
+        """Result for one variant by name (e.g. ``"YARN-H"``)."""
+        return self.variants[name]
+
+
+@dataclass
+class VariantStorageResult:
+    """Per-variant outcome of the storage testbed."""
+
+    variant: str
+    average_p99_ms: float
+    max_p99_ms: float
+    failed_accesses: int
+    served_accesses: int
+    blocks_created: int
+
+
+@dataclass
+class StorageTestbedResult:
+    """Figure 12 results keyed by HDFS variant."""
+
+    no_harvesting_p99_ms: float
+    variants: Dict[str, VariantStorageResult]
+
+    def variant(self, name: str) -> VariantStorageResult:
+        """Result for one variant by name (e.g. ``"HDFS-H"``)."""
+        return self.variants[name]

@@ -1,0 +1,775 @@
+"""Per-kind scenario runners behind :class:`repro.harness.ExperimentHarness`.
+
+Each runner executes one scenario kind over the shared pipeline: build the
+datacenter once, trim and scale the tenants, fork a seeded random stream per
+policy variant, drive every time-stepped piece through
+:class:`~repro.simulation.engine.SimulationEngine`, and record headline
+numbers in the harness :class:`~repro.simulation.metrics.MetricRegistry`.
+
+The runners reproduce the legacy drivers' random-stream fork order exactly,
+so a fixed seed yields the same figures the drivers produced before the
+consolidation.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Dict, List, Sequence, Type
+
+import numpy as np
+
+from repro.cluster.resource_manager import SchedulerMode
+from repro.core.job_types import thresholds_from_history
+from repro.harness.builders import (
+    build_namenode,
+    build_testbed_tenants,
+    find_datacenter_spec,
+    copy_tenant,
+    scaled_tenants,
+    trimmed_tenants,
+)
+from repro.harness.results import (
+    AvailabilityPoint,
+    AvailabilityResult,
+    DurabilityResult,
+    FleetImprovementResult,
+    SchedulingSweepPoint,
+    SchedulingSweepResult,
+    SchedulingTestbedResult,
+    StorageTestbedResult,
+    VariantDurabilityResult,
+    VariantSchedulingResult,
+    VariantStorageResult,
+)
+from repro.harness.spec import ScenarioSpec
+from repro.jobs.scheduler_variants import ClusterConfig, HarvestingCluster
+from repro.jobs.tpcds import TpcdsWorkloadFactory
+from repro.jobs.workload import WorkloadGenerator
+from repro.services.latency_model import LatencyModel
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.metrics import MetricRegistry
+from repro.simulation.random import RandomSource
+from repro.storage.namenode import AccessResult, NameNode
+from repro.traces.datacenter import Datacenter, PrimaryTenant
+from repro.traces.fleet import build_datacenter
+from repro.traces.matrix import TraceMatrix
+from repro.traces.reimage import ReimageEvent, ReimageProfile, generate_reimage_events
+from repro.traces.scaling import ScalingMethod, fleet_scaling_factor, scale_trace
+
+#: How often the NameNode's re-replication loop runs in the simulation.
+REPLICATION_PERIOD_SECONDS = 600.0
+
+#: Job-length multiplier for the datacenter-scale simulations.  The paper
+#: multiplies job lengths and container usage by a scaling factor to generate
+#: enough load for large clusters (Section 6.1); stretching the jobs to hours
+#: also means their lifetimes overlap the primary tenants' diurnal swings,
+#: which is precisely the regime where historical knowledge matters.
+SIMULATION_DURATION_SCALE = 40.0
+
+#: Mean job inter-arrival time used by the datacenter-scale simulations.
+#: Chosen so that batch demand roughly fills the harvestable capacity of the
+#: scaled-down cluster, as in the paper's experiments where long queues form
+#: once primary utilization approaches 60%.
+SIMULATION_INTERARRIVAL_SECONDS = 200.0
+
+#: Reimage events fire before the re-replication round scheduled at the same
+#: simulated time, matching the race the durability experiment measures.
+REIMAGE_PRIORITY = 0
+REPLICATION_PRIORITY = 1
+
+RUNNERS: Dict[str, Type["ScenarioRunner"]] = {}
+
+
+def _register(cls: Type["ScenarioRunner"]) -> Type["ScenarioRunner"]:
+    RUNNERS[cls.kind] = cls
+    return cls
+
+
+class ScenarioRunner:
+    """Base class: one scenario kind, one ``run()`` implementation."""
+
+    kind: ClassVar[str] = ""
+
+    def __init__(
+        self, spec: ScenarioSpec, rng: RandomSource, metrics: MetricRegistry
+    ) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.metrics = metrics
+
+    def run(self):
+        """Execute the scenario and return its result dataclass."""
+        raise NotImplementedError
+
+    def build_fleet(self) -> Datacenter:
+        """Build the scenario's datacenter once (first fork of the run)."""
+        dc_spec = find_datacenter_spec(self.spec.datacenter)
+        return build_datacenter(
+            dc_spec, self.rng.fork("fleet"), scale=self.spec.scale.datacenter_scale
+        )
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: durability
+# ---------------------------------------------------------------------------
+
+
+def _reimage_schedule(
+    tenants: Sequence[PrimaryTenant],
+    months: int,
+    rng: RandomSource,
+    environment_burst_rate_per_month: float,
+    environment_burst_fraction: float,
+) -> List[ReimageEvent]:
+    """All reimage events across the tenants, sorted by time.
+
+    Two sources are combined: each tenant's own reimage profile (independent
+    per-server reimages plus tenant-level bursts) and *environment-wide*
+    bursts that reimage most servers of an environment at once — the
+    redeployment / repurposing events the paper identifies as the main threat
+    to durability, and the reason Algorithm 2 never co-locates replicas in
+    one environment.
+    """
+    events: List[ReimageEvent] = []
+    environments: Dict[str, List[str]] = {}
+    for tenant in tenants:
+        server_ids = [s.server_id for s in tenant.servers]
+        environments.setdefault(tenant.environment, []).extend(server_ids)
+        events.extend(
+            generate_reimage_events(
+                server_ids, tenant.reimage_profile, months, rng.fork(tenant.tenant_id)
+            )
+        )
+    burst_profile = ReimageProfile(
+        rate_per_server_month=0.0,
+        burst_rate_per_month=environment_burst_rate_per_month,
+        burst_fraction=environment_burst_fraction,
+        monthly_variation=0.0,
+    )
+    for environment, server_ids in environments.items():
+        events.extend(
+            generate_reimage_events(
+                server_ids, burst_profile, months, rng.fork(f"env-burst-{environment}")
+            )
+        )
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+@_register
+class DurabilityRunner(ScenarioRunner):
+    """Figure 15: replay a reimage history against each HDFS variant."""
+
+    kind = "durability"
+
+    def run(self) -> DurabilityResult:
+        spec = self.spec
+        datacenter = self.build_fleet()
+        tenants = trimmed_tenants(
+            datacenter, spec.max_tenants, spec.servers_per_tenant_limit
+        )
+        months = max(1, int(round(spec.scale.durability_days / 30.0)))
+        duration = spec.scale.durability_days * 24 * 3600.0
+        reimages = _reimage_schedule(
+            tenants,
+            months,
+            self.rng.fork("reimages"),
+            environment_burst_rate_per_month=spec.param(
+                "environment_burst_rate_per_month", 0.1
+            ),
+            environment_burst_fraction=spec.param("environment_burst_fraction", 0.9),
+        )
+        matrix = TraceMatrix(tenants)
+
+        result = DurabilityResult(spec.datacenter)
+        for replication in spec.replication_levels:
+            for variant in spec.variants:
+                variant_rng = self.rng.fork(f"{variant}-{replication}")
+                outcome = self._run_variant(
+                    variant, replication, tenants, reimages, duration, variant_rng, matrix
+                )
+                result.results[(variant, replication)] = outcome
+                prefix = f"durability.{variant}.r{replication}"
+                self.metrics.counter(f"{prefix}.blocks_created").increment(
+                    outcome.blocks_created
+                )
+                self.metrics.counter(f"{prefix}.blocks_lost").increment(
+                    outcome.blocks_lost
+                )
+                self.metrics.counter(f"{prefix}.reimage_events").increment(
+                    outcome.reimage_events
+                )
+        return result
+
+    def _run_variant(
+        self,
+        variant: str,
+        replication: int,
+        tenants: Sequence[PrimaryTenant],
+        reimages: Sequence[ReimageEvent],
+        duration: float,
+        rng: RandomSource,
+        matrix: TraceMatrix,
+    ) -> VariantDurabilityResult:
+        """Create blocks up front, then replay the schedule through the engine."""
+        namenode = build_namenode(
+            variant, tenants, replication, rng, trace_matrix=matrix
+        )
+        all_servers = [s.server_id for t in tenants for s in t.servers]
+
+        created = 0
+        for _ in range(self.spec.scale.num_blocks):
+            creator = rng.choice(all_servers)
+            outcome = namenode.create_block(0.0, creating_server_id=creator)
+            if outcome.block is not None:
+                created += 1
+
+        engine = SimulationEngine()
+        replayed = 0
+        for event in reimages:
+            if event.time > duration:
+                break
+            replayed += 1
+            engine.schedule_at(
+                event.time,
+                lambda e, server_id=event.server_id: namenode.handle_reimage(
+                    server_id, e.now
+                ),
+                priority=REIMAGE_PRIORITY,
+                name="reimage",
+            )
+        engine.schedule_periodic(
+            REPLICATION_PERIOD_SECONDS,
+            lambda e: namenode.run_replication(e.now),
+            priority=REPLICATION_PRIORITY,
+            name="re-replication",
+            until=duration,
+        )
+        engine.run_until(duration)
+
+        return VariantDurabilityResult(
+            variant=variant,
+            replication=replication,
+            blocks_created=created,
+            blocks_lost=len(namenode.lost_blocks()),
+            reimage_events=replayed,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: availability
+# ---------------------------------------------------------------------------
+
+
+@_register
+class AvailabilityRunner(ScenarioRunner):
+    """Figure 16: sample block accesses across the utilization spectrum."""
+
+    kind = "availability"
+
+    def run(self) -> AvailabilityResult:
+        spec = self.spec
+        accesses_per_point = int(spec.param("accesses_per_point", 2000))
+        if accesses_per_point <= 0:
+            raise ValueError("accesses_per_point must be positive")
+        if len(spec.scalings) != 1:
+            # AvailabilityResult reports one scaling method per run; sweep
+            # both by registering one scenario per method.
+            raise ValueError(
+                "availability scenarios take exactly one scaling method "
+                f"(got {len(spec.scalings)})"
+            )
+        scaling = spec.scalings[0]
+        datacenter = self.build_fleet()
+        trimmed = trimmed_tenants(
+            datacenter, spec.max_tenants, spec.servers_per_tenant_limit
+        )
+        duration = spec.scale.simulation_days * 24 * 3600.0
+        num_blocks = min(spec.scale.num_blocks, 2000)
+
+        result = AvailabilityResult(spec.datacenter, scaling)
+        for target in spec.utilization_levels:
+            tenants = scaled_tenants(trimmed, target, scaling)
+            all_servers = [s.server_id for t in tenants for s in t.servers]
+            matrix = TraceMatrix(tenants) if tenants else None
+            for replication in spec.replication_levels:
+                for variant in spec.variants:
+                    variant_rng = self.rng.fork(f"{variant}-{replication}-{target}")
+                    point = self._run_point(
+                        variant,
+                        replication,
+                        target,
+                        tenants,
+                        all_servers,
+                        matrix,
+                        num_blocks,
+                        accesses_per_point,
+                        duration,
+                        variant_rng,
+                    )
+                    result.points.append(point)
+                    prefix = f"availability.{variant}.r{replication}.u{target}"
+                    self.metrics.counter(f"{prefix}.accesses").increment(point.accesses)
+                    self.metrics.counter(f"{prefix}.failed").increment(
+                        point.failed_accesses
+                    )
+        return result
+
+    def _run_point(
+        self,
+        variant: str,
+        replication: int,
+        target: float,
+        tenants: Sequence[PrimaryTenant],
+        all_servers: Sequence[str],
+        matrix: TraceMatrix,
+        num_blocks: int,
+        accesses_per_point: int,
+        duration: float,
+        rng: RandomSource,
+    ) -> AvailabilityPoint:
+        # Accesses are always checked against busy servers here (even for the
+        # stock placement) because Figure 16 measures whether the *placement*
+        # provides enough diversity, not whether the DataNode throttles.
+        namenode = build_namenode(
+            variant, tenants, replication, rng, primary_aware=True, trace_matrix=matrix
+        )
+        block_ids: List[str] = []
+        for _ in range(num_blocks):
+            creator = rng.choice(all_servers)
+            outcome = namenode.create_block(0.0, creating_server_id=creator)
+            if outcome.block is not None:
+                block_ids.append(outcome.block.block_id)
+
+        # Blocks whose creation coincided with busy candidate servers start
+        # under-replicated; the background re-replication loop tops them up
+        # before accesses are sampled, as it would in a steadily running
+        # deployment.
+        engine = SimulationEngine()
+        engine.schedule_periodic(
+            1800.0,
+            lambda e: namenode.run_replication(e.now),
+            name="top-up",
+            until=6 * 1800.0,
+        )
+        engine.run_until(6 * 1800.0)
+
+        failed = 0
+        total = 0
+        if block_ids:
+            # One scalar draw pair per access (so a fixed seed samples the
+            # same accesses the legacy loop did), evaluated as one batch of
+            # numpy mask reductions over the trace matrix.
+            times = np.empty(accesses_per_point)
+            sampled: List[str] = []
+            for i in range(accesses_per_point):
+                times[i] = rng.uniform(0.0, duration)
+                sampled.append(rng.choice(block_ids))
+            codes = namenode.check_accesses(sampled, times)
+            total = int(len(codes))
+            failed = int(
+                (codes == NameNode.ACCESS_CODES.index(AccessResult.UNAVAILABLE)).sum()
+            )
+        return AvailabilityPoint(
+            variant=variant,
+            replication=replication,
+            target_utilization=target,
+            accesses=total,
+            failed_accesses=failed,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Figures 13 and 14: datacenter-scale scheduling
+# ---------------------------------------------------------------------------
+
+
+@_register
+class SchedulingSweepRunner(ScenarioRunner):
+    """Figure 13: YARN-PT vs YARN-H across the utilization spectrum."""
+
+    kind = "scheduling_sweep"
+
+    def run(self) -> SchedulingSweepResult:
+        spec = self.spec
+        datacenter = self.build_fleet()
+        result = SchedulingSweepResult(spec.datacenter)
+        trimmed = trimmed_tenants(
+            datacenter, spec.max_tenants, spec.servers_per_tenant_limit
+        )
+        for scaling in spec.scalings:
+            for target in spec.utilization_levels:
+                tenants = scaled_tenants(trimmed, target, scaling)
+                if not tenants:
+                    continue
+                point_rng = self.rng.fork(f"{scaling.value}-{target}")
+                pt = self._run_variant(SchedulerMode.PRIMARY_AWARE, tenants, point_rng)
+                h = self._run_variant(SchedulerMode.HISTORY, tenants, point_rng)
+                point = SchedulingSweepPoint(
+                    target_utilization=target,
+                    scaling=scaling,
+                    yarn_pt_seconds=pt.average_job_execution_seconds(),
+                    yarn_h_seconds=h.average_job_execution_seconds(),
+                    yarn_pt_tasks_killed=pt.total_tasks_killed(),
+                    yarn_h_tasks_killed=h.total_tasks_killed(),
+                    jobs_completed_pt=pt.completed_job_count(),
+                    jobs_completed_h=h.completed_job_count(),
+                )
+                result.points.append(point)
+                prefix = f"sweep.{spec.datacenter}.{scaling.value}.u{target}"
+                self.metrics.distribution(f"{prefix}.yarn_pt_seconds").add(
+                    point.yarn_pt_seconds
+                )
+                self.metrics.distribution(f"{prefix}.yarn_h_seconds").add(
+                    point.yarn_h_seconds
+                )
+                self.metrics.distribution(f"{prefix}.improvement").add(
+                    point.improvement
+                )
+        return result
+
+    def _run_variant(
+        self,
+        mode: SchedulerMode,
+        tenants: Sequence[PrimaryTenant],
+        rng: RandomSource,
+    ) -> HarvestingCluster:
+        """Run one scheduler variant over the scaled tenants."""
+        duration = self.spec.scale.simulation_days * 24 * 3600.0
+        factory = TpcdsWorkloadFactory(
+            rng.fork("tpcds"),
+            duration_scale=SIMULATION_DURATION_SCALE,
+            width_scale=0.05,
+        )
+        thresholds = thresholds_from_history(factory.duration_distribution())
+        cluster = HarvestingCluster(
+            tenants,
+            config=ClusterConfig(
+                mode=mode,
+                heartbeat_seconds=30.0,
+                pump_seconds=120.0,
+                thresholds=thresholds,
+            ),
+            rng=rng.fork(f"cluster-{mode.value}"),
+        )
+        generator = WorkloadGenerator(
+            factory,
+            SIMULATION_INTERARRIVAL_SECONDS,
+            rng.fork(f"workload-{mode.value}"),
+        )
+        cluster.submit_arrivals(generator.arrivals(duration * 0.8))
+        cluster.run(duration)
+        return cluster
+
+
+@_register
+class FleetImprovementRunner(ScenarioRunner):
+    """Figure 14: run the sweep scenario for every datacenter and summarize."""
+
+    kind = "fleet_improvement"
+
+    def run(self) -> FleetImprovementResult:
+        from repro.harness.harness import ExperimentHarness
+
+        spec = self.spec
+        names = spec.param("datacenters")
+        if names is None:
+            from repro.traces.fleet import fleet_specs
+
+            names = [dc.name for dc in fleet_specs()]
+        result = FleetImprovementResult()
+        for name in names:
+            sweep_spec = spec.with_overrides(
+                name=f"{spec.name}[{name}]",
+                kind="scheduling_sweep",
+                datacenter=name,
+            )
+            # Each datacenter sweep runs from a fresh stream derived from the
+            # run's effective seed (self.rng.seed carries any run-time
+            # override), so per-datacenter results are independent of the
+            # fleet iteration order.
+            result.sweeps[name] = ExperimentHarness(
+                sweep_spec, seed=self.rng.seed, metrics=self.metrics
+            ).run()
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 10 and 11: the scheduling testbed
+# ---------------------------------------------------------------------------
+
+_SCHEDULING_VARIANT_MODES = {
+    "YARN-Stock": SchedulerMode.STOCK,
+    "YARN-PT": SchedulerMode.PRIMARY_AWARE,
+    "YARN-H": SchedulerMode.HISTORY,
+}
+
+
+@_register
+class SchedulingTestbedRunner(ScenarioRunner):
+    """Figures 10/11: No-Harvesting baseline plus the three YARN variants."""
+
+    kind = "scheduling_testbed"
+
+    def run(self) -> SchedulingTestbedResult:
+        spec = self.spec
+        tenants = build_testbed_tenants(spec.scale, self.rng)
+
+        # No-Harvesting baseline: the primary service alone, no batch
+        # containers.
+        latency_model = LatencyModel(rng=self.rng.fork("latency-baseline"))
+        duration = spec.scale.experiment_hours * 3600.0
+        sample_times = np.arange(60.0, duration, 60.0)
+        baseline_samples = []
+        for t in sample_times:
+            per_server = [
+                latency_model.p99_latency_ms(tenant.utilization_at(t), 0.0)
+                for tenant in tenants
+                for _ in tenant.servers
+            ]
+            baseline_samples.append(float(np.mean(per_server)))
+        baseline_p99 = float(np.mean(baseline_samples)) if baseline_samples else 0.0
+        self.metrics.distribution("testbed.no_harvesting.p99_ms").add(baseline_p99)
+
+        variants: Dict[str, VariantSchedulingResult] = {}
+        for name in spec.variants:
+            variants[name] = self._run_variant(
+                name, _SCHEDULING_VARIANT_MODES[name], tenants
+            )
+            self.metrics.distribution(f"testbed.{name}.p99_ms").add(
+                variants[name].average_p99_ms
+            )
+            self.metrics.counter(f"testbed.{name}.tasks_killed").increment(
+                variants[name].tasks_killed
+            )
+        return SchedulingTestbedResult(
+            no_harvesting_p99_ms=baseline_p99, variants=variants
+        )
+
+    def _run_variant(
+        self,
+        name: str,
+        mode: SchedulerMode,
+        tenants: Sequence[PrimaryTenant],
+    ) -> VariantSchedulingResult:
+        """Run the testbed workload under one scheduler variant."""
+        rng = self.rng
+        scale = self.spec.scale
+        duration = scale.experiment_hours * 3600.0
+        cluster = HarvestingCluster(
+            tenants,
+            config=ClusterConfig(mode=mode, record_server_series=True),
+            rng=rng.fork(f"cluster-{name}"),
+        )
+        factory = TpcdsWorkloadFactory(
+            rng.fork("tpcds"), duration_scale=1.0, width_scale=0.35
+        )
+        generator = WorkloadGenerator(
+            factory, scale.mean_interarrival_seconds, rng.fork(f"workload-{name}")
+        )
+        cluster.submit_arrivals(generator.arrivals(duration * 0.8))
+        cluster.run(duration)
+
+        latency_model = LatencyModel(
+            rng=rng.fork(f"latency-{name}"),
+            reserve_fraction=cluster.config.reserve_cpu_fraction,
+        )
+        # Evaluate the primary tail latency per minute from the per-server
+        # demand recorded at every heartbeat during the run.
+        latencies: List[float] = []
+        server_ids = list(cluster.servers.keys())
+        resampled = {}
+        for server_id in server_ids:
+            secondary = cluster.metrics.time_series(f"secondary_cpu.{server_id}")
+            primary = cluster.metrics.time_series(f"primary_cpu.{server_id}")
+            resampled[server_id] = (
+                secondary.resample_mean(60.0),
+                primary.resample_mean(60.0),
+            )
+        num_minutes = min(
+            len(values[0][1]) for values in resampled.values()
+        ) if resampled else 0
+        for minute in range(num_minutes):
+            per_server = []
+            for server_id in server_ids:
+                (_, secondary_values), (_, primary_values) = resampled[server_id]
+                per_server.append(
+                    latency_model.p99_latency_ms(
+                        float(min(1.0, primary_values[minute])),
+                        float(secondary_values[minute]),
+                    )
+                )
+            latencies.append(float(np.mean(per_server)))
+
+        utilization_series = cluster.metrics.time_series("total_utilization")
+        job_times = [r.execution_seconds for r in cluster.results]
+        return VariantSchedulingResult(
+            variant=name,
+            average_p99_ms=float(np.mean(latencies)) if latencies else 0.0,
+            max_p99_ms=float(np.max(latencies)) if latencies else 0.0,
+            average_job_seconds=cluster.average_job_execution_seconds(),
+            jobs_completed=cluster.completed_job_count(),
+            tasks_killed=cluster.total_tasks_killed(),
+            average_cpu_utilization=utilization_series.mean(),
+            latency_samples=latencies,
+            job_execution_seconds=job_times,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: the storage testbed
+# ---------------------------------------------------------------------------
+
+
+@_register
+class StorageTestbedRunner(ScenarioRunner):
+    """Figure 12: HDFS variants under a constant access stream.
+
+    Blocks are created throughout the experiment and read back at a constant
+    rate; primary p99 latency is sampled per minute with the extra I/O
+    contention each variant imposes on busy servers.  The primary traces are
+    scaled towards the target utilization so that busy periods (utilization
+    above the two-thirds access threshold) actually occur within the scaled-
+    down experiment, as they do in the paper's production-derived traces.
+    """
+
+    kind = "storage_testbed"
+
+    def run(self) -> StorageTestbedResult:
+        spec = self.spec
+        accesses_per_minute = int(spec.param("accesses_per_minute", 60))
+        utilization_target = float(spec.param("utilization_target", 0.5))
+        if accesses_per_minute <= 0:
+            raise ValueError("accesses_per_minute must be positive")
+        if not 0.0 < utilization_target < 1.0:
+            raise ValueError("utilization_target must be in (0, 1)")
+
+        tenants = build_testbed_tenants(spec.scale, self.rng)
+        factor = fleet_scaling_factor(
+            [t.trace for t in tenants if t.trace is not None],
+            utilization_target,
+            ScalingMethod.LINEAR,
+            weights=[
+                float(max(1, t.num_servers)) for t in tenants if t.trace is not None
+            ],
+        )
+        tenants = [
+            copy_tenant(
+                t,
+                trace=scale_trace(t.trace, factor, ScalingMethod.LINEAR)
+                if t.trace is not None
+                else None,
+            )
+            for t in tenants
+        ]
+        duration = spec.scale.experiment_hours * 3600.0
+
+        latency_model = LatencyModel(rng=self.rng.fork("latency-baseline"))
+        baseline_samples = [
+            float(
+                np.mean(
+                    [
+                        latency_model.p99_latency_ms(t.utilization_at(minute), 0.0)
+                        for t in tenants
+                        for _ in t.servers
+                    ]
+                )
+            )
+            for minute in np.arange(60.0, duration, 60.0)
+        ]
+        baseline_p99 = float(np.mean(baseline_samples)) if baseline_samples else 0.0
+        self.metrics.distribution("storage_testbed.no_harvesting.p99_ms").add(
+            baseline_p99
+        )
+
+        results: Dict[str, VariantStorageResult] = {}
+        for variant in spec.variants:
+            results[variant] = self._run_variant(
+                variant, tenants, duration, accesses_per_minute
+            )
+            self.metrics.distribution(f"storage_testbed.{variant}.p99_ms").add(
+                results[variant].average_p99_ms
+            )
+            self.metrics.counter(f"storage_testbed.{variant}.failed").increment(
+                results[variant].failed_accesses
+            )
+        return StorageTestbedResult(
+            no_harvesting_p99_ms=baseline_p99, variants=results
+        )
+
+    def _run_variant(
+        self,
+        variant: str,
+        tenants: Sequence[PrimaryTenant],
+        duration: float,
+        accesses_per_minute: int,
+    ) -> VariantStorageResult:
+        variant_rng = self.rng.fork(variant)
+        namenode = build_namenode(variant, tenants, 3, variant_rng)
+        model = LatencyModel(rng=variant_rng.fork("latency"))
+        all_servers = [s for t in tenants for s in t.servers]
+
+        block_ids: List[str] = []
+        counts = {"failed": 0, "served": 0}
+        latencies: List[float] = []
+
+        def minute_step(engine: SimulationEngine) -> None:
+            minute = engine.now
+            creator = variant_rng.choice(all_servers).server_id
+            created = namenode.create_block(minute, creating_server_id=creator)
+            if created.block is not None:
+                block_ids.append(created.block.block_id)
+            # Background re-replication restores replicas that could not be
+            # placed while their candidate servers were busy.
+            namenode.run_replication(minute)
+
+            io_load: Dict[str, float] = {}
+            for _ in range(accesses_per_minute):
+                if not block_ids:
+                    break
+                block_id = variant_rng.choice(block_ids)
+                outcome = namenode.access_block(block_id, minute)
+                if outcome is AccessResult.SERVED:
+                    counts["served"] += 1
+                    block = namenode.blocks[block_id]
+                    healthy = block.servers_with_healthy_replicas()
+                    if variant != "HDFS-Stock":
+                        # Primary-aware variants only direct clients to
+                        # replicas whose server is not busy.
+                        healthy = [
+                            s
+                            for s in healthy
+                            if namenode.datanodes[s].can_serve(minute)
+                        ] or healthy
+                    if healthy:
+                        target = variant_rng.choice(healthy)
+                        io_load[target] = io_load.get(target, 0.0) + 0.05
+                elif outcome is AccessResult.UNAVAILABLE:
+                    counts["failed"] += 1
+
+            per_server = []
+            for tenant in tenants:
+                for server in tenant.servers:
+                    per_server.append(
+                        model.p99_latency_ms(
+                            tenant.utilization_at(minute),
+                            0.0,
+                            secondary_io_fraction=min(
+                                1.0, io_load.get(server.server_id, 0.0)
+                            ),
+                        )
+                    )
+            latencies.append(float(np.mean(per_server)))
+
+        engine = SimulationEngine()
+        for minute in np.arange(60.0, duration, 60.0):
+            engine.schedule_at(float(minute), minute_step, name="storage-minute")
+        engine.run_until(duration)
+
+        return VariantStorageResult(
+            variant=variant,
+            average_p99_ms=float(np.mean(latencies)) if latencies else 0.0,
+            max_p99_ms=float(np.max(latencies)) if latencies else 0.0,
+            failed_accesses=counts["failed"],
+            served_accesses=counts["served"],
+            blocks_created=len(block_ids),
+        )

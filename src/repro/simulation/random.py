@@ -75,7 +75,12 @@ class RandomSource:
         """Pick one element, optionally with probabilities ``p``."""
         if not items:
             raise ValueError("cannot choose from an empty sequence")
-        idx = int(self._rng.choice(len(items), p=p))
+        if p is None:
+            # Stream-identical to Generator.choice(n) but without its array
+            # bookkeeping; uniform picks happen once per placement decision.
+            idx = int(self._rng.integers(0, len(items)))
+        else:
+            idx = int(self._rng.choice(len(items), p=p))
         return items[idx]
 
     def weighted_index(self, weights: Sequence[float]) -> int:

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.simulation.metrics import MetricRegistry
 from repro.simulation.random import RandomSource
@@ -25,6 +27,7 @@ from repro.storage.block import Block, BlockReplica
 from repro.storage.datanode import DataNode
 from repro.storage.placement_policies import PlacementPolicy
 from repro.storage.replication import ReplicationManager
+from repro.traces.matrix import TraceMatrix
 
 
 class AccessResult(str, enum.Enum):
@@ -61,6 +64,7 @@ class NameNode:
         rng: Optional[RandomSource] = None,
         metrics: Optional[MetricRegistry] = None,
         replication_manager: Optional[ReplicationManager] = None,
+        trace_matrix: Optional[TraceMatrix] = None,
     ) -> None:
         self._datanodes: Dict[str, DataNode] = {dn.server_id: dn for dn in datanodes}
         if not self._datanodes:
@@ -75,6 +79,44 @@ class NameNode:
         self._replication = replication_manager or ReplicationManager()
         self._blocks: Dict[str, Block] = {}
         self._block_counter = 0
+        self._init_vector_state(trace_matrix)
+
+    def _init_vector_state(self, trace_matrix: Optional[TraceMatrix]) -> None:
+        """Build the vectorized server-state used by the hot paths.
+
+        Busy checks and space filtering run once per block creation, recovery
+        candidate pick, and access; evaluating them per DataNode in Python
+        dominates the storage experiments.  The NameNode therefore keeps a
+        per-server view — tenant trace row, busy threshold, capacity, and a
+        mirror of used space — as flat numpy arrays, updated on the same
+        mutations that update the DataNodes themselves.
+        """
+        dns = list(self._datanodes.values())
+        self._server_ids: List[str] = [dn.server_id for dn in dns]
+        self._index_of_server: Dict[str, int] = {
+            sid: i for i, sid in enumerate(self._server_ids)
+        }
+        if trace_matrix is None:
+            tenants, seen = [], set()
+            for dn in dns:
+                if dn.tenant.tenant_id not in seen:
+                    seen.add(dn.tenant.tenant_id)
+                    tenants.append(dn.tenant)
+            trace_matrix = TraceMatrix(tenants)
+        self._matrix = trace_matrix
+        self._server_rows = np.array(
+            [self._matrix.row_of_tenant(dn.tenant.tenant_id) for dn in dns],
+            dtype=np.int64,
+        )
+        self._server_aware = np.array([dn.primary_aware for dn in dns], dtype=bool)
+        self._server_thresholds = np.array([dn.busy_threshold for dn in dns])
+        self._server_capacity = np.array([dn.capacity_gb for dn in dns])
+        self._server_used = np.array([dn.used_space_gb for dn in dns])
+
+    @property
+    def trace_matrix(self) -> TraceMatrix:
+        """The vectorized utilization view over the DataNodes' tenants."""
+        return self._matrix
 
     # -- namespace ----------------------------------------------------------
 
@@ -117,9 +159,20 @@ class NameNode:
         block_id = f"block-{self._block_counter}"
         block = Block(block_id, size_gb=size_gb, target_replication=replication)
 
-        exclude = self._busy_servers(time) if self._primary_aware else []
+        # Busy servers (when primary-aware) and servers without space are both
+        # excluded up front, in one vectorized pass, so the policies skip
+        # their per-DataNode space scans.
+        excluded_mask = ~self._space_mask(size_gb)
+        if self._primary_aware:
+            excluded_mask |= self._busy_mask(time)
+        exclude = [self._server_ids[i] for i in np.flatnonzero(excluded_mask)]
         chosen = self._policy.choose_servers(
-            replication, creating_server_id, self._datanodes, size_gb, exclude=exclude
+            replication,
+            creating_server_id,
+            self._datanodes,
+            size_gb,
+            exclude=exclude,
+            space_prefiltered=True,
         )
         if not chosen:
             self.metrics.counter("block_creations_failed").increment()
@@ -137,6 +190,7 @@ class NameNode:
     def _store_replica(self, block: Block, server_id: str, time: float) -> None:
         datanode = self._datanodes[server_id]
         datanode.store_replica(block)
+        self._server_used[self._index_of_server[server_id]] += block.size_gb
         block.add_replica(
             BlockReplica(
                 server_id=server_id,
@@ -145,12 +199,21 @@ class NameNode:
             )
         )
 
+    def _busy_mask(self, time: float) -> np.ndarray:
+        """Per-server busy flags, evaluated as one trace-matrix reduction."""
+        util = self._matrix.utilization_at(time)
+        return self._server_aware & (
+            util[self._server_rows] > self._server_thresholds
+        )
+
+    def _space_mask(self, size_gb: float) -> np.ndarray:
+        """Per-server flags for ``DataNode.has_space_for(size_gb)``."""
+        free = np.maximum(0.0, self._server_capacity - self._server_used)
+        return size_gb <= free + 1e-9
+
     def _busy_servers(self, time: float) -> List[str]:
-        return [
-            server_id
-            for server_id, dn in self._datanodes.items()
-            if dn.is_busy(time)
-        ]
+        mask = self._busy_mask(time)
+        return [self._server_ids[i] for i in np.flatnonzero(mask)]
 
     # -- access -------------------------------------------------------------------
 
@@ -186,6 +249,83 @@ class NameNode:
         self.metrics.counter("accesses_failed").increment()
         return AccessResult.UNAVAILABLE
 
+    #: Integer codes used by :meth:`check_accesses`, index-aligned with the
+    #: order the batch path reports them in.
+    ACCESS_CODES = (AccessResult.SERVED, AccessResult.UNAVAILABLE, AccessResult.LOST)
+
+    def check_accesses(
+        self,
+        block_ids: Sequence[str],
+        times: Union[Sequence[float], np.ndarray],
+    ) -> np.ndarray:
+        """Evaluate a whole batch of accesses as numpy mask reductions.
+
+        Semantically identical to calling :meth:`access_block` for each
+        ``(block_ids[i], times[i])`` pair — including the metric counters —
+        but the per-replica busy checks collapse into one ``(accesses x
+        replicas)`` trace-matrix lookup.  Returns an ``int8`` array whose
+        values index :data:`ACCESS_CODES` (0 = served, 1 = unavailable,
+        2 = lost).
+        """
+        times = np.asarray(times, dtype=float)
+        if len(block_ids) != len(times):
+            raise ValueError("block_ids and times must have the same length")
+        n = len(block_ids)
+        codes = np.zeros(n, dtype=np.int8)
+        if n == 0:
+            return codes
+
+        # Healthy replica holders per distinct block (blocks repeat freely in
+        # a batch of sampled accesses, so resolve each id once).
+        holders_of: Dict[str, List[int]] = {}
+        for block_id in block_ids:
+            if block_id in holders_of:
+                continue
+            block = self._blocks.get(block_id)
+            if block is None:
+                raise KeyError(f"unknown block {block_id}")
+            holders_of[block_id] = [
+                self._index_of_server[s]
+                for s in block.servers_with_healthy_replicas()
+            ]
+
+        max_replicas = max((len(h) for h in holders_of.values()), default=0)
+        if max_replicas == 0:
+            codes[:] = 2
+            self.metrics.counter("accesses_lost_block").increment(n)
+            return codes
+
+        # (accesses x replicas) server-index matrix, padded with -1.
+        servers = np.full((n, max_replicas), -1, dtype=np.int64)
+        for i, block_id in enumerate(block_ids):
+            holders = holders_of[block_id]
+            servers[i, : len(holders)] = holders
+        valid = servers >= 0
+        lost = ~valid.any(axis=1)
+        codes[lost] = 2
+
+        if not self._primary_aware:
+            served = ~lost
+        else:
+            safe = np.where(valid, servers, 0)
+            util = self._matrix.utilization(
+                self._server_rows[safe], times[:, None]
+            )
+            busy = self._server_aware[safe] & (
+                util > self._server_thresholds[safe]
+            )
+            available = valid & ~busy
+            served = available.any(axis=1) & ~lost
+            codes[~served & ~lost] = 1
+            self.metrics.counter("accesses_failed").increment(
+                int((~served & ~lost).sum())
+            )
+        codes[served] = 0
+        self.metrics.counter("accesses_served").increment(int(served.sum()))
+        if lost.any():
+            self.metrics.counter("accesses_lost_block").increment(int(lost.sum()))
+        return codes
+
     # -- reimages and recovery -------------------------------------------------------
 
     def handle_reimage(self, server_id: str, time: float) -> List[str]:
@@ -197,8 +337,12 @@ class NameNode:
         if datanode is None:
             return []
         affected = datanode.reimage()
+        self._server_used[self._index_of_server[server_id]] = 0.0
         newly_lost: List[str] = []
-        for block_id in affected:
+        # The DataNode reports its wiped replicas as a set; iterate in sorted
+        # order so the re-replication queue (and every random draw downstream
+        # of it) does not depend on the process's string-hash seed.
+        for block_id in sorted(affected):
             block = self._blocks.get(block_id)
             if block is None:
                 continue
@@ -219,8 +363,8 @@ class NameNode:
 
         Returns the number of replicas restored in this round.
         """
-        healthy_servers = sum(
-            1 for dn in self._datanodes.values() if dn.free_space_gb > 0
+        healthy_servers = int(
+            (np.maximum(0.0, self._server_capacity - self._server_used) > 0).sum()
         )
         drained = self._replication.drain(time, healthy_servers)
         restored = 0
@@ -242,14 +386,14 @@ class NameNode:
 
     def _pick_recovery_target(self, block: Block, time: float) -> Optional[str]:
         """A server for a recovered replica: has space, not already holding one."""
+        viable = self._space_mask(block.size_gb)
+        if self._primary_aware:
+            viable &= ~self._busy_mask(time)
         holders = set(block.replicas.keys())
-        busy = set(self._busy_servers(time)) if self._primary_aware else set()
         candidates = [
-            server_id
-            for server_id, dn in self._datanodes.items()
-            if server_id not in holders
-            and server_id not in busy
-            and dn.has_space_for(block.size_gb)
+            self._server_ids[i]
+            for i in np.flatnonzero(viable)
+            if self._server_ids[i] not in holders
         ]
         if not candidates:
             return None

@@ -32,8 +32,15 @@ class PlacementPolicy(Protocol):
         datanodes: Dict[str, DataNode],
         block_size_gb: float,
         exclude: Sequence[str] = (),
+        space_prefiltered: bool = False,
     ) -> List[str]:
-        """Return up to ``replication`` distinct server ids for a new block."""
+        """Return up to ``replication`` distinct server ids for a new block.
+
+        ``space_prefiltered`` tells the policy that ``exclude`` already
+        contains every server without room for the block (the NameNode
+        computes that in one vectorized pass), so the per-DataNode space
+        scan can be skipped.
+        """
         ...
 
 
@@ -50,15 +57,20 @@ class StockPlacementPolicy:
         datanodes: Dict[str, DataNode],
         block_size_gb: float,
         exclude: Sequence[str] = (),
+        space_prefiltered: bool = False,
     ) -> List[str]:
         """Pick servers with the rack-aware stock rule."""
         if replication <= 0:
             raise ValueError("replication must be positive")
         excluded = set(exclude)
+        # Candidates carry (server_id, rack) alongside the DataNode so the
+        # inner filters below stay free of per-DataNode property calls; this
+        # runs once per block creation.
         candidates = [
-            dn
-            for dn in datanodes.values()
-            if dn.server_id not in excluded and dn.has_space_for(block_size_gb)
+            (sid, dn.server.rack)
+            for sid, dn in datanodes.items()
+            if sid not in excluded
+            and (space_prefiltered or dn.has_space_for(block_size_gb))
         ]
         if not candidates:
             return []
@@ -66,43 +78,43 @@ class StockPlacementPolicy:
         chosen: List[str] = []
         chosen_racks: List[str] = []
 
-        def pick(pool: List[DataNode]) -> Optional[DataNode]:
-            pool = [dn for dn in pool if dn.server_id not in chosen]
+        def pick(pool: List[tuple]) -> Optional[tuple]:
+            pool = [entry for entry in pool if entry[0] not in chosen]
             if not pool:
                 return None
             return self._rng.choice(pool)
 
         # Replica 1: the creating server when possible, otherwise random.
-        first: Optional[DataNode] = None
+        first: Optional[tuple] = None
         if creating_server_id is not None and creating_server_id in datanodes:
             local = datanodes[creating_server_id]
-            if local.has_space_for(block_size_gb) and local.server_id not in excluded:
-                first = local
+            if creating_server_id not in excluded and (
+                space_prefiltered or local.has_space_for(block_size_gb)
+            ):
+                first = (creating_server_id, local.server.rack)
         if first is None:
             first = pick(candidates)
         if first is None:
             return []
-        chosen.append(first.server_id)
-        chosen_racks.append(first.server.rack)
+        chosen.append(first[0])
+        chosen_racks.append(first[1])
 
         # Replica 2: same rack as the first, if any other server is there.
         if len(chosen) < replication:
-            same_rack = [
-                dn for dn in candidates if dn.server.rack == chosen_racks[0]
-            ]
+            same_rack = [entry for entry in candidates if entry[1] == chosen_racks[0]]
             second = pick(same_rack) or pick(candidates)
             if second is not None:
-                chosen.append(second.server_id)
-                chosen_racks.append(second.server.rack)
+                chosen.append(second[0])
+                chosen_racks.append(second[1])
 
         # Remaining replicas: prefer racks not used yet.
         while len(chosen) < replication:
-            remote = [dn for dn in candidates if dn.server.rack not in chosen_racks]
+            remote = [entry for entry in candidates if entry[1] not in chosen_racks]
             nxt = pick(remote) or pick(candidates)
             if nxt is None:
                 break
-            chosen.append(nxt.server_id)
-            chosen_racks.append(nxt.server.rack)
+            chosen.append(nxt[0])
+            chosen_racks.append(nxt[1])
         return chosen
 
 
@@ -159,6 +171,7 @@ class HistoryPlacementPolicy:
         datanodes: Dict[str, DataNode],
         block_size_gb: float,
         exclude: Sequence[str] = (),
+        space_prefiltered: bool = False,
     ) -> List[str]:
         """Pick servers with Algorithm 2; falls back to nothing when unclustered."""
         if self._placer is None:
@@ -169,9 +182,10 @@ class HistoryPlacementPolicy:
         # placer must know this up front so it can pick alternatives that
         # still satisfy the diversity constraints.
         excluded = set(exclude)
-        for server_id, datanode in datanodes.items():
-            if not datanode.has_space_for(block_size_gb):
-                excluded.add(server_id)
+        if not space_prefiltered:
+            for server_id, datanode in datanodes.items():
+                if not datanode.has_space_for(block_size_gb):
+                    excluded.add(server_id)
         decision = self._placer.place_block(
             replication, creating_server_id, excluded_servers=excluded
         )

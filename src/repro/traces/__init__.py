@@ -30,6 +30,7 @@ from repro.traces.reimage import ReimageEvent, ReimageProfile, generate_reimage_
 from repro.traces.scaling import ScalingMethod, scale_trace, scale_to_target_mean
 from repro.traces.datacenter import Datacenter, Environment, PrimaryTenant, Server
 from repro.traces.fleet import DatacenterSpec, build_datacenter, build_fleet, fleet_specs
+from repro.traces.matrix import TraceMatrix
 
 __all__ = [
     "SAMPLE_INTERVAL_SECONDS",
@@ -53,4 +54,5 @@ __all__ = [
     "build_datacenter",
     "build_fleet",
     "fleet_specs",
+    "TraceMatrix",
 ]

@@ -1,0 +1,164 @@
+"""Vectorized view over a set of primary-tenant utilization traces.
+
+The simulators repeatedly ask "which servers are busy at time ``t``?" — once
+per block creation, recovery round, and access check.  Answering that through
+:meth:`PrimaryTenant.utilization_at` costs one Python call per server per
+query, which dominates the availability and durability experiments.  A
+:class:`TraceMatrix` stacks every tenant's trace into one ``(tenants x
+samples)`` numpy array so those queries become single mask reductions.
+
+Each row wraps around at *its own* trace length (traces of different lengths
+are padded, never truncated), matching ``UtilizationTrace.value_at`` exactly.
+The one deliberate divergence from the scalar path: a tenant without a trace
+reads as zero utilization here — it can never be busy, like a
+primary-oblivious server — where ``PrimaryTenant.utilization_at`` would
+raise.  The fleet builders always attach traces, so the case is latent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.traces.datacenter import PrimaryTenant
+from repro.traces.utilization import SAMPLE_INTERVAL_SECONDS
+
+
+class TraceMatrix:
+    """A ``(tenants x samples)`` numpy view over utilization traces."""
+
+    def __init__(
+        self,
+        tenants: Sequence[PrimaryTenant],
+        sample_interval_seconds: float = SAMPLE_INTERVAL_SECONDS,
+    ) -> None:
+        if not tenants:
+            raise ValueError("a TraceMatrix needs at least one tenant")
+        if sample_interval_seconds <= 0:
+            raise ValueError("sample_interval_seconds must be positive")
+        self._tenant_ids: List[str] = [t.tenant_id for t in tenants]
+        self._row_of_tenant: Dict[str, int] = {
+            t.tenant_id: i for i, t in enumerate(tenants)
+        }
+        if len(self._row_of_tenant) != len(tenants):
+            raise ValueError("tenant ids must be unique")
+        self._interval = float(sample_interval_seconds)
+
+        lengths: List[int] = []
+        series: List[np.ndarray] = []
+        for tenant in tenants:
+            if tenant.trace is None:
+                lengths.append(1)
+                series.append(np.zeros(1))
+            else:
+                lengths.append(tenant.trace.num_samples)
+                series.append(tenant.trace.values)
+        self._lengths = np.asarray(lengths, dtype=np.int64)
+        self._values = np.zeros((len(tenants), int(self._lengths.max())))
+        for row, values in enumerate(series):
+            self._values[row, : len(values)] = values
+
+        # Server map derived from the tenants, for busy_servers() queries.
+        self._row_of_server: Dict[str, int] = {}
+        for row, tenant in enumerate(tenants):
+            for server in tenant.servers:
+                self._row_of_server[server.server_id] = row
+
+    # -- shape and lookup --------------------------------------------------
+
+    @property
+    def num_tenants(self) -> int:
+        """Number of rows (tenants)."""
+        return len(self._tenant_ids)
+
+    @property
+    def num_samples(self) -> int:
+        """Number of columns (length of the longest trace)."""
+        return self._values.shape[1]
+
+    @property
+    def tenant_ids(self) -> List[str]:
+        """Tenant ids in row order."""
+        return list(self._tenant_ids)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying ``(tenants x samples)`` array (padded with zeros)."""
+        return self._values
+
+    def row_of_tenant(self, tenant_id: str) -> int:
+        """Row index of a tenant; raises ``KeyError`` when unknown."""
+        return self._row_of_tenant[tenant_id]
+
+    def row_of_server(self, server_id: str) -> int:
+        """Row index of the tenant owning a server; raises ``KeyError``."""
+        return self._row_of_server[server_id]
+
+    def has_tenant(self, tenant_id: str) -> bool:
+        """Whether the matrix has a row for this tenant."""
+        return tenant_id in self._row_of_tenant
+
+    # -- queries ------------------------------------------------------------
+
+    def sample_index(self, time_seconds: float) -> np.ndarray:
+        """Per-row sample index for one time (each row wraps independently)."""
+        if time_seconds < 0:
+            raise ValueError(f"time must be non-negative (got {time_seconds})")
+        return int(time_seconds // self._interval) % self._lengths
+
+    def utilization_at(self, time_seconds: float) -> np.ndarray:
+        """Every tenant's utilization at one time — one value per row."""
+        idx = self.sample_index(time_seconds)
+        return self._values[np.arange(self.num_tenants), idx]
+
+    def utilization(self, rows: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """Paired lookup: utilization of ``rows[i]`` at ``times[i]``.
+
+        ``rows`` and ``times`` broadcast against each other, so a
+        ``(blocks x replicas)`` row matrix and a ``(blocks x 1)`` time column
+        yield the per-replica utilization for a whole batch of accesses.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        raw = (np.asarray(times, dtype=float) // self._interval).astype(np.int64)
+        idx = raw % self._lengths[rows]
+        return self._values[rows, idx]
+
+    def busy_mask(self, time_seconds: float, threshold: float) -> np.ndarray:
+        """Boolean row mask: tenants whose utilization exceeds ``threshold``."""
+        return self.utilization_at(time_seconds) > threshold
+
+    def busy_servers(self, time_seconds: float, threshold: float) -> List[str]:
+        """Ids of servers whose tenant is above ``threshold`` at ``time``."""
+        busy = self.busy_mask(time_seconds, threshold)
+        return [sid for sid, row in self._row_of_server.items() if busy[row]]
+
+    def busy_fraction(
+        self, times: np.ndarray, threshold: float
+    ) -> np.ndarray:
+        """Fraction of tenants busy at each of ``times`` (one value per time)."""
+        times = np.asarray(times, dtype=float)
+        raw = (times // self._interval).astype(np.int64)
+        idx = raw[None, :] % self._lengths[:, None]
+        busy = self._values[np.arange(self.num_tenants)[:, None], idx] > threshold
+        return busy.mean(axis=0)
+
+    def mean_utilization(
+        self, weights: Optional[Union[Sequence[float], np.ndarray]] = None
+    ) -> float:
+        """(Optionally weighted) mean utilization across tenants and time."""
+        per_tenant = np.array(
+            [
+                self._values[row, : self._lengths[row]].mean()
+                for row in range(self.num_tenants)
+            ]
+        )
+        if weights is None:
+            return float(per_tenant.mean())
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != per_tenant.shape:
+            raise ValueError("weights must have one entry per tenant")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        return float((per_tenant * weights).sum() / total)

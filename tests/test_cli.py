@@ -22,6 +22,7 @@ class TestParser:
             "durability",
             "availability",
             "microbench",
+            "run-scenario",
         }
 
     def test_missing_command_errors(self):
@@ -58,3 +59,20 @@ class TestCommands:
         assert exit_code == 0
         out = capsys.readouterr().out
         assert "HDFS-H R3 failed" in out
+
+    def test_run_scenario_list(self, capsys):
+        exit_code = main(["run-scenario", "--list"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "fig15-durability" in out
+        assert "fig16-availability" in out
+        assert "scheduling_sweep" in out
+
+    def test_run_scenario_without_name_lists(self, capsys):
+        exit_code = main(["run-scenario"])
+        assert exit_code == 0
+        assert "Registered scenarios" in capsys.readouterr().out
+
+    def test_run_scenario_unknown_name(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["run-scenario", "no-such-scenario"])

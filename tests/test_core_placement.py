@@ -171,6 +171,86 @@ class TestConstraintsAndFailure:
             assert not set(decision.server_ids) & excluded
 
 
+class TestSoftConstraintRelaxationOrder:
+    """Soft mode relaxes in the documented order: rack, environment, rows/columns."""
+
+    SOFT_RACKS = PlacementConstraints(distinct_racks=True, hard=False)
+
+    def test_rack_relaxed_first_when_rack_is_the_only_obstacle(self):
+        # Diverse environments and grid cells, but every server shares one
+        # rack: only the rack constraint can fail, so only it is relaxed.
+        stats = [
+            make_stats(
+                f"t{i}",
+                reimage_rate=0.05 + 0.1 * (i % 3),
+                peak=0.1 + 0.3 * (i // 3),
+                rack="shared-rack",
+            )
+            for i in range(9)
+        ]
+        placer = make_placer(stats, constraints=self.SOFT_RACKS)
+        decision = placer.place_block(3)
+        assert decision.complete
+        assert decision.relaxed_constraints == ["rack"]
+
+    def test_environment_relaxed_when_rack_relaxation_is_not_enough(self):
+        # Distinct racks but one shared environment: the rack step is skipped
+        # (racks are satisfiable) and the environment constraint is the one
+        # that has to give.
+        stats = [
+            make_stats(
+                f"t{i}",
+                reimage_rate=0.05 + 0.1 * (i % 3),
+                peak=0.1 + 0.3 * (i // 3),
+                environment="shared-env",
+            )
+            for i in range(9)
+        ]
+        placer = make_placer(stats, constraints=PlacementConstraints(hard=False))
+        decision = placer.place_block(3)
+        assert decision.complete
+        assert decision.relaxed_constraints == ["environment"]
+
+    def test_rows_and_columns_relaxed_last(self):
+        # A single tenant in a single grid cell: once its row and column are
+        # used, only the final rows/columns relaxation can place more
+        # replicas.  The environment step is tried before it but cannot help
+        # (the grid filter still applies there), so only the last, broadest
+        # relaxation is recorded.
+        stats = [make_stats("only", 0.5, 0.5, num_servers=5)]
+        placer = make_placer(stats, constraints=PlacementConstraints(hard=False))
+        decision = placer.place_block(3)
+        assert decision.complete
+        assert decision.relaxed_constraints == ["rows_and_columns"]
+
+    def test_relaxations_recorded_in_order_without_duplicates(self):
+        # Same single-cell layout at replication 5: replicas 2-3 need the
+        # rows/columns relaxation (recorded once, not per replica), while
+        # replica 4 lands just after the every-three-replicas round reset —
+        # its row and column are free again, so only the environment
+        # constraint has to give.  The tags appear in the order the
+        # relaxations first happened.
+        stats = [make_stats("only", 0.5, 0.5, num_servers=6)]
+        placer = make_placer(stats, constraints=PlacementConstraints(hard=False))
+        decision = placer.place_block(5)
+        assert decision.complete
+        assert decision.relaxed_constraints == ["rows_and_columns", "environment"]
+
+    def test_hard_mode_fails_instead_of_relaxing(self):
+        stats = [make_stats("only", 0.5, 0.5, num_servers=5)]
+        placer = make_placer(stats, constraints=PlacementConstraints(hard=True))
+        decision = placer.place_block(3)
+        assert not decision.complete
+        assert decision.replication == 1
+        assert decision.relaxed_constraints == []
+
+    def test_nothing_recorded_when_no_relaxation_needed(self):
+        placer = make_placer(constraints=PlacementConstraints(hard=False))
+        decision = placer.place_block(3)
+        assert decision.complete
+        assert decision.relaxed_constraints == []
+
+
 class TestSpaceAccounting:
     def test_space_consumed_per_replica(self):
         placer = make_placer()

@@ -1,0 +1,212 @@
+"""Tests for the vectorized trace matrix and the NameNode batch access path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.random import RandomSource
+from repro.storage.datanode import DataNode
+from repro.storage.namenode import AccessResult, NameNode
+from repro.storage.placement_policies import StockPlacementPolicy
+from repro.traces.datacenter import PrimaryTenant, Server
+from repro.traces.matrix import TraceMatrix
+from repro.traces.utilization import (
+    SAMPLE_INTERVAL_SECONDS,
+    UtilizationPattern,
+    UtilizationTrace,
+)
+
+
+def make_tenant(
+    tenant_id: str,
+    values,
+    num_servers: int = 2,
+    traced: bool = True,
+) -> PrimaryTenant:
+    tenant = PrimaryTenant(
+        tenant_id=tenant_id,
+        environment=f"env-{tenant_id}",
+        machine_function="mf",
+        trace=UtilizationTrace(np.asarray(values, dtype=float), UtilizationPattern.CONSTANT)
+        if traced
+        else None,
+        pattern=UtilizationPattern.CONSTANT,
+    )
+    for index in range(num_servers):
+        tenant.servers.append(
+            Server(
+                server_id=f"{tenant_id}-s{index}",
+                tenant_id=tenant_id,
+                rack=f"rack-{index}",
+                harvestable_disk_gb=64.0,
+            )
+        )
+    return tenant
+
+
+@pytest.fixture
+def tenants() -> list[PrimaryTenant]:
+    return [
+        make_tenant("a", [0.1, 0.9, 0.5, 0.3]),
+        make_tenant("b", [0.8, 0.2]),  # shorter trace: wraps on its own length
+        make_tenant("c", [0.0], traced=False),
+    ]
+
+
+class TestConstruction:
+    def test_shape_and_lookup(self, tenants):
+        matrix = TraceMatrix(tenants)
+        assert matrix.num_tenants == 3
+        assert matrix.num_samples == 4  # padded to the longest trace
+        assert matrix.tenant_ids == ["a", "b", "c"]
+        assert matrix.row_of_tenant("b") == 1
+        assert matrix.row_of_server("a-s1") == 0
+        assert matrix.has_tenant("c") and not matrix.has_tenant("zz")
+
+    def test_empty_and_duplicate_rejected(self, tenants):
+        with pytest.raises(ValueError):
+            TraceMatrix([])
+        with pytest.raises(ValueError):
+            TraceMatrix([tenants[0], tenants[0]])
+
+    def test_negative_time_rejected(self, tenants):
+        with pytest.raises(ValueError):
+            TraceMatrix(tenants).utilization_at(-1.0)
+
+
+class TestQueries:
+    def test_matches_scalar_path_including_wraparound(self, tenants):
+        matrix = TraceMatrix(tenants)
+        times = [0.0, 119.0, 120.0, 500.0, 7 * SAMPLE_INTERVAL_SECONDS + 3.0]
+        for t in times:
+            column = matrix.utilization_at(t)
+            for row, tenant in enumerate(tenants):
+                expected = tenant.trace.value_at(t) if tenant.trace is not None else 0.0
+                assert column[row] == pytest.approx(expected)
+
+    def test_paired_utilization_broadcasts(self, tenants):
+        matrix = TraceMatrix(tenants)
+        rows = np.array([[0, 1], [1, 0]])
+        times = np.array([[0.0], [3 * SAMPLE_INTERVAL_SECONDS]])
+        out = matrix.utilization(rows, times)
+        assert out.shape == (2, 2)
+        assert out[0, 0] == pytest.approx(0.1)  # tenant a at t=0
+        assert out[0, 1] == pytest.approx(0.8)  # tenant b at t=0
+        # tenant b wraps at its own length (2 samples): index 3 % 2 == 1.
+        assert out[1, 0] == pytest.approx(0.2)
+        assert out[1, 1] == pytest.approx(0.3)
+
+    def test_busy_mask_and_servers(self, tenants):
+        matrix = TraceMatrix(tenants)
+        mask = matrix.busy_mask(SAMPLE_INTERVAL_SECONDS, threshold=0.5)
+        # At sample 1: a=0.9 (busy), b=0.2, c has no trace (never busy).
+        assert list(mask) == [True, False, False]
+        assert set(matrix.busy_servers(SAMPLE_INTERVAL_SECONDS, 0.5)) == {
+            "a-s0",
+            "a-s1",
+        }
+
+    def test_busy_fraction(self, tenants):
+        matrix = TraceMatrix(tenants)
+        fractions = matrix.busy_fraction(
+            np.array([0.0, SAMPLE_INTERVAL_SECONDS]), threshold=0.5
+        )
+        assert fractions[0] == pytest.approx(1 / 3)  # only b (0.8) at t=0
+        assert fractions[1] == pytest.approx(1 / 3)  # only a (0.9) at sample 1
+
+    def test_mean_utilization_weights_validated(self, tenants):
+        matrix = TraceMatrix(tenants)
+        assert 0.0 <= matrix.mean_utilization() <= 1.0
+        with pytest.raises(ValueError):
+            matrix.mean_utilization(weights=[1.0])
+        with pytest.raises(ValueError):
+            matrix.mean_utilization(weights=[0.0, 0.0, 0.0])
+
+
+class TestNameNodeBatchAccess:
+    def build_namenode(self, utilizations: dict[str, float]) -> NameNode:
+        tenants = [
+            make_tenant(tid, [util] * 4, num_servers=3)
+            for tid, util in utilizations.items()
+        ]
+        datanodes = [
+            DataNode(server=s, tenant=t, primary_aware=True)
+            for t in tenants
+            for s in t.servers
+        ]
+        return NameNode(
+            datanodes,
+            StockPlacementPolicy(rng=RandomSource(1)),
+            primary_aware=True,
+            rng=RandomSource(2),
+        )
+
+    def test_batch_matches_scalar_access(self):
+        namenode = self.build_namenode(
+            {"idle": 0.1, "busy": 0.95, "medium": 0.4, "other": 0.2}
+        )
+        block_ids = []
+        for _ in range(20):
+            created = namenode.create_block(0.0)
+            if created.block is not None:
+                block_ids.append(created.block.block_id)
+        assert block_ids
+
+        rng = RandomSource(7)
+        sampled = [rng.choice(block_ids) for _ in range(200)]
+        times = np.array([rng.uniform(0.0, 4 * 120.0) for _ in range(200)])
+
+        scalar = [namenode.access_block(b, t) for b, t in zip(sampled, times)]
+        codes = namenode.check_accesses(sampled, times)
+        batch = [NameNode.ACCESS_CODES[c] for c in codes]
+        assert batch == scalar
+
+    def test_batch_counts_metrics_like_scalar(self):
+        scalar_nn = self.build_namenode({"idle": 0.1, "busy": 0.95})
+        batch_nn = self.build_namenode({"idle": 0.1, "busy": 0.95})
+        blocks_scalar, blocks_batch = [], []
+        for _ in range(10):
+            a = scalar_nn.create_block(0.0)
+            b = batch_nn.create_block(0.0)
+            if a.block is not None:
+                blocks_scalar.append(a.block.block_id)
+            if b.block is not None:
+                blocks_batch.append(b.block.block_id)
+        assert blocks_scalar == blocks_batch
+
+        times = np.linspace(0.0, 400.0, 50)
+        sampled = [blocks_scalar[i % len(blocks_scalar)] for i in range(50)]
+        for b, t in zip(sampled, times):
+            scalar_nn.access_block(b, t)
+        batch_nn.check_accesses(sampled, times)
+        for counter in ("accesses_served", "accesses_failed", "accesses_lost_block"):
+            assert scalar_nn.metrics.counter_value(
+                counter
+            ) == batch_nn.metrics.counter_value(counter)
+
+    def test_lost_blocks_reported(self):
+        namenode = self.build_namenode({"idle": 0.1, "other": 0.2})
+        created = namenode.create_block(0.0)
+        block = created.block
+        for server_id in list(block.servers_with_healthy_replicas()):
+            namenode.handle_reimage(server_id, 1.0)
+        codes = namenode.check_accesses([block.block_id, block.block_id], [2.0, 3.0])
+        assert [NameNode.ACCESS_CODES[c] for c in codes] == [
+            AccessResult.LOST,
+            AccessResult.LOST,
+        ]
+
+    def test_unknown_block_raises(self):
+        namenode = self.build_namenode({"idle": 0.1})
+        with pytest.raises(KeyError):
+            namenode.check_accesses(["missing"], [0.0])
+
+    def test_length_mismatch_rejected(self):
+        namenode = self.build_namenode({"idle": 0.1})
+        with pytest.raises(ValueError):
+            namenode.check_accesses(["x"], [0.0, 1.0])
+
+    def test_empty_batch(self):
+        namenode = self.build_namenode({"idle": 0.1})
+        assert len(namenode.check_accesses([], [])) == 0

@@ -20,23 +20,10 @@ import os
 
 import pytest
 
-from repro.experiments.config import ExperimentScale
+from repro.experiments.config import BENCH_SCALE
 from repro.experiments.scheduling import run_datacenter_sweep, run_fleet_improvements
 from repro.experiments.testbed import run_scheduling_testbed, run_storage_testbed
 from repro.traces.scaling import ScalingMethod
-
-#: Scale used by the benchmark suite; trimmed so the full suite stays fast.
-BENCH_SCALE = ExperimentScale(
-    num_servers=30,
-    num_tenants=21,
-    experiment_hours=3.0,
-    mean_interarrival_seconds=120.0,
-    simulation_days=1.0,
-    durability_days=60.0,
-    num_blocks=4_000,
-    datacenter_scale=0.15,
-    repetitions=1,
-)
 
 FULL_RUN = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 

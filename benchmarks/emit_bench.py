@@ -1,0 +1,218 @@
+"""Record the per-PR performance trajectory of the hot experiment paths.
+
+Runs one compute-side and one storage-side scenario set at BENCH scale with
+a fixed seed and writes ``BENCH_compute.json`` / ``BENCH_storage.json``
+containing wall-clock timings plus the headline numbers each figure reports.
+Because the seed is fixed, the headline numbers double as a regression
+fingerprint: a PR that only optimizes hot paths must reproduce them exactly,
+while the wall-clock fields record whether it actually got faster.
+
+Usage::
+
+    python benchmarks/emit_bench.py              # writes into benchmarks/
+    python benchmarks/emit_bench.py --output-dir /tmp --seed 2
+
+The same payloads can be produced scenario by scenario with
+``repro run-scenario <name> --json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+
+from repro.experiments.availability import run_availability_experiment
+from repro.experiments.config import BENCH_SCALE, TINY_SCALE
+from repro.experiments.durability import run_durability_experiment
+from repro.experiments.scheduling import run_datacenter_sweep
+from repro.experiments.testbed import run_scheduling_testbed, run_storage_testbed
+from repro.traces.scaling import ScalingMethod
+
+#: Fixed seed for every emitted scenario; the numbers are fingerprints.
+DEFAULT_SEED = 1
+
+#: Named scales the emitter can run at; "tiny" is the CI smoke setting.
+SCALES = {"bench": BENCH_SCALE, "tiny": TINY_SCALE}
+
+
+def _timed(func, *args, **kwargs):
+    started = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def _git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _envelope(seed: int, scale_name: str) -> dict:
+    return {
+        "schema": 1,
+        "scale": scale_name.upper(),
+        "seed": seed,
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "scenarios": {},
+    }
+
+
+def compute_payload(seed: int, scale_name: str = "bench") -> dict:
+    """Figures 13 and 10/11: the scheduler-stack hot paths."""
+    scale = SCALES[scale_name]
+    payload = _envelope(seed, scale_name)
+
+    sweep, elapsed = _timed(
+        run_datacenter_sweep,
+        "DC-9",
+        utilization_levels=(0.25, 0.45),
+        scalings=(ScalingMethod.LINEAR, ScalingMethod.ROOT),
+        scale=scale,
+        seed=seed,
+    )
+    payload["scenarios"]["fig13_dc9_sweep"] = {
+        "wall_clock_seconds": elapsed,
+        "headline": {
+            "points": [
+                {
+                    "scaling": p.scaling.value,
+                    "target_utilization": p.target_utilization,
+                    "yarn_pt_seconds": p.yarn_pt_seconds,
+                    "yarn_h_seconds": p.yarn_h_seconds,
+                    "improvement": p.improvement,
+                    "yarn_pt_tasks_killed": p.yarn_pt_tasks_killed,
+                    "yarn_h_tasks_killed": p.yarn_h_tasks_killed,
+                }
+                for p in sweep.points
+            ],
+            "average_improvement_linear": sweep.average_improvement(
+                ScalingMethod.LINEAR
+            ),
+        },
+    }
+
+    testbed, elapsed = _timed(run_scheduling_testbed, scale, seed=seed)
+    payload["scenarios"]["fig10_11_scheduling_testbed"] = {
+        "wall_clock_seconds": elapsed,
+        "headline": {
+            "no_harvesting_p99_ms": testbed.no_harvesting_p99_ms,
+            "variants": {
+                name: {
+                    "average_p99_ms": v.average_p99_ms,
+                    "max_p99_ms": v.max_p99_ms,
+                    "average_job_seconds": v.average_job_seconds,
+                    "jobs_completed": v.jobs_completed,
+                    "tasks_killed": v.tasks_killed,
+                    "average_cpu_utilization": v.average_cpu_utilization,
+                }
+                for name, v in testbed.variants.items()
+            },
+        },
+    }
+    return payload
+
+
+def storage_payload(seed: int, scale_name: str = "bench") -> dict:
+    """Figures 15, 16, and 12: the storage-stack hot paths."""
+    scale = SCALES[scale_name]
+    payload = _envelope(seed, scale_name)
+
+    durability, elapsed = _timed(
+        run_durability_experiment, "DC-9", scale=scale, seed=seed
+    )
+    payload["scenarios"]["fig15_durability"] = {
+        "wall_clock_seconds": elapsed,
+        "headline": {
+            f"{variant}-r{replication}": {
+                "blocks_created": r.blocks_created,
+                "blocks_lost": r.blocks_lost,
+            }
+            for (variant, replication), r in sorted(durability.results.items())
+        },
+    }
+
+    availability, elapsed = _timed(
+        run_availability_experiment,
+        "DC-9",
+        utilization_levels=(0.3, 0.5, 0.66),
+        scale=scale,
+        seed=seed,
+    )
+    payload["scenarios"]["fig16_availability"] = {
+        "wall_clock_seconds": elapsed,
+        "headline": {
+            f"{p.variant}-r{p.replication}-u{p.target_utilization}": {
+                "accesses": p.accesses,
+                "failed_accesses": p.failed_accesses,
+            }
+            for p in availability.points
+        },
+    }
+
+    storage_testbed, elapsed = _timed(run_storage_testbed, scale, seed=seed)
+    payload["scenarios"]["fig12_storage_testbed"] = {
+        "wall_clock_seconds": elapsed,
+        "headline": {
+            "no_harvesting_p99_ms": storage_testbed.no_harvesting_p99_ms,
+            "variants": {
+                name: {
+                    "average_p99_ms": v.average_p99_ms,
+                    "failed_accesses": v.failed_accesses,
+                    "served_accesses": v.served_accesses,
+                }
+                for name, v in storage_testbed.variants.items()
+            },
+        },
+    }
+    return payload
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=Path(__file__).resolve().parent,
+        help="where to write BENCH_compute.json / BENCH_storage.json",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="bench",
+        help="experiment scale; 'tiny' is the CI smoke setting",
+    )
+    parser.add_argument(
+        "--only",
+        choices=["compute", "storage"],
+        default=None,
+        help="emit just one of the two payloads",
+    )
+    args = parser.parse_args()
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.only in (None, "compute"):
+        path = args.output_dir / "BENCH_compute.json"
+        path.write_text(json.dumps(compute_payload(args.seed, args.scale), indent=2) + "\n")
+        print(f"wrote {path}")
+    if args.only in (None, "storage"):
+        path = args.output_dir / "BENCH_storage.json"
+        path.write_text(json.dumps(storage_payload(args.seed, args.scale), indent=2) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

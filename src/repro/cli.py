@@ -19,6 +19,8 @@ figure can be regenerated without writing Python::
 from __future__ import annotations
 
 import argparse
+import json
+import time
 from typing import List, Optional, Sequence
 
 from repro.analysis import characterize_fleet
@@ -38,6 +40,7 @@ from repro.harness.results import (
     SchedulingSweepResult,
     SchedulingTestbedResult,
     StorageTestbedResult,
+    result_to_jsonable,
 )
 from repro.simulation.random import RandomSource
 from repro.traces import build_fleet
@@ -242,6 +245,19 @@ def render_scenario_result(result: object) -> str:
 def cmd_run_scenario(args: argparse.Namespace) -> str:
     """Run any registered scenario by name (or list them)."""
     if args.list or not args.name:
+        if args.json:
+            return json.dumps(
+                [
+                    {
+                        "scenario": spec.name,
+                        "kind": spec.kind,
+                        "figure": spec.figure,
+                        "description": spec.description,
+                    }
+                    for spec in iter_scenarios()
+                ],
+                indent=2,
+            )
         rows = [
             [spec.name, spec.kind, spec.figure or "-", spec.description]
             for spec in iter_scenarios()
@@ -255,7 +271,18 @@ def cmd_run_scenario(args: argparse.Namespace) -> str:
         spec = get_scenario(args.name)
     except KeyError as error:
         raise SystemExit(f"error: {error.args[0]}") from None
+    started = time.perf_counter()
     result = run_scenario(spec, seed=args.seed)
+    elapsed = time.perf_counter() - started
+    if args.json:
+        payload = {
+            "scenario": spec.name,
+            "kind": spec.kind,
+            "seed": args.seed,
+            "wall_clock_seconds": elapsed,
+            "result": result_to_jsonable(result),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
     return render_scenario_result(result)
 
 
@@ -306,6 +333,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("name", nargs="?", default=None)
     p.add_argument("--list", action="store_true", help="list registered scenarios")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result (plus wall-clock) as JSON instead of a table",
+    )
     p.set_defaults(func=cmd_run_scenario)
 
     return parser

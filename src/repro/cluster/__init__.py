@@ -16,6 +16,7 @@ from repro.cluster.resources import Resource
 from repro.cluster.reserve import ResourceReserve
 from repro.cluster.server import SimulatedServer, Container, ContainerState
 from repro.cluster.node_manager import NodeManager, Heartbeat
+from repro.cluster.fleet_state import FleetState
 from repro.cluster.resource_manager import (
     ContainerRequest,
     ResourceManager,
@@ -30,6 +31,7 @@ __all__ = [
     "ContainerState",
     "NodeManager",
     "Heartbeat",
+    "FleetState",
     "ContainerRequest",
     "ResourceManager",
     "SchedulerMode",

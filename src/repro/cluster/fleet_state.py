@@ -1,0 +1,406 @@
+"""Array-backed substrate for the compute-harvesting scheduler stack.
+
+The scheduler objects — :class:`~repro.cluster.server.SimulatedServer`,
+:class:`~repro.cluster.node_manager.NodeManager`, and the Resource Manager's
+per-server records — are pleasant to reason about but cost one Python call
+per server per heartbeat and per container request.  At datacenter scale
+those loops dominate the fig13/fig14 sweeps and the scheduling testbed.
+
+A :class:`FleetState` stacks the per-server state into numpy columns (one row
+per registered server, in registration order):
+
+* capacity and reserve (cores / memory GB),
+* resources allocated to running containers (maintained incrementally by
+  hooks the servers call on launch / complete / kill),
+* the RM's heartbeat view of available resources,
+* the primary-aware flag and the utilization-class label,
+* the owning tenant's utilization-trace row, for batch trace gathers.
+
+With those columns, a full heartbeat round is one trace gather plus a
+handful of elementwise array operations; container placement is a boolean
+mask intersection plus one weighted draw; and the Algorithm 1 class
+statistics are masked reductions.
+
+The companion of :class:`repro.traces.matrix.TraceMatrix` (the storage-side
+substrate): TraceMatrix answers "which servers are busy?", FleetState
+answers "where can this container run?".
+
+Equivalence contract
+--------------------
+
+Every array expression mirrors the scalar :class:`Resource` arithmetic
+operation for operation — including the per-dimension ``max(0, a - b)``
+clamping of ``Resource.__sub__`` and the *order* of those clampings — so a
+fixed seed produces bit-identical schedules through either path.  The one
+caveat: the allocated columns are maintained incrementally, which matches
+the scalar recomputation exactly as long as container allocations are
+binary-representable (the shipped workloads use 1 core / 2 GB containers).
+Kill *decisions* always recompute through the scalar
+:meth:`SimulatedServer.reclaim_reserve`, so reserve enforcement never
+depends on the incremental sums.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.cluster.resources import Resource
+from repro.traces.utilization import SAMPLE_INTERVAL_SECONDS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.node_manager import NodeManager
+    from repro.cluster.server import Container, SimulatedServer
+
+
+class FleetState:
+    """Numpy columns over every server registered with a Resource Manager."""
+
+    def __init__(self) -> None:
+        self._node_managers: List["NodeManager"] = []
+        self._servers: List["SimulatedServer"] = []
+        self._ids: List[str] = []
+        self._labels: List[Optional[str]] = []
+        self._index_of: Dict[str, int] = {}
+        self._dirty = True
+
+        # Built columns (valid when not dirty).
+        self.capacity_cores = np.zeros(0)
+        self.capacity_memory = np.zeros(0)
+        self.reserve_cores = np.zeros(0)
+        self.reserve_memory = np.zeros(0)
+        self.allocated_cores = np.zeros(0)
+        self.allocated_memory = np.zeros(0)
+        self.available_cores = np.zeros(0)
+        self.available_memory = np.zeros(0)
+        self.running_containers = np.zeros(0, dtype=np.int64)
+        self.primary_aware = np.zeros(0, dtype=bool)
+        self.last_heartbeat = np.zeros(0)
+
+        # Trace substrate: one row per distinct tenant, one row index per
+        # server.  Servers whose utilization cannot be gathered from a trace
+        # (override installed, or no trace attached) fall back to the scalar
+        # call; the set is usually empty.
+        self._trace_values = np.zeros((0, 0))
+        self._trace_lengths = np.zeros(0, dtype=np.int64)
+        self._server_row = np.zeros(0, dtype=np.int64)
+        self._fallback: set[int] = set()
+        self._override_indices: set[int] = set()
+
+        self._label_masks: Dict[Optional[str], np.ndarray] = {}
+        self._cached_util_time: Optional[float] = None
+        self._cached_util: Optional[np.ndarray] = None
+
+    # -- membership ---------------------------------------------------------
+
+    def add(self, node_manager: "NodeManager", label: Optional[str]) -> int:
+        """Register one NodeManager's server; returns its row index."""
+        server = node_manager.server
+        if server.server_id in self._index_of:
+            raise ValueError(f"server {server.server_id} already registered")
+        index = len(self._ids)
+        self._node_managers.append(node_manager)
+        self._servers.append(server)
+        self._ids.append(server.server_id)
+        self._labels.append(label)
+        self._index_of[server.server_id] = index
+        server._attach_fleet(self, index)
+        self._dirty = True
+        return index
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    @property
+    def server_ids(self) -> List[str]:
+        """Server ids in registration (row) order."""
+        return list(self._ids)
+
+    def index_of(self, server_id: str) -> int:
+        """Row index of a server id; raises ``KeyError`` when unknown."""
+        return self._index_of[server_id]
+
+    def server_at(self, index: int) -> "SimulatedServer":
+        """The simulated server in row ``index``."""
+        return self._servers[index]
+
+    def node_manager_at(self, index: int) -> "NodeManager":
+        """The NodeManager in row ``index``."""
+        return self._node_managers[index]
+
+    def set_label(self, index: int, label: Optional[str]) -> None:
+        """Update one server's utilization-class label."""
+        if self._labels[index] != label:
+            self._labels[index] = label
+            self._label_masks.clear()
+
+    def label_of(self, index: int) -> Optional[str]:
+        """The label currently carried by row ``index``."""
+        return self._labels[index]
+
+    # -- array (re)construction --------------------------------------------
+
+    def ensure_built(self) -> None:
+        """Build (or grow) the columns after membership changes.
+
+        Rows are append-only, so rebuilding preserves the live heartbeat
+        view (available / last_heartbeat) of the existing prefix; the
+        allocation columns are recomputed from every server's containers,
+        which also covers allocation changes that happened while the arrays
+        were dirty (hooks are dropped in that window by design).
+        """
+        if not self._dirty:
+            return
+        old = len(self.capacity_cores)
+        n = len(self._servers)
+
+        def grown(column: np.ndarray, dtype=float) -> np.ndarray:
+            fresh = np.zeros(n, dtype=dtype)
+            fresh[:old] = column[:old]
+            return fresh
+
+        self.available_cores = grown(self.available_cores)
+        self.available_memory = grown(self.available_memory)
+        self.last_heartbeat = grown(self.last_heartbeat)
+
+        self.capacity_cores = np.array([s.capacity.cores for s in self._servers])
+        self.capacity_memory = np.array([s.capacity.memory_gb for s in self._servers])
+        self.reserve_cores = np.array([s.reserve.reserve.cores for s in self._servers])
+        self.reserve_memory = np.array(
+            [s.reserve.reserve.memory_gb for s in self._servers]
+        )
+        self.primary_aware = np.array(
+            [nm.primary_aware for nm in self._node_managers], dtype=bool
+        )
+        self.allocated_cores = np.zeros(n)
+        self.allocated_memory = np.zeros(n)
+        self.running_containers = np.zeros(n, dtype=np.int64)
+        for index, server in enumerate(self._servers):
+            allocated = server.allocated()
+            self.allocated_cores[index] = allocated.cores
+            self.allocated_memory[index] = allocated.memory_gb
+            self.running_containers[index] = len(server.running_containers)
+
+        self._build_trace_rows()
+        self._label_masks.clear()
+        self._invalidate_utilization_cache()
+        self._dirty = False
+
+    def _build_trace_rows(self) -> None:
+        """Stack each distinct tenant's trace; map servers to their rows."""
+        row_of_tenant: Dict[str, int] = {}
+        traces: List[np.ndarray] = []
+        server_rows = np.zeros(len(self._servers), dtype=np.int64)
+        self._fallback = set()
+        for index, server in enumerate(self._servers):
+            trace = server.tenant.trace
+            if trace is None:
+                self._fallback.add(index)
+                continue
+            tenant_id = server.tenant_id
+            row = row_of_tenant.get(tenant_id)
+            if row is None:
+                row = len(traces)
+                row_of_tenant[tenant_id] = row
+                traces.append(trace.values)
+            server_rows[index] = row
+        self._fallback |= self._override_indices
+
+        if traces:
+            lengths = np.array([len(v) for v in traces], dtype=np.int64)
+            values = np.zeros((len(traces), int(lengths.max())))
+            for row, series in enumerate(traces):
+                values[row, : len(series)] = series
+        else:
+            lengths = np.ones(1, dtype=np.int64)
+            values = np.zeros((1, 1))
+        self._trace_values = values
+        self._trace_lengths = lengths
+        self._server_row = server_rows
+
+    # -- server hooks -------------------------------------------------------
+
+    def _on_allocation_change(
+        self, index: int, cores: float, memory_gb: float, containers: int
+    ) -> None:
+        """A server launched (+) or released (-) a container's allocation."""
+        if self._dirty:
+            # Arrays not built yet; ensure_built() recomputes from scratch.
+            return
+        self.allocated_cores[index] += cores
+        self.allocated_memory[index] += memory_gb
+        self.running_containers[index] += containers
+
+    def _on_override_change(self, index: int, has_override: bool) -> None:
+        """A server installed or removed a utilization override."""
+        if has_override:
+            self._override_indices.add(index)
+            self._fallback.add(index)
+        else:
+            self._override_indices.discard(index)
+            if not self._dirty and self._servers[index].tenant.trace is not None:
+                self._fallback.discard(index)
+        self._invalidate_utilization_cache()
+
+    def _invalidate_utilization_cache(self) -> None:
+        self._cached_util_time = None
+        self._cached_util = None
+
+    # -- batch queries ------------------------------------------------------
+
+    def primary_utilization(self, time: float) -> np.ndarray:
+        """Every server's primary-tenant utilization at ``time`` (one gather).
+
+        Each value is exactly what ``server.primary_utilization(time)``
+        returns: a raw trace lookup (each trace wrapping at its own length)
+        for trace-driven servers, the clamped override for overridden ones.
+        """
+        self.ensure_built()
+        if self._cached_util_time == time and self._cached_util is not None:
+            return self._cached_util
+        if time < 0:
+            raise ValueError(f"time must be non-negative (got {time})")
+        column = int(time // SAMPLE_INTERVAL_SECONDS) % self._trace_lengths
+        util = self._trace_values[self._server_row, column[self._server_row]]
+        for index in self._fallback:
+            util[index] = self._servers[index].primary_utilization(time)
+        # The cached array is handed out by reference; freeze it so a caller
+        # mutation cannot poison later same-timestamp queries.
+        util.flags.writeable = False
+        self._cached_util_time = time
+        self._cached_util = util
+        return util
+
+    def total_utilization(self, time: float) -> np.ndarray:
+        """Per-server combined primary + secondary CPU utilization."""
+        self.ensure_built()
+        primary = self.primary_utilization(time)
+        return np.minimum(1.0, primary + self.allocated_cores / self.capacity_cores)
+
+    def secondary_cpu_fraction(self) -> np.ndarray:
+        """Per-server CPU fraction allocated to batch containers."""
+        self.ensure_built()
+        return self.allocated_cores / self.capacity_cores
+
+    def label_mask(self, labels: Sequence[str]) -> np.ndarray:
+        """Boolean row mask of servers carrying any of ``labels``."""
+        self.ensure_built()
+        mask = np.zeros(len(self._ids), dtype=bool)
+        for label in labels:
+            mask |= self._single_label_mask(label)
+        return mask
+
+    def _single_label_mask(self, label: Optional[str]) -> np.ndarray:
+        cached = self._label_masks.get(label)
+        if cached is None:
+            cached = np.array([lbl == label for lbl in self._labels], dtype=bool)
+            self._label_masks[label] = cached
+        return cached
+
+    def fits_mask(self, cores: float, memory_gb: float) -> np.ndarray:
+        """Servers whose RM-view available resources fit an allocation.
+
+        Mirrors ``Resource.fits_within`` including its epsilon.
+        """
+        self.ensure_built()
+        epsilon = 1e-9
+        return (cores <= self.available_cores + epsilon) & (
+            memory_gb <= self.available_memory + epsilon
+        )
+
+    # -- heartbeats ---------------------------------------------------------
+
+    def refresh(self, time: float) -> List["Container"]:
+        """One batch heartbeat round; returns the containers killed.
+
+        Equivalent to calling ``NodeManager.heartbeat(time)`` on every server
+        in registration order: enforce the reserve where the primary tenant
+        burst into it (youngest containers die first, via the scalar kill
+        path), then publish each server's available resources to the RM view.
+        """
+        self.ensure_built()
+        if len(self._servers) == 0:
+            return []
+        aware = self.primary_aware
+        killed: List["Container"] = []
+        if aware.any():
+            util = self.primary_utilization(time)
+            # Resource arithmetic, vectorized: ceil(primary usage), then
+            # capacity - (ceil + reserve) with the per-dimension max(0, .)
+            # clamp of Resource.__sub__.
+            ceil_cores = np.ceil(util * self.capacity_cores)
+            ceil_memory = np.ceil(util * self.capacity_memory * 0.5)
+            harvest_cores = np.maximum(
+                0.0, self.capacity_cores - (ceil_cores + self.reserve_cores)
+            )
+            harvest_memory = np.maximum(
+                0.0, self.capacity_memory - (ceil_memory + self.reserve_memory)
+            )
+            # Reserve violations: allocated intrudes past the harvestable
+            # room (Resource.is_zero tolerance).  Rare, so the actual kills
+            # run through the scalar youngest-first path per violator.
+            violated = aware & self.running_containers.astype(bool) & (
+                (self.allocated_cores - harvest_cores > 1e-12)
+                | (self.allocated_memory - harvest_memory > 1e-12)
+            )
+            for index in np.flatnonzero(violated):
+                killed.extend(self._node_managers[index].enforce_reserve(time))
+            available_cores = np.maximum(0.0, harvest_cores - self.allocated_cores)
+            available_memory = np.maximum(0.0, harvest_memory - self.allocated_memory)
+        else:
+            available_cores = np.zeros(len(self._servers))
+            available_memory = np.zeros(len(self._servers))
+        oblivious_cores = np.maximum(0.0, self.capacity_cores - self.allocated_cores)
+        oblivious_memory = np.maximum(
+            0.0, self.capacity_memory - self.allocated_memory
+        )
+        self.available_cores = np.where(aware, available_cores, oblivious_cores)
+        self.available_memory = np.where(aware, available_memory, oblivious_memory)
+        self.last_heartbeat.fill(time)
+        return killed
+
+    # -- placement ----------------------------------------------------------
+
+    def consume(self, index: int, allocation: Resource) -> None:
+        """Deduct a placed allocation from the RM's available view.
+
+        Mirrors the scalar ``record.available - allocation`` (clamped at
+        zero per dimension by ``Resource.__sub__``).
+        """
+        self.available_cores[index] = max(
+            0.0, self.available_cores[index] - allocation.cores
+        )
+        self.available_memory[index] = max(
+            0.0, self.available_memory[index] - allocation.memory_gb
+        )
+
+    def release(self, index: int, allocation: Resource) -> None:
+        """Return a completed allocation to the RM's available view."""
+        self.available_cores[index] += allocation.cores
+        self.available_memory[index] += allocation.memory_gb
+
+    def available_of(self, index: int) -> Resource:
+        """The RM-view available resources of one row, as a Resource."""
+        self.ensure_built()
+        return Resource(
+            float(self.available_cores[index]), float(self.available_memory[index])
+        )
+
+    def draw_proportional(self, candidates: np.ndarray, rng) -> int:
+        """Pick a candidate row with probability proportional to free cores.
+
+        ``candidates`` is an ascending array of row indices (registration
+        order), so the weight vector matches the scalar candidate list and
+        the draw consumes the random stream identically.
+        """
+        weights = np.maximum(1e-9, self.available_cores[candidates])
+        return int(candidates[rng.weighted_index(weights)])
+
+    def most_available(self, candidates: np.ndarray) -> int:
+        """The stock-YARN pick: most free cores, ties to the largest id."""
+        cores = self.available_cores[candidates]
+        best = candidates[cores == cores.max()]
+        if len(best) == 1:
+            return int(best[0])
+        return int(max(best, key=lambda index: self._ids[index]))

@@ -14,14 +14,24 @@ Three modes mirror the paper's baselines:
 * ``STOCK``   — YARN-Stock: primary-oblivious NodeManagers, no labels.
 * ``PRIMARY_AWARE`` — YARN-PT: primary-aware NodeManagers, no labels.
 * ``HISTORY`` — YARN-H: primary-aware NodeManagers plus class labels.
+
+Internally the RM's per-server state lives in a
+:class:`~repro.cluster.fleet_state.FleetState`: heartbeat processing is one
+batched trace gather plus a reserve-violation mask, and container placement
+is a boolean mask intersection feeding one weighted draw.  The per-server
+:class:`ServerRecord` objects remain as thin views over those arrays, so the
+scalar API (and, for a fixed seed, the exact outputs) are unchanged.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
+import numpy as np
+
+from repro.cluster.fleet_state import FleetState
 from repro.cluster.node_manager import NodeManager
 from repro.cluster.resources import Resource
 from repro.cluster.server import Container
@@ -54,14 +64,40 @@ class ContainerRequest:
     node_labels: List[str] = field(default_factory=list)
 
 
-@dataclass
 class ServerRecord:
-    """RM-side record of one server, refreshed by heartbeats."""
+    """RM-side view of one server, backed by the FleetState row."""
 
-    node_manager: NodeManager
-    label: Optional[str] = None
-    available: Resource = field(default_factory=Resource.zero)
-    last_heartbeat: float = 0.0
+    __slots__ = ("node_manager", "_fleet", "_index")
+
+    def __init__(self, node_manager: NodeManager, fleet: FleetState, index: int) -> None:
+        self.node_manager = node_manager
+        self._fleet = fleet
+        self._index = index
+
+    @property
+    def index(self) -> int:
+        """This server's row in the fleet arrays."""
+        return self._index
+
+    @property
+    def label(self) -> Optional[str]:
+        """The server's current utilization-class label."""
+        return self._fleet.label_of(self._index)
+
+    @label.setter
+    def label(self, value: Optional[str]) -> None:
+        self._fleet.set_label(self._index, value)
+
+    @property
+    def available(self) -> Resource:
+        """Available resources as of the last heartbeat / placement."""
+        return self._fleet.available_of(self._index)
+
+    @property
+    def last_heartbeat(self) -> float:
+        """Simulation time of the last processed heartbeat."""
+        self._fleet.ensure_built()
+        return float(self._fleet.last_heartbeat[self._index])
 
 
 class ResourceManager:
@@ -76,7 +112,13 @@ class ResourceManager:
         self.mode = mode
         self._rng = rng or RandomSource(0)
         self.metrics = metrics or MetricRegistry()
+        self._fleet = FleetState()
         self._servers: Dict[str, ServerRecord] = {}
+
+    @property
+    def fleet(self) -> FleetState:
+        """The array substrate backing this RM's per-server state."""
+        return self._fleet
 
     # -- membership -----------------------------------------------------------
 
@@ -84,9 +126,11 @@ class ResourceManager:
         """Add a NodeManager to the cluster, optionally with its class label."""
         if node_manager.server_id in self._servers:
             raise ValueError(f"server {node_manager.server_id} already registered")
+        index = self._fleet.add(
+            node_manager, label if self.mode is SchedulerMode.HISTORY else None
+        )
         self._servers[node_manager.server_id] = ServerRecord(
-            node_manager=node_manager,
-            label=label if self.mode is SchedulerMode.HISTORY else None,
+            node_manager, self._fleet, index
         )
 
     def set_label(self, server_id: str, label: Optional[str]) -> None:
@@ -114,14 +158,10 @@ class ResourceManager:
 
         The RM's view of available resources is refreshed from the heartbeats,
         exactly as the real systems piggyback utilization on the existing
-        heartbeat protocol.
+        heartbeat protocol — here as one batch refresh over the fleet arrays
+        instead of a per-NodeManager call loop.
         """
-        killed: List[Container] = []
-        for record in self._servers.values():
-            heartbeat = record.node_manager.heartbeat(time)
-            record.available = heartbeat.available
-            record.last_heartbeat = time
-            killed.extend(heartbeat.killed_containers)
+        killed = self._fleet.refresh(time)
         if killed:
             self.metrics.counter("containers_killed").increment(len(killed))
         return killed
@@ -132,21 +172,17 @@ class ResourceManager:
         """Mean primary-tenant CPU utilization across the cluster."""
         if not self._servers:
             return 0.0
-        total = sum(
-            record.node_manager.server.primary_utilization(time)
-            for record in self._servers.values()
-        )
-        return total / len(self._servers)
+        # One vectorized gather; the reduction stays a sequential Python sum
+        # so the result is bit-identical to the per-record loop it replaces.
+        values = self._fleet.primary_utilization(time)
+        return sum(values.tolist()) / len(self._servers)
 
     def average_total_utilization(self, time: float) -> float:
         """Mean combined (primary + secondary) CPU utilization."""
         if not self._servers:
             return 0.0
-        total = sum(
-            record.node_manager.server.total_cpu_utilization(time)
-            for record in self._servers.values()
-        )
-        return total / len(self._servers)
+        values = self._fleet.total_utilization(time)
+        return sum(values.tolist()) / len(self._servers)
 
     def current_class_utilization(self, label: str, time: float) -> float:
         """Mean total (primary + secondary) utilization of the ``label`` servers.
@@ -155,33 +191,33 @@ class ResourceManager:
         class's servers may already be loaded with batch containers, and that
         load counts against the room left for a new job.
         """
-        members = [r for r in self._servers.values() if r.label == label]
-        if not members:
+        mask = self._fleet.label_mask([label])
+        count = int(mask.sum())
+        if count == 0:
             return 0.0
-        return sum(
-            r.node_manager.server.total_cpu_utilization(time) for r in members
-        ) / len(members)
+        values = self._fleet.total_utilization(time)[mask]
+        return sum(values.tolist()) / count
 
     def class_capacity_cores(self, label: str) -> float:
         """Total core capacity of the servers carrying ``label``."""
-        return sum(
-            r.node_manager.server.capacity.cores
-            for r in self._servers.values()
-            if r.label == label
-        )
+        mask = self._fleet.label_mask([label])
+        self._fleet.ensure_built()
+        return sum(self._fleet.capacity_cores[mask].tolist())
 
     # -- scheduling -------------------------------------------------------------
 
-    def _candidates(self, request: ContainerRequest) -> List[ServerRecord]:
-        """Servers eligible for the request (label filter + resource fit)."""
-        records = list(self._servers.values())
+    def _candidate_mask(self, request: ContainerRequest) -> np.ndarray:
+        """Boolean row mask of servers eligible for the request."""
+        fits = self._fleet.fits_mask(
+            request.allocation.cores, request.allocation.memory_gb
+        )
         if self.mode is SchedulerMode.HISTORY and request.node_labels:
-            labelled = [r for r in records if r.label in request.node_labels]
+            labelled = self._fleet.label_mask(request.node_labels)
             # Fall back to the default policy if the labels name no servers,
             # mirroring the RM's behaviour when a label is unknown.
-            if labelled:
-                records = labelled
-        return [r for r in records if request.allocation.fits_within(r.available)]
+            if labelled.any():
+                return fits & labelled
+        return fits
 
     def schedule(self, request: ContainerRequest, time: float) -> Optional[Container]:
         """Try to place a container for ``request``; None when nothing fits.
@@ -190,22 +226,21 @@ class ResourceManager:
         cores (the paper's probabilistic load balancing); Stock mode keeps
         YARN's default most-available-first choice.
         """
-        candidates = self._candidates(request)
-        if not candidates:
+        candidates = np.flatnonzero(self._candidate_mask(request))
+        if len(candidates) == 0:
             self.metrics.counter("requests_unsatisfied").increment()
             return None
 
         if self.mode is SchedulerMode.STOCK:
-            chosen = max(candidates, key=lambda r: (r.available.cores, r.node_manager.server_id))
+            chosen = self._fleet.most_available(candidates)
         else:
-            weights = [max(1e-9, r.available.cores) for r in candidates]
-            chosen = candidates[self._rng.weighted_index(weights)]
+            chosen = self._fleet.draw_proportional(candidates, self._rng)
 
-        server = chosen.node_manager.server
+        server = self._fleet.server_at(chosen)
         container = server.launch_container(
             request.task_id, request.job_id, request.allocation, time
         )
-        chosen.available = chosen.available - request.allocation
+        self._fleet.consume(chosen, request.allocation)
         self.metrics.counter("containers_launched").increment()
         return container
 
@@ -213,5 +248,5 @@ class ResourceManager:
         """Mark a container completed and release its resources on the RM view."""
         record = self._record(container.server_id)
         record.node_manager.server.complete_container(container.container_id, time)
-        record.available = record.available + container.allocation
+        self._fleet.release(record.index, container.allocation)
         self.metrics.counter("containers_completed").increment()

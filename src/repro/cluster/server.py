@@ -74,7 +74,13 @@ class Container:
 
 
 class SimulatedServer:
-    """One shared server: capacity, primary usage, and running containers."""
+    """One shared server: capacity, primary usage, and running containers.
+
+    A server can be *attached* to a :class:`~repro.cluster.fleet_state.FleetState`
+    (the Resource Manager does this at registration).  The object keeps its
+    full scalar API; the attachment only mirrors allocation changes into the
+    fleet's arrays so the batched heartbeat/placement paths stay in sync.
+    """
 
     def __init__(
         self,
@@ -88,6 +94,25 @@ class SimulatedServer:
         self.reserve = reserve or ResourceReserve.from_fractions(self.capacity)
         self._containers: Dict[int, Container] = {}
         self._utilization_override: Optional[Callable[[float], float]] = None
+        self._fleet = None
+        self._fleet_index = -1
+
+    def _attach_fleet(self, fleet, index: int) -> None:
+        """Mirror this server's allocation changes into ``fleet``'s arrays."""
+        self._fleet = fleet
+        self._fleet_index = index
+        if self._utilization_override is not None:
+            fleet._on_override_change(index, True)
+
+    def _notify_fleet(self, allocation: Resource, containers: int) -> None:
+        if self._fleet is not None:
+            sign = float(containers)
+            self._fleet._on_allocation_change(
+                self._fleet_index,
+                sign * allocation.cores,
+                sign * allocation.memory_gb,
+                containers,
+            )
 
     # -- identity ----------------------------------------------------------
 
@@ -122,6 +147,8 @@ class SimulatedServer:
         mutating the tenant objects.
         """
         self._utilization_override = override
+        if self._fleet is not None:
+            self._fleet._on_override_change(self._fleet_index, override is not None)
 
     def primary_utilization(self, time: float) -> float:
         """Primary tenant CPU utilization fraction at simulation time."""
@@ -179,12 +206,14 @@ class SimulatedServer:
             start_time=time,
         )
         self._containers[container.container_id] = container
+        self._notify_fleet(allocation, +1)
         return container
 
     def complete_container(self, container_id: int, time: float) -> Container:
         """Mark a container as finished and free its resources."""
         container = self._containers[container_id]
         container.finish(time)
+        self._notify_fleet(container.allocation, -1)
         return container
 
     def reclaim_reserve(self, time: float) -> List[Container]:
@@ -206,6 +235,7 @@ class SimulatedServer:
             if violation.is_zero():
                 break
             container.kill(time)
+            self._notify_fleet(container.allocation, -1)
             killed.append(container)
             violation = self.reserve.violated(
                 self.capacity, self.primary_usage(time), self.allocated()

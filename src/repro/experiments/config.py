@@ -7,10 +7,17 @@ path.
 """
 
 from repro.harness.config import (
+    BENCH_SCALE,
     ExperimentScale,
     QUICK_SCALE,
     TESTBED_SCALE,
     TINY_SCALE,
 )
 
-__all__ = ["ExperimentScale", "QUICK_SCALE", "TESTBED_SCALE", "TINY_SCALE"]
+__all__ = [
+    "BENCH_SCALE",
+    "ExperimentScale",
+    "QUICK_SCALE",
+    "TESTBED_SCALE",
+    "TINY_SCALE",
+]

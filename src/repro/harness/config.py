@@ -69,6 +69,21 @@ QUICK_SCALE = ExperimentScale(
     repetitions=2,
 )
 
+#: The scale the figure-regeneration benchmark suite and the perf-trajectory
+#: emitter (``benchmarks/emit_bench.py``) run at: large enough that the hot
+#: paths dominate, small enough that the whole suite stays in CI budget.
+BENCH_SCALE = ExperimentScale(
+    num_servers=30,
+    num_tenants=21,
+    experiment_hours=3.0,
+    mean_interarrival_seconds=120.0,
+    simulation_days=1.0,
+    durability_days=60.0,
+    num_blocks=4_000,
+    datacenter_scale=0.15,
+    repetitions=1,
+)
+
 #: An even smaller configuration used by unit tests.
 TINY_SCALE = ExperimentScale(
     num_servers=12,

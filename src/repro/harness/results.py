@@ -249,3 +249,44 @@ class StorageTestbedResult:
     def variant(self, name: str) -> VariantStorageResult:
         """Result for one variant by name (e.g. ``"HDFS-H"``)."""
         return self.variants[name]
+
+
+# ---------------------------------------------------------------------------
+# JSON export
+# ---------------------------------------------------------------------------
+
+
+def result_to_jsonable(value):
+    """Convert any scenario result (or nested piece of one) to JSON-safe data.
+
+    Dataclasses become objects, enums their values, numpy scalars/arrays
+    plain floats/lists, and non-string dict keys (the durability results are
+    keyed by ``(variant, replication)`` tuples) dash-joined strings.  Used by
+    ``repro run-scenario --json`` and the benchmark emitter.
+    """
+    import dataclasses
+    import enum
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: result_to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return result_to_jsonable(value.value)
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if isinstance(key, tuple):
+                key = "-".join(str(result_to_jsonable(part)) for part in key)
+            elif not isinstance(key, str):
+                key = str(result_to_jsonable(key))
+            out[key] = result_to_jsonable(item)
+        return out
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [result_to_jsonable(item) for item in value]
+    return value

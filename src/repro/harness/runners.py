@@ -79,6 +79,36 @@ REPLICATION_PRIORITY = 1
 RUNNERS: Dict[str, Type["ScenarioRunner"]] = {}
 
 
+def _per_server_utilization(
+    tenants: Sequence[PrimaryTenant], times: np.ndarray
+) -> np.ndarray:
+    """A ``(times x servers)`` utilization matrix, in tenant/server order.
+
+    Column order matches the scalar loops' ``for tenant ... for server``
+    nesting; one TraceMatrix gather replaces the per-server trace lookups.
+    """
+    matrix = TraceMatrix(tenants)
+    rows = np.repeat(
+        np.arange(matrix.num_tenants), [t.num_servers for t in tenants]
+    )
+    return matrix.utilization(rows[None, :], np.asarray(times, dtype=float)[:, None])
+
+
+def _bucket_mean(times: np.ndarray, matrix: np.ndarray, interval: float) -> np.ndarray:
+    """Bucket matrix rows into fixed ``interval`` windows and average each.
+
+    The column-wise twin of :meth:`TimeSeries.resample_mean` for series that
+    share one time base (the heartbeat grid).  Each bucket is reduced along
+    the contiguous axis so the summation order (numpy's pairwise reduction)
+    matches the per-series 1-D means it replaces bit for bit.
+    """
+    buckets = np.floor(times / interval).astype(int)
+    unique = np.unique(buckets)
+    return np.vstack(
+        [np.ascontiguousarray(matrix[buckets == b].T).mean(axis=1) for b in unique]
+    )
+
+
 def _register(cls: Type["ScenarioRunner"]) -> Type["ScenarioRunner"]:
     RUNNERS[cls.kind] = cls
     return cls
@@ -515,18 +545,17 @@ class SchedulingTestbedRunner(ScenarioRunner):
         tenants = build_testbed_tenants(spec.scale, self.rng)
 
         # No-Harvesting baseline: the primary service alone, no batch
-        # containers.
+        # containers.  One (minutes x servers) latency matrix replaces the
+        # per-tenant/per-server Python loops; the jitter draws are consumed
+        # in the same minute-major order the scalar loop used.
         latency_model = LatencyModel(rng=self.rng.fork("latency-baseline"))
         duration = spec.scale.experiment_hours * 3600.0
         sample_times = np.arange(60.0, duration, 60.0)
-        baseline_samples = []
-        for t in sample_times:
-            per_server = [
-                latency_model.p99_latency_ms(tenant.utilization_at(t), 0.0)
-                for tenant in tenants
-                for _ in tenant.servers
-            ]
-            baseline_samples.append(float(np.mean(per_server)))
+        baseline_samples: List[float] = []
+        if len(sample_times):
+            utilization = _per_server_utilization(tenants, sample_times)
+            latencies = latency_model.p99_latency_ms_array(utilization, 0.0)
+            baseline_samples = [float(np.mean(row)) for row in latencies]
         baseline_p99 = float(np.mean(baseline_samples)) if baseline_samples else 0.0
         self.metrics.distribution("testbed.no_harvesting.p99_ms").add(baseline_p99)
 
@@ -574,31 +603,18 @@ class SchedulingTestbedRunner(ScenarioRunner):
             reserve_fraction=cluster.config.reserve_cpu_fraction,
         )
         # Evaluate the primary tail latency per minute from the per-server
-        # demand recorded at every heartbeat during the run.
+        # demand the cluster recorded (as fleet-wide vectors) at every
+        # heartbeat during the run: bucket the heartbeat matrices into
+        # minutes, then one latency-matrix evaluation.
         latencies: List[float] = []
-        server_ids = list(cluster.servers.keys())
-        resampled = {}
-        for server_id in server_ids:
-            secondary = cluster.metrics.time_series(f"secondary_cpu.{server_id}")
-            primary = cluster.metrics.time_series(f"primary_cpu.{server_id}")
-            resampled[server_id] = (
-                secondary.resample_mean(60.0),
-                primary.resample_mean(60.0),
+        series = cluster.server_series()
+        if len(series.times):
+            secondary = _bucket_mean(series.times, series.secondary_cpu, 60.0)
+            primary = _bucket_mean(series.times, series.primary_cpu, 60.0)
+            per_minute = latency_model.p99_latency_ms_array(
+                np.minimum(1.0, primary), secondary
             )
-        num_minutes = min(
-            len(values[0][1]) for values in resampled.values()
-        ) if resampled else 0
-        for minute in range(num_minutes):
-            per_server = []
-            for server_id in server_ids:
-                (_, secondary_values), (_, primary_values) = resampled[server_id]
-                per_server.append(
-                    latency_model.p99_latency_ms(
-                        float(min(1.0, primary_values[minute])),
-                        float(secondary_values[minute]),
-                    )
-                )
-            latencies.append(float(np.mean(per_server)))
+            latencies = [float(np.mean(row)) for row in per_minute]
 
         utilization_series = cluster.metrics.time_series("total_utilization")
         job_times = [r.execution_seconds for r in cluster.results]
@@ -664,18 +680,12 @@ class StorageTestbedRunner(ScenarioRunner):
         duration = spec.scale.experiment_hours * 3600.0
 
         latency_model = LatencyModel(rng=self.rng.fork("latency-baseline"))
-        baseline_samples = [
-            float(
-                np.mean(
-                    [
-                        latency_model.p99_latency_ms(t.utilization_at(minute), 0.0)
-                        for t in tenants
-                        for _ in t.servers
-                    ]
-                )
-            )
-            for minute in np.arange(60.0, duration, 60.0)
-        ]
+        minutes = np.arange(60.0, duration, 60.0)
+        baseline_samples: List[float] = []
+        if len(minutes):
+            utilization = _per_server_utilization(tenants, minutes)
+            latencies = latency_model.p99_latency_ms_array(utilization, 0.0)
+            baseline_samples = [float(np.mean(row)) for row in latencies]
         baseline_p99 = float(np.mean(baseline_samples)) if baseline_samples else 0.0
         self.metrics.distribution("storage_testbed.no_harvesting.p99_ms").add(
             baseline_p99
@@ -707,6 +717,11 @@ class StorageTestbedRunner(ScenarioRunner):
         namenode = build_namenode(variant, tenants, 3, variant_rng)
         model = LatencyModel(rng=variant_rng.fork("latency"))
         all_servers = [s for t in tenants for s in t.servers]
+        trace_matrix = TraceMatrix(tenants)
+        tenant_rows = np.repeat(
+            np.arange(trace_matrix.num_tenants), [t.num_servers for t in tenants]
+        )
+        column_of_server = {s.server_id: i for i, s in enumerate(all_servers)}
 
         block_ids: List[str] = []
         counts = {"failed": 0, "served": 0}
@@ -746,18 +761,16 @@ class StorageTestbedRunner(ScenarioRunner):
                 elif outcome is AccessResult.UNAVAILABLE:
                     counts["failed"] += 1
 
-            per_server = []
-            for tenant in tenants:
-                for server in tenant.servers:
-                    per_server.append(
-                        model.p99_latency_ms(
-                            tenant.utilization_at(minute),
-                            0.0,
-                            secondary_io_fraction=min(
-                                1.0, io_load.get(server.server_id, 0.0)
-                            ),
-                        )
-                    )
+            # One latency-matrix evaluation across the servers; the access
+            # I/O contention enters as a sparse per-server vector.
+            io_fraction = np.zeros(len(all_servers))
+            for server_id, load in io_load.items():
+                io_fraction[column_of_server[server_id]] = load
+            per_server = model.p99_latency_ms_array(
+                trace_matrix.utilization_at(minute)[tenant_rows],
+                0.0,
+                secondary_io_fraction=np.minimum(1.0, io_fraction),
+            )
             latencies.append(float(np.mean(per_server)))
 
         engine = SimulationEngine()

@@ -20,7 +20,9 @@ YARN-H/Tez-H   primary-aware, kills   probabilistic by available   Algorithm 1 l
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+import numpy as np
 
 from repro.cluster.node_manager import HEARTBEAT_INTERVAL_SECONDS, NodeManager
 from repro.cluster.resource_manager import ResourceManager, SchedulerMode
@@ -39,6 +41,22 @@ from repro.simulation.random import RandomSource
 from repro.traces.datacenter import PrimaryTenant
 
 
+class ServerSeries(NamedTuple):
+    """Per-server heartbeat series recorded as matrices.
+
+    Attributes:
+        times: heartbeat times, shape ``(samples,)``.
+        secondary_cpu: batch-container CPU fraction, ``(samples x servers)``.
+        primary_cpu: primary-tenant CPU fraction, ``(samples x servers)``.
+        server_ids: column order (fleet registration order).
+    """
+
+    times: np.ndarray
+    secondary_cpu: np.ndarray
+    primary_cpu: np.ndarray
+    server_ids: List[str]
+
+
 @dataclass
 class ClusterConfig:
     """Configuration of a harvesting cluster run.
@@ -51,8 +69,8 @@ class ClusterConfig:
         pump_seconds: how often pending jobs retry unsatisfied requests.
         thresholds: job-length thresholds for Algorithm 1 typing.
         record_server_series: when True, per-server primary and secondary CPU
-            time series are recorded at every heartbeat (needed by the
-            testbed latency analysis; too expensive for large sweeps).
+            vectors are recorded at every heartbeat (needed by the testbed
+            latency analysis; skipped by the large sweeps).
     """
 
     mode: SchedulerMode = SchedulerMode.HISTORY
@@ -118,6 +136,32 @@ class HarvestingCluster:
             self.refresh_clustering()
 
         self._executions: List[JobExecution] = []
+        self._series_times: List[float] = []
+        self._series_secondary: List[np.ndarray] = []
+        self._series_primary: List[np.ndarray] = []
+
+    @property
+    def fleet(self):
+        """The array substrate the cluster's scheduler runs on."""
+        return self.resource_manager.fleet
+
+    def server_series(self) -> ServerSeries:
+        """The recorded per-server heartbeat matrices.
+
+        Empty (zero-row) matrices when ``record_server_series`` was off.
+        """
+        num_servers = len(self.servers)
+        if not self._series_times:
+            empty = np.zeros((0, num_servers))
+            return ServerSeries(
+                np.zeros(0), empty, empty.copy(), self.fleet.server_ids
+            )
+        return ServerSeries(
+            np.asarray(self._series_times),
+            np.vstack(self._series_secondary),
+            np.vstack(self._series_primary),
+            self.fleet.server_ids,
+        )
 
     # -- clustering --------------------------------------------------------
 
@@ -185,15 +229,14 @@ class HarvestingCluster:
         )
         # Per-server view of primary demand and batch allocation, used by the
         # testbed experiments to evaluate the primary tail-latency model at
-        # every point of the run rather than only at its end.
+        # every point of the run rather than only at its end.  Both vectors
+        # are read straight from the fleet arrays (the refresh above already
+        # gathered this heartbeat's utilization).
         if self.config.record_server_series:
-            for server_id, server in self.servers.items():
-                self.metrics.time_series(f"secondary_cpu.{server_id}").add(
-                    engine.now, server.allocated().cores / server.capacity.cores
-                )
-                self.metrics.time_series(f"primary_cpu.{server_id}").add(
-                    engine.now, server.primary_utilization(engine.now)
-                )
+            fleet = self.fleet
+            self._series_times.append(engine.now)
+            self._series_secondary.append(fleet.secondary_cpu_fraction())
+            self._series_primary.append(fleet.primary_utilization(engine.now).copy())
 
     def _pump_step(self, engine: SimulationEngine) -> None:
         for execution in self._executions:

@@ -21,7 +21,9 @@ the reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
+
+import numpy as np
 
 from repro.simulation.random import RandomSource
 
@@ -121,3 +123,55 @@ class LatencyModel:
         latency += self.config.overload_penalty_ms * overload
 
         return float(min(self.config.max_latency_ms, latency))
+
+    def p99_latency_ms_array(
+        self,
+        primary_utilization: Union[np.ndarray, float],
+        secondary_cpu_fraction: Union[np.ndarray, float],
+        secondary_io_fraction: Union[np.ndarray, float] = 0.0,
+    ) -> np.ndarray:
+        """Vectorized :meth:`p99_latency_ms` over many servers (or minutes).
+
+        Inputs broadcast against each other; one baseline jitter draw is
+        consumed per output element, in C (row-major) order, so the result is
+        bit-identical to calling the scalar method element by element against
+        the same random stream.
+        """
+        primary = np.asarray(primary_utilization, dtype=float)
+        secondary_cpu = np.asarray(secondary_cpu_fraction, dtype=float)
+        secondary_io = np.asarray(secondary_io_fraction, dtype=float)
+        if primary.size and (primary.min() < 0.0 or primary.max() > 1.0):
+            raise ValueError("primary_utilization must be in [0, 1]")
+        if (secondary_cpu.size and secondary_cpu.min() < 0) or (
+            secondary_io.size and secondary_io.min() < 0
+        ):
+            raise ValueError("secondary fractions must be non-negative")
+        shape = np.broadcast_shapes(
+            primary.shape, secondary_cpu.shape, secondary_io.shape
+        )
+
+        latency = np.maximum(
+            1.0,
+            self._rng.generator.normal(
+                self.config.baseline_ms, self.config.baseline_jitter_ms, size=shape
+            ),
+        )
+
+        secondary = secondary_cpu + 0.5 * secondary_io
+        headroom_wo_reserve = np.maximum(
+            0.0, 1.0 - primary - self._reserve_fraction
+        )
+        reserve_intrusion = np.minimum(
+            np.maximum(0.0, secondary - headroom_wo_reserve), self._reserve_fraction
+        )
+        if self._reserve_fraction > 0:
+            latency = latency + (
+                self.config.reserve_penalty_ms
+                * reserve_intrusion
+                / self._reserve_fraction
+            )
+
+        overload = np.maximum(0.0, primary + secondary - 1.0)
+        latency = latency + self.config.overload_penalty_ms * overload
+
+        return np.minimum(self.config.max_latency_ms, latency)

@@ -9,11 +9,13 @@ latency model and records the per-minute p99 samples the figures plot.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Union
+
+import numpy as np
 
 from repro.services.latency_model import LatencyModel
 from repro.simulation.metrics import TimeSeries
-from repro.traces.utilization import UtilizationTrace
+from repro.traces.utilization import SAMPLE_INTERVAL_SECONDS, UtilizationTrace
 
 
 class PrimaryTenantService:
@@ -43,6 +45,20 @@ class PrimaryTenantService:
         """The service's CPU demand (fraction of the server) at ``time``."""
         return float(min(1.0, self._trace.value_at(time) * self._traffic_scale))
 
+    def utilization_at_batch(self, times: Union[Sequence[float], np.ndarray]) -> np.ndarray:
+        """The service's CPU demand at every one of ``times``, as one gather.
+
+        Matches :meth:`utilization_at` sample for sample (same wraparound,
+        same traffic scaling and clamp) without a Python call per time step.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.size and float(times.min()) < 0:
+            raise ValueError("times must be non-negative")
+        indices = (times // SAMPLE_INTERVAL_SECONDS).astype(np.int64) % (
+            self._trace.num_samples
+        )
+        return np.minimum(1.0, self._trace.values[indices] * self._traffic_scale)
+
     def observe(
         self,
         time: float,
@@ -57,6 +73,31 @@ class PrimaryTenantService:
         )
         self.latency_series.add(time, latency)
         return latency
+
+    def observe_batch(
+        self,
+        times: Union[Sequence[float], np.ndarray],
+        secondary_cpu_fractions: Union[Sequence[float], np.ndarray, float],
+        secondary_io_fractions: Union[Sequence[float], np.ndarray, float] = 0.0,
+    ) -> np.ndarray:
+        """Record and return the p99 latency at every one of ``times``.
+
+        The vectorized twin of :meth:`observe`: one utilization gather and
+        one latency-array evaluation, with the jitter draws consumed in time
+        order so a fixed seed reproduces the per-call loop exactly.
+        """
+        times = np.asarray(times, dtype=float)
+        latencies = self._latency_model.p99_latency_ms_array(
+            self.utilization_at_batch(times),
+            np.broadcast_to(
+                np.asarray(secondary_cpu_fractions, dtype=float), times.shape
+            ),
+            np.broadcast_to(
+                np.asarray(secondary_io_fractions, dtype=float), times.shape
+            ),
+        )
+        self.latency_series.extend(times.tolist(), latencies.tolist())
+        return latencies
 
     def average_p99_ms(self) -> float:
         """Mean of the recorded p99 samples."""

@@ -76,3 +76,39 @@ class TestCommands:
     def test_run_scenario_unknown_name(self):
         with pytest.raises(SystemExit, match="unknown scenario"):
             main(["run-scenario", "no-such-scenario"])
+
+    def test_run_scenario_json(self, capsys):
+        import json
+
+        from repro.harness import register_scenario
+        from repro.harness.config import TINY_SCALE
+        from repro.harness.spec import _REGISTRY, ScenarioSpec
+
+        register_scenario(
+            ScenarioSpec(
+                name="cli-json-smoke",
+                kind="scheduling_testbed",
+                scale=TINY_SCALE,
+                variants=("YARN-PT",),
+            ),
+            replace_existing=True,
+        )
+        try:
+            exit_code = main(["run-scenario", "cli-json-smoke", "--json"])
+            assert exit_code == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["scenario"] == "cli-json-smoke"
+            assert payload["wall_clock_seconds"] > 0
+            assert "YARN-PT" in payload["result"]["variants"]
+            assert payload["result"]["variants"]["YARN-PT"]["jobs_completed"] >= 0
+        finally:
+            _REGISTRY.pop("cli-json-smoke", None)
+
+    def test_run_scenario_list_json(self, capsys):
+        import json
+
+        exit_code = main(["run-scenario", "--list", "--json"])
+        assert exit_code == 0
+        listed = json.loads(capsys.readouterr().out)
+        assert any(entry["scenario"] == "fig15-durability" for entry in listed)
+        assert all({"scenario", "kind", "figure", "description"} <= set(e) for e in listed)

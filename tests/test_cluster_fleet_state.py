@@ -1,0 +1,328 @@
+"""Tests for the FleetState substrate and its scalar-path equivalence.
+
+Mirrors ``tests/test_traces_matrix.py`` on the compute side: every batched
+fleet operation (heartbeat refresh, reserve-kill selection, proportional
+placement, label filtering) is checked against the legacy per-object path it
+replaced, using twin clusters driven through identical random streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.fleet_state import FleetState
+from repro.cluster.node_manager import NodeManager
+from repro.cluster.resource_manager import (
+    ContainerRequest,
+    ResourceManager,
+    SchedulerMode,
+)
+from repro.cluster.resources import Resource
+from repro.cluster.server import SimulatedServer
+from repro.simulation.random import RandomSource
+from repro.traces.datacenter import PrimaryTenant, Server
+from repro.traces.utilization import UtilizationPattern, UtilizationTrace
+
+
+def make_simulated_server(
+    server_id: str, values, tenant_id: str | None = None
+) -> SimulatedServer:
+    tenant_id = tenant_id or f"tenant-{server_id}"
+    tenant = PrimaryTenant(
+        tenant_id=tenant_id,
+        environment=f"env-{tenant_id}",
+        machine_function="mf",
+        trace=UtilizationTrace(
+            np.asarray(values, dtype=float), UtilizationPattern.CONSTANT
+        ),
+        pattern=UtilizationPattern.CONSTANT,
+    )
+    server = Server(server_id, tenant_id, cores=12, memory_gb=32.0)
+    tenant.servers.append(server)
+    return SimulatedServer(server, tenant)
+
+
+def twin_servers(profiles: dict[str, list[float]], n: int = 2):
+    """Two identical server sets: one for the fleet, one for the scalar path."""
+    return (
+        [make_simulated_server(sid, values) for sid, values in profiles.items()],
+        [make_simulated_server(sid, values) for sid, values in profiles.items()],
+    )
+
+
+PROFILES = {
+    "idle": [0.1, 0.1, 0.2, 0.1],
+    "diurnal": [0.2, 0.7, 0.9, 0.3],
+    "busy": [0.6, 0.65, 0.7, 0.6],
+    "spiky": [0.05, 0.95, 0.05, 0.95],
+}
+
+
+def build_rm(servers, mode=SchedulerMode.PRIMARY_AWARE, labels=None, seed=1):
+    rm = ResourceManager(mode=mode, rng=RandomSource(seed))
+    for sim in servers:
+        rm.register_node(
+            NodeManager(sim, primary_aware=mode is not SchedulerMode.STOCK),
+            label=(labels or {}).get(sim.server_id),
+        )
+    return rm
+
+
+def scalar_heartbeats(node_managers, time):
+    """The legacy per-NodeManager heartbeat loop (pre-FleetState RM path)."""
+    availables, killed = {}, []
+    for nm in node_managers:
+        heartbeat = nm.heartbeat(time)
+        availables[nm.server_id] = heartbeat.available
+        killed.extend(heartbeat.killed_containers)
+    return availables, killed
+
+
+class TestRefreshEquivalence:
+    def test_available_matches_scalar_heartbeats(self):
+        fleet_servers, scalar_servers = twin_servers(PROFILES)
+        rm = build_rm(fleet_servers)
+        scalar_nms = [NodeManager(s, primary_aware=True) for s in scalar_servers]
+        for time in [0.0, 120.0, 123.0, 240.0, 480.0, 1200.0]:
+            rm.process_heartbeats(time)
+            expected, _ = scalar_heartbeats(scalar_nms, time)
+            for sid, resource in expected.items():
+                got = rm._record(sid).available
+                assert got.cores == resource.cores
+                assert got.memory_gb == resource.memory_gb
+
+    def test_available_tracks_allocations(self):
+        fleet_servers, scalar_servers = twin_servers(PROFILES)
+        rm = build_rm(fleet_servers)
+        scalar_nms = {s.server_id: NodeManager(s, primary_aware=True) for s in scalar_servers}
+        rm.process_heartbeats(0.0)
+        placed = []
+        for i in range(6):
+            container = rm.schedule(
+                ContainerRequest("job", f"t{i}", Resource(1.0, 2.0)), 0.0
+            )
+            assert container is not None
+            placed.append(container)
+            scalar_nms[container.server_id].server.launch_container(
+                f"t{i}", "job", Resource(1.0, 2.0), 0.0
+            )
+        rm.process_heartbeats(3.0)
+        expected, _ = scalar_heartbeats(scalar_nms.values(), 3.0)
+        for sid, resource in expected.items():
+            assert rm._record(sid).available.cores == resource.cores
+            assert rm._record(sid).available.memory_gb == resource.memory_gb
+
+    def test_stock_mode_ignores_primary(self):
+        fleet_servers, _ = twin_servers(PROFILES)
+        rm = build_rm(fleet_servers, mode=SchedulerMode.STOCK)
+        rm.process_heartbeats(120.0)  # "diurnal" is at 0.7, "spiky" at 0.95
+        for sid in PROFILES:
+            # Oblivious NodeManagers report full capacity minus allocations.
+            assert rm._record(sid).available.cores == 12.0
+
+    def test_last_heartbeat_recorded(self):
+        fleet_servers, _ = twin_servers(PROFILES)
+        rm = build_rm(fleet_servers)
+        rm.process_heartbeats(7.5)
+        assert rm._record("idle").last_heartbeat == 7.5
+
+
+class TestReserveKillEquivalence:
+    def test_kills_match_scalar_youngest_first(self):
+        fleet_servers, scalar_servers = twin_servers({"burst": [0.1, 0.8]})
+        rm = build_rm(fleet_servers)
+        scalar_nm = NodeManager(scalar_servers[0], primary_aware=True)
+        rm.process_heartbeats(0.0)
+        for i in range(6):
+            container = rm.schedule(
+                ContainerRequest("job", f"t{i}", Resource(1.0, 2.0)), float(i)
+            )
+            assert container is not None
+            scalar_nm.server.launch_container(
+                f"t{i}", "job", Resource(1.0, 2.0), float(i)
+            )
+        # Sample 1 (t=120): primary bursts to 0.8 -> reserve violated.
+        killed = rm.process_heartbeats(120.0)
+        expected = scalar_nm.heartbeat(120.0).killed_containers
+        assert [c.task_id for c in killed] == [c.task_id for c in expected]
+        # Youngest-first: the most recently started tasks die first.
+        starts = [c.start_time for c in killed]
+        assert starts == sorted(starts, reverse=True)
+        assert rm.metrics.counter_value("containers_killed") == len(killed)
+
+    def test_no_kills_without_violation(self):
+        fleet_servers, _ = twin_servers(PROFILES)
+        rm = build_rm(fleet_servers)
+        rm.process_heartbeats(0.0)
+        assert rm.schedule(ContainerRequest("job", "t", Resource(1.0, 2.0)), 0.0)
+        assert rm.process_heartbeats(3.0) == []
+
+
+class LegacyScalarScheduler:
+    """The pre-FleetState candidate filter + draw, kept as the reference."""
+
+    def __init__(self, rm: ResourceManager, rng: RandomSource) -> None:
+        self._rm = rm
+        self._rng = rng
+
+    def schedule(self, request: ContainerRequest) -> str | None:
+        records = [self._rm._servers[sid] for sid in self._rm.fleet.server_ids]
+        if self._rm.mode is SchedulerMode.HISTORY and request.node_labels:
+            labelled = [r for r in records if r.label in request.node_labels]
+            if labelled:
+                records = labelled
+        candidates = [
+            r for r in records if request.allocation.fits_within(r.available)
+        ]
+        if not candidates:
+            return None
+        if self._rm.mode is SchedulerMode.STOCK:
+            chosen = max(
+                candidates,
+                key=lambda r: (r.available.cores, r.node_manager.server_id),
+            )
+        else:
+            weights = [max(1e-9, r.available.cores) for r in candidates]
+            chosen = candidates[self._rng.weighted_index(weights)]
+        return chosen.node_manager.server_id
+
+
+class TestPlacementEquivalence:
+    @pytest.mark.parametrize("mode", [SchedulerMode.PRIMARY_AWARE, SchedulerMode.STOCK])
+    def test_draw_sequence_matches_scalar(self, mode):
+        fleet_servers, _ = twin_servers(PROFILES)
+        reference_servers, _ = twin_servers(PROFILES)
+        rm = build_rm(fleet_servers, mode=mode, seed=9)
+        reference_rm = build_rm(reference_servers, mode=mode, seed=9)
+        reference = LegacyScalarScheduler(reference_rm, reference_rm._rng)
+        rm.process_heartbeats(0.0)
+        reference_rm.process_heartbeats(0.0)
+        for i in range(20):
+            request = ContainerRequest("job", f"t{i}", Resource(1.0, 2.0))
+            container = rm.schedule(request, 0.0)
+            expected_sid = reference.schedule(request)
+            if container is None:
+                assert expected_sid is None
+                break
+            # Mirror the placement on the reference cluster's RM view.
+            record = reference_rm._servers[expected_sid]
+            record.node_manager.server.launch_container(
+                f"t{i}", "job", request.allocation, 0.0
+            )
+            reference_rm.fleet.consume(record.index, request.allocation)
+            assert container.server_id == expected_sid
+
+    def test_proportional_draw_prefers_available(self):
+        fleet_servers, _ = twin_servers({"idle": [0.0], "full": [0.9]})
+        rm = build_rm(fleet_servers, seed=4)
+        rm.process_heartbeats(0.0)
+        placements = []
+        for i in range(6):
+            container = rm.schedule(
+                ContainerRequest("job", f"t{i}", Resource(1.0, 2.0)), 0.0
+            )
+            if container is None:
+                break
+            placements.append(container.server_id)
+        assert placements.count("idle") > placements.count("full")
+
+
+class TestLabelFiltering:
+    LABELS = {"idle": "c-idle", "diurnal": "c-diurnal", "busy": "c-idle"}
+
+    def build(self):
+        fleet_servers, _ = twin_servers(PROFILES)
+        rm = build_rm(fleet_servers, mode=SchedulerMode.HISTORY, labels=self.LABELS)
+        rm.process_heartbeats(0.0)
+        return rm
+
+    def test_label_mask_intersection(self):
+        rm = self.build()
+        mask = rm.fleet.label_mask(["c-idle"])
+        assert list(mask) == [True, False, True, False]
+        both = rm.fleet.label_mask(["c-idle", "c-diurnal"])
+        assert list(both) == [True, True, True, False]
+
+    def test_labelled_requests_stay_in_class(self):
+        rm = self.build()
+        for i in range(4):
+            container = rm.schedule(
+                ContainerRequest(
+                    "job", f"t{i}", Resource(1.0, 2.0), node_labels=["c-idle"]
+                ),
+                0.0,
+            )
+            assert container is not None
+            assert container.server_id in {"idle", "busy"}
+
+    def test_unknown_label_falls_back_to_default(self):
+        rm = self.build()
+        container = rm.schedule(
+            ContainerRequest("job", "t", Resource(1.0, 2.0), node_labels=["nope"]),
+            0.0,
+        )
+        assert container is not None
+
+    def test_relabel_invalidates_mask(self):
+        rm = self.build()
+        assert int(rm.fleet.label_mask(["c-idle"]).sum()) == 2
+        rm.set_label("busy", "c-diurnal")
+        assert int(rm.fleet.label_mask(["c-idle"]).sum()) == 1
+        assert rm.class_capacity_cores("c-diurnal") == 24.0
+
+
+class TestClassStatistics:
+    def test_class_utilization_matches_scalar_mean(self):
+        fleet_servers, scalar_servers = twin_servers(PROFILES)
+        labels = {sid: "c" for sid in PROFILES}
+        rm = build_rm(fleet_servers, mode=SchedulerMode.HISTORY, labels=labels)
+        expected = sum(
+            s.total_cpu_utilization(120.0) for s in scalar_servers
+        ) / len(scalar_servers)
+        assert rm.current_class_utilization("c", 120.0) == expected
+        assert rm.average_total_utilization(120.0) == expected
+        assert rm.current_class_utilization("missing", 120.0) == 0.0
+
+    def test_average_primary_utilization_matches_scalar(self):
+        fleet_servers, scalar_servers = twin_servers(PROFILES)
+        rm = build_rm(fleet_servers)
+        expected = sum(
+            s.primary_utilization(240.0) for s in scalar_servers
+        ) / len(scalar_servers)
+        assert rm.average_primary_utilization(240.0) == expected
+
+
+class TestOverridesAndViews:
+    def test_override_routes_through_fallback(self):
+        fleet_servers, _ = twin_servers(PROFILES)
+        rm = build_rm(fleet_servers)
+        server = rm.node_manager("idle").server
+        server.set_utilization_override(lambda t: 0.55)
+        util = rm.fleet.primary_utilization(0.0)
+        assert util[0] == pytest.approx(0.55)
+        assert util[1] == pytest.approx(PROFILES["diurnal"][0])
+        server.set_utilization_override(None)
+        assert rm.fleet.primary_utilization(0.0)[0] == pytest.approx(
+            PROFILES["idle"][0]
+        )
+
+    def test_registration_after_first_build_grows_arrays(self):
+        fleet_servers, _ = twin_servers(PROFILES)
+        rm = build_rm(fleet_servers[:2])
+        rm.process_heartbeats(0.0)
+        assert rm.schedule(ContainerRequest("job", "t0", Resource(1.0, 2.0)), 0.0)
+        late = make_simulated_server("late", [0.3, 0.3])
+        rm.register_node(NodeManager(late, primary_aware=True))
+        rm.process_heartbeats(3.0)
+        assert len(rm.fleet) == 3
+        assert rm._record("late").available.cores > 0
+        # The pre-registration allocation survives the array rebuild.
+        total_allocated = float(rm.fleet.allocated_cores.sum())
+        assert total_allocated == 1.0
+
+    def test_duplicate_registration_rejected(self):
+        fleet_servers, _ = twin_servers(PROFILES)
+        rm = build_rm(fleet_servers)
+        with pytest.raises(ValueError):
+            rm.register_node(NodeManager(make_simulated_server("idle", [0.1])))

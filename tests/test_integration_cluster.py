@@ -98,5 +98,8 @@ class TestVariantComparison:
             small_tenants, SchedulerMode.PRIMARY_AWARE, record_server_series=True
         )
         cluster.run(60.0)
-        some_server = next(iter(cluster.servers))
-        assert cluster.metrics.time_series(f"secondary_cpu.{some_server}").count > 0
+        series = cluster.server_series()
+        assert len(series.times) > 0
+        assert series.secondary_cpu.shape == (len(series.times), len(cluster.servers))
+        assert series.primary_cpu.shape == series.secondary_cpu.shape
+        assert series.server_ids == list(cluster.servers)

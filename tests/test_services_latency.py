@@ -101,3 +101,81 @@ class TestPrimaryTenantService:
         assert scaled.utilization_at(0.0) == pytest.approx(0.8)
         with pytest.raises(ValueError):
             PrimaryTenantService("s", trace, traffic_scale=0.0)
+
+
+class TestLatencyModelArray:
+    def test_matches_scalar_stream_exactly(self):
+        scalar_model = LatencyModel(rng=RandomSource(11))
+        array_model = LatencyModel(rng=RandomSource(11))
+        primary = np.array([0.1, 0.4, 0.7, 0.9, 0.0, 0.55])
+        secondary = np.array([0.0, 0.2, 0.3, 0.5, 0.1, 0.0])
+        io = np.array([0.0, 0.0, 0.4, 0.1, 0.0, 1.0])
+        scalar = [
+            scalar_model.p99_latency_ms(float(p), float(s), float(i))
+            for p, s, i in zip(primary, secondary, io)
+        ]
+        batch = array_model.p99_latency_ms_array(primary, secondary, io)
+        assert batch.tolist() == scalar
+
+    def test_matches_scalar_in_row_major_order_2d(self):
+        scalar_model = LatencyModel(rng=RandomSource(12))
+        array_model = LatencyModel(rng=RandomSource(12))
+        primary = np.array([[0.1, 0.8], [0.6, 0.3]])
+        secondary = np.array([[0.2, 0.4], [0.0, 0.9]])
+        scalar = [
+            [
+                scalar_model.p99_latency_ms(float(p), float(s))
+                for p, s in zip(prow, srow)
+            ]
+            for prow, srow in zip(primary, secondary)
+        ]
+        batch = array_model.p99_latency_ms_array(primary, secondary)
+        assert batch.tolist() == scalar
+
+    def test_scalar_secondary_broadcasts(self):
+        model = LatencyModel(rng=RandomSource(13))
+        batch = model.p99_latency_ms_array(np.array([0.1, 0.2, 0.3]), 0.0)
+        assert batch.shape == (3,)
+
+    def test_validation(self):
+        model = LatencyModel(rng=RandomSource(14))
+        with pytest.raises(ValueError):
+            model.p99_latency_ms_array(np.array([1.5]), 0.0)
+        with pytest.raises(ValueError):
+            model.p99_latency_ms_array(np.array([0.5]), -0.1)
+
+
+class TestPrimaryTenantServiceBatch:
+    def build(self, traffic_scale: float = 1.0) -> PrimaryTenantService:
+        trace = UtilizationTrace(
+            np.array([0.2, 0.6, 0.9, 0.4]), UtilizationPattern.PERIODIC
+        )
+        return PrimaryTenantService(
+            "srv", trace, LatencyModel(rng=RandomSource(21)), traffic_scale
+        )
+
+    def test_utilization_batch_matches_scalar(self):
+        service = self.build(traffic_scale=1.3)
+        times = [0.0, 60.0, 120.0, 360.0, 480.0, 13.0 * 120.0]
+        batch = service.utilization_at_batch(times)
+        assert batch.tolist() == [service.utilization_at(t) for t in times]
+
+    def test_utilization_batch_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            self.build().utilization_at_batch([-1.0])
+
+    def test_observe_batch_matches_scalar_observe(self):
+        batch_service = self.build()
+        scalar_service = PrimaryTenantService(
+            "srv", batch_service.trace, LatencyModel(rng=RandomSource(21))
+        )
+        times = np.array([60.0, 120.0, 180.0, 240.0])
+        secondary = np.array([0.0, 0.1, 0.3, 0.2])
+        batch = batch_service.observe_batch(times, secondary)
+        scalar = [
+            scalar_service.observe(float(t), float(s))
+            for t, s in zip(times, secondary)
+        ]
+        assert batch.tolist() == scalar
+        assert batch_service.latency_series.count == 4
+        assert batch_service.average_p99_ms() == scalar_service.average_p99_ms()

@@ -11,9 +11,12 @@ Usage::
 
     python benchmarks/emit_bench.py              # writes into benchmarks/
     python benchmarks/emit_bench.py --output-dir /tmp --seed 2
+    python benchmarks/emit_bench.py --history pr3   # also benchmarks/history/
 
-The same payloads can be produced scenario by scenario with
-``repro run-scenario <name> --json``.
+``--history <tag>`` additionally snapshots the combined payloads into
+``benchmarks/history/BENCH_<tag>.json``, building the one-file-per-PR
+trajectory the wall-clock columns are plotted from.  The same payloads can
+be produced scenario by scenario with ``repro run-scenario <name> --json``.
 """
 
 from __future__ import annotations
@@ -200,16 +203,35 @@ def main() -> int:
         default=None,
         help="emit just one of the two payloads",
     )
+    parser.add_argument(
+        "--history",
+        metavar="TAG",
+        default=None,
+        help="also snapshot the combined payloads to history/BENCH_<TAG>.json",
+    )
     args = parser.parse_args()
+    if args.history and args.only:
+        # A history snapshot is the combined trajectory point; a partial one
+        # would leave a silent gap in the per-PR series.
+        parser.error("--history requires emitting both payloads (drop --only)")
     args.output_dir.mkdir(parents=True, exist_ok=True)
 
+    payloads = {}
     if args.only in (None, "compute"):
+        payloads["compute"] = compute_payload(args.seed, args.scale)
         path = args.output_dir / "BENCH_compute.json"
-        path.write_text(json.dumps(compute_payload(args.seed, args.scale), indent=2) + "\n")
+        path.write_text(json.dumps(payloads["compute"], indent=2) + "\n")
         print(f"wrote {path}")
     if args.only in (None, "storage"):
+        payloads["storage"] = storage_payload(args.seed, args.scale)
         path = args.output_dir / "BENCH_storage.json"
-        path.write_text(json.dumps(storage_payload(args.seed, args.scale), indent=2) + "\n")
+        path.write_text(json.dumps(payloads["storage"], indent=2) + "\n")
+        print(f"wrote {path}")
+    if args.history:
+        history_dir = args.output_dir / "history"
+        history_dir.mkdir(parents=True, exist_ok=True)
+        path = history_dir / f"BENCH_{args.history}.json"
+        path.write_text(json.dumps(payloads, indent=2) + "\n")
         print(f"wrote {path}")
     return 0
 

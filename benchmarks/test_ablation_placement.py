@@ -114,9 +114,18 @@ def run_ablation():
     stats, reimaged_groups = build_inputs()
     results = {}
     for name, factory in (
-        ("Algorithm 2 (hard)", lambda: algorithm2_policy(stats, RandomSource(5), NUM_BLOCKS, True)),
-        ("Algorithm 2 (soft)", lambda: algorithm2_policy(stats, RandomSource(5), NUM_BLOCKS, False)),
-        ("Greedy best-first", lambda: greedy_policy(stats, RandomSource(5), NUM_BLOCKS)),
+        (
+            "Algorithm 2 (hard)",
+            lambda: algorithm2_policy(stats, RandomSource(5), NUM_BLOCKS, True),
+        ),
+        (
+            "Algorithm 2 (soft)",
+            lambda: algorithm2_policy(stats, RandomSource(5), NUM_BLOCKS, False),
+        ),
+        (
+            "Greedy best-first",
+            lambda: greedy_policy(stats, RandomSource(5), NUM_BLOCKS),
+        ),
     ):
         placements = factory()
         lost, spread = evaluate(placements, reimaged_groups)

@@ -43,8 +43,12 @@ def run_one(reserve_fraction: float) -> Dict[str, float]:
         ),
         rng=rng.fork(f"cluster-{reserve_fraction}"),
     )
-    factory = TpcdsWorkloadFactory(rng.fork("tpcds"), duration_scale=1.0, width_scale=0.3)
-    generator = WorkloadGenerator(factory, SCALE.mean_interarrival_seconds, rng.fork("wl"))
+    factory = TpcdsWorkloadFactory(
+        rng.fork("tpcds"), duration_scale=1.0, width_scale=0.3
+    )
+    generator = WorkloadGenerator(
+        factory, SCALE.mean_interarrival_seconds, rng.fork("wl")
+    )
     duration = SCALE.experiment_hours * 3600.0
     cluster.submit_arrivals(generator.arrivals(duration * 0.8))
     cluster.run(duration)

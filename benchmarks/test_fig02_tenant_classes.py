@@ -43,10 +43,12 @@ def test_fig02_tenant_classes(benchmark):
     ))
 
     periodic = [
-        r.tenant_fraction_by_pattern[UtilizationPattern.PERIODIC] for r in results.values()
+        r.tenant_fraction_by_pattern[UtilizationPattern.PERIODIC]
+        for r in results.values()
     ]
     constant = [
-        r.tenant_fraction_by_pattern[UtilizationPattern.CONSTANT] for r in results.values()
+        r.tenant_fraction_by_pattern[UtilizationPattern.CONSTANT]
+        for r in results.values()
     ]
     # Periodic tenants are a small minority; constant tenants the vast majority.
     assert float(np.mean(periodic)) < 0.3

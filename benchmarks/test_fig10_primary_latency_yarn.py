@@ -18,7 +18,9 @@ def test_fig10_primary_latency_yarn(benchmark, scheduling_testbed):
     rows = [["No-Harvesting", f"{result.no_harvesting_p99_ms:.0f}", "-"]]
     for name in ("YARN-Stock", "YARN-PT", "YARN-H"):
         variant = result.variant(name)
-        rows.append([name, f"{variant.average_p99_ms:.0f}", f"{variant.max_p99_ms:.0f}"])
+        rows.append(
+            [name, f"{variant.average_p99_ms:.0f}", f"{variant.max_p99_ms:.0f}"]
+        )
     print()
     print(format_table(
         ["configuration", "avg p99 (ms)", "max p99 (ms)"],

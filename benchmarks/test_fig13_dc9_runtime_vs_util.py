@@ -9,7 +9,6 @@ preserves more temporal variation), and YARN-PT kills more tasks.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.report import format_table
 from repro.traces.scaling import ScalingMethod
@@ -21,7 +20,9 @@ def test_fig13_dc9_runtime_vs_util(benchmark, dc9_sweep):
     sweep = run_once(benchmark, lambda: dc9_sweep)
 
     rows = []
-    for point in sorted(sweep.points, key=lambda p: (p.scaling.value, p.target_utilization)):
+    for point in sorted(
+        sweep.points, key=lambda p: (p.scaling.value, p.target_utilization)
+    ):
         rows.append([
             point.scaling.value,
             f"{point.target_utilization:.2f}",

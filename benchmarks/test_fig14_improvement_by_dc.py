@@ -11,7 +11,6 @@ DC-9) to keep the suite fast; set ``REPRO_BENCH_FULL=1`` for all ten.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.report import format_table
 from repro.traces.scaling import ScalingMethod

@@ -35,9 +35,21 @@ def test_tab01_microbenchmarks(benchmark):
         [
             ["clustering (per run)", f"{result.clustering_seconds:.3f} s", "~120 s"],
             ["utilization classes", result.num_classes, "23"],
-            ["class selection (per job)", f"{result.class_selection_ms:.3f} ms", "<1 ms"],
-            ["history placement (per block)", f"{result.placement_ms:.3f} ms", "2.55 ms"],
-            ["stock placement (per block)", f"{result.stock_placement_ms:.3f} ms", "0.81 ms"],
+            [
+                "class selection (per job)",
+                f"{result.class_selection_ms:.3f} ms",
+                "<1 ms",
+            ],
+            [
+                "history placement (per block)",
+                f"{result.placement_ms:.3f} ms",
+                "2.55 ms",
+            ],
+            [
+                "stock placement (per block)",
+                f"{result.stock_placement_ms:.3f} ms",
+                "0.81 ms",
+            ],
         ],
         title="Section 6.2 microbenchmarks",
     ))

@@ -17,7 +17,13 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core import ClassSelector, ClusteringService, JobType, ReplicaPlacer, build_grid
+from repro.core import (
+    ClassSelector,
+    ClusteringService,
+    JobType,
+    ReplicaPlacer,
+    build_grid,
+)
 from repro.core.class_selection import ClassCapacity
 from repro.core.grid import TenantPlacementStats
 from repro.experiments.report import format_table
@@ -62,7 +68,9 @@ def main() -> None:
     selector = ClassSelector(rng=rng.fork("selector"), reserve_fraction=1.0 / 3.0)
     rows = []
     for job_type in (JobType.SHORT, JobType.MEDIUM, JobType.LONG):
-        selection = selector.select(job_type, required_capacity=64.0, capacities=capacities)
+        selection = selector.select(
+            job_type, required_capacity=64.0, capacities=capacities
+        )
         chosen = ", ".join(selection.class_ids) if selection.scheduled else "(none)"
         rows.append([job_type.value, chosen])
     print(format_table(["job type", "selected class(es)"], rows,

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.analysis.classification import ClassificationThresholds, classify_tenants
 from repro.simulation.random import RandomSource
-from repro.traces.datacenter import Datacenter, PrimaryTenant
+from repro.traces.datacenter import Datacenter
 from repro.traces.reimage import (
     ReimageEvent,
     generate_reimage_events,

@@ -21,7 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import time
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis import characterize_fleet
 from repro.analysis.cdf import fraction_at_or_below
@@ -271,6 +271,11 @@ def cmd_run_scenario(args: argparse.Namespace) -> str:
         spec = get_scenario(args.name)
     except KeyError as error:
         raise SystemExit(f"error: {error.args[0]}") from None
+    if getattr(args, "scale", None):
+        from repro.experiments.config import BENCH_SCALE, TINY_SCALE
+
+        scales = {"quick": QUICK_SCALE, "bench": BENCH_SCALE, "tiny": TINY_SCALE}
+        spec = spec.with_overrides(scale=scales[args.scale])
     started = time.perf_counter()
     result = run_scenario(spec, seed=args.seed)
     elapsed = time.perf_counter() - started
@@ -310,14 +315,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = subparsers.add_parser("sweep", help="Figure 13 utilization sweep")
     p.add_argument("--datacenter", default="DC-9")
     p.add_argument("--levels", type=float, nargs="+", default=[0.25, 0.45])
-    p.add_argument("--scaling", choices=[m.value for m in ScalingMethod], default="linear")
+    p.add_argument(
+        "--scaling", choices=[m.value for m in ScalingMethod], default="linear"
+    )
     p.add_argument("--days", type=float, default=1.0)
     p.set_defaults(func=cmd_sweep)
 
     p = subparsers.add_parser("durability", help="Figure 15 durability")
     p.add_argument("--datacenter", default="DC-9")
     p.add_argument("--blocks", type=int, default=2000)
-    p.add_argument("--durability-days", dest="durability_days", type=float, default=60.0)
+    p.add_argument(
+        "--durability-days", dest="durability_days", type=float, default=60.0
+    )
     p.set_defaults(func=cmd_durability)
 
     p = subparsers.add_parser("availability", help="Figure 16 availability")
@@ -337,6 +346,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the result (plus wall-clock) as JSON instead of a table",
+    )
+    p.add_argument(
+        "--scale",
+        choices=["quick", "bench", "tiny"],
+        default=None,
+        help="override the scenario's registered experiment scale",
     )
     p.set_defaults(func=cmd_run_scenario)
 

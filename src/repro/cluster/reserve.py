@@ -27,7 +27,9 @@ class ResourceReserve:
 
     @staticmethod
     def from_fractions(
-        capacity: Resource, cpu_fraction: float = 1.0 / 3.0, memory_fraction: float = 0.31
+        capacity: Resource,
+        cpu_fraction: float = 1.0 / 3.0,
+        memory_fraction: float = 0.31,
     ) -> "ResourceReserve":
         """Build a reserve as a fraction of a server's capacity."""
         if not 0.0 <= cpu_fraction < 1.0:
@@ -37,7 +39,9 @@ class ResourceReserve:
                 f"memory_fraction must be in [0, 1) (got {memory_fraction})"
             )
         return ResourceReserve(
-            Resource(capacity.cores * cpu_fraction, capacity.memory_gb * memory_fraction)
+            Resource(
+                capacity.cores * cpu_fraction, capacity.memory_gb * memory_fraction
+            )
         )
 
     def cpu_fraction(self, capacity: Resource) -> float:

@@ -69,7 +69,9 @@ class ServerRecord:
 
     __slots__ = ("node_manager", "_fleet", "_index")
 
-    def __init__(self, node_manager: NodeManager, fleet: FleetState, index: int) -> None:
+    def __init__(
+        self, node_manager: NodeManager, fleet: FleetState, index: int
+    ) -> None:
         self.node_manager = node_manager
         self._fleet = fleet
         self._index = index
@@ -122,7 +124,9 @@ class ResourceManager:
 
     # -- membership -----------------------------------------------------------
 
-    def register_node(self, node_manager: NodeManager, label: Optional[str] = None) -> None:
+    def register_node(
+        self, node_manager: NodeManager, label: Optional[str] = None
+    ) -> None:
         """Add a NodeManager to the cluster, optionally with its class label."""
         if node_manager.server_id in self._servers:
             raise ValueError(f"server {node_manager.server_id} already registered")

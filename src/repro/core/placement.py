@@ -22,7 +22,7 @@ instead of failing the block creation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.grid import GridCell, GridClustering, TenantPlacementStats
 from repro.simulation.random import RandomSource
@@ -96,6 +96,30 @@ class ReplicaPlacer:
         if block_size_gb <= 0:
             raise ValueError("block_size_gb must be positive")
         self._block_size_gb = block_size_gb
+        self._index_grid()
+
+    def _index_grid(self) -> None:
+        """Precompute the per-grid lookups the per-block hot path uses."""
+        self._available_gb: Dict[str, float] = {
+            tenant_id: stats.available_space_gb
+            for tenant_id, stats in self._grid.stats_by_tenant.items()
+        }
+        self._stats_of_server: Dict[str, TenantPlacementStats] = {
+            server_id: stats
+            for stats in self._grid.stats_by_tenant.values()
+            for server_id in stats.server_ids
+        }
+        self._non_empty_cells: List[GridCell] = self._grid.non_empty_cells()
+        #: Per-cell tenant stats with the static "has servers" filter baked
+        #: in, so the per-block candidate scan skips the tenant-id lookups.
+        self._cell_stats: Dict[Tuple[int, int], List[TenantPlacementStats]] = {
+            (cell.row, cell.column): [
+                stats
+                for tenant_id in cell.tenant_ids
+                if (stats := self._grid.stats_by_tenant[tenant_id]).server_ids
+            ]
+            for cell in self._non_empty_cells
+        }
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -107,6 +131,7 @@ class ReplicaPlacer:
     def update_grid(self, grid: GridClustering) -> None:
         """Swap in a re-clustered grid (the clustering runs periodically)."""
         self._grid = grid
+        self._index_grid()
 
     def space_used_gb(self, tenant_id: str) -> float:
         """Space already consumed on a tenant by placed replicas."""
@@ -129,7 +154,14 @@ class ReplicaPlacer:
     # -- candidate filtering -------------------------------------------------
 
     def _tenant_has_space(self, tenant_id: str) -> bool:
-        return self.remaining_space_gb(tenant_id) >= self._block_size_gb
+        # Same predicate as ``remaining_space_gb(...) >= block_size`` (the
+        # max(0, .) clamp cannot change a >=-positive comparison), without
+        # re-resolving the stats object per candidate tenant.
+        return (
+            self._available_gb.get(tenant_id, 0.0)
+            - self._space_used_gb.get(tenant_id, 0.0)
+            >= self._block_size_gb
+        )
 
     def _candidate_tenants(
         self,
@@ -138,11 +170,8 @@ class ReplicaPlacer:
         enforce_environment: bool,
     ) -> List[TenantPlacementStats]:
         candidates: List[TenantPlacementStats] = []
-        for tenant_id in cell.tenant_ids:
-            stats = self._grid.stats_by_tenant[tenant_id]
-            if not stats.server_ids:
-                continue
-            if not self._tenant_has_space(tenant_id):
+        for stats in self._cell_stats.get((cell.row, cell.column), ()):
+            if not self._tenant_has_space(stats.tenant_id):
                 continue
             if enforce_environment and stats.environment in used_environments:
                 continue
@@ -260,7 +289,12 @@ class ReplicaPlacer:
                 )
             if self._constraints.distinct_environments:
                 relaxation_plan.append(
-                    (self._constraints.distinct_rows_and_columns, False, False, "environment")
+                    (
+                        self._constraints.distinct_rows_and_columns,
+                        False,
+                        False,
+                        "environment",
+                    )
                 )
             if self._constraints.distinct_rows_and_columns:
                 relaxation_plan.append((False, False, False, "rows_and_columns"))
@@ -305,15 +339,16 @@ class ReplicaPlacer:
         used_servers: Set[str],
     ) -> Optional[Tuple[str, TenantPlacementStats]]:
         """One attempt at placing a replica under the given constraint set."""
-        cells = self._grid.non_empty_cells()
+        cells = self._non_empty_cells
         if enforce_grid:
             cells = [
                 cell
                 for cell in cells
                 if cell.row not in used_rows and cell.column not in used_columns
             ]
-        # Shuffle cells so the random choice below explores all of them.
-        cells = self._rng.shuffle(list(cells))
+        # Shuffle cells so the random choice below explores all of them
+        # (``shuffle`` copies, so the cached cell list stays untouched).
+        cells = self._rng.shuffle(cells)
         for cell in cells:
             tenants = self._candidate_tenants(cell, used_environments, enforce_env)
             if not tenants:
@@ -359,7 +394,4 @@ class ReplicaPlacer:
     ) -> Optional[TenantPlacementStats]:
         if server_id is None:
             return None
-        for stats in self._grid.stats_by_tenant.values():
-            if server_id in stats.server_ids:
-                return stats
-        return None
+        return self._stats_of_server.get(server_id)

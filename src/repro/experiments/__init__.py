@@ -23,7 +23,10 @@ from repro.experiments.scheduling import (
     run_fleet_improvements,
 )
 from repro.experiments.durability import DurabilityResult, run_durability_experiment
-from repro.experiments.availability import AvailabilityResult, run_availability_experiment
+from repro.experiments.availability import (
+    AvailabilityResult,
+    run_availability_experiment,
+)
 from repro.experiments.microbench import MicrobenchResult, run_microbenchmarks
 
 __all__ = [

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.core.class_selection import ClassCapacity, ClassSelector
 from repro.core.clustering import ClusteringService
@@ -61,7 +60,9 @@ def run_microbenchmarks(
     spec = [s for s in fleet_specs() if s.name == datacenter_name]
     if not spec:
         raise ValueError(f"unknown datacenter {datacenter_name}")
-    datacenter = build_datacenter(spec[0], rng.fork("fleet"), scale=scale.datacenter_scale)
+    datacenter = build_datacenter(
+        spec[0], rng.fork("fleet"), scale=scale.datacenter_scale
+    )
     tenants = list(datacenter.tenants.values())
 
     # Clustering service (runs once per day in production).

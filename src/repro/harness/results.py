@@ -44,7 +44,9 @@ class DurabilityResult:
     """Figure 15: lost blocks per datacenter, system, and replication level."""
 
     datacenter: str
-    results: Dict[Tuple[str, int], VariantDurabilityResult] = field(default_factory=dict)
+    results: Dict[Tuple[str, int], VariantDurabilityResult] = field(
+        default_factory=dict
+    )
 
     def result(self, variant: str, replication: int) -> VariantDurabilityResult:
         """Result for one system at one replication level."""
@@ -112,7 +114,9 @@ class AvailabilityResult:
         series = self.series(variant, replication)
         if not series:
             return 0.0
-        closest = min(series, key=lambda p: abs(p.target_utilization - target_utilization))
+        closest = min(
+            series, key=lambda p: abs(p.target_utilization - target_utilization)
+        )
         return closest.failed_fraction
 
 
@@ -183,7 +187,9 @@ class FleetImprovementResult:
 
     sweeps: Dict[str, SchedulingSweepResult] = field(default_factory=dict)
 
-    def summary(self, scaling: Optional[ScalingMethod] = None) -> Dict[str, Dict[str, float]]:
+    def summary(
+        self, scaling: Optional[ScalingMethod] = None
+    ) -> Dict[str, Dict[str, float]]:
         """min / avg / max improvement per datacenter."""
         table: Dict[str, Dict[str, float]] = {}
         for name, sweep in self.sweeps.items():

@@ -215,7 +215,13 @@ class DurabilityRunner(ScenarioRunner):
             for variant in spec.variants:
                 variant_rng = self.rng.fork(f"{variant}-{replication}")
                 outcome = self._run_variant(
-                    variant, replication, tenants, reimages, duration, variant_rng, matrix
+                    variant,
+                    replication,
+                    tenants,
+                    reimages,
+                    duration,
+                    variant_rng,
+                    matrix,
                 )
                 result.results[(variant, replication)] = outcome
                 prefix = f"durability.{variant}.r{replication}"
@@ -246,12 +252,17 @@ class DurabilityRunner(ScenarioRunner):
         )
         all_servers = [s.server_id for t in tenants for s in t.servers]
 
-        created = 0
-        for _ in range(self.spec.scale.num_blocks):
-            creator = rng.choice(all_servers)
-            outcome = namenode.create_block(0.0, creating_server_id=creator)
-            if outcome.block is not None:
-                created += 1
+        # One batched creator draw (stream-identical to per-block
+        # ``rng.choice``) feeding the NameNode's batched creation path.
+        creators = [
+            all_servers[int(i)]
+            for i in rng.generator.integers(
+                0, len(all_servers), size=self.spec.scale.num_blocks
+            )
+        ]
+        created = sum(
+            1 for block_id in namenode.create_blocks(0.0, creators) if block_id
+        )
 
         engine = SimulationEngine()
         replayed = 0
@@ -363,12 +374,15 @@ class AvailabilityRunner(ScenarioRunner):
         namenode = build_namenode(
             variant, tenants, replication, rng, primary_aware=True, trace_matrix=matrix
         )
-        block_ids: List[str] = []
-        for _ in range(num_blocks):
-            creator = rng.choice(all_servers)
-            outcome = namenode.create_block(0.0, creating_server_id=creator)
-            if outcome.block is not None:
-                block_ids.append(outcome.block.block_id)
+        creators = [
+            all_servers[int(i)]
+            for i in rng.generator.integers(0, len(all_servers), size=num_blocks)
+        ]
+        block_ids: List[str] = [
+            block_id
+            for block_id in namenode.create_blocks(0.0, creators)
+            if block_id is not None
+        ]
 
         # Blocks whose creation coincided with busy candidate servers start
         # under-replicated; the background re-replication loop tops them up
@@ -714,17 +728,17 @@ class StorageTestbedRunner(ScenarioRunner):
         accesses_per_minute: int,
     ) -> VariantStorageResult:
         variant_rng = self.rng.fork(variant)
-        namenode = build_namenode(variant, tenants, 3, variant_rng)
+        trace_matrix = TraceMatrix(tenants)
+        namenode = build_namenode(
+            variant, tenants, 3, variant_rng, trace_matrix=trace_matrix
+        )
         model = LatencyModel(rng=variant_rng.fork("latency"))
         all_servers = [s for t in tenants for s in t.servers]
-        trace_matrix = TraceMatrix(tenants)
         tenant_rows = np.repeat(
             np.arange(trace_matrix.num_tenants), [t.num_servers for t in tenants]
         )
-        column_of_server = {s.server_id: i for i, s in enumerate(all_servers)}
 
-        block_ids: List[str] = []
-        counts = {"failed": 0, "served": 0}
+        counts = {"failed": 0, "served": 0, "created": 0}
         latencies: List[float] = []
 
         def minute_step(engine: SimulationEngine) -> None:
@@ -732,44 +746,24 @@ class StorageTestbedRunner(ScenarioRunner):
             creator = variant_rng.choice(all_servers).server_id
             created = namenode.create_block(minute, creating_server_id=creator)
             if created.block is not None:
-                block_ids.append(created.block.block_id)
+                counts["created"] += 1
             # Background re-replication restores replicas that could not be
             # placed while their candidate servers were busy.
             namenode.run_replication(minute)
 
-            io_load: Dict[str, float] = {}
-            for _ in range(accesses_per_minute):
-                if not block_ids:
-                    break
-                block_id = variant_rng.choice(block_ids)
-                outcome = namenode.access_block(block_id, minute)
-                if outcome is AccessResult.SERVED:
-                    counts["served"] += 1
-                    block = namenode.blocks[block_id]
-                    healthy = block.servers_with_healthy_replicas()
-                    if variant != "HDFS-Stock":
-                        # Primary-aware variants only direct clients to
-                        # replicas whose server is not busy.
-                        healthy = [
-                            s
-                            for s in healthy
-                            if namenode.datanodes[s].can_serve(minute)
-                        ] or healthy
-                    if healthy:
-                        target = variant_rng.choice(healthy)
-                        io_load[target] = io_load.get(target, 0.0) + 0.05
-                elif outcome is AccessResult.UNAVAILABLE:
-                    counts["failed"] += 1
+            # The whole minute's accesses as one effectful batch over the
+            # block table: counters plus the per-server io-load scatter.
+            # The NameNode's server columns follow the same tenant-major
+            # order as ``all_servers``, so the io vector feeds the latency
+            # matrix directly.
+            batch = namenode.access_blocks(minute, accesses_per_minute, variant_rng)
+            counts["served"] += batch.served
+            counts["failed"] += batch.failed
 
-            # One latency-matrix evaluation across the servers; the access
-            # I/O contention enters as a sparse per-server vector.
-            io_fraction = np.zeros(len(all_servers))
-            for server_id, load in io_load.items():
-                io_fraction[column_of_server[server_id]] = load
             per_server = model.p99_latency_ms_array(
                 trace_matrix.utilization_at(minute)[tenant_rows],
                 0.0,
-                secondary_io_fraction=np.minimum(1.0, io_fraction),
+                secondary_io_fraction=np.minimum(1.0, batch.io_load),
             )
             latencies.append(float(np.mean(per_server)))
 
@@ -784,5 +778,5 @@ class StorageTestbedRunner(ScenarioRunner):
             max_p99_ms=float(np.max(latencies)) if latencies else 0.0,
             failed_accesses=counts["failed"],
             served_accesses=counts["served"],
-            blocks_created=len(block_ids),
+            blocks_created=counts["created"],
         )

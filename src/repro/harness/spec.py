@@ -85,7 +85,9 @@ class ScenarioSpec:
 _REGISTRY: Dict[str, ScenarioSpec] = {}
 
 
-def register_scenario(spec: ScenarioSpec, replace_existing: bool = False) -> ScenarioSpec:
+def register_scenario(
+    spec: ScenarioSpec, replace_existing: bool = False
+) -> ScenarioSpec:
     """Add a scenario to the registry; names must be unique."""
     if not replace_existing and spec.name in _REGISTRY:
         raise ValueError(f"scenario {spec.name!r} is already registered")

@@ -171,7 +171,9 @@ class ApplicationMaster:
                 continue
             self._launch(execution, task, container)
 
-    def _launch(self, execution: JobExecution, task: Task, container: Container) -> None:
+    def _launch(
+        self, execution: JobExecution, task: Task, container: Container
+    ) -> None:
         task.state = TaskState.RUNNING
         task.attempts += 1
         execution.running[container.container_id] = task

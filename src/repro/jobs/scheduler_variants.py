@@ -179,7 +179,9 @@ class HarvestingCluster:
             total_cores = self.resource_manager.class_capacity_cores(cls.class_id)
             if total_cores <= 0:
                 continue
-            current = self.resource_manager.current_class_utilization(cls.class_id, time)
+            current = self.resource_manager.current_class_utilization(
+                cls.class_id, time
+            )
             capacities.append(
                 ClassCapacity(
                     utilization_class=cls,
@@ -191,7 +193,9 @@ class HarvestingCluster:
 
     # -- job submission -------------------------------------------------------
 
-    def _select_classes(self, dag: JobDag, job_type: JobType) -> Optional[ClassSelection]:
+    def _select_classes(
+        self, dag: JobDag, job_type: JobType
+    ) -> Optional[ClassSelection]:
         if self.config.mode is not SchedulerMode.HISTORY:
             return None
         capacities = self.class_capacities(self.engine.now)

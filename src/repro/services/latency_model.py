@@ -108,7 +108,9 @@ class LatencyModel:
         secondary = secondary_cpu_fraction + 0.5 * secondary_io_fraction
         # How far the secondary tenants intrude into the burst reserve the
         # primary would otherwise have to itself.
-        headroom_wo_reserve = max(0.0, 1.0 - primary_utilization - self._reserve_fraction)
+        headroom_wo_reserve = max(
+            0.0, 1.0 - primary_utilization - self._reserve_fraction
+        )
         reserve_intrusion = max(0.0, secondary - headroom_wo_reserve)
         reserve_intrusion = min(reserve_intrusion, self._reserve_fraction)
         if self._reserve_fraction > 0:

@@ -45,7 +45,9 @@ class PrimaryTenantService:
         """The service's CPU demand (fraction of the server) at ``time``."""
         return float(min(1.0, self._trace.value_at(time) * self._traffic_scale))
 
-    def utilization_at_batch(self, times: Union[Sequence[float], np.ndarray]) -> np.ndarray:
+    def utilization_at_batch(
+        self, times: Union[Sequence[float], np.ndarray]
+    ) -> np.ndarray:
         """The service's CPU demand at every one of ``times``, as one gather.
 
         Matches :meth:`utilization_at` sample for sample (same wraparound,

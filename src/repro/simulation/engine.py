@@ -56,7 +56,11 @@ class SimulationEngine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: list[Event] = []
+        # Heap of ``(time, priority, seq, event)`` tuples: the same ordering
+        # key the Event dataclass compares by, but tuple comparison runs in C
+        # instead of through generated ``__lt__`` calls (the heap churns
+        # through hundreds of thousands of comparisons per experiment).
+        self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._processed = 0
         self._stopped = False
@@ -87,7 +91,9 @@ class SimulationEngine:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, priority=priority, name=name)
+        return self.schedule_at(
+            self._now + delay, callback, priority=priority, name=name
+        )
 
     def schedule_at(
         self,
@@ -109,7 +115,7 @@ class SimulationEngine:
             callback=callback,
             name=name,
         )
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (event.time, event.priority, event.seq, event))
         return event
 
     def schedule_periodic(
@@ -151,7 +157,7 @@ class SimulationEngine:
         while self._queue and not self._stopped:
             if max_events is not None and executed >= max_events:
                 break
-            event = heapq.heappop(self._queue)
+            event = heapq.heappop(self._queue)[3]
             if event.cancelled:
                 continue
             self._now = event.time
@@ -169,10 +175,9 @@ class SimulationEngine:
             raise ValueError(f"end_time {end_time} is before now {self._now}")
         self._stopped = False
         while self._queue and not self._stopped:
-            event = self._queue[0]
-            if event.time > end_time:
+            if self._queue[0][0] > end_time:
                 break
-            heapq.heappop(self._queue)
+            event = heapq.heappop(self._queue)[3]
             if event.cancelled:
                 continue
             self._now = event.time

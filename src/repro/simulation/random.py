@@ -37,8 +37,12 @@ class RandomSource:
         does not perturb the streams used elsewhere when the label differs.
         """
         self._fork_count += 1
-        label_hash = sum(ord(c) * (31 ** (i % 8)) for i, c in enumerate(label)) % (2**31)
-        child_seed = (self._seed * 1_000_003 + self._fork_count * 7919 + label_hash) % (2**63)
+        label_hash = (
+            sum(ord(c) * (31 ** (i % 8)) for i, c in enumerate(label)) % (2**31)
+        )
+        child_seed = (
+            self._seed * 1_000_003 + self._fork_count * 7919 + label_hash
+        ) % (2**63)
         return RandomSource(child_seed)
 
     # -- scalar draws -----------------------------------------------------
@@ -127,17 +131,40 @@ class RandomSource:
         ``rate_per_second`` of zero (or a non-positive duration) yields an
         empty stream rather than an error, because many primary tenants are
         never reimaged in a simulated year.
+
+        Implemented as a vectorized thinning pass: exponential gaps are drawn
+        in surplus chunks and cumulative-summed, the chunk is thinned to the
+        exact prefix the scalar ``while`` loop would have consumed, and the
+        generator state is rewound and re-advanced by exactly that many
+        draws.  The emitted times *and* the stream position afterwards are
+        therefore bit-identical to drawing one gap at a time, so fixed-seed
+        reimage schedules (and everything downstream of them) are unchanged.
         """
         if rate_per_second <= 0 or duration <= 0:
             return []
+        scale = 1.0 / rate_per_second
+        # Expected draws plus headroom; one chunk almost always suffices.
+        chunk = max(4, int(rate_per_second * duration * 1.5) + 8)
         times: list[float] = []
-        t = 0.0
+        base = 0.0
         while True:
-            t += float(self._rng.exponential(1.0 / rate_per_second))
-            if t >= duration:
-                break
-            times.append(t)
-        return times
+            state = self._rng.bit_generator.state
+            draws = self._rng.exponential(scale, size=chunk)
+            # Prepending the running total keeps the accumulation fold-left
+            # (((base + d1) + d2) + ...), bit-identical to the scalar loop's
+            # ``t += gap`` even across chunk boundaries.
+            cum = np.cumsum(np.concatenate(([base], draws)))[1:]
+            over = np.nonzero(cum >= duration)[0]
+            if len(over):
+                ended = int(over[0])
+                # Thin the surplus: rewind, then consume exactly the
+                # ``ended + 1`` draws the scalar loop would have taken.
+                self._rng.bit_generator.state = state
+                self._rng.exponential(scale, size=ended + 1)
+                times.extend(cum[:ended].tolist())
+                return times
+            times.extend(cum.tolist())
+            base = float(cum[-1])
 
     def exponential_interarrivals(self, mean: float) -> Iterator[float]:
         """Infinite stream of exponential inter-arrival gaps."""

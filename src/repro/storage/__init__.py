@@ -15,11 +15,13 @@ temporarily inaccessible); the NameNode re-creates lost replicas at a bounded
 rate, mirroring the real system's 30 blocks/hour/server limit.
 """
 
-from repro.storage.block import Block, BlockReplica, ReplicaState
+from repro.storage.block import Block, BlockLike, BlockReplica, BlockView, ReplicaState
+from repro.storage.block_table import BlockNamespace, BlockTable
 from repro.storage.datanode import DataNode
-from repro.storage.namenode import NameNode, AccessResult
+from repro.storage.namenode import AccessBatch, AccessResult, NameNode
 from repro.storage.placement_policies import (
     HistoryPlacementPolicy,
+    PlacementContext,
     PlacementPolicy,
     StockPlacementPolicy,
 )
@@ -27,11 +29,17 @@ from repro.storage.replication import ReplicationManager
 
 __all__ = [
     "Block",
+    "BlockLike",
     "BlockReplica",
+    "BlockView",
+    "BlockNamespace",
+    "BlockTable",
     "ReplicaState",
     "DataNode",
     "NameNode",
+    "AccessBatch",
     "AccessResult",
+    "PlacementContext",
     "PlacementPolicy",
     "StockPlacementPolicy",
     "HistoryPlacementPolicy",

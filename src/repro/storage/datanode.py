@@ -1,20 +1,25 @@
 """The Data Node: per-server replica storage and access gating.
 
 Each shared server runs a DataNode that stores block replicas on the disk
-space its primary tenant allows.  The primary-tenant-aware DataNode (DN-H /
-DN-PT) denies data accesses whenever serving them would consume the server's
-CPU reserve — i.e. when the primary tenant's utilization exceeds the busy
-threshold — and reports its busy/available status to the NameNode in its
-heartbeat so the NameNode stops listing it as a replica source or placement
-target (Section 5.4).
+space its primary tenant allows.  It tracks only what is per-server — the
+set of stored block ids and the space they consume — and accepts any
+:class:`~repro.storage.block.BlockLike` (a standalone ``Block`` or a
+columnar ``BlockView``), staying in sync with the NameNode's BlockTable
+through the same store/reimage calls that mutate the table.
+
+The primary-tenant-aware DataNode (DN-H / DN-PT) denies data accesses
+whenever serving them would consume the server's CPU reserve — i.e. when the
+primary tenant's utilization exceeds the busy threshold — and reports its
+busy/available status to the NameNode in its heartbeat so the NameNode stops
+listing it as a replica source or placement target (Section 5.4).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Set
 
-from repro.storage.block import Block
+from repro.storage.block import BlockLike
 from repro.traces.datacenter import PrimaryTenant, Server
 
 
@@ -81,20 +86,33 @@ class DataNode:
         """Blocks with a replica on this DataNode."""
         return set(self._stored_blocks)
 
-    def store_replica(self, block: Block) -> None:
+    def store_replica(self, block: BlockLike) -> None:
         """Account for a new replica of ``block`` on this server."""
-        if block.block_id in self._stored_blocks:
-            raise ValueError(
-                f"server {self.server_id} already stores block {block.block_id}"
-            )
-        if not self.has_space_for(block.size_gb):
-            raise ValueError(
-                f"server {self.server_id} has no space for block {block.block_id}"
-            )
-        self._stored_blocks.add(block.block_id)
-        self._used_space_gb += block.size_gb
+        self.store_replica_id(block.block_id, block.size_gb)
 
-    def remove_replica(self, block: Block) -> None:
+    def store_replica_id(self, block_id: str, size_gb: float) -> None:
+        """``store_replica`` for callers that track block state columnarly.
+
+        Same checks and accounting, minus the per-attribute hops through a
+        block object — the NameNode's BlockTable paths call this once per
+        stored replica.
+        """
+        if block_id in self._stored_blocks:
+            raise ValueError(
+                f"server {self.server_id} already stores block {block_id}"
+            )
+        # ``has_space_for`` inlined (this runs once per stored replica).
+        free = self.server.harvestable_disk_gb - self._used_space_gb
+        if free < 0.0:
+            free = 0.0
+        if size_gb > free + 1e-9:
+            raise ValueError(
+                f"server {self.server_id} has no space for block {block_id}"
+            )
+        self._stored_blocks.add(block_id)
+        self._used_space_gb += size_gb
+
+    def remove_replica(self, block: BlockLike) -> None:
         """Release the space of a replica (after loss or deletion)."""
         if block.block_id in self._stored_blocks:
             self._stored_blocks.discard(block.block_id)

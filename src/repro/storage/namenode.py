@@ -11,21 +11,32 @@ Three awareness levels match the paper's HDFS variants:
 * ``HDFS-Stock`` — ``primary_aware=False`` with :class:`StockPlacementPolicy`;
 * ``HDFS-PT`` — ``primary_aware=True`` with :class:`StockPlacementPolicy`;
 * ``HDFS-H`` — ``primary_aware=True`` with :class:`HistoryPlacementPolicy`.
+
+All block state lives in a columnar :class:`~repro.storage.block_table
+.BlockTable` (one numpy row per block); the hot paths — creation, batched
+access checking, reimage replay, and recovery candidate picks — run as mask
+reductions over it, while :attr:`blocks` hands out per-object
+:class:`~repro.storage.block.BlockView` wrappers that read and write the
+same arrays.  Every array expression reproduces the scalar arithmetic and
+random-draw ordering of the per-object path it replaced, so fixed seeds
+yield bit-identical experiment results
+(see ``tests/test_storage_block_table.py``).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.simulation.metrics import MetricRegistry
 from repro.simulation.random import RandomSource
-from repro.storage.block import Block, BlockReplica
+from repro.storage.block import BlockView
+from repro.storage.block_table import BlockNamespace, BlockTable
 from repro.storage.datanode import DataNode
-from repro.storage.placement_policies import PlacementPolicy
+from repro.storage.placement_policies import PlacementContext, PlacementPolicy
 from repro.storage.replication import ReplicationManager
 from repro.traces.matrix import TraceMatrix
 
@@ -42,14 +53,36 @@ class AccessResult(str, enum.Enum):
 class CreateResult:
     """Outcome of a block creation."""
 
-    block: Optional[Block]
+    block: Optional[BlockView]
     placed_replicas: int
     requested_replicas: int
 
     @property
     def fully_replicated(self) -> bool:
         """Whether the desired replication level was achieved at creation."""
-        return self.block is not None and self.placed_replicas >= self.requested_replicas
+        return (
+            self.block is not None
+            and self.placed_replicas >= self.requested_replicas
+        )
+
+
+@dataclass
+class AccessBatch:
+    """Outcome of one :meth:`NameNode.access_blocks` round.
+
+    Attributes:
+        served: accesses served from a healthy (and, when primary-aware,
+            non-busy) replica.
+        failed: accesses denied because every healthy replica was busy.
+        lost: accesses that hit a lost block.
+        io_load: per-server secondary-I/O fraction added by the served
+            accesses, indexed like :attr:`NameNode.server_ids`.
+    """
+
+    served: int
+    failed: int
+    lost: int
+    io_load: np.ndarray
 
 
 class NameNode:
@@ -77,21 +110,25 @@ class NameNode:
         self._rng = rng or RandomSource(0)
         self.metrics = metrics or MetricRegistry()
         self._replication = replication_manager or ReplicationManager()
-        self._blocks: Dict[str, Block] = {}
         self._block_counter = 0
+        #: Cached count of servers with free space, invalidated whenever
+        #: used space changes; the re-replication loop reads it every round.
+        self._healthy_server_count: Optional[int] = None
         self._init_vector_state(trace_matrix)
 
     def _init_vector_state(self, trace_matrix: Optional[TraceMatrix]) -> None:
-        """Build the vectorized server-state used by the hot paths.
+        """Build the columnar server/block state used by the hot paths.
 
         Busy checks and space filtering run once per block creation, recovery
         candidate pick, and access; evaluating them per DataNode in Python
         dominates the storage experiments.  The NameNode therefore keeps a
         per-server view — tenant trace row, busy threshold, capacity, and a
         mirror of used space — as flat numpy arrays, updated on the same
-        mutations that update the DataNodes themselves.
+        mutations that update the DataNodes themselves, and a
+        :class:`BlockTable` holding one row per block.
         """
         dns = list(self._datanodes.values())
+        self._datanode_list: List[DataNode] = dns
         self._server_ids: List[str] = [dn.server_id for dn in dns]
         self._index_of_server: Dict[str, int] = {
             sid: i for i, sid in enumerate(self._server_ids)
@@ -112,32 +149,50 @@ class NameNode:
         self._server_thresholds = np.array([dn.busy_threshold for dn in dns])
         self._server_capacity = np.array([dn.capacity_gb for dn in dns])
         self._server_used = np.array([dn.used_space_gb for dn in dns])
+        self._table = BlockTable(
+            self._server_ids, [dn.tenant_id for dn in dns]
+        )
+        self._namespace = BlockNamespace(self._table)
+        self._placement_context = PlacementContext.build(
+            self._server_ids, [dn.server.rack for dn in dns]
+        )
 
     @property
     def trace_matrix(self) -> TraceMatrix:
         """The vectorized utilization view over the DataNodes' tenants."""
         return self._matrix
 
+    @property
+    def block_table(self) -> BlockTable:
+        """The columnar substrate every block hot path runs on."""
+        return self._table
+
+    @property
+    def server_ids(self) -> List[str]:
+        """Server ids in column order (the order io-load vectors use)."""
+        return list(self._server_ids)
+
     # -- namespace ----------------------------------------------------------
 
     @property
-    def blocks(self) -> Dict[str, Block]:
-        """All blocks ever created, keyed by id."""
-        return self._blocks
+    def blocks(self) -> Mapping[str, BlockView]:
+        """All blocks ever created, keyed by id (live views, creation order)."""
+        return self._namespace
 
     @property
     def datanodes(self) -> Dict[str, DataNode]:
         """All registered DataNodes keyed by server id."""
         return self._datanodes
 
-    def lost_blocks(self) -> List[Block]:
+    def lost_blocks(self) -> List[BlockView]:
         """Blocks whose every replica has been destroyed."""
-        return [b for b in self._blocks.values() if b.lost]
+        return [self._table.view(int(row)) for row in self._table.lost_rows()]
 
-    def under_replicated_blocks(self) -> List[Block]:
+    def under_replicated_blocks(self) -> List[BlockView]:
         """Blocks below their target replication but not lost."""
         return [
-            b for b in self._blocks.values() if not b.lost and b.missing_replicas > 0
+            self._table.view(int(row))
+            for row in self._table.under_replicated_rows()
         ]
 
     # -- block creation ----------------------------------------------------------
@@ -155,65 +210,158 @@ class NameNode:
         (the NameNode stops using busy DataNodes as destinations).
         """
         replication = replication or self._default_replication
-        self._block_counter += 1
-        block_id = f"block-{self._block_counter}"
-        block = Block(block_id, size_gb=size_gb, target_replication=replication)
+        block_ids = self.create_blocks(
+            time, [creating_server_id], replication=replication, size_gb=size_gb
+        )
+        block_id = block_ids[0]
+        if block_id is None:
+            return CreateResult(None, 0, replication)
+        row = self._table.row_of(block_id)
+        return CreateResult(
+            self._table.view(row), self._table.healthy_count_of(row), replication
+        )
 
-        # Busy servers (when primary-aware) and servers without space are both
-        # excluded up front, in one vectorized pass, so the policies skip
-        # their per-DataNode space scans.
+    def create_blocks(
+        self,
+        time: float,
+        creating_server_ids: Sequence[Optional[str]],
+        replication: Optional[int] = None,
+        size_gb: float = 0.25,
+    ) -> List[Optional[str]]:
+        """Create one block per entry of ``creating_server_ids``, batched.
+
+        The one creation path (:meth:`create_block` is a batch of one):
+        busy servers (when primary-aware) and servers without space are
+        excluded up front in one vectorized pass — the busy mask is a pure
+        function of ``time``, so it is computed once and the exclusion mask
+        is refreshed scalar-wise as replicas land — and the metric counters
+        and re-replication enqueues are applied in one batch at the end.
+        Returns the id of each created block (``None`` where placement
+        found no candidates).
+        """
+        replication = replication or self._default_replication
+        if size_gb <= 0:
+            raise ValueError("block size must be positive")
+        if replication <= 0:
+            raise ValueError("target_replication must be positive")
+        busy = self._busy_mask(time) if self._primary_aware else None
+        # The exclusion mask is a pure function of (busy at ``time``, used
+        # space); within the batch only the stores below change used space,
+        # so maintain the mask incrementally — one scalar refresh per placed
+        # replica instead of three fleet-wide array ops per block.
         excluded_mask = ~self._space_mask(size_gb)
-        if self._primary_aware:
-            excluded_mask |= self._busy_mask(time)
-        exclude = [self._server_ids[i] for i in np.flatnonzero(excluded_mask)]
+        if busy is not None:
+            excluded_mask |= busy
+        exclude_ids: Optional[List[str]] = None
+        candidates: Optional[np.ndarray] = None
+        results: List[Optional[str]] = []
+        pending: List[str] = []
+        created = failed = 0
+        for creating_server_id in creating_server_ids:
+            self._block_counter += 1
+            block_id = f"block-{self._block_counter}"
+            if candidates is None:
+                candidates = np.flatnonzero(~excluded_mask)
+                exclude_ids = [
+                    self._server_ids[i] for i in np.flatnonzero(excluded_mask)
+                ]
+            chosen = self._choose_placement(
+                replication,
+                creating_server_id,
+                size_gb,
+                excluded_mask,
+                exclude_ids,
+                candidates,
+            )
+            if not chosen:
+                failed += 1
+                results.append(None)
+                continue
+            row = self._table.append(block_id, size_gb, replication)
+            for server_index in chosen:
+                self._store_replica_at(row, server_index, time)
+                free = float(
+                    self._server_capacity[server_index]
+                    - self._server_used[server_index]
+                )
+                now_excluded = not (size_gb <= max(0.0, free) + 1e-9) or bool(
+                    busy is not None and busy[server_index]
+                )
+                if bool(excluded_mask[server_index]) != now_excluded:
+                    excluded_mask[server_index] = now_excluded
+                    exclude_ids = None
+                    candidates = None
+            created += 1
+            if self._table.healthy_count_of(row) < replication:
+                pending.append(block_id)
+            results.append(block_id)
+        if created:
+            self.metrics.counter("blocks_created").increment(created)
+        if failed:
+            self.metrics.counter("block_creations_failed").increment(failed)
+        self._replication.enqueue_many(pending)
+        return results
+
+    def _choose_placement(
+        self,
+        replication: int,
+        creating_server_id: Optional[str],
+        size_gb: float,
+        excluded_mask: np.ndarray,
+        exclude_ids: Optional[List[str]] = None,
+        candidates: Optional[np.ndarray] = None,
+    ) -> List[int]:
+        """Replica destinations as server indices, via the policy.
+
+        Policies exposing the vectorized ``choose_server_indices`` entry
+        point (the stock rule) receive the exclusion mask directly; the
+        grid-based history policy keeps the id-based interface, fed from the
+        same mask (``exclude_ids`` / ``candidates`` let batch callers reuse
+        materialized forms of it while the mask is unchanged).
+        """
+        fast = getattr(self._policy, "choose_server_indices", None)
+        if fast is not None:
+            creating_index = (
+                self._index_of_server.get(creating_server_id)
+                if creating_server_id is not None
+                else None
+            )
+            return fast(
+                replication,
+                creating_index,
+                excluded_mask,
+                self._placement_context,
+                candidates,
+            )
+        if exclude_ids is None:
+            exclude_ids = [self._server_ids[i] for i in np.flatnonzero(excluded_mask)]
         chosen = self._policy.choose_servers(
             replication,
             creating_server_id,
             self._datanodes,
             size_gb,
-            exclude=exclude,
+            exclude=exclude_ids,
             space_prefiltered=True,
         )
-        if not chosen:
-            self.metrics.counter("block_creations_failed").increment()
-            return CreateResult(None, 0, replication)
+        return [self._index_of_server[sid] for sid in chosen]
 
-        for server_id in chosen:
-            self._store_replica(block, server_id, time)
-
-        self._blocks[block_id] = block
-        self.metrics.counter("blocks_created").increment()
-        if block.healthy_count < replication:
-            self._replication.enqueue(block_id)
-        return CreateResult(block, block.healthy_count, replication)
-
-    def _store_replica(self, block: Block, server_id: str, time: float) -> None:
-        datanode = self._datanodes[server_id]
-        datanode.store_replica(block)
-        self._server_used[self._index_of_server[server_id]] += block.size_gb
-        block.add_replica(
-            BlockReplica(
-                server_id=server_id,
-                tenant_id=datanode.tenant_id,
-                created_time=time,
-            )
-        )
+    def _store_replica_at(self, row: int, server_index: int, time: float) -> None:
+        size_gb = self._table.size_of(row)
+        datanode = self._datanode_list[server_index]
+        datanode.store_replica_id(self._table.id_of(row), size_gb)
+        self._server_used[server_index] += size_gb
+        self._healthy_server_count = None
+        self._table.add_replica(row, server_index, time)
 
     def _busy_mask(self, time: float) -> np.ndarray:
-        """Per-server busy flags, evaluated as one trace-matrix reduction."""
-        util = self._matrix.utilization_at(time)
-        return self._server_aware & (
-            util[self._server_rows] > self._server_thresholds
-        )
+        """Per-server busy flags, evaluated as one trace-matrix gather."""
+        util = self._matrix.utilization_rows(self._server_rows, time)
+        return self._server_aware & (util > self._server_thresholds)
 
     def _space_mask(self, size_gb: float) -> np.ndarray:
         """Per-server flags for ``DataNode.has_space_for(size_gb)``."""
         free = np.maximum(0.0, self._server_capacity - self._server_used)
         return size_gb <= free + 1e-9
-
-    def _busy_servers(self, time: float) -> List[str]:
-        mask = self._busy_mask(time)
-        return [self._server_ids[i] for i in np.flatnonzero(mask)]
 
     # -- access -------------------------------------------------------------------
 
@@ -226,15 +374,16 @@ class NameNode:
         with primary-tenant interference instead (that cost is modelled by
         the latency model, not here).
         """
-        block = self._blocks.get(block_id)
-        if block is None:
+        row = self._table.get_row(block_id)
+        if row is None:
             raise KeyError(f"unknown block {block_id}")
-        if block.lost:
+        self._table.record_access(row)
+        if self._table.lost[row]:
             self.metrics.counter("accesses_lost_block").increment()
             return AccessResult.LOST
 
-        healthy = block.servers_with_healthy_replicas()
-        if not healthy:
+        healthy = self._table.healthy_servers_of(row)
+        if not len(healthy):
             self.metrics.counter("accesses_lost_block").increment()
             return AccessResult.LOST
 
@@ -242,8 +391,8 @@ class NameNode:
             self.metrics.counter("accesses_served").increment()
             return AccessResult.SERVED
 
-        available = [s for s in healthy if self._datanodes[s].can_serve(time)]
-        if available:
+        busy = self._busy_mask(time)
+        if not busy[healthy].all():
             self.metrics.counter("accesses_served").increment()
             return AccessResult.SERVED
         self.metrics.counter("accesses_failed").increment()
@@ -263,9 +412,9 @@ class NameNode:
         Semantically identical to calling :meth:`access_block` for each
         ``(block_ids[i], times[i])`` pair — including the metric counters —
         but the per-replica busy checks collapse into one ``(accesses x
-        replicas)`` trace-matrix lookup.  Returns an ``int8`` array whose
-        values index :data:`ACCESS_CODES` (0 = served, 1 = unavailable,
-        2 = lost).
+        replicas)`` trace-matrix lookup over the block table's replica
+        columns.  Returns an ``int8`` array whose values index
+        :data:`ACCESS_CODES` (0 = served, 1 = unavailable, 2 = lost).
         """
         times = np.asarray(times, dtype=float)
         if len(block_ids) != len(times):
@@ -275,32 +424,18 @@ class NameNode:
         if n == 0:
             return codes
 
-        # Healthy replica holders per distinct block (blocks repeat freely in
-        # a batch of sampled accesses, so resolve each id once).
-        holders_of: Dict[str, List[int]] = {}
-        for block_id in block_ids:
-            if block_id in holders_of:
-                continue
-            block = self._blocks.get(block_id)
-            if block is None:
-                raise KeyError(f"unknown block {block_id}")
-            holders_of[block_id] = [
-                self._index_of_server[s]
-                for s in block.servers_with_healthy_replicas()
-            ]
-
-        max_replicas = max((len(h) for h in holders_of.values()), default=0)
-        if max_replicas == 0:
-            codes[:] = 2
-            self.metrics.counter("accesses_lost_block").increment(n)
-            return codes
-
-        # (accesses x replicas) server-index matrix, padded with -1.
-        servers = np.full((n, max_replicas), -1, dtype=np.int64)
+        rows = np.empty(n, dtype=np.int64)
         for i, block_id in enumerate(block_ids):
-            holders = holders_of[block_id]
-            servers[i, : len(holders)] = holders
-        valid = servers >= 0
+            row = self._table.get_row(block_id)
+            if row is None:
+                raise KeyError(f"unknown block {block_id}")
+            rows[i] = row
+        self._table.record_accesses(rows)
+
+        # (accesses x slots) server-index matrix straight from the table's
+        # replica columns; destroyed or empty slots are masked out.
+        servers = self._table.replica_servers[rows]
+        valid = (servers >= 0) & self._table.replica_healthy[rows]
         lost = ~valid.any(axis=1)
         codes[lost] = 2
 
@@ -326,6 +461,60 @@ class NameNode:
             self.metrics.counter("accesses_lost_block").increment(int(lost.sum()))
         return codes
 
+    def access_blocks(
+        self,
+        time: float,
+        count: int,
+        rng: RandomSource,
+        io_per_access: float = 0.05,
+    ) -> AccessBatch:
+        """Serve ``count`` uniformly sampled accesses at ``time``, effectfully.
+
+        The effectful twin of :meth:`check_accesses`: each access draws one
+        block (uniform over every block ever created, in creation order) and
+        — when served — one replica to read from, consuming ``rng`` exactly
+        as the per-access scalar loop did (``choice(block_ids)`` then
+        ``choice(candidate_servers)``).  Access counters are bumped per
+        block, and each served access scatters ``io_per_access`` onto the
+        serving server's io-load column.  Primary-aware NameNodes only read
+        from non-busy replicas and fail the access when all are busy;
+        oblivious ones read from any healthy replica (the interference cost
+        is the latency model's problem).
+        """
+        table = self._table
+        io_load = np.zeros(table.num_servers)
+        n = table.num_blocks
+        if n == 0 or count <= 0:
+            return AccessBatch(0, 0, 0, io_load)
+        aware = self._primary_aware
+        busy = self._busy_mask(time) if aware else None
+        served = failed = lost = 0
+        for _ in range(count):
+            row = rng.integer(0, n)
+            table.record_access(row)
+            healthy = table.healthy_servers_of(row)
+            if not len(healthy):
+                lost += 1
+                continue
+            if aware:
+                pool = healthy[~busy[healthy]]
+                if not len(pool):
+                    failed += 1
+                    continue
+            else:
+                pool = healthy
+            served += 1
+            target = int(pool[rng.integer(0, len(pool))])
+            io_load[target] += io_per_access
+        if served:
+            self.metrics.counter("accesses_served").increment(served)
+        if failed:
+            self.metrics.counter("accesses_failed").increment(failed)
+        if lost:
+            self.metrics.counter("accesses_lost_block").increment(lost)
+        table.io_load += io_load
+        return AccessBatch(served, failed, lost, io_load)
+
     # -- reimages and recovery -------------------------------------------------------
 
     def handle_reimage(self, server_id: str, time: float) -> List[str]:
@@ -337,23 +526,28 @@ class NameNode:
         if datanode is None:
             return []
         affected = datanode.reimage()
-        self._server_used[self._index_of_server[server_id]] = 0.0
+        server_index = self._index_of_server[server_id]
+        self._server_used[server_index] = 0.0
+        self._healthy_server_count = None
+        table = self._table
         newly_lost: List[str] = []
         # The DataNode reports its wiped replicas as a set; iterate in sorted
         # order so the re-replication queue (and every random draw downstream
         # of it) does not depend on the process's string-hash seed.
         for block_id in sorted(affected):
-            block = self._blocks.get(block_id)
-            if block is None:
+            row = table.get_row(block_id)
+            if row is None:
                 continue
-            was_lost = block.lost
-            block.destroy_replica_on(server_id, time)
-            if block.lost and not was_lost:
+            was_lost = table.is_lost(row)
+            table.destroy_replica(row, server_index)
+            now_lost = table.is_lost(row)
+            if now_lost and not was_lost:
                 newly_lost.append(block_id)
                 self._replication.discard(block_id)
-                self.metrics.counter("blocks_lost").increment()
-            elif not block.lost:
+            elif not now_lost:
                 self._replication.enqueue(block_id)
+        if newly_lost:
+            self.metrics.counter("blocks_lost").increment(len(newly_lost))
         if affected:
             self.metrics.counter("reimages_processed").increment()
         return newly_lost
@@ -361,51 +555,105 @@ class NameNode:
     def run_replication(self, time: float) -> int:
         """Re-create replicas for queued blocks, subject to the rate limit.
 
-        Returns the number of replicas restored in this round.
+        Returns the number of replicas restored in this round.  The busy
+        mask (a pure function of ``time``) is evaluated once; the space mask
+        is refreshed per pick as restored replicas consume space.
         """
-        healthy_servers = int(
-            (np.maximum(0.0, self._server_capacity - self._server_used) > 0).sum()
-        )
-        drained = self._replication.drain(time, healthy_servers)
+        if self._healthy_server_count is None:
+            # ``max(0, capacity - used) > 0`` is ``capacity - used > 0``; a
+            # pure function of used space, so cache it between mutations.
+            self._healthy_server_count = int(
+                (self._server_capacity - self._server_used > 0).sum()
+            )
+        drained = self._replication.drain(time, self._healthy_server_count)
+        if not drained:
+            return 0
+        table = self._table
+        busy = self._busy_mask(time) if self._primary_aware else None
+        busy_list = busy.tolist() if busy is not None else None
+        order = table.sorted_server_order
+        rank = table.sorted_server_rank.tolist()
+        # Per-round caches: the viable mask (space ∧ ¬busy) is a pure
+        # function of used space once ``time`` is fixed, so it is built once
+        # per block size and refreshed scalar-wise as restored replicas
+        # consume space.  Candidates are kept pre-permuted into
+        # lexicographic order — matching the scalar ``choice(sorted(ids))``
+        # draw — together with an inclusive prefix count of viable slots, so
+        # each pick maps its bounded-integer draw past the block's replica
+        # holders in O(replicas) without allocating a filtered array.
+        cache: Dict[float, tuple] = {}
+
+        def build(size_gb: float) -> tuple:
+            viable = self._space_mask(size_gb)
+            if busy is not None:
+                viable &= ~busy
+            candidates = order[viable[order]]
+            prefix = np.cumsum(viable[order]).tolist()
+            entry = (viable, candidates, viable.tolist(), prefix)
+            cache[size_gb] = entry
+            return entry
+
         restored = 0
         for block_id in drained:
-            block = self._blocks.get(block_id)
-            if block is None or block.lost:
+            row = table.get_row(block_id)
+            if row is None or table.is_lost(row):
                 continue
-            while block.missing_replicas > 0:
-                target = self._pick_recovery_target(block, time)
-                if target is None:
+            size_gb = table.size_of(row)
+            missing = table.missing_of(row)
+            while missing > 0:
+                entry = cache.get(size_gb)
+                if entry is None:
+                    entry = build(size_gb)
+                viable, candidates, viable_list, prefix = entry
+                # Lexicographic positions of this block's holders among the
+                # viable candidates; the draw index skips past them.
+                positions = sorted(
+                    prefix[rank[holder]] - 1
+                    for holder in table.holders_of(row).tolist()
+                    if viable_list[holder]
+                )
+                count = len(candidates) - len(positions)
+                if count <= 0:
                     # Out of viable targets; try again on a later round.
                     self._replication.enqueue(block_id)
                     break
-                self._store_replica(block, target, time)
+                index = self._rng.integer(0, count)
+                for position in positions:
+                    if position <= index:
+                        index += 1
+                target = int(candidates[index])
+                self._store_replica_at(row, target, time)
                 restored += 1
+                missing -= 1
+                # The store consumed space on ``target``: refresh its bit in
+                # every cached mask, rebuilding only on a flip.
+                free = float(
+                    self._server_capacity[target] - self._server_used[target]
+                )
+                for cached_size in list(cache):
+                    cached_viable = cache[cached_size][0]
+                    still_viable = cached_size <= max(0.0, free) + 1e-9 and not (
+                        busy_list is not None and busy_list[target]
+                    )
+                    if bool(cached_viable[target]) != still_viable:
+                        cached_viable[target] = still_viable
+                        cache[cached_size] = (
+                            cached_viable,
+                            order[cached_viable[order]],
+                            cached_viable.tolist(),
+                            np.cumsum(cached_viable[order]).tolist(),
+                        )
         if restored:
             self.metrics.counter("replicas_restored").increment(restored)
         return restored
-
-    def _pick_recovery_target(self, block: Block, time: float) -> Optional[str]:
-        """A server for a recovered replica: has space, not already holding one."""
-        viable = self._space_mask(block.size_gb)
-        if self._primary_aware:
-            viable &= ~self._busy_mask(time)
-        holders = set(block.replicas.keys())
-        candidates = [
-            self._server_ids[i]
-            for i in np.flatnonzero(viable)
-            if self._server_ids[i] not in holders
-        ]
-        if not candidates:
-            return None
-        return self._rng.choice(sorted(candidates))
 
     # -- statistics -------------------------------------------------------------------
 
     def lost_block_fraction(self) -> float:
         """Fraction of created blocks that have been lost."""
-        if not self._blocks:
+        if not self._table.num_blocks:
             return 0.0
-        return len(self.lost_blocks()) / len(self._blocks)
+        return int(self._table.lost.sum()) / self._table.num_blocks
 
     def total_used_space_gb(self) -> float:
         """Space consumed across all DataNodes."""

@@ -14,12 +14,42 @@ Three policies mirror the paper's systems:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Sequence
+
+import numpy as np
 
 from repro.core.grid import GridClustering, TenantPlacementStats, build_grid
 from repro.core.placement import PlacementConstraints, ReplicaPlacer
 from repro.simulation.random import RandomSource
 from repro.storage.datanode import DataNode
+
+
+@dataclass(frozen=True)
+class PlacementContext:
+    """Precomputed per-server arrays for the vectorized placement paths.
+
+    Built once by the NameNode (server order = DataNode registration order)
+    so per-block placement never rebuilds per-server candidate lists in
+    Python.  ``rack_codes`` assigns one integer per distinct rack, in first-
+    appearance order — rack equality is all the stock rule needs.
+    """
+
+    server_ids: Sequence[str]
+    racks: Sequence[str]
+    rack_codes: np.ndarray
+
+    @classmethod
+    def build(
+        cls, server_ids: Sequence[str], racks: Sequence[str]
+    ) -> "PlacementContext":
+        """Derive the rack code array from the per-server rack names."""
+        code_of: Dict[str, int] = {}
+        codes = np.array(
+            [code_of.setdefault(rack, len(code_of)) for rack in racks],
+            dtype=np.int64,
+        )
+        return cls(server_ids=list(server_ids), racks=list(racks), rack_codes=codes)
 
 
 class PlacementPolicy(Protocol):
@@ -49,6 +79,102 @@ class StockPlacementPolicy:
 
     def __init__(self, rng: Optional[RandomSource] = None) -> None:
         self._rng = rng or RandomSource(0)
+        # Rack-pool cache for the vectorized path: valid while the caller
+        # keeps passing the same candidates array (batch creation does).
+        self._pool_cache_key: Optional[np.ndarray] = None
+        self._same_rack_pools: Dict[int, np.ndarray] = {}
+        self._remote_pools: Dict[tuple, np.ndarray] = {}
+
+    def choose_server_indices(
+        self,
+        replication: int,
+        creating_index: Optional[int],
+        excluded_mask: np.ndarray,
+        context: PlacementContext,
+        candidates: Optional[np.ndarray] = None,
+    ) -> List[int]:
+        """Vectorized twin of :meth:`choose_servers`, over server indices.
+
+        Candidate pools are numpy index arrays (ascending server order, the
+        order ``datanodes.items()`` yields) and every ``pick`` draws one
+        bounded integer — the same stream consumption as the scalar path's
+        ``choice(pool_list)`` — so a fixed seed picks identical servers
+        through either entry point.  Batch callers may pass ``candidates``
+        (``np.flatnonzero(~excluded_mask)``) to reuse it while the mask is
+        unchanged; the rack-pool caches are keyed by that array's identity,
+        so a caller that mutates the mask MUST pass a fresh candidates array
+        (or ``None``) afterwards — ``NameNode.create_blocks`` nulls it on
+        every exclusion flip.
+        """
+        if replication <= 0:
+            raise ValueError("replication must be positive")
+        if candidates is None:
+            candidates = np.flatnonzero(~excluded_mask)
+        if not len(candidates):
+            return []
+        rack_codes = context.rack_codes
+        if self._pool_cache_key is not candidates:
+            self._pool_cache_key = candidates
+            self._same_rack_pools = {}
+            self._remote_pools = {}
+        chosen: List[int] = []
+        chosen_racks: List[int] = []
+
+        def pick(pool: np.ndarray) -> Optional[int]:
+            # ``chosen`` holds at most ``replication`` entries, so chained
+            # elementwise compares beat ``np.isin``'s sort-based machinery.
+            if chosen:
+                mask = pool != chosen[0]
+                for index in chosen[1:]:
+                    mask &= pool != index
+                pool = pool[mask]
+            if not len(pool):
+                return None
+            return int(pool[self._rng.integer(0, len(pool))])
+
+        # Replica 1: the creating server when possible, otherwise random.
+        first: Optional[int] = None
+        if creating_index is not None and not excluded_mask[creating_index]:
+            first = int(creating_index)
+        if first is None:
+            first = pick(candidates)
+        if first is None:
+            return []
+        chosen.append(first)
+        chosen_racks.append(int(rack_codes[first]))
+
+        # Replica 2: same rack as the first, if any other server is there.
+        if len(chosen) < replication:
+            same_rack = self._same_rack_pools.get(chosen_racks[0])
+            if same_rack is None:
+                same_rack = candidates[rack_codes[candidates] == chosen_racks[0]]
+                self._same_rack_pools[chosen_racks[0]] = same_rack
+            second = pick(same_rack)
+            if second is None:
+                second = pick(candidates)
+            if second is not None:
+                chosen.append(second)
+                chosen_racks.append(int(rack_codes[second]))
+
+        # Remaining replicas: prefer racks not used yet.
+        while len(chosen) < replication:
+            rack_key = tuple(sorted(set(chosen_racks)))
+            remote = self._remote_pools.get(rack_key)
+            if remote is None:
+                candidate_racks = rack_codes[candidates]
+                mask = candidate_racks != chosen_racks[0]
+                for code in chosen_racks[1:]:
+                    mask &= candidate_racks != code
+                remote = candidates[mask]
+                self._remote_pools[rack_key] = remote
+            nxt = pick(remote)
+            if nxt is None:
+                nxt = pick(candidates)
+            if nxt is None:
+                break
+            chosen.append(nxt)
+            chosen_racks.append(int(rack_codes[nxt]))
+        return chosen
 
     def choose_servers(
         self,

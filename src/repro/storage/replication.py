@@ -11,7 +11,7 @@ rate, which is exactly what the durability simulations measure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Iterable, List
 
 #: Re-replication throughput limit per source server.
 DEFAULT_BLOCKS_PER_HOUR_PER_SERVER = 30.0
@@ -47,6 +47,16 @@ class ReplicationManager:
             self._pending.append(block_id)
             self._pending_set.add(block_id)
 
+    def enqueue_many(self, block_ids: Iterable[str]) -> None:
+        """Queue several blocks in order (idempotent per block).
+
+        Used by the batched creation path: enqueueing the under-replicated
+        blocks of a batch at its end yields the same queue as enqueueing
+        each one as it was created, because nothing drains mid-batch.
+        """
+        for block_id in block_ids:
+            self.enqueue(block_id)
+
     def discard(self, block_id: str) -> None:
         """Drop a block from the queue (e.g. it was lost entirely)."""
         if block_id in self._pending_set:
@@ -64,8 +74,12 @@ class ReplicationManager:
             self._last_drain_time = now
             return 0
         elapsed_hours = max(0.0, (now - self._last_drain_time) / 3600.0)
-        self._credit += elapsed_hours * self.blocks_per_hour_per_server * healthy_servers
-        self._credit = min(self._credit, self.blocks_per_hour_per_server * healthy_servers)
+        self._credit += (
+            elapsed_hours * self.blocks_per_hour_per_server * healthy_servers
+        )
+        self._credit = min(
+            self._credit, self.blocks_per_hour_per_server * healthy_servers
+        )
         self._last_drain_time = now
         return int(self._credit)
 

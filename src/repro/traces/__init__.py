@@ -29,7 +29,12 @@ from repro.traces.utilization import (
 from repro.traces.reimage import ReimageEvent, ReimageProfile, generate_reimage_events
 from repro.traces.scaling import ScalingMethod, scale_trace, scale_to_target_mean
 from repro.traces.datacenter import Datacenter, Environment, PrimaryTenant, Server
-from repro.traces.fleet import DatacenterSpec, build_datacenter, build_fleet, fleet_specs
+from repro.traces.fleet import (
+    DatacenterSpec,
+    build_datacenter,
+    build_fleet,
+    fleet_specs,
+)
 from repro.traces.matrix import TraceMatrix
 
 __all__ = [

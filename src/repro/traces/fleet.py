@@ -150,7 +150,9 @@ def _tenant_counts(spec: DatacenterSpec) -> Dict[UtilizationPattern, int]:
     return counts
 
 
-def _servers_per_pattern(spec: DatacenterSpec, total_servers: int) -> Dict[UtilizationPattern, int]:
+def _servers_per_pattern(
+    spec: DatacenterSpec, total_servers: int
+) -> Dict[UtilizationPattern, int]:
     """Server budget per pattern from the server class mix."""
     budget = {
         pattern: int(round(total_servers * fraction))
@@ -171,7 +173,9 @@ def _trace_spec(
         return TraceSpec(
             pattern=pattern,
             mean_utilization=mean,
-            daily_amplitude=rng.bounded_normal(spec.utilization_variation, 0.15, 0.2, 0.95),
+            daily_amplitude=rng.bounded_normal(
+                spec.utilization_variation, 0.15, 0.2, 0.95
+            ),
             noise_std=0.02,
         )
     if pattern is UtilizationPattern.CONSTANT:
@@ -245,7 +249,9 @@ def build_datacenter(
 
     datacenter = Datacenter(scaled_spec.name)
     tenant_counts = _tenant_counts(scaled_spec)
-    total_servers = int(round(scaled_spec.num_tenants * scaled_spec.mean_servers_per_tenant))
+    total_servers = int(
+        round(scaled_spec.num_tenants * scaled_spec.mean_servers_per_tenant)
+    )
     server_budget = _servers_per_pattern(scaled_spec, total_servers)
 
     tenant_index = 0

@@ -112,6 +112,20 @@ class TraceMatrix:
         idx = self.sample_index(time_seconds)
         return self._values[np.arange(self.num_tenants), idx]
 
+    def utilization_rows(self, rows: np.ndarray, time_seconds: float) -> np.ndarray:
+        """Utilization of specific tenant ``rows`` at one time, in one gather.
+
+        Bit-identical to ``utilization_at(time_seconds)[rows]`` (each row
+        still wraps at its own trace length) but skips materializing the
+        full per-tenant vector — the shape the NameNode's per-server busy
+        mask wants, since many servers share a tenant row.
+        """
+        if time_seconds < 0:
+            raise ValueError(f"time must be non-negative (got {time_seconds})")
+        rows = np.asarray(rows, dtype=np.int64)
+        idx = int(time_seconds // self._interval) % self._lengths[rows]
+        return self._values[rows, idx]
+
     def utilization(self, rows: np.ndarray, times: np.ndarray) -> np.ndarray:
         """Paired lookup: utilization of ``rows[i]`` at ``times[i]``.
 

@@ -154,7 +154,9 @@ class UtilizationTrace:
         if end_seconds <= start_seconds:
             raise ValueError("window end must be after start")
         start_idx = int(start_seconds // SAMPLE_INTERVAL_SECONDS)
-        end_idx = max(start_idx + 1, int(np.ceil(end_seconds / SAMPLE_INTERVAL_SECONDS)))
+        end_idx = max(
+            start_idx + 1, int(np.ceil(end_seconds / SAMPLE_INTERVAL_SECONDS))
+        )
         indices = np.arange(start_idx, end_idx) % self.num_samples
         return float(self.values[indices].mean())
 
@@ -196,17 +198,30 @@ def _unpredictable_series(spec: TraceSpec, rng: RandomSource) -> np.ndarray:
                                    0.0, 1.0)
         values[i : i + regime_len] = level
         i += regime_len
-    # Rare bursts on top of the regimes.
+    # Rare bursts on top of the regimes.  One uniform is drawn per visited
+    # sample, so the burst scan draws them in rewindable chunks (like
+    # ``RandomSource.poisson_process``): when a chunk contains no burst its
+    # draws are all legitimately consumed; when one does, rewind and consume
+    # exactly the prefix the scalar loop would have, then take the burst's
+    # Poisson draw.  Stream position and burst layout stay bit-identical.
     i = 0
     while i < n:
-        if rng.uniform() < spec.burst_probability:
-            burst_len = max(1, rng.poisson(spec.burst_duration_samples))
-            values[i : i + burst_len] = np.minimum(
-                1.0, values[i : i + burst_len] + spec.burst_magnitude
-            )
-            i += burst_len
-        else:
-            i += 1
+        chunk = min(n - i, 1024)
+        state = rng.generator.bit_generator.state
+        draws = rng.uniform_array(0.0, 1.0, chunk)
+        hits = np.nonzero(draws < spec.burst_probability)[0]
+        if not len(hits):
+            i += chunk
+            continue
+        first = int(hits[0])
+        rng.generator.bit_generator.state = state
+        rng.uniform_array(0.0, 1.0, first + 1)
+        i += first
+        burst_len = max(1, rng.poisson(spec.burst_duration_samples))
+        values[i : i + burst_len] = np.minimum(
+            1.0, values[i : i + burst_len] + spec.burst_magnitude
+        )
+        i += burst_len
     noise = rng.normal_array(0.0, spec.noise_std, n)
     return values + noise
 
@@ -241,6 +256,8 @@ def average_trace(traces: list[UtilizationTrace]) -> UtilizationTrace:
     if len(lengths) != 1:
         raise ValueError(f"traces have differing lengths: {sorted(lengths)}")
     patterns = {t.pattern for t in traces}
-    pattern = traces[0].pattern if len(patterns) == 1 else UtilizationPattern.UNPREDICTABLE
+    pattern = (
+        traces[0].pattern if len(patterns) == 1 else UtilizationPattern.UNPREDICTABLE
+    )
     stacked = np.vstack([t.values for t in traces])
     return UtilizationTrace(stacked.mean(axis=0), pattern, traces[0].spec)

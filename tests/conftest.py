@@ -6,7 +6,7 @@ import pytest
 
 from repro.simulation.random import RandomSource
 from repro.traces.datacenter import Datacenter, PrimaryTenant, Server
-from repro.traces.fleet import DatacenterSpec, build_datacenter, fleet_specs
+from repro.traces.fleet import build_datacenter, fleet_specs
 from repro.traces.reimage import ReimageProfile
 from repro.traces.utilization import TraceSpec, UtilizationPattern, generate_trace
 
@@ -55,9 +55,13 @@ def small_tenants() -> list[PrimaryTenant]:
     """A handful of tenants covering all three patterns."""
     return [
         make_tenant("periodic-a", UtilizationPattern.PERIODIC, seed=1),
-        make_tenant("periodic-b", UtilizationPattern.PERIODIC, seed=2, mean_utilization=0.4),
+        make_tenant(
+            "periodic-b", UtilizationPattern.PERIODIC, seed=2, mean_utilization=0.4
+        ),
         make_tenant("constant-a", UtilizationPattern.CONSTANT, seed=3),
-        make_tenant("constant-b", UtilizationPattern.CONSTANT, seed=4, mean_utilization=0.2),
+        make_tenant(
+            "constant-b", UtilizationPattern.CONSTANT, seed=4, mean_utilization=0.2
+        ),
         make_tenant("unpredictable-a", UtilizationPattern.UNPREDICTABLE, seed=5),
         make_tenant("unpredictable-b", UtilizationPattern.UNPREDICTABLE, seed=6),
     ]

@@ -11,7 +11,9 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         subactions = [
-            action for action in parser._actions if hasattr(action, "choices") and action.choices
+            action
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices
         ]
         commands = set(subactions[0].choices)
         assert commands == {
@@ -111,4 +113,6 @@ class TestCommands:
         assert exit_code == 0
         listed = json.loads(capsys.readouterr().out)
         assert any(entry["scenario"] == "fig15-durability" for entry in listed)
-        assert all({"scenario", "kind", "figure", "description"} <= set(e) for e in listed)
+        assert all(
+            {"scenario", "kind", "figure", "description"} <= set(e) for e in listed
+        )

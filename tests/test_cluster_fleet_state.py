@@ -11,7 +11,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cluster.fleet_state import FleetState
 from repro.cluster.node_manager import NodeManager
 from repro.cluster.resource_manager import (
     ContainerRequest,
@@ -95,7 +94,9 @@ class TestRefreshEquivalence:
     def test_available_tracks_allocations(self):
         fleet_servers, scalar_servers = twin_servers(PROFILES)
         rm = build_rm(fleet_servers)
-        scalar_nms = {s.server_id: NodeManager(s, primary_aware=True) for s in scalar_servers}
+        scalar_nms = {
+            s.server_id: NodeManager(s, primary_aware=True) for s in scalar_servers
+        }
         rm.process_heartbeats(0.0)
         placed = []
         for i in range(6):

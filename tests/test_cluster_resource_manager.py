@@ -35,7 +35,9 @@ def make_simulated_server(
 
 
 def build_rm(
-    mode: SchedulerMode, utilizations: dict[str, float], labels: dict[str, str] | None = None
+    mode: SchedulerMode,
+    utilizations: dict[str, float],
+    labels: dict[str, str] | None = None,
 ) -> ResourceManager:
     rm = ResourceManager(mode=mode, rng=RandomSource(1))
     for server_id, utilization in utilizations.items():

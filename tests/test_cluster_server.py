@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cluster.reserve import ResourceReserve
 from repro.cluster.resources import Resource
 from repro.cluster.server import ContainerState, SimulatedServer
 from repro.traces.datacenter import PrimaryTenant, Server

@@ -7,7 +7,6 @@ import pytest
 from repro.core.class_selection import (
     ClassCapacity,
     ClassSelector,
-    DEFAULT_RANKING,
     RankingWeights,
 )
 from repro.core.clustering import UtilizationClass
@@ -43,7 +42,9 @@ def three_classes() -> list[ClassCapacity]:
     return [
         capacity("constant-0", UtilizationPattern.CONSTANT, average=0.3, peak=0.35),
         capacity("periodic-0", UtilizationPattern.PERIODIC, average=0.3, peak=0.8),
-        capacity("unpredictable-0", UtilizationPattern.UNPREDICTABLE, average=0.3, peak=0.9),
+        capacity(
+            "unpredictable-0", UtilizationPattern.UNPREDICTABLE, average=0.3, peak=0.9
+        ),
     ]
 
 
@@ -97,7 +98,13 @@ class TestSelection:
         classes = [
             capacity("constant-0", UtilizationPattern.CONSTANT, 0.3, 0.35, current=0.3),
             capacity("periodic-0", UtilizationPattern.PERIODIC, 0.3, 0.8, current=0.3),
-            capacity("unpredictable-0", UtilizationPattern.UNPREDICTABLE, 0.3, 0.9, current=0.3),
+            capacity(
+                "unpredictable-0",
+                UtilizationPattern.UNPREDICTABLE,
+                0.3,
+                0.9,
+                current=0.3,
+            ),
         ]
         selector = ClassSelector(rng=RandomSource(3))
         picks = [
@@ -132,7 +139,9 @@ class TestSelection:
             selector.select(JobType.SHORT, -1.0, three_classes)
 
     def test_reserve_reduces_fit(self):
-        classes = [capacity("constant-0", UtilizationPattern.CONSTANT, 0.5, 0.55, total=100.0)]
+        classes = [
+            capacity("constant-0", UtilizationPattern.CONSTANT, 0.5, 0.55, total=100.0)
+        ]
         no_reserve = ClassSelector(rng=RandomSource(8), reserve_fraction=0.0)
         with_reserve = ClassSelector(rng=RandomSource(8), reserve_fraction=1.0 / 3.0)
         demand = 40.0
@@ -141,7 +150,9 @@ class TestSelection:
 
     def test_full_class_never_selected_alone(self):
         classes = [
-            capacity("constant-0", UtilizationPattern.CONSTANT, 0.99, 1.0, current=0.99),
+            capacity(
+                "constant-0", UtilizationPattern.CONSTANT, 0.99, 1.0, current=0.99
+            ),
             capacity("periodic-0", UtilizationPattern.PERIODIC, 0.1, 0.2, current=0.1),
         ]
         selector = ClassSelector(rng=RandomSource(9))

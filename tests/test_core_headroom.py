@@ -22,17 +22,27 @@ def make_class(average: float, peak: float) -> UtilizationClass:
 class TestHeadroomDefinitions:
     def test_short_uses_current_only(self):
         cls = make_class(average=0.5, peak=0.9)
-        assert class_headroom(JobType.SHORT, cls, current_utilization=0.2) == pytest.approx(0.8)
+        assert class_headroom(
+            JobType.SHORT, cls, current_utilization=0.2
+        ) == pytest.approx(0.8)
 
     def test_medium_uses_max_of_average_and_current(self):
         cls = make_class(average=0.5, peak=0.9)
-        assert class_headroom(JobType.MEDIUM, cls, current_utilization=0.2) == pytest.approx(0.5)
-        assert class_headroom(JobType.MEDIUM, cls, current_utilization=0.7) == pytest.approx(0.3)
+        assert class_headroom(
+            JobType.MEDIUM, cls, current_utilization=0.2
+        ) == pytest.approx(0.5)
+        assert class_headroom(
+            JobType.MEDIUM, cls, current_utilization=0.7
+        ) == pytest.approx(0.3)
 
     def test_long_uses_max_of_peak_and_current(self):
         cls = make_class(average=0.5, peak=0.9)
-        assert class_headroom(JobType.LONG, cls, current_utilization=0.2) == pytest.approx(0.1)
-        assert class_headroom(JobType.LONG, cls, current_utilization=0.95) == pytest.approx(0.05)
+        assert class_headroom(
+            JobType.LONG, cls, current_utilization=0.2
+        ) == pytest.approx(0.1)
+        assert class_headroom(
+            JobType.LONG, cls, current_utilization=0.95
+        ) == pytest.approx(0.05)
 
     def test_current_defaults_to_class_average(self):
         cls = make_class(average=0.4, peak=0.8)

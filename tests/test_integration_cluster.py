@@ -64,7 +64,8 @@ class TestHistoryCluster:
 
 class TestVariantComparison:
     @pytest.mark.parametrize(
-        "mode", [SchedulerMode.STOCK, SchedulerMode.PRIMARY_AWARE, SchedulerMode.HISTORY]
+        "mode",
+        [SchedulerMode.STOCK, SchedulerMode.PRIMARY_AWARE, SchedulerMode.HISTORY],
     )
     def test_all_variants_run(self, small_tenants, mode):
         cluster = build_cluster(small_tenants, mode)

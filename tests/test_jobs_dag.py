@@ -101,7 +101,9 @@ class TestStructure:
     def test_build_tasks_counts_and_ids_unique(self):
         dag = diamond_dag()
         tasks = dag.build_tasks()
-        all_ids = [t.task_id for tasks_of_vertex in tasks.values() for t in tasks_of_vertex]
+        all_ids = [
+            t.task_id for tasks_of_vertex in tasks.values() for t in tasks_of_vertex
+        ]
         assert len(all_ids) == dag.total_tasks
         assert len(set(all_ids)) == len(all_ids)
         assert all(

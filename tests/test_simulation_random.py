@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -109,3 +108,43 @@ class TestPoissonProcess:
         events = rng.poisson_process(rate, duration)
         expected = rate * duration
         assert expected * 0.7 < len(events) < expected * 1.3
+
+
+class TestPoissonProcessChunking:
+    """The chunked thinning pass must be draw-for-draw scalar-equivalent."""
+
+    @staticmethod
+    def _scalar_reference(rng: RandomSource, rate: float, duration: float):
+        if rate <= 0 or duration <= 0:
+            return []
+        times, t = [], 0.0
+        while True:
+            t += float(rng.generator.exponential(1.0 / rate))
+            if t >= duration:
+                break
+            times.append(t)
+        return times
+
+    def test_matches_scalar_loop_and_stream_position(self):
+        cases = [
+            (0.0001, 2_000_000.0),  # ~200 events: several chunks
+            (0.001, 500_000.0),
+            (1e-7, 2_592_000.0),  # usually zero events
+            (0.5, 30.0),
+        ]
+        for seed in range(25):
+            for rate, duration in cases:
+                scalar_rng = RandomSource(seed)
+                chunked_rng = RandomSource(seed)
+                expected = self._scalar_reference(scalar_rng, rate, duration)
+                got = chunked_rng.poisson_process(rate, duration)
+                assert got == expected, (seed, rate)
+                # The stream position matches too: the next draw agrees.
+                assert scalar_rng.uniform() == chunked_rng.uniform()
+
+    def test_degenerate_inputs_consume_nothing(self):
+        rng = RandomSource(3)
+        untouched = RandomSource(3)
+        assert rng.poisson_process(0.0, 100.0) == []
+        assert rng.poisson_process(1.0, 0.0) == []
+        assert rng.uniform() == untouched.uniform()

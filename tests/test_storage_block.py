@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.storage.block import Block, BlockReplica, ReplicaState
+from repro.storage.block import Block, BlockReplica
 from repro.storage.datanode import DataNode
 from repro.traces.datacenter import PrimaryTenant, Server
 from repro.traces.utilization import UtilizationPattern, UtilizationTrace

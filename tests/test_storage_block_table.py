@@ -1,0 +1,476 @@
+"""Tests for the BlockTable substrate and its scalar-path equivalence.
+
+Mirrors ``tests/test_cluster_fleet_state.py`` on the storage side: every
+batched block operation (creation placement, effectful access batches,
+reimage replay, re-replication candidate picks) is checked against the
+legacy per-object path it replaced, using twin NameNodes driven through
+identical random streams.  The scalar oracle below is a line-for-line
+port of the pre-BlockTable NameNode hot paths over ``Block`` /
+``BlockReplica`` dataclasses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.random import RandomSource
+from repro.storage.block import Block, BlockReplica, BlockView
+from repro.storage.block_table import BlockTable
+from repro.storage.datanode import DataNode
+from repro.storage.namenode import AccessResult, NameNode
+from repro.storage.placement_policies import StockPlacementPolicy
+from repro.storage.replication import ReplicationManager
+from repro.traces.datacenter import PrimaryTenant, Server
+from repro.traces.utilization import UtilizationPattern, UtilizationTrace
+
+
+def make_tenant(tenant_id: str, values, num_servers: int) -> PrimaryTenant:
+    tenant = PrimaryTenant(
+        tenant_id=tenant_id,
+        environment=f"env-{tenant_id}",
+        machine_function="mf",
+        trace=UtilizationTrace(
+            np.asarray(values, dtype=float), UtilizationPattern.CONSTANT
+        ),
+        pattern=UtilizationPattern.CONSTANT,
+    )
+    for index in range(num_servers):
+        tenant.servers.append(
+            Server(
+                server_id=f"{tenant_id}-s{index}",
+                tenant_id=tenant_id,
+                rack=f"rack-{index % 3}",
+                harvestable_disk_gb=8.0,
+            )
+        )
+    return tenant
+
+
+#: Time-varying profiles so the busy mask differs across the sampled times.
+PROFILES = {
+    "idle": [0.1, 0.1, 0.2, 0.1],
+    "diurnal": [0.2, 0.7, 0.9, 0.3],
+    "busy": [0.9, 0.65, 0.7, 0.9],
+    "spiky": [0.05, 0.95, 0.05, 0.95],
+}
+
+
+def make_datanodes(primary_aware: bool = True):
+    tenants = [make_tenant(tid, values, 3) for tid, values in PROFILES.items()]
+    return [
+        DataNode(server=s, tenant=t, primary_aware=primary_aware)
+        for t in tenants
+        for s in t.servers
+    ]
+
+
+def build_namenode(seed: int = 1, primary_aware: bool = True) -> NameNode:
+    return NameNode(
+        make_datanodes(primary_aware),
+        StockPlacementPolicy(rng=RandomSource(seed)),
+        primary_aware=primary_aware,
+        rng=RandomSource(seed + 1),
+    )
+
+
+class ScalarNameNode:
+    """The pre-BlockTable NameNode logic, kept as the equivalence oracle."""
+
+    def __init__(self, datanodes, policy, primary_aware=True, replication=3, rng=None):
+        self.datanodes = {dn.server_id: dn for dn in datanodes}
+        self.policy = policy
+        self.primary_aware = primary_aware
+        self.default_replication = replication
+        self.rng = rng or RandomSource(0)
+        self.blocks: dict[str, Block] = {}
+        self.counter = 0
+        self.manager = ReplicationManager()
+
+    def create_block(self, time, creating_server_id=None, size_gb=0.25):
+        self.counter += 1
+        block = Block(
+            f"block-{self.counter}",
+            size_gb=size_gb,
+            target_replication=self.default_replication,
+        )
+        exclude = [
+            sid
+            for sid, dn in self.datanodes.items()
+            if not dn.has_space_for(size_gb)
+            or (self.primary_aware and dn.is_busy(time))
+        ]
+        chosen = self.policy.choose_servers(
+            self.default_replication,
+            creating_server_id,
+            self.datanodes,
+            size_gb,
+            exclude=exclude,
+            space_prefiltered=True,
+        )
+        if not chosen:
+            return None
+        for server_id in chosen:
+            self._store(block, server_id, time)
+        self.blocks[block.block_id] = block
+        if block.healthy_count < self.default_replication:
+            self.manager.enqueue(block.block_id)
+        return block
+
+    def _store(self, block, server_id, time):
+        datanode = self.datanodes[server_id]
+        datanode.store_replica(block)
+        block.add_replica(
+            BlockReplica(
+                server_id=server_id,
+                tenant_id=datanode.tenant_id,
+                created_time=time,
+            )
+        )
+
+    def access_block(self, block_id, time):
+        block = self.blocks[block_id]
+        if block.lost:
+            return AccessResult.LOST
+        healthy = block.servers_with_healthy_replicas()
+        if not healthy:
+            return AccessResult.LOST
+        if not self.primary_aware:
+            return AccessResult.SERVED
+        if any(self.datanodes[s].can_serve(time) for s in healthy):
+            return AccessResult.SERVED
+        return AccessResult.UNAVAILABLE
+
+    def handle_reimage(self, server_id, time):
+        datanode = self.datanodes.get(server_id)
+        if datanode is None:
+            return []
+        affected = datanode.reimage()
+        newly_lost = []
+        for block_id in sorted(affected):
+            block = self.blocks.get(block_id)
+            if block is None:
+                continue
+            was_lost = block.lost
+            block.destroy_replica_on(server_id, time)
+            if block.lost and not was_lost:
+                newly_lost.append(block_id)
+                self.manager.discard(block_id)
+            elif not block.lost:
+                self.manager.enqueue(block_id)
+        return newly_lost
+
+    def run_replication(self, time):
+        healthy_servers = sum(
+            1 for dn in self.datanodes.values() if dn.free_space_gb > 0
+        )
+        drained = self.manager.drain(time, healthy_servers)
+        restored = 0
+        for block_id in drained:
+            block = self.blocks.get(block_id)
+            if block is None or block.lost:
+                continue
+            while block.missing_replicas > 0:
+                target = self._pick_recovery_target(block, time)
+                if target is None:
+                    self.manager.enqueue(block_id)
+                    break
+                self._store(block, target, time)
+                restored += 1
+        return restored
+
+    def _pick_recovery_target(self, block, time):
+        holders = set(block.replicas.keys())
+        candidates = sorted(
+            sid
+            for sid, dn in self.datanodes.items()
+            if dn.has_space_for(block.size_gb)
+            and not (self.primary_aware and dn.is_busy(time))
+            and sid not in holders
+        )
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+
+def twin_pair(seed=1, primary_aware=True):
+    """A columnar NameNode and the scalar oracle on identical twin fleets."""
+    namenode = build_namenode(seed, primary_aware)
+    scalar = ScalarNameNode(
+        make_datanodes(primary_aware),
+        StockPlacementPolicy(rng=RandomSource(seed)),
+        primary_aware=primary_aware,
+        rng=RandomSource(seed + 1),
+    )
+    return namenode, scalar
+
+
+def layout_of(block) -> list[tuple[str, bool]]:
+    """(server, healthy) per replica, in insertion order."""
+    return [(r.server_id, r.healthy) for r in block.replicas.values()]
+
+
+class TestCreationEquivalence:
+    def test_placements_match_scalar_draws(self):
+        namenode, scalar = twin_pair()
+        servers = sorted(namenode.datanodes)
+        creator_rng = RandomSource(7)
+        twin_creator_rng = RandomSource(7)
+        for i in range(60):
+            time = float(i * 37)
+            created = namenode.create_block(
+                time, creating_server_id=creator_rng.choice(servers)
+            )
+            expected = scalar.create_block(
+                time, creating_server_id=twin_creator_rng.choice(servers)
+            )
+            if expected is None:
+                assert created.block is None
+                continue
+            assert created.block is not None
+            assert layout_of(created.block) == layout_of(expected)
+
+    def test_batched_create_matches_scalar_loop(self):
+        namenode, scalar = twin_pair()
+        servers = sorted(namenode.datanodes)
+        creator_rng = RandomSource(11)
+        twin_creator_rng = RandomSource(11)
+        creators = [
+            servers[int(i)]
+            for i in creator_rng.generator.integers(0, len(servers), size=50)
+        ]
+        ids = namenode.create_blocks(120.0, creators)
+        for creator in (
+            twin_creator_rng.choice(servers) for _ in range(50)
+        ):
+            scalar.create_block(120.0, creating_server_id=creator)
+        assert len(ids) == 50
+        for block_id, expected in zip(
+            [i for i in ids if i is not None], scalar.blocks.values()
+        ):
+            assert layout_of(namenode.blocks[block_id]) == layout_of(expected)
+        # The under-replicated queue matches, in order.
+        assert namenode._replication._pending == scalar.manager._pending
+
+    def test_full_cluster_fails_creation_identically(self):
+        namenode, scalar = twin_pair()
+        outcomes = []
+        expected = []
+        for i in range(500):
+            outcomes.append(namenode.create_block(0.0).block is not None)
+            expected.append(scalar.create_block(0.0) is not None)
+        assert outcomes == expected
+        assert not outcomes[-1]  # the 8 GB quota fills well before 500 blocks
+
+
+class TestReimageReplicationEquivalence:
+    def drive(self, namenode, scalar, seed=5):
+        servers = sorted(namenode.datanodes)
+        rng = RandomSource(seed)
+        twin = RandomSource(seed)
+        for i in range(40):
+            namenode.create_block(0.0, creating_server_id=rng.choice(servers))
+            scalar.create_block(0.0, creating_server_id=twin.choice(servers))
+        # Reimage a burst of servers, then let recovery run for hours.
+        for step, victim in enumerate(servers[:8]):
+            assert namenode.handle_reimage(victim, 100.0 + step) == (
+                scalar.handle_reimage(victim, 100.0 + step)
+            )
+        for hour in range(1, 10):
+            time = 100.0 + hour * 1800.0
+            assert namenode.run_replication(time) == scalar.run_replication(time)
+
+    def test_recovery_draws_and_layouts_match(self):
+        namenode, scalar = twin_pair()
+        self.drive(namenode, scalar)
+        assert list(namenode.blocks) == list(scalar.blocks)
+        for block_id, expected in scalar.blocks.items():
+            assert layout_of(namenode.blocks[block_id]) == layout_of(expected)
+            assert namenode.blocks[block_id].lost == expected.lost
+        assert [b.block_id for b in namenode.lost_blocks()] == [
+            b.block_id for b in scalar.blocks.values() if b.lost
+        ]
+
+    def test_oblivious_variant_matches_too(self):
+        namenode, scalar = twin_pair(seed=9, primary_aware=False)
+        self.drive(namenode, scalar, seed=13)
+        for block_id, expected in scalar.blocks.items():
+            assert layout_of(namenode.blocks[block_id]) == layout_of(expected)
+
+    def test_requeue_order_is_lexicographic_not_numeric(self):
+        """The kill/re-replication ordering edge case: ``block-10`` sorts
+        before ``block-2``, and the queue (hence every downstream draw) must
+        follow that string order exactly."""
+        namenode, scalar = twin_pair(seed=21)
+        servers = sorted(namenode.datanodes)
+        rng = RandomSource(3)
+        twin = RandomSource(3)
+        for _ in range(12):  # ids block-1 .. block-12 cross the 9->10 divide
+            namenode.create_block(0.0, creating_server_id=rng.choice(servers))
+            scalar.create_block(0.0, creating_server_id=twin.choice(servers))
+        victim = max(
+            namenode.datanodes,
+            key=lambda sid: len(namenode.datanodes[sid].stored_block_ids),
+        )
+        namenode.handle_reimage(victim, 50.0)
+        scalar.handle_reimage(victim, 50.0)
+        pending = namenode._replication._pending
+        assert pending == sorted(pending)
+        assert pending == scalar.manager._pending
+        assert namenode.run_replication(50.0 + 3600.0) == scalar.run_replication(
+            50.0 + 3600.0
+        )
+
+
+class TestAccessBatchEquivalence:
+    def scalar_minute(self, scalar, block_ids, time, count, rng, column_of):
+        """The legacy per-access loop from the fig12 runner."""
+        served = failed = 0
+        io_load: dict[str, float] = {}
+        for _ in range(count):
+            if not block_ids:
+                break
+            block_id = rng.choice(block_ids)
+            outcome = scalar.access_block(block_id, time)
+            if outcome is AccessResult.SERVED:
+                served += 1
+                block = scalar.blocks[block_id]
+                healthy = block.servers_with_healthy_replicas()
+                if scalar.primary_aware:
+                    healthy = [
+                        s
+                        for s in healthy
+                        if scalar.datanodes[s].can_serve(time)
+                    ] or healthy
+                if healthy:
+                    target = rng.choice(healthy)
+                    io_load[target] = io_load.get(target, 0.0) + 0.05
+            elif outcome is AccessResult.UNAVAILABLE:
+                failed += 1
+        io = np.zeros(len(column_of))
+        for server_id, load in io_load.items():
+            io[column_of[server_id]] = load
+        return served, failed, io
+
+    @pytest.mark.parametrize("primary_aware", [True, False])
+    def test_access_batch_matches_scalar_loop(self, primary_aware):
+        namenode, scalar = twin_pair(seed=17, primary_aware=primary_aware)
+        servers = sorted(namenode.datanodes)
+        rng = RandomSource(2)
+        twin = RandomSource(2)
+        for _ in range(25):
+            namenode.create_block(0.0, creating_server_id=rng.choice(servers))
+            scalar.create_block(0.0, creating_server_id=twin.choice(servers))
+        namenode.handle_reimage(servers[0], 10.0)
+        scalar.handle_reimage(servers[0], 10.0)
+
+        column_of = {sid: i for i, sid in enumerate(namenode.server_ids)}
+        access_rng = RandomSource(4)
+        twin_access_rng = RandomSource(4)
+        block_ids = list(scalar.blocks)
+        for minute in (60.0, 120.0, 180.0, 240.0):
+            batch = namenode.access_blocks(minute, 40, access_rng)
+            served, failed, io = self.scalar_minute(
+                scalar, block_ids, minute, 40, twin_access_rng, column_of
+            )
+            assert batch.served == served
+            assert batch.failed == failed
+            assert np.array_equal(batch.io_load, io)
+
+    def test_access_counters_accumulate(self):
+        namenode = build_namenode()
+        namenode.create_block(0.0)
+        namenode.access_blocks(0.0, 10, RandomSource(1))
+        table = namenode.block_table
+        assert int(table.access_count.sum()) == 10
+        assert float(table.io_load.sum()) > 0.0
+
+
+class TestBlockTableUnit:
+    def build(self):
+        return BlockTable(["s-a", "s-b", "s-c"], ["t1", "t1", "t2"])
+
+    def test_slot_reuse_preserves_insertion_order(self):
+        table = self.build()
+        row = table.append("b1", 0.25, 3)
+        table.add_replica(row, 0, 0.0)
+        table.add_replica(row, 1, 0.0)
+        table.destroy_replica(row, 0)
+        # Re-adding on the destroyed server keeps its original slot position,
+        # like a dict overwrite keeps the key position.
+        table.add_replica(row, 0, 5.0)
+        assert table.healthy_servers_of(row).tolist() == [0, 1]
+        assert float(table.replica_created[row, 0]) == 5.0
+
+    def test_add_replica_rejects_healthy_duplicate(self):
+        table = self.build()
+        row = table.append("b1", 0.25, 3)
+        table.add_replica(row, 0, 0.0)
+        with pytest.raises(ValueError):
+            table.add_replica(row, 0, 1.0)
+
+    def test_lost_flag_is_sticky(self):
+        table = self.build()
+        row = table.append("b1", 0.25, 2)
+        table.add_replica(row, 0, 0.0)
+        assert table.destroy_replica(row, 0)
+        assert table.is_lost(row)
+        table.add_replica(row, 1, 1.0)
+        assert table.is_lost(row)  # lost blocks stay lost
+
+    def test_destroy_missing_replica_is_noop(self):
+        table = self.build()
+        row = table.append("b1", 0.25, 2)
+        table.add_replica(row, 0, 0.0)
+        assert not table.destroy_replica(row, 2)
+        assert table.destroy_replica(row, 0)
+        assert not table.destroy_replica(row, 0)
+
+    def test_row_and_slot_growth(self):
+        table = self.build()
+        for i in range(1100):  # crosses the initial row capacity
+            table.append(f"b{i}", 0.25, 2)
+        assert table.num_blocks == 1100
+        big = BlockTable([f"s{i}" for i in range(10)], ["t"] * 10)
+        row = big.append("wide", 0.25, 10)
+        for server in range(10):  # crosses the initial slot width
+            big.add_replica(row, server, 0.0)
+        assert big.healthy_servers_of(row).tolist() == list(range(10))
+
+    def test_views_are_live_and_compare_by_row(self):
+        table = self.build()
+        row = table.append("b1", 0.25, 2)
+        table.add_replica(row, 0, 0.0)
+        view = table.view(row)
+        assert isinstance(view, BlockView)
+        assert view.healthy_count == 1
+        table.add_replica(row, 1, 1.0)
+        assert view.healthy_count == 2  # live, not a snapshot
+        assert view == table.view(row)
+        assert view.replicas["s-b"].tenant_id == "t1"
+        assert view.servers_with_healthy_replicas() == ["s-a", "s-b"]
+
+    def test_sorted_server_order_is_lexicographic(self):
+        table = BlockTable(["s-10", "s-2", "s-1"], ["t", "t", "t"])
+        ordered = [table.server_ids[i] for i in table.sorted_server_order]
+        assert ordered == ["s-1", "s-10", "s-2"]
+        ranks = table.sorted_server_rank
+        assert [int(ranks[i]) for i in table.sorted_server_order] == [0, 1, 2]
+
+
+class TestNamespace:
+    def test_mapping_behaviour(self):
+        namenode = build_namenode()
+        first = namenode.create_block(0.0).block
+        second = namenode.create_block(0.0).block
+        blocks = namenode.blocks
+        assert len(blocks) == 2
+        assert list(blocks) == [first.block_id, second.block_id]
+        assert blocks[first.block_id] == first
+        assert first.block_id in blocks
+        assert "missing" not in blocks
+        assert blocks.get("missing") is None
+        assert [b.block_id for b in blocks.values()] == [
+            first.block_id,
+            second.block_id,
+        ]

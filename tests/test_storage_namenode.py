@@ -104,7 +104,9 @@ class TestCreation:
 
     def test_history_placement_spreads_over_tenants(self):
         namenode, tenants = build_cluster(UTILIZATIONS, policy="history")
-        result = namenode.create_block(0.0, creating_server_id=tenants[0].servers[0].server_id)
+        result = namenode.create_block(
+            0.0, creating_server_id=tenants[0].servers[0].server_id
+        )
         assert result.block is not None
         assert len(set(result.block.tenants_with_healthy_replicas())) == 3
 
@@ -136,7 +138,9 @@ class TestAccess:
         namenode, _ = build_cluster({f"t{i}": 0.9 for i in range(4)})
         # Creation at a time when everything is busy still places (exclusion
         # may leave the block empty), so create with awareness disabled first.
-        namenode_idle, _ = build_cluster({f"t{i}": 0.9 for i in range(4)}, primary_aware=False)
+        namenode_idle, _ = build_cluster(
+            {f"t{i}": 0.9 for i in range(4)}, primary_aware=False
+        )
         block = namenode_idle.create_block(0.0).block
         assert namenode_idle.access_block(block.block_id, 0.0) is AccessResult.SERVED
 

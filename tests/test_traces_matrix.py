@@ -28,7 +28,9 @@ def make_tenant(
         tenant_id=tenant_id,
         environment=f"env-{tenant_id}",
         machine_function="mf",
-        trace=UtilizationTrace(np.asarray(values, dtype=float), UtilizationPattern.CONSTANT)
+        trace=UtilizationTrace(
+            np.asarray(values, dtype=float), UtilizationPattern.CONSTANT
+        )
         if traced
         else None,
         pattern=UtilizationPattern.CONSTANT,

@@ -121,7 +121,9 @@ class TestAggregation:
         with pytest.raises(ValueError):
             per_month_tenant_rates([], 1, 0)
 
-    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=12))
+    @given(
+        st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=12)
+    )
     @settings(max_examples=20, deadline=None)
     def test_rates_are_non_negative(self, num_servers, months):
         servers = [f"s{i}" for i in range(num_servers)]

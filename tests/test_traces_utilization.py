@@ -152,3 +152,47 @@ class TestAverageTrace:
         a = UtilizationTrace(np.array([0.1, 0.2]), UtilizationPattern.CONSTANT)
         b = UtilizationTrace(np.array([0.3, 0.4]), UtilizationPattern.PERIODIC)
         assert average_trace([a, b]).pattern is UtilizationPattern.UNPREDICTABLE
+
+
+class TestUnpredictableBurstChunking:
+    """The chunked burst scan must consume the stream like the scalar loop."""
+
+    @staticmethod
+    def _scalar_reference(spec: TraceSpec, rng: RandomSource) -> np.ndarray:
+        n = spec.num_samples
+        values = np.empty(n)
+        rng.uniform(0.3, 1.5)  # the legacy level draw, stream-compatible
+        i = 0
+        while i < n:
+            regime_len = rng.integer(SAMPLES_PER_DAY // 6, 3 * SAMPLES_PER_DAY)
+            level = rng.bounded_normal(
+                spec.mean_utilization, spec.mean_utilization * 0.6, 0.0, 1.0
+            )
+            values[i : i + regime_len] = level
+            i += regime_len
+        i = 0
+        while i < n:
+            if rng.uniform() < spec.burst_probability:
+                burst_len = max(1, rng.poisson(spec.burst_duration_samples))
+                values[i : i + burst_len] = np.minimum(
+                    1.0, values[i : i + burst_len] + spec.burst_magnitude
+                )
+                i += burst_len
+            else:
+                i += 1
+        noise = rng.normal_array(0.0, spec.noise_std, n)
+        return values + noise
+
+    def test_matches_scalar_burst_scan(self):
+        for seed in range(8):
+            for burst_probability in (0.0, 0.01, 0.2):
+                spec = TraceSpec(
+                    UtilizationPattern.UNPREDICTABLE,
+                    burst_probability=burst_probability,
+                    days=7,
+                )
+                expected = np.clip(
+                    self._scalar_reference(spec, RandomSource(seed)), 0.0, 1.0
+                )
+                got = generate_trace(spec, RandomSource(seed)).values
+                assert np.array_equal(got, expected), (seed, burst_probability)

@@ -1,0 +1,193 @@
+"""Render the per-PR BENCH wall-clock trajectory as a standalone SVG.
+
+Reads every ``benchmarks/history/BENCH_<tag>.json`` snapshot (written by
+``emit_bench.py --history <tag>``), extracts each scenario's wall-clock
+seconds, and hand-writes one SVG line chart — no plotting dependency, so it
+runs in CI and in the bare repro container.  Tags are ordered by their
+numeric suffix (``pr2`` < ``pr3`` < ``pr10``), falling back to name order.
+
+Usage::
+
+    python benchmarks/plot_history.py                       # -> benchmarks/history/trajectory.svg
+    python benchmarks/plot_history.py --output /tmp/t.svg
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+from pathlib import Path
+from typing import Dict, List
+
+#: Scenario display order and series colors (a CVD-validated categorical
+#: palette in fixed slot order; identity follows the scenario, never rank).
+SERIES = [
+    ("fig13_dc9_sweep", "fig13 sweep", "#2a78d6"),
+    ("fig10_11_scheduling_testbed", "fig10/11 testbed", "#eb6834"),
+    ("fig15_durability", "fig15 durability", "#1baf7a"),
+    ("fig16_availability", "fig16 availability", "#eda100"),
+    ("fig12_storage_testbed", "fig12 storage testbed", "#e87ba4"),
+]
+
+WIDTH, HEIGHT = 760, 420
+MARGIN_LEFT, MARGIN_RIGHT = 64, 190
+MARGIN_TOP, MARGIN_BOTTOM = 56, 44
+
+
+def load_history(history_dir: Path) -> Dict[str, Dict[str, float]]:
+    """``{tag: {scenario: wall_clock_seconds}}`` from the snapshot files."""
+    history: Dict[str, Dict[str, float]] = {}
+    for path in history_dir.glob("BENCH_*.json"):
+        tag = path.stem.removeprefix("BENCH_")
+        payload = json.loads(path.read_text())
+        timings: Dict[str, float] = {}
+        for side in payload.values():
+            for scenario, entry in side.get("scenarios", {}).items():
+                timings[scenario] = float(entry["wall_clock_seconds"])
+        if timings:
+            history[tag] = timings
+    return history
+
+
+def tag_key(tag: str):
+    match = re.search(r"(\d+)$", tag)
+    return (0, int(match.group(1))) if match else (1, tag)
+
+
+def _nice_ticks(top: float, count: int = 5) -> List[float]:
+    """Round tick values covering [0, top]."""
+    if top <= 0:
+        return [0.0, 1.0]
+    raw = top / count
+    magnitude = 10 ** len(str(int(raw))) / 10 if raw >= 1 else 0.1
+    for step in (1, 2, 5, 10):
+        if raw <= step * magnitude:
+            step_value = step * magnitude
+            break
+    ticks = [0.0]
+    while ticks[-1] < top:
+        ticks.append(round(ticks[-1] + step_value, 6))
+    return ticks
+
+
+def render_svg(history: Dict[str, Dict[str, float]]) -> str:
+    tags = sorted(history, key=tag_key)
+    plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+    plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+    top = max(
+        (history[tag].get(key, 0.0) for tag in tags for key, _, _ in SERIES),
+        default=1.0,
+    )
+    ticks = _nice_ticks(top * 1.05)
+    y_max = ticks[-1]
+
+    def x_of(i: int) -> float:
+        if len(tags) == 1:
+            return MARGIN_LEFT + plot_w / 2
+        return MARGIN_LEFT + plot_w * i / (len(tags) - 1)
+
+    def y_of(value: float) -> float:
+        return MARGIN_TOP + plot_h * (1 - value / y_max)
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" '
+        'font-family="system-ui, sans-serif">'
+    )
+    parts.append(f'<rect width="{WIDTH}" height="{HEIGHT}" fill="#ffffff"/>')
+    parts.append(
+        f'<text x="{MARGIN_LEFT}" y="24" font-size="15" font-weight="600" '
+        'fill="#1a1a19">BENCH wall-clock per PR</text>'
+    )
+    parts.append(
+        f'<text x="{MARGIN_LEFT}" y="41" font-size="11" fill="#6b6a60">'
+        "seconds per scenario, fixed seed - lower is faster</text>"
+    )
+    # Recessive grid + y axis labels.
+    for tick in ticks:
+        y = y_of(tick)
+        parts.append(
+            f'<line x1="{MARGIN_LEFT}" y1="{y:.1f}" '
+            f'x2="{WIDTH - MARGIN_RIGHT}" y2="{y:.1f}" '
+            'stroke="#e7e6df" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{MARGIN_LEFT - 8}" y="{y + 3.5:.1f}" font-size="11" '
+            f'text-anchor="end" fill="#6b6a60">{tick:g}</text>'
+        )
+    # X labels.
+    for i, tag in enumerate(tags):
+        parts.append(
+            f'<text x="{x_of(i):.1f}" y="{HEIGHT - MARGIN_BOTTOM + 20}" '
+            f'font-size="11" text-anchor="middle" fill="#6b6a60">{tag}</text>'
+        )
+    # Series: 2px lines, 8px (r=4) markers ringed by the surface, direct
+    # end labels in text ink with a color chip carried by the mark itself.
+    legend_y = MARGIN_TOP + 6
+    for key, label, color in SERIES:
+        points = [
+            (x_of(i), y_of(history[tag][key]))
+            for i, tag in enumerate(tags)
+            if key in history[tag]
+        ]
+        if not points:
+            continue
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}{x:.1f},{y:.1f}"
+            for i, (x, y) in enumerate(points)
+        )
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        for x, y in points:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" fill="{color}" '
+                'stroke="#ffffff" stroke-width="2"/>'
+            )
+        last_tag = [tag for tag in tags if key in history[tag]][-1]
+        value = history[last_tag][key]
+        # Legend doubles as the direct label column, in series order.
+        parts.append(
+            f'<rect x="{WIDTH - MARGIN_RIGHT + 14}" y="{legend_y - 8}" '
+            f'width="10" height="10" rx="2" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{WIDTH - MARGIN_RIGHT + 30}" y="{legend_y + 1}" '
+            f'font-size="11" fill="#1a1a19">{label}</text>'
+        )
+        parts.append(
+            f'<text x="{WIDTH - MARGIN_RIGHT + 30}" y="{legend_y + 14}" '
+            f'font-size="10" fill="#6b6a60">{value:.2f}s at {last_tag}</text>'
+        )
+        legend_y += 34
+    parts.append("</svg>")
+    return "".join(parts) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--history-dir",
+        type=Path,
+        default=Path(__file__).resolve().parent / "history",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="output SVG path (default: <history-dir>/trajectory.svg)",
+    )
+    args = parser.parse_args()
+    history = load_history(args.history_dir)
+    if not history:
+        raise SystemExit(f"no BENCH_*.json snapshots under {args.history_dir}")
+    output = args.output or args.history_dir / "trajectory.svg"
+    output.write_text(render_svg(history))
+    print(f"wrote {output} ({len(history)} snapshots)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -242,8 +242,37 @@ def render_scenario_result(result: object) -> str:
     return repr(result)
 
 
+def _report_profile(profiler, destination: str) -> None:
+    """Dump cProfile stats to a file, or the top hot paths to stderr.
+
+    The profile goes to stderr so ``--json`` output stays parseable.
+    """
+    import pstats
+    import sys as _sys
+
+    if destination != "-":
+        profiler.dump_stats(destination)
+        print(f"profile written to {destination}", file=_sys.stderr)
+        return
+    stats = pstats.Stats(profiler, stream=_sys.stderr)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+
+
 def cmd_run_scenario(args: argparse.Namespace) -> str:
     """Run any registered scenario by name (or list them)."""
+    profile = getattr(args, "profile", None)
+    if not args.name and profile not in (None, "-"):
+        # `run-scenario --profile fig12-...` parses the scenario name as
+        # --profile's PATH operand; fail loudly instead of listing scenarios.
+        try:
+            get_scenario(profile)
+        except KeyError:
+            pass
+        else:
+            raise SystemExit(
+                f"error: {profile!r} was parsed as --profile's PATH; put the "
+                "scenario name first: repro run-scenario <name> --profile [PATH]"
+            )
     if args.list or not args.name:
         if args.json:
             return json.dumps(
@@ -276,9 +305,19 @@ def cmd_run_scenario(args: argparse.Namespace) -> str:
 
         scales = {"quick": QUICK_SCALE, "bench": BENCH_SCALE, "tiny": TINY_SCALE}
         spec = spec.with_overrides(scale=scales[args.scale])
+    profiler = None
+    if getattr(args, "profile", None) is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
     started = time.perf_counter()
-    result = run_scenario(spec, seed=args.seed)
+    if profiler is not None:
+        result = profiler.runcall(run_scenario, spec, seed=args.seed)
+    else:
+        result = run_scenario(spec, seed=args.seed)
     elapsed = time.perf_counter() - started
+    if profiler is not None:
+        _report_profile(profiler, args.profile)
     if args.json:
         payload = {
             "scenario": spec.name,
@@ -352,6 +391,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["quick", "bench", "tiny"],
         default=None,
         help="override the scenario's registered experiment scale",
+    )
+    p.add_argument(
+        "--profile",
+        metavar="PATH",
+        nargs="?",
+        const="-",
+        default=None,
+        help=(
+            "run under cProfile; dump stats to PATH, or print the top 25 "
+            "hottest functions to stderr when PATH is omitted"
+        ),
     )
     p.set_defaults(func=cmd_run_scenario)
 

@@ -31,11 +31,13 @@ Equivalence contract
 Every array expression mirrors the scalar :class:`Resource` arithmetic
 operation for operation — including the per-dimension ``max(0, a - b)``
 clamping of ``Resource.__sub__`` and the *order* of those clampings — so a
-fixed seed produces bit-identical schedules through either path.  The one
-caveat: the allocated columns are maintained incrementally, which matches
-the scalar recomputation exactly as long as container allocations are
-binary-representable (the shipped workloads use 1 core / 2 GB containers).
-Kill *decisions* always recompute through the scalar
+fixed seed produces bit-identical schedules through either path.  The
+allocated columns are maintained incrementally, which matches the scalar
+recomputation exactly as long as container allocations sit on a 1/256
+binary grid (the shipped workloads use 1 core / 2 GB containers); the first
+allocation seen off that grid flips a guard that recomputes the columns
+from the servers on every refresh, so fractional containers can never
+drift the RM view.  Kill *decisions* always recompute through the scalar
 :meth:`SimulatedServer.reclaim_reserve`, so reserve enforcement never
 depends on the incremental sums.
 """
@@ -56,6 +58,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 class FleetState:
     """Numpy columns over every server registered with a Resource Manager."""
+
+    #: Epsilon of ``Resource.fits_within``; every fit comparison — the batch
+    #: :meth:`fits_mask` and the RM wave loop's incremental single-row
+    #: recheck — must use this same constant or waves diverge from
+    #: per-request scheduling.
+    FIT_EPSILON = 1e-9
 
     def __init__(self) -> None:
         self._node_managers: List["NodeManager"] = []
@@ -91,6 +99,11 @@ class FleetState:
         self._label_masks: Dict[Optional[str], np.ndarray] = {}
         self._cached_util_time: Optional[float] = None
         self._cached_util: Optional[np.ndarray] = None
+        # Kill-path guard: once any allocation delta is not exactly
+        # representable on the 1/256 binary grid, incremental maintenance of
+        # the allocated columns can drift from the scalar recomputation, so
+        # every refresh recomputes them from the servers instead.
+        self._inexact_allocations = False
 
     # -- membership ---------------------------------------------------------
 
@@ -225,6 +238,14 @@ class FleetState:
         self, index: int, cores: float, memory_gb: float, containers: int
     ) -> None:
         """A server launched (+) or released (-) a container's allocation."""
+        if not self._inexact_allocations and not (
+            (cores * 256.0).is_integer() and (memory_gb * 256.0).is_integer()
+        ):
+            # Fractional allocations (e.g. 0.1-core containers) are not
+            # exact under repeated float adds/subtracts; flip to
+            # recompute-on-refresh so the RM view never drifts from the
+            # scalar per-server sums.
+            self._inexact_allocations = True
         if self._dirty:
             # Arrays not built yet; ensure_built() recomputes from scratch.
             return
@@ -246,6 +267,19 @@ class FleetState:
     def _invalidate_utilization_cache(self) -> None:
         self._cached_util_time = None
         self._cached_util = None
+
+    def _recompute_allocations(self) -> None:
+        """Rebuild the allocated columns from the scalar per-server sums.
+
+        The refresh-time fallback for fleets that have seen allocations off
+        the binary grid (see :meth:`_on_allocation_change`); incremental
+        maintenance resumes from the recomputed values.
+        """
+        for index, server in enumerate(self._servers):
+            allocated = server.allocated()
+            self.allocated_cores[index] = allocated.cores
+            self.allocated_memory[index] = allocated.memory_gb
+            self.running_containers[index] = len(server.running_containers)
 
     # -- batch queries ------------------------------------------------------
 
@@ -304,7 +338,7 @@ class FleetState:
         Mirrors ``Resource.fits_within`` including its epsilon.
         """
         self.ensure_built()
-        epsilon = 1e-9
+        epsilon = self.FIT_EPSILON
         return (cores <= self.available_cores + epsilon) & (
             memory_gb <= self.available_memory + epsilon
         )
@@ -322,6 +356,8 @@ class FleetState:
         self.ensure_built()
         if len(self._servers) == 0:
             return []
+        if self._inexact_allocations:
+            self._recompute_allocations()
         aware = self.primary_aware
         killed: List["Container"] = []
         if aware.any():

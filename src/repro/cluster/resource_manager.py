@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -195,18 +195,44 @@ class ResourceManager:
         class's servers may already be loaded with batch containers, and that
         load counts against the room left for a new job.
         """
-        mask = self._fleet.label_mask([label])
-        count = int(mask.sum())
-        if count == 0:
-            return 0.0
-        values = self._fleet.total_utilization(time)[mask]
-        return sum(values.tolist()) / count
+        return self.class_statistics([label], time)[0][1]
 
     def class_capacity_cores(self, label: str) -> float:
         """Total core capacity of the servers carrying ``label``."""
         mask = self._fleet.label_mask([label])
         self._fleet.ensure_built()
         return sum(self._fleet.capacity_cores[mask].tolist())
+
+    def class_statistics(
+        self, labels: Sequence[str], time: float
+    ) -> List[tuple]:
+        """Per-label ``(capacity cores, current utilization)``, batched.
+
+        The one home of the per-label reductions
+        (:meth:`current_class_utilization` is a batch of one;
+        :meth:`class_capacity_cores` supplies the capacity sum): one
+        ``total_utilization`` evaluation feeds every label, and the
+        reductions stay sequential sums over the masked values in row
+        order for scalar-path bit-parity.
+        """
+        self._fleet.ensure_built()
+        values: Optional[np.ndarray] = None
+        statistics: List[tuple] = []
+        for label in labels:
+            mask = self._fleet.label_mask([label])
+            count = int(mask.sum())
+            if count == 0:
+                statistics.append((0.0, 0.0))
+                continue
+            if values is None:
+                values = self._fleet.total_utilization(time)
+            statistics.append(
+                (
+                    self.class_capacity_cores(label),
+                    sum(values[mask].tolist()) / count,
+                )
+            )
+        return statistics
 
     # -- scheduling -------------------------------------------------------------
 
@@ -230,23 +256,74 @@ class ResourceManager:
         cores (the paper's probabilistic load balancing); Stock mode keeps
         YARN's default most-available-first choice.
         """
-        candidates = np.flatnonzero(self._candidate_mask(request))
-        if len(candidates) == 0:
-            self.metrics.counter("requests_unsatisfied").increment()
-            return None
+        return self.schedule_wave([request], time)[0]
 
-        if self.mode is SchedulerMode.STOCK:
-            chosen = self._fleet.most_available(candidates)
-        else:
-            chosen = self._fleet.draw_proportional(candidates, self._rng)
+    def schedule_wave(
+        self, requests: Sequence[ContainerRequest], time: float
+    ) -> List[Optional[Container]]:
+        """Place a whole wave of requests; one entry per request, in order.
 
-        server = self._fleet.server_at(chosen)
-        container = server.launch_container(
-            request.task_id, request.job_id, request.allocation, time
-        )
-        self._fleet.consume(chosen, request.allocation)
-        self.metrics.counter("containers_launched").increment()
-        return container
+        Every request of a wave must carry the same allocation and node
+        labels (an Application Master's runnable wave does).  The candidate
+        mask is then a loop invariant maintained incrementally: placements
+        only *consume* availability, so the single bit that can flip per
+        placement is the chosen server's, and rechecking it reproduces the
+        full per-request ``fits_mask`` recomputation exactly.  Each
+        placement still draws from the stream individually, in wave order —
+        a fixed seed schedules bit-identically to per-request ``schedule``
+        calls.
+        """
+        results: List[Optional[Container]] = []
+        if not requests:
+            return results
+        first = requests[0]
+        mask = self._candidate_mask(first)
+        fleet = self._fleet
+        cores = first.allocation.cores
+        memory_gb = first.allocation.memory_gb
+        for request in requests[1:]:
+            if (
+                request.allocation.cores != cores
+                or request.allocation.memory_gb != memory_gb
+                or request.node_labels != first.node_labels
+            ):
+                raise ValueError(
+                    "schedule_wave requires a uniform wave: every request "
+                    "must carry the same allocation and node_labels"
+                )
+        epsilon = FleetState.FIT_EPSILON
+        launched = unsatisfied = 0
+        candidates: Optional[np.ndarray] = None
+        for request in requests:
+            if candidates is None:
+                candidates = np.flatnonzero(mask)
+            if len(candidates) == 0:
+                unsatisfied += 1
+                results.append(None)
+                continue
+            if self.mode is SchedulerMode.STOCK:
+                chosen = fleet.most_available(candidates)
+            else:
+                chosen = fleet.draw_proportional(candidates, self._rng)
+            server = fleet.server_at(chosen)
+            container = server.launch_container(
+                request.task_id, request.job_id, request.allocation, time
+            )
+            fleet.consume(chosen, request.allocation)
+            launched += 1
+            results.append(container)
+            still_fits = (
+                cores <= fleet.available_cores[chosen] + epsilon
+                and memory_gb <= fleet.available_memory[chosen] + epsilon
+            )
+            if not still_fits:
+                mask[chosen] = False
+                candidates = None
+        if launched:
+            self.metrics.counter("containers_launched").increment(launched)
+        if unsatisfied:
+            self.metrics.counter("requests_unsatisfied").increment(unsatisfied)
+        return results
 
     def complete(self, container: Container, time: float) -> None:
         """Mark a container completed and release its resources on the RM view."""

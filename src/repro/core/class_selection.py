@@ -18,10 +18,12 @@ job's tasks:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.core.clustering import UtilizationClass
-from repro.core.headroom import class_headroom
+from repro.core.headroom import class_headroom_array
 from repro.core.job_types import JobType
 from repro.simulation.random import RandomSource
 from repro.traces.utilization import UtilizationPattern
@@ -85,6 +87,58 @@ class ClassCapacity:
             raise ValueError("current_utilization must be in [0, 1]")
 
 
+class ClassCapacityMatrix:
+    """Columnar view over a set of :class:`ClassCapacity` records.
+
+    One row per class, in input order: total capacity, current utilization,
+    and the class's historical average / peak utilizations, plus the pattern
+    of each class (for ranking-weight lookups).  Algorithm 1's headroom and
+    weight computations then run as array expressions over these columns
+    instead of per-class Python loops.
+    """
+
+    __slots__ = (
+        "class_ids",
+        "patterns",
+        "total_capacity",
+        "current_utilization",
+        "average_utilization",
+        "peak_utilization",
+    )
+
+    def __init__(self, capacities: Sequence[ClassCapacity]) -> None:
+        self.class_ids: List[str] = []
+        self.patterns: List[UtilizationPattern] = []
+        n = len(capacities)
+        self.total_capacity = np.empty(n)
+        self.current_utilization = np.empty(n)
+        self.average_utilization = np.empty(n)
+        self.peak_utilization = np.empty(n)
+        for i, capacity in enumerate(capacities):
+            cls = capacity.utilization_class
+            self.class_ids.append(cls.class_id)
+            self.patterns.append(cls.pattern)
+            self.total_capacity[i] = capacity.total_capacity
+            self.current_utilization[i] = capacity.current_utilization
+            self.average_utilization[i] = cls.average_utilization
+            self.peak_utilization[i] = cls.peak_utilization
+
+    def __len__(self) -> int:
+        return len(self.class_ids)
+
+    def ranking_weights(
+        self, ranking: RankingWeights, job_type: JobType
+    ) -> np.ndarray:
+        """Per-class ranking weight column for one job type."""
+        return np.array(
+            [ranking.weight(job_type, pattern) for pattern in self.patterns]
+        )
+
+
+#: Either form Algorithm 1 accepts: capacity records or their columnar view.
+Capacities = Union[Sequence[ClassCapacity], ClassCapacityMatrix]
+
+
 @dataclass
 class ClassSelection:
     """Result of running Algorithm 1 for one job.
@@ -122,58 +176,67 @@ class ClassSelector:
             raise ValueError("reserve_fraction must be in [0, 1)")
         self._reserve_fraction = reserve_fraction
 
+    def _headroom_columns(
+        self, job_type: JobType, matrix: ClassCapacityMatrix
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(absolute, weighted) headroom columns over the capacity matrix.
+
+        One vectorized :func:`class_headroom_array` evaluation replaces the
+        per-class :func:`class_headroom` loop; the products keep the scalar
+        left-to-right order (``(fraction * capacity) * weight``) so every
+        element is bit-identical.
+        """
+        fractions = class_headroom_array(
+            job_type,
+            matrix.average_utilization,
+            matrix.peak_utilization,
+            matrix.current_utilization,
+            reserve_fraction=self._reserve_fraction,
+        )
+        absolute = fractions * matrix.total_capacity
+        weighted = absolute * matrix.ranking_weights(self._ranking, job_type)
+        return absolute, weighted
+
+    @staticmethod
+    def _as_matrix(capacities: Capacities) -> ClassCapacityMatrix:
+        if isinstance(capacities, ClassCapacityMatrix):
+            return capacities
+        return ClassCapacityMatrix(capacities)
+
     def weighted_headrooms(
-        self, job_type: JobType, capacities: Sequence[ClassCapacity]
+        self, job_type: JobType, capacities: Capacities
     ) -> List[float]:
         """Per-class headroom (in capacity units) scaled by the ranking weight."""
-        rooms: List[float] = []
-        for capacity in capacities:
-            headroom_fraction = class_headroom(
-                job_type,
-                capacity.utilization_class,
-                current_utilization=capacity.current_utilization,
-                reserve_fraction=self._reserve_fraction,
-            )
-            weight = self._ranking.weight(job_type, capacity.utilization_class.pattern)
-            rooms.append(headroom_fraction * capacity.total_capacity * weight)
-        return rooms
+        _, weighted = self._headroom_columns(job_type, self._as_matrix(capacities))
+        return weighted.tolist()
 
     def absolute_headrooms(
-        self, job_type: JobType, capacities: Sequence[ClassCapacity]
+        self, job_type: JobType, capacities: Capacities
     ) -> List[float]:
         """Per-class headroom in capacity units, unweighted (used for fit)."""
-        rooms: List[float] = []
-        for capacity in capacities:
-            headroom_fraction = class_headroom(
-                job_type,
-                capacity.utilization_class,
-                current_utilization=capacity.current_utilization,
-                reserve_fraction=self._reserve_fraction,
-            )
-            rooms.append(headroom_fraction * capacity.total_capacity)
-        return rooms
+        absolute, _ = self._headroom_columns(job_type, self._as_matrix(capacities))
+        return absolute.tolist()
 
     def select(
         self,
         job_type: JobType,
         required_capacity: float,
-        capacities: Sequence[ClassCapacity],
+        capacities: Capacities,
     ) -> ClassSelection:
         """Run Algorithm 1: pick the class(es) that will host the job."""
         if required_capacity < 0:
             raise ValueError("required_capacity must be non-negative")
-        if not capacities:
+        matrix = self._as_matrix(capacities)
+        if not len(matrix):
             return ClassSelection([], job_type, required_capacity, False)
 
-        headrooms = self.absolute_headrooms(job_type, capacities)
-        weighted = self.weighted_headrooms(job_type, capacities)
+        absolute, weighted = self._headroom_columns(job_type, matrix)
 
-        fitting = [i for i, room in enumerate(headrooms) if room >= required_capacity]
-        if fitting:
-            weights = [weighted[i] for i in fitting]
-            chosen = fitting[self._rng.weighted_index(weights)]
+        fitting = np.flatnonzero(absolute >= required_capacity)
+        if len(fitting):
+            chosen = int(fitting[self._rng.weighted_index(weighted[fitting])])
             return ClassSelection(
-                [capacities[chosen].utilization_class.class_id],
+                [matrix.class_ids[chosen]],
                 job_type,
                 required_capacity,
                 True,
@@ -181,21 +244,24 @@ class ClassSelector:
 
         # No single class fits: try a combination, picking classes one by one
         # with probability proportional to their weighted headroom until the
-        # accumulated headroom covers the demand.
+        # accumulated headroom covers the demand.  The loop consumes one
+        # ``weighted_index`` draw per pick, draw for draw as before.
+        headrooms = absolute.tolist()
+        weighted_list = weighted.tolist()
         total_headroom = sum(headrooms)
         if total_headroom >= required_capacity and required_capacity > 0:
-            remaining = list(range(len(capacities)))
+            remaining = list(range(len(matrix)))
             selected: List[int] = []
             accumulated = 0.0
             while remaining and accumulated < required_capacity:
-                weights = [max(weighted[i], 1e-12) for i in remaining]
+                weights = [max(weighted_list[i], 1e-12) for i in remaining]
                 pick = remaining[self._rng.weighted_index(weights)]
                 selected.append(pick)
                 accumulated += headrooms[pick]
                 remaining.remove(pick)
             if accumulated >= required_capacity:
                 return ClassSelection(
-                    [capacities[i].utilization_class.class_id for i in selected],
+                    [matrix.class_ids[i] for i in selected],
                     job_type,
                     required_capacity,
                     False,

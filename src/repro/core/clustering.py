@@ -131,30 +131,30 @@ class ClusteringService:
         k = min(self._clusters_per_pattern[pattern], len(members))
         result = kmeans(features, k, rng=self._rng.fork(f"kmeans-{pattern.value}"))
 
+        # Columnar member statistics: cluster membership becomes a mask over
+        # the label vector and the class averages become masked reductions
+        # (same member order, so the means are bit-identical to the list
+        # comprehensions they replace).
+        mean_utils = np.array([m.profile.mean_utilization for m in members])
+        peak_utils = np.array([m.profile.peak_utilization for m in members])
         for cluster_index in range(result.num_clusters):
-            member_indices = [
-                i for i, label in enumerate(result.labels) if label == cluster_index
-            ]
-            if not member_indices:
+            member_indices = np.flatnonzero(result.labels == cluster_index)
+            if not len(member_indices):
                 continue
-            cluster_members = [members[i] for i in member_indices]
             class_id = f"{pattern.value}-{cluster_index}"
-            avg_util = float(
-                np.mean([m.profile.mean_utilization for m in cluster_members])
-            )
-            peak_util = float(
-                np.mean([m.profile.peak_utilization for m in cluster_members])
-            )
+            avg_util = float(np.mean(mean_utils[member_indices]))
+            peak_util = float(np.mean(peak_utils[member_indices]))
+            tenant_ids = [members[i].tenant.tenant_id for i in member_indices]
             cls = UtilizationClass(
                 class_id=class_id,
                 pattern=pattern,
                 average_utilization=avg_util,
                 peak_utilization=peak_util,
-                tenant_ids=[m.tenant.tenant_id for m in cluster_members],
+                tenant_ids=tenant_ids,
             )
             self._classes[class_id] = cls
-            for m in cluster_members:
-                self._tenant_to_class[m.tenant.tenant_id] = class_id
+            for tenant_id in tenant_ids:
+                self._tenant_to_class[tenant_id] = class_id
 
     # -- queries -----------------------------------------------------------
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.core.clustering import UtilizationClass
 from repro.core.job_types import JobType
 
@@ -63,3 +65,31 @@ def class_headroom(
 
     headroom = 1.0 - busy - reserve_fraction
     return max(0.0, min(1.0, headroom))
+
+
+def class_headroom_array(
+    job_type: JobType,
+    average_utilization: np.ndarray,
+    peak_utilization: np.ndarray,
+    current_utilization: np.ndarray,
+    reserve_fraction: float = 0.0,
+) -> np.ndarray:
+    """Vectorized :func:`class_headroom` over per-class columns.
+
+    Every elementwise operation mirrors the scalar function's arithmetic in
+    the same order — ``max`` becomes ``np.maximum`` and the final clamp keeps
+    the ``max(0, min(1, .))`` nesting — so each element is bit-identical to
+    the scalar call it replaces.  Inputs are assumed validated (the
+    :class:`~repro.core.class_selection.ClassCapacity` constructor and the
+    selector already range-check them).
+    """
+    if job_type is JobType.SHORT:
+        busy = current_utilization
+    elif job_type is JobType.MEDIUM:
+        busy = np.maximum(average_utilization, current_utilization)
+    elif job_type is JobType.LONG:
+        busy = np.maximum(peak_utilization, current_utilization)
+    else:  # pragma: no cover - enum is exhaustive
+        raise ValueError(f"unknown job type {job_type}")
+    headroom = 1.0 - busy - reserve_fraction
+    return np.maximum(0.0, np.minimum(1.0, headroom))

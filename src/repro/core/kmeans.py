@@ -41,21 +41,26 @@ class KMeansResult:
 
 
 def _seed_centroids(points: np.ndarray, k: int, rng: RandomSource) -> np.ndarray:
-    """k-means++ style seeding: spread initial centroids apart."""
+    """k-means++ style seeding: spread initial centroids apart.
+
+    The squared distance to the nearest centroid is maintained as a running
+    elementwise minimum — ``min`` is exact, so the column is bit-identical
+    to recomputing the distances to every centroid each round (which the
+    original loop did at O(k^2 n) total cost).
+    """
     n = len(points)
     first = rng.integer(0, n)
     centroids = [points[first]]
+    distances = np.sum((points - points[first]) ** 2, axis=1)
     for _ in range(1, k):
-        distances = np.min(
-            [np.sum((points - c) ** 2, axis=1) for c in centroids], axis=0
-        )
         total = float(distances.sum())
         if total <= 0:
             # All remaining points coincide with an existing centroid.
-            centroids.append(points[rng.integer(0, n)])
-            continue
-        idx = rng.weighted_index(distances)
+            idx = rng.integer(0, n)
+        else:
+            idx = rng.weighted_index(distances)
         centroids.append(points[idx])
+        distances = np.minimum(distances, np.sum((points - points[idx]) ** 2, axis=1))
     return np.vstack(centroids)
 
 

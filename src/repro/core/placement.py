@@ -24,8 +24,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.grid import GridCell, GridClustering, TenantPlacementStats
+import numpy as np
+
+from repro.core.grid import GridCell, GridClustering
 from repro.simulation.random import RandomSource
+
+#: Pool size at which the index-pool scans switch from plain Python lists to
+#: numpy masks.  Both branches build identical candidate pools in identical
+#: order and consume the random stream purely by pool length, so the switch
+#: is invisible to a fixed seed; below this size numpy's per-op overhead
+#: loses to list comprehensions.
+_VECTOR_MIN = 16
 
 
 @dataclass(frozen=True)
@@ -99,27 +108,107 @@ class ReplicaPlacer:
         self._index_grid()
 
     def _index_grid(self) -> None:
-        """Precompute the per-grid lookups the per-block hot path uses."""
-        self._available_gb: Dict[str, float] = {
-            tenant_id: stats.available_space_gb
-            for tenant_id, stats in self._grid.stats_by_tenant.items()
+        """Precompute the columnar lookups the per-block hot path uses.
+
+        Tenants become rows of flat numpy columns (available space, space
+        used, environment code, grid cell), servers become rows of a global
+        index (tenant-major, ``server_ids`` order) with integer rack codes,
+        and each non-empty cell keeps its candidate tenants as an index
+        array in the same order the scalar per-stats scan used.
+        """
+        grid = self._grid
+        self._tenant_ids: List[str] = list(grid.stats_by_tenant)
+        self._tenant_index: Dict[str, int] = {
+            tenant_id: i for i, tenant_id in enumerate(self._tenant_ids)
         }
-        self._stats_of_server: Dict[str, TenantPlacementStats] = {
-            server_id: stats
-            for stats in self._grid.stats_by_tenant.values()
-            for server_id in stats.server_ids
+        stats_list = [grid.stats_by_tenant[tid] for tid in self._tenant_ids]
+        n = len(stats_list)
+        self._avail = np.array([s.available_space_gb for s in stats_list])
+        self._used = np.array(
+            [self._space_used_gb.get(tid, 0.0) for tid in self._tenant_ids]
+        )
+        env_code: Dict[str, int] = {}
+        self._env_codes = np.array(
+            [env_code.setdefault(s.environment, len(env_code)) for s in stats_list],
+            dtype=np.int64,
+        )
+        self._cell_rows = np.full(n, -1, dtype=np.int64)
+        self._cell_cols = np.full(n, -1, dtype=np.int64)
+        for i, tenant_id in enumerate(self._tenant_ids):
+            cell = grid.cell_of_tenant.get(tenant_id)
+            if cell is not None:
+                self._cell_rows[i], self._cell_cols[i] = cell
+
+        # Global server universe (tenant-major, per-tenant server_ids order
+        # — the candidate order of the scalar per-server scan).  Rack code
+        # -1 marks "no rack", which passes every rack-inequality filter.
+        server_ids: List[str] = []
+        server_tenant: List[int] = []
+        rack_codes: List[int] = []
+        rack_code_of: Dict[str, int] = {}
+        self._servers_of_tenant: List[np.ndarray] = []
+        for i, stats in enumerate(stats_list):
+            start = len(server_ids)
+            for server_id in stats.server_ids:
+                server_ids.append(server_id)
+                server_tenant.append(i)
+                rack = stats.racks_by_server.get(server_id)
+                rack_codes.append(
+                    -1
+                    if rack is None
+                    else rack_code_of.setdefault(rack, len(rack_code_of))
+                )
+            self._servers_of_tenant.append(
+                np.arange(start, len(server_ids), dtype=np.int64)
+            )
+        self._server_ids = server_ids
+        self._server_index: Dict[str, int] = {
+            server_id: i for i, server_id in enumerate(server_ids)
         }
-        self._non_empty_cells: List[GridCell] = self._grid.non_empty_cells()
-        #: Per-cell tenant stats with the static "has servers" filter baked
-        #: in, so the per-block candidate scan skips the tenant-id lookups.
-        self._cell_stats: Dict[Tuple[int, int], List[TenantPlacementStats]] = {
-            (cell.row, cell.column): [
-                stats
-                for tenant_id in cell.tenant_ids
-                if (stats := self._grid.stats_by_tenant[tenant_id]).server_ids
-            ]
+        self._server_tenant = np.array(server_tenant, dtype=np.int64)
+        self._server_rack = np.array(rack_codes, dtype=np.int64)
+
+        self._non_empty_cells: List[GridCell] = grid.non_empty_cells()
+        self._cell_keys: List[Tuple[int, int]] = [
+            (cell.row, cell.column) for cell in self._non_empty_cells
+        ]
+        #: Per-cell candidate tenant indices with the static "has servers"
+        #: filter baked in, in the cell's ``tenant_ids`` order.
+        self._cell_tenants: Dict[Tuple[int, int], np.ndarray] = {
+            (cell.row, cell.column): np.array(
+                [
+                    self._tenant_index[tenant_id]
+                    for tenant_id in cell.tenant_ids
+                    if grid.stats_by_tenant[tenant_id].server_ids
+                ],
+                dtype=np.int64,
+            )
             for cell in self._non_empty_cells
         }
+        # Plain-list mirrors of the columns for the small-pool fast path:
+        # below ``_VECTOR_MIN`` candidates, Python list scans beat numpy's
+        # per-op overhead (the shipped grids have a handful of tenants per
+        # cell); wide pools take the mask path.  ``_used_list`` is kept in
+        # sync by ``_consume_space`` / ``release_space``.
+        self._avail_list: List[float] = self._avail.tolist()
+        self._used_list: List[float] = self._used.tolist()
+        self._env_list: List[int] = self._env_codes.tolist()
+        self._rack_list: List[int] = self._server_rack.tolist()
+        self._cell_tenant_lists: Dict[Tuple[int, int], List[int]] = {
+            key: tenants.tolist() for key, tenants in self._cell_tenants.items()
+        }
+        self._server_lists: List[List[int]] = [
+            servers.tolist() for servers in self._servers_of_tenant
+        ]
+
+    @property
+    def num_servers(self) -> int:
+        """Size of the placer's internal server universe."""
+        return len(self._server_ids)
+
+    def server_index_of(self, server_id: str) -> Optional[int]:
+        """Internal row of a server id (None when the grid doesn't know it)."""
+        return self._server_index.get(server_id)
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -149,51 +238,20 @@ class ReplicaPlacer:
         if gigabytes < 0:
             raise ValueError("released space must be non-negative")
         current = self._space_used_gb.get(tenant_id, 0.0)
-        self._space_used_gb[tenant_id] = max(0.0, current - gigabytes)
+        value = max(0.0, current - gigabytes)
+        self._space_used_gb[tenant_id] = value
+        index = self._tenant_index.get(tenant_id)
+        if index is not None:
+            self._used[index] = value
+            self._used_list[index] = value
 
-    # -- candidate filtering -------------------------------------------------
-
-    def _tenant_has_space(self, tenant_id: str) -> bool:
-        # Same predicate as ``remaining_space_gb(...) >= block_size`` (the
-        # max(0, .) clamp cannot change a >=-positive comparison), without
-        # re-resolving the stats object per candidate tenant.
-        return (
-            self._available_gb.get(tenant_id, 0.0)
-            - self._space_used_gb.get(tenant_id, 0.0)
-            >= self._block_size_gb
-        )
-
-    def _candidate_tenants(
-        self,
-        cell: GridCell,
-        used_environments: Set[str],
-        enforce_environment: bool,
-    ) -> List[TenantPlacementStats]:
-        candidates: List[TenantPlacementStats] = []
-        for stats in self._cell_stats.get((cell.row, cell.column), ()):
-            if not self._tenant_has_space(stats.tenant_id):
-                continue
-            if enforce_environment and stats.environment in used_environments:
-                continue
-            candidates.append(stats)
-        return candidates
-
-    def _candidate_servers(
-        self,
-        stats: TenantPlacementStats,
-        used_servers: Set[str],
-        used_racks: Set[str],
-        enforce_rack: bool,
-    ) -> List[str]:
-        servers: List[str] = []
-        for server_id in stats.server_ids:
-            if server_id in used_servers:
-                continue
-            rack = stats.racks_by_server.get(server_id)
-            if enforce_rack and rack is not None and rack in used_racks:
-                continue
-            servers.append(server_id)
-        return servers
+    def _consume_space(self, tenant_internal: int) -> None:
+        """Account one replica's space on a tenant (array and dict in sync)."""
+        tenant_id = self._tenant_ids[tenant_internal]
+        value = self._space_used_gb.get(tenant_id, 0.0) + self._block_size_gb
+        self._space_used_gb[tenant_id] = value
+        self._used[tenant_internal] = value
+        self._used_list[tenant_internal] = value
 
     # -- placement -----------------------------------------------------------
 
@@ -209,64 +267,118 @@ class ReplicaPlacer:
         now (e.g. the NameNode marked them busy); they are skipped entirely,
         including for the locality replica.
         """
+        used_mask = np.zeros(len(self._server_ids), dtype=bool)
+        if excluded_servers:
+            for server_id in excluded_servers:
+                index = self._server_index.get(server_id)
+                if index is not None:
+                    used_mask[index] = True
+        creating_index = (
+            self._server_index.get(creating_server_id)
+            if creating_server_id is not None
+            else None
+        )
+        picks, relaxed, complete = self.place_block_indices(
+            replication, creating_index, used_mask
+        )
+        decision = PlacementDecision(relaxed_constraints=relaxed, complete=complete)
+        for server_internal, tenant_internal in picks:
+            decision.server_ids.append(self._server_ids[server_internal])
+            decision.tenant_ids.append(self._tenant_ids[tenant_internal])
+            row = int(self._cell_rows[tenant_internal])
+            column = int(self._cell_cols[tenant_internal])
+            decision.cells.append((row, column) if row >= 0 else (-1, -1))
+        return decision
+
+    def place_block_indices(
+        self,
+        replication: int,
+        creating_index: Optional[int],
+        used_mask: np.ndarray,
+    ) -> Tuple[List[Tuple[int, int]], List[str], bool]:
+        """Index-pool twin of :meth:`place_block`, over internal server rows.
+
+        ``used_mask`` marks servers that may not receive a replica; it is
+        mutated in place as replicas land (callers pass a per-block copy).
+        Returns ``(picks, relaxed_constraints, complete)`` where each pick
+        is an ``(internal server row, internal tenant row)`` pair.
+
+        Draw-exactness: the cell shuffle, the per-cell candidate-tenant
+        shuffle, and the one bounded-integer server pick consume the random
+        stream exactly as the scalar object-list implementation did —
+        shuffles depend only on sequence length, and every candidate pool is
+        built in the same order the scalar scans walked — so a fixed seed
+        places identically (``tests/test_core_placement.py`` keeps a scalar
+        oracle).
+        """
         if replication <= 0:
             raise ValueError(f"replication must be positive (got {replication})")
 
-        decision = PlacementDecision()
-        used_rows: Set[int] = set()
-        used_columns: Set[int] = set()
-        used_environments: Set[str] = set()
-        used_racks: Set[str] = set()
-        used_servers: Set[str] = set(excluded_servers or ())
+        picks: List[Tuple[int, int]] = []
+        relaxed: List[str] = []
+        used_rows: List[int] = []
+        used_columns: List[int] = []
+        used_environments: List[int] = []
+        used_racks: List[int] = []
 
-        creating_tenant = self._tenant_of_server(creating_server_id)
-        if (
-            creating_server_id is not None
-            and creating_tenant is not None
-            and creating_server_id not in used_servers
-            and self._tenant_has_space(creating_tenant.tenant_id)
-        ):
-            # Replica 1: the creating server itself, for locality.
-            self._record_replica(
-                decision,
-                creating_server_id,
-                creating_tenant,
-                used_rows,
-                used_columns,
-                used_environments,
-                used_racks,
-                used_servers,
-            )
+        def record(server_internal: int, tenant_internal: int) -> None:
+            row = int(self._cell_rows[tenant_internal])
+            if row >= 0:
+                column = int(self._cell_cols[tenant_internal])
+                if row not in used_rows:
+                    used_rows.append(row)
+                if column not in used_columns:
+                    used_columns.append(column)
+            environment = int(self._env_codes[tenant_internal])
+            if environment not in used_environments:
+                used_environments.append(environment)
+            rack = int(self._server_rack[server_internal])
+            if rack >= 0 and rack not in used_racks:
+                used_racks.append(rack)
+            used_mask[server_internal] = True
+            self._consume_space(tenant_internal)
+            picks.append((server_internal, tenant_internal))
 
-        while decision.replication < replication:
+        if creating_index is not None and not used_mask[creating_index]:
+            tenant_internal = int(self._server_tenant[creating_index])
+            if (
+                self._avail[tenant_internal] - self._used[tenant_internal]
+                >= self._block_size_gb
+            ):
+                # Replica 1: the creating server itself, for locality.
+                record(int(creating_index), tenant_internal)
+
+        while len(picks) < replication:
             placed = self._place_one(
-                decision,
+                picks,
+                relaxed,
                 used_rows,
                 used_columns,
                 used_environments,
                 used_racks,
-                used_servers,
+                used_mask,
+                record,
             )
             if not placed:
-                decision.complete = False
-                return decision
+                return picks, relaxed, False
             # Line 15-17 of Algorithm 2: after every three replicas, forget
             # the rows and columns selected so far.
-            if decision.replication % 3 == 0:
+            if len(picks) % 3 == 0:
                 used_rows.clear()
                 used_columns.clear()
 
-        decision.complete = True
-        return decision
+        return picks, relaxed, True
 
     def _place_one(
         self,
-        decision: PlacementDecision,
-        used_rows: Set[int],
-        used_columns: Set[int],
-        used_environments: Set[str],
-        used_racks: Set[str],
-        used_servers: Set[str],
+        picks: List[Tuple[int, int]],
+        relaxed: List[str],
+        used_rows: List[int],
+        used_columns: List[int],
+        used_environments: List[int],
+        used_racks: List[int],
+        used_mask: np.ndarray,
+        record,
     ) -> bool:
         """Place the next replica; returns False when no placement exists."""
         relaxation_plan: List[Tuple[bool, bool, bool, Optional[str]]] = [
@@ -299,7 +411,7 @@ class ReplicaPlacer:
             if self._constraints.distinct_rows_and_columns:
                 relaxation_plan.append((False, False, False, "rows_and_columns"))
 
-        for enforce_grid, enforce_env, enforce_rack, relaxed in relaxation_plan:
+        for enforce_grid, enforce_env, enforce_rack, relaxed_name in relaxation_plan:
             chosen = self._try_place(
                 enforce_grid,
                 enforce_env,
@@ -308,22 +420,12 @@ class ReplicaPlacer:
                 used_columns,
                 used_environments,
                 used_racks,
-                used_servers,
+                used_mask,
             )
             if chosen is not None:
-                server_id, stats = chosen
-                if relaxed is not None and relaxed not in decision.relaxed_constraints:
-                    decision.relaxed_constraints.append(relaxed)
-                self._record_replica(
-                    decision,
-                    server_id,
-                    stats,
-                    used_rows,
-                    used_columns,
-                    used_environments,
-                    used_racks,
-                    used_servers,
-                )
+                if relaxed_name is not None and relaxed_name not in relaxed:
+                    relaxed.append(relaxed_name)
+                record(*chosen)
                 return True
         return False
 
@@ -332,66 +434,80 @@ class ReplicaPlacer:
         enforce_grid: bool,
         enforce_env: bool,
         enforce_rack: bool,
-        used_rows: Set[int],
-        used_columns: Set[int],
-        used_environments: Set[str],
-        used_racks: Set[str],
-        used_servers: Set[str],
-    ) -> Optional[Tuple[str, TenantPlacementStats]]:
-        """One attempt at placing a replica under the given constraint set."""
-        cells = self._non_empty_cells
+        used_rows: List[int],
+        used_columns: List[int],
+        used_environments: List[int],
+        used_racks: List[int],
+        used_mask: np.ndarray,
+    ) -> Optional[Tuple[int, int]]:
+        """One attempt at placing a replica under the given constraint set.
+
+        Candidate tenants and servers are numpy mask intersections over the
+        columnar grid index; only the two shuffles and the final bounded
+        server pick touch the random stream.
+        """
+        keys = self._cell_keys
         if enforce_grid:
-            cells = [
-                cell
-                for cell in cells
-                if cell.row not in used_rows and cell.column not in used_columns
+            keys = [
+                key
+                for key in keys
+                if key[0] not in used_rows and key[1] not in used_columns
             ]
         # Shuffle cells so the random choice below explores all of them
         # (``shuffle`` copies, so the cached cell list stays untouched).
-        cells = self._rng.shuffle(cells)
-        for cell in cells:
-            tenants = self._candidate_tenants(cell, used_environments, enforce_env)
-            if not tenants:
+        keys = self._rng.shuffle(keys)
+        block_size = self._block_size_gb
+        env_on = enforce_env and bool(used_environments)
+        rack_on = enforce_rack and bool(used_racks)
+        for key in keys:
+            tenant_pool = self._cell_tenant_lists[key]
+            # Both branches build the same candidate membership in the same
+            # order; the shuffles below consume the stream purely by length,
+            # so the paths are interchangeable draw for draw.
+            if len(tenant_pool) < _VECTOR_MIN:
+                avail, used, envs = self._avail_list, self._used_list, self._env_list
+                candidates = [
+                    t
+                    for t in tenant_pool
+                    if avail[t] - used[t] >= block_size
+                    and not (env_on and envs[t] in used_environments)
+                ]
+            else:
+                tenants = self._cell_tenants[key]
+                mask = self._avail[tenants] - self._used[tenants] >= block_size
+                if env_on:
+                    environments = self._env_codes[tenants]
+                    for code in used_environments:
+                        mask &= environments != code
+                candidates = tenants[mask]
+            if not len(candidates):
                 continue
-            tenants = self._rng.shuffle(tenants)
-            for stats in tenants:
-                servers = self._candidate_servers(
-                    stats, used_servers, used_racks, enforce_rack
-                )
-                if servers:
-                    return self._rng.choice(servers), stats
+            if isinstance(candidates, list):
+                shuffled = self._rng.shuffle(candidates)
+            else:
+                shuffled = self._rng.shuffle_array(candidates)
+            for tenant_internal in shuffled:
+                server_pool = self._server_lists[tenant_internal]
+                if len(server_pool) < _VECTOR_MIN:
+                    racks = self._rack_list
+                    pool = [
+                        s
+                        for s in server_pool
+                        if not used_mask[s]
+                        and not (rack_on and racks[s] in used_racks)
+                    ]
+                else:
+                    servers = self._servers_of_tenant[tenant_internal]
+                    ok = ~used_mask[servers]
+                    if rack_on:
+                        server_racks = self._server_rack[servers]
+                        # Rack code -1 ("no rack") never equals a used code,
+                        # so the scalar ``rack is not None`` guard is
+                        # implicit.
+                        for code in used_racks:
+                            ok &= server_racks != code
+                    pool = servers[ok]
+                if len(pool):
+                    pick = int(pool[self._rng.integer(0, len(pool))])
+                    return pick, int(tenant_internal)
         return None
-
-    def _record_replica(
-        self,
-        decision: PlacementDecision,
-        server_id: str,
-        stats: TenantPlacementStats,
-        used_rows: Set[int],
-        used_columns: Set[int],
-        used_environments: Set[str],
-        used_racks: Set[str],
-        used_servers: Set[str],
-    ) -> None:
-        cell = self._grid.cell_of_tenant.get(stats.tenant_id)
-        decision.server_ids.append(server_id)
-        decision.tenant_ids.append(stats.tenant_id)
-        decision.cells.append(cell if cell is not None else (-1, -1))
-        if cell is not None:
-            used_rows.add(cell[0])
-            used_columns.add(cell[1])
-        used_environments.add(stats.environment)
-        rack = stats.racks_by_server.get(server_id)
-        if rack is not None:
-            used_racks.add(rack)
-        used_servers.add(server_id)
-        self._space_used_gb[stats.tenant_id] = (
-            self._space_used_gb.get(stats.tenant_id, 0.0) + self._block_size_gb
-        )
-
-    def _tenant_of_server(
-        self, server_id: Optional[str]
-    ) -> Optional[TenantPlacementStats]:
-        if server_id is None:
-            return None
-        return self._stats_of_server.get(server_id)

@@ -22,6 +22,7 @@ from repro.cluster.server import Container, ContainerState
 from repro.core.class_selection import ClassSelection
 from repro.core.job_types import JobHistory, JobType
 from repro.jobs.dag import JobDag, Task, TaskState
+from repro.jobs.task_table import CODE_OF_STATE, TaskTable, TaskView
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.metrics import MetricRegistry
 
@@ -59,7 +60,15 @@ class JobResult:
 
 @dataclass
 class JobExecution:
-    """Mutable state of a job while it runs."""
+    """Mutable state of a job while it runs.
+
+    All per-task state lives in a columnar
+    :class:`~repro.jobs.task_table.TaskTable`; :attr:`tasks` holds
+    write-through :class:`~repro.jobs.task_table.TaskView` objects over its
+    rows (the scalar ``Task`` API), grouped per vertex as before.  Callers
+    that pass pre-built scalar ``Task`` objects get their states and attempt
+    counts adopted into the table, and views replace the scalar objects.
+    """
 
     dag: JobDag
     submit_time: float
@@ -71,31 +80,38 @@ class JobExecution:
     tasks_killed: int = 0
     tasks_completed: int = 0
     finished: bool = False
+    table: TaskTable = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        if not self.tasks:
-            self.tasks = self.dag.build_tasks()
+        self.table = TaskTable(self.dag)
+        if self.tasks:
+            for vertex_name, scalar_tasks in self.tasks.items():
+                start = int(
+                    self.table.layout.starts[
+                        self.table.layout.index_of_vertex[vertex_name]
+                    ]
+                )
+                for offset, task in enumerate(scalar_tasks):
+                    row = start + offset
+                    self.table.set_state(row, CODE_OF_STATE[task.state])
+                    self.table.attempts[row] = task.attempts
+        self.tasks = self.table.views_by_vertex()
 
     def vertex_completed(self, vertex_name: str) -> bool:
-        """Whether every task of a vertex has completed."""
-        return all(t.state is TaskState.COMPLETED for t in self.tasks[vertex_name])
+        """Whether every task of a vertex has completed (O(1) counter check)."""
+        return self.table.vertex_completed(vertex_name)
 
-    def runnable_tasks(self) -> List[Task]:
-        """Pending tasks whose upstream vertices have all completed."""
-        runnable: List[Task] = []
-        for vertex in self.dag.vertices.values():
-            if not all(self.vertex_completed(up) for up in vertex.upstream):
-                continue
-            for task in self.tasks[vertex.name]:
-                if task.state in (TaskState.PENDING, TaskState.KILLED):
-                    runnable.append(task)
-        return runnable
+    def runnable_tasks(self) -> List[TaskView]:
+        """Pending tasks whose upstream vertices have all completed.
+
+        One frontier mask over the task table, in the same vertex-major row
+        order the scalar full-DAG rescan produced.
+        """
+        return self.table.runnable_views()
 
     def all_completed(self) -> bool:
-        """Whether every task of every vertex has completed."""
-        return all(
-            self.vertex_completed(vertex_name) for vertex_name in self.dag.vertices
-        )
+        """Whether every task of every vertex has completed (O(1))."""
+        return self.table.all_completed()
 
 
 class ApplicationMaster:
@@ -153,29 +169,39 @@ class ApplicationMaster:
         return list(execution.selection.class_ids)
 
     def _schedule_runnable(self, execution: JobExecution) -> None:
-        """Request a container for every currently runnable task."""
-        if execution.finished:
+        """Request a container for every currently runnable task.
+
+        The whole runnable wave goes to the RM as one batch; the RM draws
+        one placement per request in wave order, so the random stream is
+        consumed exactly as it was by the per-task ``schedule`` calls.
+        Tasks the wave could not place stay pending and retry on the next
+        pump.
+        """
+        if execution.finished or not execution.table.needs_containers:
+            return
+        wave = execution.runnable_tasks()
+        if not wave:
             return
         allocation = self._container_allocation(execution.dag)
         labels = self._node_labels(execution)
-        for task in execution.runnable_tasks():
-            request = ContainerRequest(
+        requests = [
+            ContainerRequest(
                 job_id=execution.dag.name,
                 task_id=task.task_id,
                 allocation=allocation,
                 node_labels=labels,
             )
-            container = self._rm.schedule(request, self._engine.now)
-            if container is None:
-                # Could not place the task now; retry on the next pump.
-                continue
-            self._launch(execution, task, container)
+            for task in wave
+        ]
+        containers = self._rm.schedule_wave(requests, self._engine.now)
+        for task, container in zip(wave, containers):
+            if container is not None:
+                self._launch(execution, task, container)
 
     def _launch(
-        self, execution: JobExecution, task: Task, container: Container
+        self, execution: JobExecution, task: TaskView, container: Container
     ) -> None:
-        task.state = TaskState.RUNNING
-        task.attempts += 1
+        execution.table.mark_running(task.row, container.container_id)
         execution.running[container.container_id] = task
         if execution.start_time is None:
             execution.start_time = self._engine.now

@@ -173,15 +173,19 @@ class HarvestingCluster:
             self.resource_manager.set_label(server.server_id, label)
 
     def class_capacities(self, time: float) -> List[ClassCapacity]:
-        """Per-class capacity view built from current heartbeat information."""
+        """Per-class capacity view built from current heartbeat information.
+
+        One batched fleet pass computes every class's capacity and current
+        utilization (instead of two full-fleet reductions per class).
+        """
+        classes = self.clustering.classes()
+        statistics = self.resource_manager.class_statistics(
+            [cls.class_id for cls in classes], time
+        )
         capacities: List[ClassCapacity] = []
-        for cls in self.clustering.classes():
-            total_cores = self.resource_manager.class_capacity_cores(cls.class_id)
+        for cls, (total_cores, current) in zip(classes, statistics):
             if total_cores <= 0:
                 continue
-            current = self.resource_manager.current_class_utilization(
-                cls.class_id, time
-            )
             capacities.append(
                 ClassCapacity(
                     utilization_class=cls,
@@ -220,9 +224,19 @@ class HarvestingCluster:
 
     # -- simulation loop --------------------------------------------------------
 
+    def _prune_finished(self) -> None:
+        """Drop finished executions from the periodic loops.
+
+        ``pump`` and ``handle_kills`` are no-ops on finished executions, so
+        pruning is behavior-identical — it just stops the loops from
+        growing with every completed job over a long run.
+        """
+        self._executions = [e for e in self._executions if not e.finished]
+
     def _heartbeat_step(self, engine: SimulationEngine) -> None:
         killed = self.resource_manager.process_heartbeats(engine.now)
         if killed:
+            self._prune_finished()
             for execution in self._executions:
                 self.app_master.handle_kills(execution, killed)
         self.metrics.time_series("primary_utilization").add(
@@ -243,6 +257,7 @@ class HarvestingCluster:
             self._series_primary.append(fleet.primary_utilization(engine.now).copy())
 
     def _pump_step(self, engine: SimulationEngine) -> None:
+        self._prune_finished()
         for execution in self._executions:
             self.app_master.pump(execution)
 

@@ -1,0 +1,324 @@
+"""Columnar substrate for the jobs layer: one numpy row per task.
+
+The fourth columnar substrate (after :class:`~repro.traces.matrix.TraceMatrix`,
+:class:`~repro.cluster.fleet_state.FleetState` and
+:class:`~repro.storage.block_table.BlockTable`): every task of a running job
+is one row of a :class:`TaskTable`, with flat columns for the lifecycle state,
+attempt count, duration and container slot, plus per-vertex pending/completed
+counters and an upstream-dependency CSR.
+
+What the scalar :class:`~repro.jobs.app_master.JobExecution` recomputed per
+pump/completion/kill by rescanning every vertex's task list becomes
+O(changed-vertices) bookkeeping:
+
+* ``runnable_rows`` is one boolean frontier mask — a task needs a container
+  iff its state column says pending-or-killed *and* its vertex's unmet
+  upstream counter is zero;
+* ``all_completed`` is one integer comparison against a running total;
+* vertex readiness propagates through a downstream CSR the moment the last
+  task of a vertex completes, instead of being rediscovered by the next
+  full-DAG scan.
+
+Equivalence contract
+--------------------
+
+Rows are laid out vertex-major in DAG insertion order with tasks in index
+order — exactly the nesting of the scalar ``runnable_tasks`` loop — so
+``np.flatnonzero`` over the frontier mask yields tasks in the identical
+order, and everything downstream (per-request container draws against
+:class:`~repro.cluster.fleet_state.FleetState`) consumes the random stream
+draw for draw (see ``tests/test_jobs_task_table.py`` for the scalar oracle).
+
+:class:`TaskView` objects are thin write-through views over the rows,
+mirroring ``BlockView`` / ``ServerRecord``: the ``state`` / ``attempts``
+attributes read and write the arrays, and every state transition keeps the
+counters and the readiness frontier in sync.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+import numpy as np
+
+from repro.jobs.dag import TaskState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.jobs.dag import JobDag
+
+
+#: Integer state codes, index-aligned with :data:`STATE_ORDER`.
+PENDING, RUNNING, COMPLETED, KILLED = range(4)
+
+#: Row value -> TaskState, and back.
+STATE_ORDER = (
+    TaskState.PENDING,
+    TaskState.RUNNING,
+    TaskState.COMPLETED,
+    TaskState.KILLED,
+)
+CODE_OF_STATE = {state: code for code, state in enumerate(STATE_ORDER)}
+
+
+class TaskLayout:
+    """The static, per-DAG part of a :class:`TaskTable`.
+
+    Vertex indexing, task row ranges, durations, and the upstream /
+    downstream CSRs depend only on the DAG structure, so recurring jobs
+    (the TPC-DS queries are submitted hundreds of times per run) share one
+    layout across all their executions; :meth:`of_dag` caches it on the DAG.
+    """
+
+    __slots__ = (
+        "vertex_names",
+        "index_of_vertex",
+        "task_counts",
+        "starts",
+        "num_tasks",
+        "vertex_of",
+        "durations",
+        "initial_unmet",
+        "down_indptr",
+        "down_indices",
+    )
+
+    def __init__(self, dag: "JobDag") -> None:
+        vertices = list(dag.vertices.values())
+        self.vertex_names: List[str] = [v.name for v in vertices]
+        self.index_of_vertex: Dict[str, int] = {
+            name: i for i, name in enumerate(self.vertex_names)
+        }
+        self.task_counts = np.array([v.num_tasks for v in vertices], dtype=np.int64)
+        self.starts = np.zeros(len(vertices) + 1, dtype=np.int64)
+        np.cumsum(self.task_counts, out=self.starts[1:])
+        self.num_tasks = int(self.starts[-1])
+        self.vertex_of = np.repeat(
+            np.arange(len(vertices), dtype=np.int64), self.task_counts
+        )
+        self.durations = np.repeat(
+            np.array([v.task_duration_seconds for v in vertices]), self.task_counts
+        )
+        self.initial_unmet = np.array(
+            [len(v.upstream) for v in vertices], dtype=np.int64
+        )
+        # Downstream CSR: which vertices unblock when vertex v completes.
+        down: List[List[int]] = [[] for _ in vertices]
+        for index, vertex in enumerate(vertices):
+            for upstream in vertex.upstream:
+                down[self.index_of_vertex[upstream]].append(index)
+        lengths = np.array([len(d) for d in down], dtype=np.int64)
+        self.down_indptr = np.zeros(len(vertices) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=self.down_indptr[1:])
+        self.down_indices = np.array(
+            [i for targets in down for i in targets], dtype=np.int64
+        )
+
+    @staticmethod
+    def of_dag(dag: "JobDag") -> "TaskLayout":
+        """The (cached) layout of a DAG; built once per DAG instance."""
+        layout = getattr(dag, "_task_layout", None)
+        if layout is None:
+            layout = TaskLayout(dag)
+            dag._task_layout = layout
+        return layout
+
+
+class TaskView:
+    """Write-through view of one task row (the scalar ``Task`` API)."""
+
+    __slots__ = ("_table", "_row")
+
+    def __init__(self, table: "TaskTable", row: int) -> None:
+        self._table = table
+        self._row = row
+
+    @property
+    def row(self) -> int:
+        """This task's row in the table."""
+        return self._row
+
+    @property
+    def task_id(self) -> str:
+        """Unique task id (``job/vertex/index``)."""
+        return self._table.task_id_of(self._row)
+
+    @property
+    def vertex_name(self) -> str:
+        """Name of the DAG vertex this task belongs to."""
+        layout = self._table.layout
+        return layout.vertex_names[layout.vertex_of[self._row]]
+
+    @property
+    def duration_seconds(self) -> float:
+        """How long the task runs once started."""
+        return float(self._table.layout.durations[self._row])
+
+    @property
+    def state(self) -> TaskState:
+        """Current lifecycle state."""
+        return STATE_ORDER[self._table.state[self._row]]
+
+    @state.setter
+    def state(self, value: TaskState) -> None:
+        self._table.set_state(self._row, CODE_OF_STATE[value])
+
+    @property
+    def attempts(self) -> int:
+        """How many times the task has been (re)started."""
+        return int(self._table.attempts[self._row])
+
+    @attempts.setter
+    def attempts(self, value: int) -> None:
+        self._table.attempts[self._row] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaskView({self.task_id!r}, state={self.state.value!r}, "
+            f"attempts={self.attempts})"
+        )
+
+
+class TaskTable:
+    """Numpy columns over every task of one job execution."""
+
+    def __init__(self, dag: "JobDag") -> None:
+        self.layout = TaskLayout.of_dag(dag)
+        self.job_name = dag.name
+        n = self.layout.num_tasks
+        #: Lifecycle state codes (:data:`PENDING` .. :data:`KILLED`).
+        self.state = np.zeros(n, dtype=np.int8)
+        #: Attempt counts.
+        self.attempts = np.zeros(n, dtype=np.int64)
+        #: Container id currently running the task (-1 when not running).
+        self.container_slot = np.full(n, -1, dtype=np.int64)
+        #: Pending-or-killed flag: the task wants a container.
+        self._needs_container = np.ones(n, dtype=bool)
+        self._needs_count = n
+        #: Per-vertex completed-task counters.
+        self.completed_counts = np.zeros(len(self.layout.task_counts), dtype=np.int64)
+        #: Per-vertex count of upstream vertices not yet fully completed.
+        self._unmet_upstream = self.layout.initial_unmet.copy()
+        #: Readiness frontier: vertices whose upstreams have all completed.
+        self._vertex_ready = self._unmet_upstream == 0
+        self._total_completed = 0
+        self._task_ids: List[str | None] = [None] * n
+        self._views: List[TaskView | None] = [None] * n
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def num_tasks(self) -> int:
+        """Total number of task rows."""
+        return self.layout.num_tasks
+
+    def task_id_of(self, row: int) -> str:
+        """The task id of a row (``job/vertex/index``), built lazily."""
+        task_id = self._task_ids[row]
+        if task_id is None:
+            vertex = int(self.layout.vertex_of[row])
+            index = row - int(self.layout.starts[vertex])
+            task_id = f"{self.job_name}/{self.layout.vertex_names[vertex]}/{index}"
+            self._task_ids[row] = task_id
+        return task_id
+
+    def view(self, row: int) -> TaskView:
+        """The (stable-identity) view object for a row."""
+        view = self._views[row]
+        if view is None:
+            view = TaskView(self, int(row))
+            self._views[row] = view
+        return view
+
+    def views_by_vertex(self) -> Dict[str, List[TaskView]]:
+        """Views grouped per vertex, in row order (the scalar ``tasks`` dict)."""
+        layout = self.layout
+        return {
+            name: [
+                self.view(row)
+                for row in range(int(layout.starts[i]), int(layout.starts[i + 1]))
+            ]
+            for i, name in enumerate(layout.vertex_names)
+        }
+
+    # -- state transitions --------------------------------------------------
+
+    def set_state(self, row: int, code: int) -> None:
+        """Move one task to ``code``, keeping counters and frontier in sync."""
+        old = int(self.state[row])
+        if old == code:
+            return
+        self.state[row] = code
+        needs = code == PENDING or code == KILLED
+        if needs != (old == PENDING or old == KILLED):
+            self._needs_container[row] = needs
+            self._needs_count += 1 if needs else -1
+        if code != RUNNING:
+            self.container_slot[row] = -1
+        vertex = int(self.layout.vertex_of[row])
+        if code == COMPLETED:
+            self.completed_counts[vertex] += 1
+            self._total_completed += 1
+            if self.completed_counts[vertex] == self.layout.task_counts[vertex]:
+                self._propagate_completion(vertex, -1)
+        elif old == COMPLETED:
+            # Regression (not hit by the simulator — completions are final —
+            # but the bookkeeping stays exact if a test rewinds a state).
+            if self.completed_counts[vertex] == self.layout.task_counts[vertex]:
+                self._propagate_completion(vertex, +1)
+            self.completed_counts[vertex] -= 1
+            self._total_completed -= 1
+
+    def _propagate_completion(self, vertex: int, delta: int) -> None:
+        """A vertex crossed the fully-completed boundary; update downstreams."""
+        layout = self.layout
+        for i in range(int(layout.down_indptr[vertex]), int(layout.down_indptr[vertex + 1])):
+            downstream = int(layout.down_indices[i])
+            self._unmet_upstream[downstream] += delta
+            self._vertex_ready[downstream] = self._unmet_upstream[downstream] == 0
+
+    def mark_running(self, row: int, container_id: int) -> None:
+        """Record a task launch into ``container_id``."""
+        self.set_state(row, RUNNING)
+        self.container_slot[row] = container_id
+        self.attempts[row] += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def vertex_completed(self, vertex_name: str) -> bool:
+        """Whether every task of a vertex has completed (O(1))."""
+        vertex = self.layout.index_of_vertex[vertex_name]
+        return bool(
+            self.completed_counts[vertex] == self.layout.task_counts[vertex]
+        )
+
+    def all_completed(self) -> bool:
+        """Whether every task of every vertex has completed (O(1))."""
+        return self._total_completed == self.layout.num_tasks
+
+    @property
+    def tasks_completed_total(self) -> int:
+        """Running total of completed tasks."""
+        return self._total_completed
+
+    @property
+    def needs_containers(self) -> bool:
+        """Whether any task is pending-or-killed (O(1) counter check).
+
+        False means the runnable frontier is certainly empty, letting the
+        pump/kill retry loops skip the mask entirely for jobs whose every
+        task is running or completed — the overwhelmingly common case.
+        """
+        return self._needs_count > 0
+
+    def runnable_rows(self) -> np.ndarray:
+        """Rows of tasks that need a container and whose vertex is ready.
+
+        Row order is vertex-major DAG insertion order — identical to the
+        scalar ``for vertex ... for task`` rescans this mask replaces.
+        """
+        mask = self._needs_container & self._vertex_ready[self.layout.vertex_of]
+        return np.flatnonzero(mask)
+
+    def runnable_views(self) -> List[TaskView]:
+        """The runnable frontier as stable view objects, in row order."""
+        return [self.view(int(row)) for row in self.runnable_rows()]

@@ -108,6 +108,19 @@ class RandomSource:
         self._rng.shuffle(out)  # type: ignore[arg-type]
         return out
 
+    def shuffle_array(self, values: np.ndarray) -> np.ndarray:
+        """A shuffled copy of a 1-D array.
+
+        ``Generator.shuffle`` draws one bounded integer per Fisher-Yates
+        step for ndarrays exactly as it does for Python sequences of the
+        same length, so this is a draw-exact, allocation-free replacement
+        for :meth:`shuffle` on index arrays (the vectorized placement paths
+        shuffle candidate indices instead of candidate objects).
+        """
+        out = np.array(values)
+        self._rng.shuffle(out)
+        return out
+
     def sample(self, items: Sequence[T], k: int) -> list[T]:
         """Sample ``k`` distinct elements."""
         if k > len(items):

@@ -261,6 +261,13 @@ class HistoryPlacementPolicy:
         self._columns = columns
         self._block_size_gb = block_size_gb
         self._placer: Optional[ReplicaPlacer] = None
+        # Caches for the vectorized entry point: the context->placer index
+        # maps (rebuilt when the grid or context changes) and the mapped
+        # exclusion mask (valid while the caller's candidates array identity
+        # is stable, exactly like the stock policy's pool caches).
+        self._map_cache: Optional[tuple] = None
+        self._mask_cache_key: Optional[np.ndarray] = None
+        self._mask_cache: Optional[np.ndarray] = None
 
     @property
     def grid(self) -> Optional[GridClustering]:
@@ -289,6 +296,81 @@ class HistoryPlacementPolicy:
             space_used_gb=space_used,
             block_size_gb=self._block_size_gb,
         )
+        self._map_cache = None
+        self._mask_cache_key = None
+        self._mask_cache = None
+
+    def _index_maps(self, context: PlacementContext) -> tuple:
+        """NameNode-order <-> placer-internal index maps, cached per grid."""
+        placer = self._placer
+        cache = self._map_cache
+        if cache is not None and cache[0] is placer and cache[1] is context:
+            return cache
+        to_internal = np.array(
+            [
+                -1 if (i := placer.server_index_of(sid)) is None else i
+                for sid in context.server_ids
+            ],
+            dtype=np.int64,
+        )
+        to_caller = np.full(placer.num_servers, -1, dtype=np.int64)
+        known = to_internal >= 0
+        to_caller[to_internal[known]] = np.flatnonzero(known)
+        cache = (placer, context, to_internal, to_caller)
+        self._map_cache = cache
+        self._mask_cache_key = None
+        self._mask_cache = None
+        return cache
+
+    def choose_server_indices(
+        self,
+        replication: int,
+        creating_index: Optional[int],
+        excluded_mask: np.ndarray,
+        context: PlacementContext,
+        candidates: Optional[np.ndarray] = None,
+    ) -> List[int]:
+        """Vectorized twin of :meth:`choose_servers`, over server indices.
+
+        The caller's exclusion mask (NameNode server order, space already
+        filtered in) is gathered into the placer's internal order once and
+        reused while ``candidates`` keeps the same identity, mirroring
+        :meth:`StockPlacementPolicy.choose_server_indices`'s caching
+        contract; placement itself is the draw-exact
+        :meth:`~repro.core.placement.ReplicaPlacer.place_block_indices`.
+        """
+        if self._placer is None:
+            raise RuntimeError(
+                "HistoryPlacementPolicy.update_clustering must run before placement"
+            )
+        placer, _, to_internal, to_caller = self._index_maps(context)
+        if candidates is not None and self._mask_cache_key is candidates:
+            internal_excluded = self._mask_cache
+        else:
+            internal_excluded = np.zeros(placer.num_servers, dtype=bool)
+            known = to_internal >= 0
+            internal_excluded[to_internal[known]] = excluded_mask[known]
+            if candidates is not None:
+                self._mask_cache_key = candidates
+                self._mask_cache = internal_excluded
+        creating_internal: Optional[int] = None
+        if creating_index is not None:
+            mapped = int(to_internal[creating_index])
+            if mapped >= 0:
+                creating_internal = mapped
+        picks, _, _ = placer.place_block_indices(
+            replication, creating_internal, internal_excluded.copy()
+        )
+        chosen: List[int] = []
+        for server_internal, _ in picks:
+            caller_index = int(to_caller[server_internal])
+            if caller_index < 0:
+                raise KeyError(
+                    f"placer chose {placer._server_ids[server_internal]!r}, "
+                    "which is not a registered DataNode"
+                )
+            chosen.append(caller_index)
+        return chosen
 
     def choose_servers(
         self,

@@ -327,3 +327,39 @@ class TestOverridesAndViews:
         rm = build_rm(fleet_servers)
         with pytest.raises(ValueError):
             rm.register_node(NodeManager(make_simulated_server("idle", [0.1])))
+
+
+class TestInexactAllocationGuard:
+    """The kill-path recompute-on-refresh guard for fractional allocations."""
+
+    def test_fractional_allocations_recomputed_on_refresh(self):
+        servers = [make_simulated_server(f"s{i}", [0.0, 0.0]) for i in range(3)]
+        rm = build_rm(servers)
+        fleet = rm.fleet
+        rm.process_heartbeats(0.0)
+        target = servers[0]
+        allocation = Resource(0.1, 0.3)  # off the 1/256 binary grid
+        containers = [
+            target.launch_container(f"t{i}", "job", allocation, 0.0)
+            for i in range(10)
+        ]
+        assert fleet._inexact_allocations
+        for container in containers[:7]:
+            target.complete_container(container.container_id, 1.0)
+        rm.process_heartbeats(2.0)
+        expected = target.allocated()
+        index = fleet.index_of("s0")
+        # Bit-exact match with the scalar per-server recomputation, which
+        # repeated 0.1-core float adds/subtracts cannot guarantee.
+        assert float(fleet.allocated_cores[index]) == expected.cores
+        assert float(fleet.allocated_memory[index]) == expected.memory_gb
+        assert int(fleet.running_containers[index]) == 3
+
+    def test_binary_grid_allocations_stay_incremental(self):
+        servers = [make_simulated_server("s0", [0.0, 0.0])]
+        rm = build_rm(servers)
+        rm.process_heartbeats(0.0)
+        servers[0].launch_container("t", "job", Resource(1.0, 2.0), 0.0)
+        assert not rm.fleet._inexact_allocations
+        rm.process_heartbeats(1.0)
+        assert float(rm.fleet.allocated_cores[0]) == 1.0

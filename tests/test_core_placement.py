@@ -295,3 +295,204 @@ class TestDiversityOutcome:
             decision = placer.place_block(3)
             used_tenants.update(decision.tenant_ids)
         assert len(used_tenants) >= 20
+
+
+# ---------------------------------------------------------------------------
+# Scalar oracle: the pre-index-pool Algorithm 2 loop, draws verbatim.
+# ---------------------------------------------------------------------------
+
+
+class ScalarPlacerOracle:
+    """The replaced object-list ``place_block`` implementation."""
+
+    def __init__(self, grid, rng, constraints, block_size_gb=0.25):
+        self._grid = grid
+        self._rng = rng
+        self._constraints = constraints
+        self._block_size_gb = block_size_gb
+        self._space_used_gb = {}
+        self._available_gb = {
+            tid: stats.available_space_gb
+            for tid, stats in grid.stats_by_tenant.items()
+        }
+        self._stats_of_server = {
+            server_id: stats
+            for stats in grid.stats_by_tenant.values()
+            for server_id in stats.server_ids
+        }
+        self._non_empty_cells = grid.non_empty_cells()
+        self._cell_stats = {
+            (cell.row, cell.column): [
+                stats
+                for tenant_id in cell.tenant_ids
+                if (stats := grid.stats_by_tenant[tenant_id]).server_ids
+            ]
+            for cell in self._non_empty_cells
+        }
+
+    def _tenant_has_space(self, tenant_id):
+        return (
+            self._available_gb.get(tenant_id, 0.0)
+            - self._space_used_gb.get(tenant_id, 0.0)
+            >= self._block_size_gb
+        )
+
+    def place_block(self, replication, creating_server_id=None, excluded=None):
+        placed = []
+        relaxed = []
+        used_rows, used_columns = set(), set()
+        used_environments, used_racks = set(), set()
+        used_servers = set(excluded or ())
+
+        def record(server_id, stats):
+            cell = self._grid.cell_of_tenant.get(stats.tenant_id)
+            placed.append(
+                (server_id, stats.tenant_id, cell if cell is not None else (-1, -1))
+            )
+            if cell is not None:
+                used_rows.add(cell[0])
+                used_columns.add(cell[1])
+            used_environments.add(stats.environment)
+            rack = stats.racks_by_server.get(server_id)
+            if rack is not None:
+                used_racks.add(rack)
+            used_servers.add(server_id)
+            self._space_used_gb[stats.tenant_id] = (
+                self._space_used_gb.get(stats.tenant_id, 0.0) + self._block_size_gb
+            )
+
+        creating = self._stats_of_server.get(creating_server_id)
+        if (
+            creating_server_id is not None
+            and creating is not None
+            and creating_server_id not in used_servers
+            and self._tenant_has_space(creating.tenant_id)
+        ):
+            record(creating_server_id, creating)
+
+        def try_place(enforce_grid, enforce_env, enforce_rack):
+            cells = self._non_empty_cells
+            if enforce_grid:
+                cells = [
+                    c
+                    for c in cells
+                    if c.row not in used_rows and c.column not in used_columns
+                ]
+            cells = self._rng.shuffle(cells)
+            for cell in cells:
+                tenants = []
+                for stats in self._cell_stats.get((cell.row, cell.column), ()):
+                    if not self._tenant_has_space(stats.tenant_id):
+                        continue
+                    if enforce_env and stats.environment in used_environments:
+                        continue
+                    tenants.append(stats)
+                if not tenants:
+                    continue
+                tenants = self._rng.shuffle(tenants)
+                for stats in tenants:
+                    servers = []
+                    for server_id in stats.server_ids:
+                        if server_id in used_servers:
+                            continue
+                        rack = stats.racks_by_server.get(server_id)
+                        if enforce_rack and rack is not None and rack in used_racks:
+                            continue
+                        servers.append(server_id)
+                    if servers:
+                        return self._rng.choice(servers), stats
+            return None
+
+        def place_one():
+            c = self._constraints
+            plan = [(c.distinct_rows_and_columns, c.distinct_environments,
+                     c.distinct_racks, None)]
+            if not c.hard:
+                if c.distinct_racks:
+                    plan.append((c.distinct_rows_and_columns,
+                                 c.distinct_environments, False, "rack"))
+                if c.distinct_environments:
+                    plan.append((c.distinct_rows_and_columns, False, False,
+                                 "environment"))
+                if c.distinct_rows_and_columns:
+                    plan.append((False, False, False, "rows_and_columns"))
+            for grid_on, env_on, rack_on, name in plan:
+                chosen = try_place(grid_on, env_on, rack_on)
+                if chosen is not None:
+                    if name is not None and name not in relaxed:
+                        relaxed.append(name)
+                    record(*chosen)
+                    return True
+            return False
+
+        while len(placed) < replication:
+            if not place_one():
+                return placed, relaxed, False
+            if len(placed) % 3 == 0:
+                used_rows.clear()
+                used_columns.clear()
+        return placed, relaxed, True
+
+
+class TestIndexPoolOracleEquivalence:
+    """The vectorized placer is draw-for-draw the scalar object-list loop."""
+
+    @pytest.mark.parametrize(
+        "constraints",
+        [
+            PlacementConstraints(),
+            PlacementConstraints(distinct_racks=True),
+            PlacementConstraints(hard=False, distinct_racks=True),
+            PlacementConstraints(hard=False),
+        ],
+    )
+    @pytest.mark.parametrize("tenant_count", [27, 180])
+    def test_random_sequences_match_oracle(self, constraints, tenant_count):
+        """27 tenants exercises the list branch, 180 the numpy mask branch."""
+        import numpy as np
+
+        control = np.random.default_rng(17)
+        stats = diverse_stats(tenant_count)
+        # Vary space so the per-tenant space filter actually engages, and
+        # give one tenant a wide server pool for the vector branch.
+        for i, s in enumerate(stats):
+            s.available_space_gb = [0.1, 0.5, 100.0][i % 3]
+        stats[0] = make_stats(
+            stats[0].tenant_id,
+            reimage_rate=stats[0].reimage_rate,
+            peak=stats[0].peak_utilization,
+            num_servers=20,
+        )
+        grid = build_grid(stats)
+        all_servers = [sid for s in stats for sid in s.server_ids]
+        for seed in range(6):
+            placer = ReplicaPlacer(
+                grid, rng=RandomSource(seed), constraints=constraints
+            )
+            oracle = ScalarPlacerOracle(
+                grid, RandomSource(seed), constraints
+            )
+            for _ in range(40):
+                replication = int(control.integers(1, 7))
+                creator = (
+                    all_servers[int(control.integers(0, len(all_servers)))]
+                    if control.random() < 0.7
+                    else None
+                )
+                excluded = {
+                    sid for sid in all_servers if control.random() < 0.2
+                }
+                decision = placer.place_block(
+                    replication, creator, excluded_servers=set(excluded)
+                )
+                expected, relaxed, complete = oracle.place_block(
+                    replication, creator, excluded=excluded
+                )
+                got = list(
+                    zip(decision.server_ids, decision.tenant_ids, decision.cells)
+                )
+                assert got == expected
+                assert decision.relaxed_constraints == relaxed
+                assert decision.complete == complete
+            # Identical stream positions after the whole sequence.
+            assert placer._rng.uniform() == oracle._rng.uniform()

@@ -1,0 +1,351 @@
+"""TaskTable <-> scalar equivalence for the jobs layer.
+
+Mirrors ``tests/test_storage_block_table.py`` on the jobs side: a scalar
+oracle reimplements the pre-TaskTable ``JobExecution`` logic (full-DAG
+rescans over plain ``Task`` objects) and every columnar path — the runnable
+frontier, the O(1) completion checks, the kill/requeue bookkeeping, and the
+Algorithm 1 draw order — is replayed against it step for step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.core.class_selection import ClassCapacity, ClassSelector
+from repro.core.clustering import UtilizationClass
+from repro.core.headroom import class_headroom
+from repro.core.job_types import JobType
+from repro.jobs.app_master import JobExecution
+from repro.jobs.dag import JobDag, Task, TaskState, Vertex
+from repro.jobs.task_table import CODE_OF_STATE, TaskTable
+from repro.simulation.random import RandomSource
+from repro.traces.utilization import UtilizationPattern
+
+
+# ---------------------------------------------------------------------------
+# Scalar oracle: the pre-TaskTable JobExecution logic, verbatim.
+# ---------------------------------------------------------------------------
+
+
+class ScalarExecutionOracle:
+    """Full-DAG rescans over plain Task objects (the replaced hot path)."""
+
+    def __init__(self, dag: JobDag) -> None:
+        self.dag = dag
+        self.tasks: Dict[str, List[Task]] = dag.build_tasks()
+
+    def vertex_completed(self, vertex_name: str) -> bool:
+        return all(t.state is TaskState.COMPLETED for t in self.tasks[vertex_name])
+
+    def runnable_tasks(self) -> List[Task]:
+        runnable: List[Task] = []
+        for vertex in self.dag.vertices.values():
+            if not all(self.vertex_completed(up) for up in vertex.upstream):
+                continue
+            for task in self.tasks[vertex.name]:
+                if task.state in (TaskState.PENDING, TaskState.KILLED):
+                    runnable.append(task)
+        return runnable
+
+    def all_completed(self) -> bool:
+        return all(self.vertex_completed(name) for name in self.dag.vertices)
+
+    def set_state(self, task_id: str, state: TaskState) -> None:
+        for tasks in self.tasks.values():
+            for task in tasks:
+                if task.task_id == task_id:
+                    task.state = state
+                    return
+        raise KeyError(task_id)
+
+
+def random_dag(rng: np.random.Generator, name: str) -> JobDag:
+    """A random layered DAG with cross-layer dependencies."""
+    layers = int(rng.integers(1, 5))
+    vertices: List[Vertex] = []
+    previous: List[str] = []
+    counter = 0
+    for layer in range(layers):
+        width = int(rng.integers(1, 4))
+        current: List[str] = []
+        for _ in range(width):
+            upstream = [u for u in previous if rng.random() < 0.6]
+            vertex = Vertex(
+                name=f"v{counter}",
+                num_tasks=int(rng.integers(1, 6)),
+                task_duration_seconds=float(rng.uniform(5.0, 50.0)),
+                upstream=upstream,
+            )
+            vertices.append(vertex)
+            current.append(vertex.name)
+            counter += 1
+        previous = current
+    return JobDag(name, vertices)
+
+
+def frontier_ids(execution: JobExecution) -> List[str]:
+    return [t.task_id for t in execution.runnable_tasks()]
+
+
+def oracle_frontier_ids(oracle: ScalarExecutionOracle) -> List[str]:
+    return [t.task_id for t in oracle.runnable_tasks()]
+
+
+class TestFrontierEquivalence:
+    def test_random_walks_match_scalar_oracle(self):
+        """Random launch/complete/kill walks keep frontier order identical."""
+        rng = np.random.default_rng(7)
+        for trial in range(25):
+            dag = random_dag(rng, f"job-{trial}")
+            execution = JobExecution(dag=dag, submit_time=0.0, job_type=JobType.MEDIUM)
+            oracle = ScalarExecutionOracle(dag)
+            running: List = []
+            for _ in range(200):
+                assert frontier_ids(execution) == oracle_frontier_ids(oracle)
+                assert execution.all_completed() == oracle.all_completed()
+                for name in dag.vertices:
+                    assert execution.vertex_completed(name) == (
+                        oracle.vertex_completed(name)
+                    )
+                if execution.all_completed():
+                    break
+                wave = execution.runnable_tasks()
+                action = rng.random()
+                if wave and (action < 0.5 or not running):
+                    # Launch a random prefix of the wave.
+                    take = int(rng.integers(1, len(wave) + 1))
+                    for task in wave[:take]:
+                        task.state = TaskState.RUNNING
+                        oracle.set_state(task.task_id, TaskState.RUNNING)
+                        running.append(task)
+                elif running and action < 0.85:
+                    index = int(rng.integers(0, len(running)))
+                    task = running.pop(index)
+                    task.state = TaskState.COMPLETED
+                    oracle.set_state(task.task_id, TaskState.COMPLETED)
+                elif running:
+                    index = int(rng.integers(0, len(running)))
+                    task = running.pop(index)
+                    task.state = TaskState.KILLED
+                    oracle.set_state(task.task_id, TaskState.KILLED)
+
+    def test_frontier_is_vertex_major_row_order(self):
+        dag = JobDag(
+            "order",
+            [
+                Vertex("a", 3, 10.0),
+                Vertex("b", 2, 10.0),
+                Vertex("c", 2, 10.0, upstream=["a"]),
+            ],
+        )
+        execution = JobExecution(dag=dag, submit_time=0.0, job_type=JobType.SHORT)
+        assert frontier_ids(execution) == [
+            "order/a/0",
+            "order/a/1",
+            "order/a/2",
+            "order/b/0",
+            "order/b/1",
+        ]
+
+
+class TestKillRequeue:
+    def _completed(self, execution: JobExecution, vertex: str) -> None:
+        for task in execution.tasks[vertex]:
+            task.state = TaskState.COMPLETED
+
+    def test_killed_task_reenters_frontier_in_row_order(self):
+        dag = JobDag("kill", [Vertex("stage", 4, 10.0)])
+        execution = JobExecution(dag=dag, submit_time=0.0, job_type=JobType.SHORT)
+        for task in execution.runnable_tasks():
+            task.state = TaskState.RUNNING
+        assert frontier_ids(execution) == []
+        # Kill the middle two; they come back in row order, not kill order.
+        execution.tasks["stage"][2].state = TaskState.KILLED
+        execution.tasks["stage"][1].state = TaskState.KILLED
+        assert frontier_ids(execution) == ["kill/stage/1", "kill/stage/2"]
+
+    def test_downstream_unlocks_only_when_last_task_completes(self):
+        dag = JobDag(
+            "unlock",
+            [Vertex("up", 2, 10.0), Vertex("down", 1, 10.0, upstream=["up"])],
+        )
+        execution = JobExecution(dag=dag, submit_time=0.0, job_type=JobType.SHORT)
+        execution.tasks["up"][0].state = TaskState.COMPLETED
+        assert frontier_ids(execution) == ["unlock/up/1"]
+        execution.tasks["up"][1].state = TaskState.RUNNING
+        assert frontier_ids(execution) == []
+        execution.tasks["up"][1].state = TaskState.COMPLETED
+        assert frontier_ids(execution) == ["unlock/down/0"]
+        assert not execution.all_completed()
+        execution.tasks["down"][0].state = TaskState.COMPLETED
+        assert execution.all_completed()
+
+    def test_state_regression_keeps_counters_exact(self):
+        """The bookkeeping survives a test rewinding a completed state."""
+        dag = JobDag(
+            "rewind",
+            [Vertex("up", 1, 10.0), Vertex("down", 1, 10.0, upstream=["up"])],
+        )
+        table = TaskTable(dag)
+        table.set_state(0, CODE_OF_STATE[TaskState.COMPLETED])
+        assert table.runnable_rows().tolist() == [1]
+        table.set_state(0, CODE_OF_STATE[TaskState.PENDING])
+        assert table.runnable_rows().tolist() == [0]
+        assert not table.all_completed()
+        assert table.tasks_completed_total == 0
+
+    def test_adopts_caller_provided_scalar_tasks(self):
+        dag = JobDag("adopt", [Vertex("stage", 2, 10.0)])
+        tasks = dag.build_tasks()
+        tasks["stage"][0].state = TaskState.COMPLETED
+        tasks["stage"][0].attempts = 2
+        execution = JobExecution(
+            dag=dag, submit_time=0.0, job_type=JobType.SHORT, tasks=tasks
+        )
+        assert execution.tasks["stage"][0].state is TaskState.COMPLETED
+        assert execution.tasks["stage"][0].attempts == 2
+        assert frontier_ids(execution) == ["adopt/stage/1"]
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1 draw parity: vectorized selector vs the scalar oracle.
+# ---------------------------------------------------------------------------
+
+
+def scalar_select_oracle(selector, job_type, required_capacity, capacities, rng):
+    """The pre-matrix Algorithm 1 loop, selections and draws verbatim."""
+    if not capacities:
+        return []
+    headrooms = []
+    weighted = []
+    for capacity in capacities:
+        fraction = class_headroom(
+            job_type,
+            capacity.utilization_class,
+            current_utilization=capacity.current_utilization,
+            reserve_fraction=selector._reserve_fraction,
+        )
+        weight = selector._ranking.weight(
+            job_type, capacity.utilization_class.pattern
+        )
+        headrooms.append(fraction * capacity.total_capacity)
+        weighted.append(fraction * capacity.total_capacity * weight)
+    fitting = [i for i, room in enumerate(headrooms) if room >= required_capacity]
+    if fitting:
+        chosen = fitting[rng.weighted_index([weighted[i] for i in fitting])]
+        return [capacities[chosen].utilization_class.class_id]
+    total = sum(headrooms)
+    if total >= required_capacity and required_capacity > 0:
+        remaining = list(range(len(capacities)))
+        selected = []
+        accumulated = 0.0
+        while remaining and accumulated < required_capacity:
+            weights = [max(weighted[i], 1e-12) for i in remaining]
+            pick = remaining[rng.weighted_index(weights)]
+            selected.append(pick)
+            accumulated += headrooms[pick]
+            remaining.remove(pick)
+        if accumulated >= required_capacity:
+            return [capacities[i].utilization_class.class_id for i in selected]
+    return []
+
+
+def random_capacities(rng: np.random.Generator, count: int) -> List[ClassCapacity]:
+    patterns = list(UtilizationPattern)
+    capacities = []
+    for i in range(count):
+        average = float(rng.uniform(0.0, 0.8))
+        cls = UtilizationClass(
+            class_id=f"c{i}",
+            pattern=patterns[int(rng.integers(0, len(patterns)))],
+            average_utilization=average,
+            peak_utilization=float(min(1.0, average + rng.uniform(0.0, 0.2))),
+        )
+        capacities.append(
+            ClassCapacity(
+                utilization_class=cls,
+                total_capacity=float(rng.uniform(4.0, 128.0)),
+                current_utilization=float(rng.uniform(0.0, 1.0)),
+            )
+        )
+    return capacities
+
+
+class TestClassSelectorDrawParity:
+    def test_selections_and_stream_positions_match_oracle(self):
+        rng = np.random.default_rng(13)
+        for trial in range(200):
+            count = int(rng.integers(1, 12))
+            capacities = random_capacities(rng, count)
+            job_type = list(JobType)[int(rng.integers(0, 3))]
+            required = float(rng.uniform(0.0, 220.0))
+            reserve = float(rng.uniform(0.0, 0.4))
+
+            vector_rng = RandomSource(trial)
+            scalar_rng = RandomSource(trial)
+            selector = ClassSelector(rng=vector_rng, reserve_fraction=reserve)
+            oracle_selector = ClassSelector(
+                rng=scalar_rng, reserve_fraction=reserve
+            )
+            selection = selector.select(job_type, required, capacities)
+            expected = scalar_select_oracle(
+                oracle_selector, job_type, required, capacities, scalar_rng
+            )
+            assert selection.class_ids == expected
+            # Both sources must end at the same stream position.
+            assert vector_rng.uniform() == scalar_rng.uniform()
+
+    def test_headroom_columns_bitwise_equal_scalar(self):
+        rng = np.random.default_rng(3)
+        capacities = random_capacities(rng, 9)
+        selector = ClassSelector(reserve_fraction=0.25)
+        for job_type in JobType:
+            absolute = selector.absolute_headrooms(job_type, capacities)
+            weighted = selector.weighted_headrooms(job_type, capacities)
+            for i, capacity in enumerate(capacities):
+                fraction = class_headroom(
+                    job_type,
+                    capacity.utilization_class,
+                    current_utilization=capacity.current_utilization,
+                    reserve_fraction=0.25,
+                )
+                weight = selector._ranking.weight(
+                    job_type, capacity.utilization_class.pattern
+                )
+                assert absolute[i] == fraction * capacity.total_capacity
+                assert weighted[i] == fraction * capacity.total_capacity * weight
+
+
+class TestWaveSchedulingParity:
+    def test_schedule_wave_matches_sequential_schedule(self):
+        """One batched wave = the same requests scheduled one by one."""
+        from tests.test_cluster_fleet_state import build_rm, make_simulated_server
+        from repro.cluster.resource_manager import ContainerRequest
+        from repro.cluster.resources import Resource
+
+        def rig(seed):
+            servers = [
+                make_simulated_server(f"s{i}", [0.1, 0.2, 0.1]) for i in range(6)
+            ]
+            rm = build_rm(servers, seed=seed)
+            rm.process_heartbeats(0.0)
+            return rm
+
+        requests = [
+            ContainerRequest("job", f"task-{i}", Resource(1.0, 2.0))
+            for i in range(40)
+        ]
+        wave_rm = rig(seed=9)
+        scalar_rm = rig(seed=9)
+        wave = wave_rm.schedule_wave(requests, 0.0)
+        sequential = [scalar_rm.schedule(request, 0.0) for request in requests]
+        wave_ids = [c.server_id if c else None for c in wave]
+        sequential_ids = [c.server_id if c else None for c in sequential]
+        assert wave_ids == sequential_ids
+        assert wave_rm._rng.uniform() == scalar_rm._rng.uniform()
+        assert wave_rm.metrics.counter_value(
+            "requests_unsatisfied"
+        ) == scalar_rm.metrics.counter_value("requests_unsatisfied")

@@ -6,7 +6,10 @@ fingerprints (an optimization PR must reproduce them exactly) while the
 wall-clock fields merely record speed.  This tool compares every scenario's
 ``headline`` (plus the seed and scale that produced it) between a freshly
 emitted directory and the checked-in reference, ignoring wall-clock, commit,
-and interpreter metadata — any numeric drift is a failure.
+interpreter, and executor metadata (the ``workers`` field a parallel
+emission records) — any numeric drift is a failure.  Because the worker
+count is excluded, diffing an ``emit_bench.py --workers N`` emission against
+the serial reference doubles as the parallel-executor equivalence gate.
 
 Usage::
 

@@ -7,10 +7,19 @@ Because the seed is fixed, the headline numbers double as a regression
 fingerprint: a PR that only optimizes hot paths must reproduce them exactly,
 while the wall-clock fields record whether it actually got faster.
 
+Every scenario runs through :func:`repro.api.run` and is summarized through
+the uniform :class:`~repro.api.RunResult` envelope — the headline is the
+payload's own ``headline()``, so this emitter needs no per-kind cases and a
+new scenario is one entry in a table.  ``--workers N`` executes each
+scenario's cell grid on a process pool; the headline fingerprints are
+bit-identical to the serial run (CI diffs a ``--workers 2`` emission against
+the serial reference to prove it), only the wall-clock moves.
+
 Usage::
 
     python benchmarks/emit_bench.py              # writes into benchmarks/
     python benchmarks/emit_bench.py --output-dir /tmp --seed 2
+    python benchmarks/emit_bench.py --workers 4     # parallel cell grids
     python benchmarks/emit_bench.py --history pr3   # also benchmarks/history/
 
 ``--history <tag>`` additionally snapshots the combined payloads into
@@ -25,27 +34,38 @@ import argparse
 import json
 import platform
 import subprocess
-import time
 from pathlib import Path
 
-from repro.experiments.availability import run_availability_experiment
-from repro.experiments.config import BENCH_SCALE, TINY_SCALE
-from repro.experiments.durability import run_durability_experiment
-from repro.experiments.scheduling import run_datacenter_sweep
-from repro.experiments.testbed import run_scheduling_testbed, run_storage_testbed
-from repro.traces.scaling import ScalingMethod
+import repro.api as api
 
 #: Fixed seed for every emitted scenario; the numbers are fingerprints.
 DEFAULT_SEED = 1
 
 #: Named scales the emitter can run at; "tiny" is the CI smoke setting.
-SCALES = {"bench": BENCH_SCALE, "tiny": TINY_SCALE}
+SCALE_NAMES = ("bench", "tiny")
 
-
-def _timed(func, *args, **kwargs):
-    started = time.perf_counter()
-    result = func(*args, **kwargs)
-    return result, time.perf_counter() - started
+#: The emitted scenario sets: payload name -> ordered (key, scenario name,
+#: override) rows.  Overrides reproduce the exact grids the legacy driver
+#: calls emitted, on top of the registered figure scenarios.
+SCENARIO_SETS = {
+    "compute": (
+        (
+            "fig13_dc9_sweep",
+            "fig13-dc9-sweep",
+            {"utilization_levels": (0.25, 0.45)},
+        ),
+        ("fig10_11_scheduling_testbed", "fig10-11-scheduling-testbed", {}),
+    ),
+    "storage": (
+        ("fig15_durability", "fig15-durability", {}),
+        (
+            "fig16_availability",
+            "fig16-availability",
+            {"utilization_levels": (0.3, 0.5, 0.66)},
+        ),
+        ("fig12_storage_testbed", "fig12-storage-testbed", {}),
+    ),
+}
 
 
 def _git_commit() -> str:
@@ -61,8 +81,8 @@ def _git_commit() -> str:
         return "unknown"
 
 
-def _envelope(seed: int, scale_name: str) -> dict:
-    return {
+def _envelope(seed: int, scale_name: str, workers: int) -> dict:
+    payload = {
         "schema": 1,
         "scale": scale_name.upper(),
         "seed": seed,
@@ -70,116 +90,108 @@ def _envelope(seed: int, scale_name: str) -> dict:
         "python": platform.python_version(),
         "scenarios": {},
     }
+    if workers > 1:
+        payload["workers"] = workers
+    return payload
 
 
-def compute_payload(seed: int, scale_name: str = "bench") -> dict:
+def emit_payload(
+    side: str, seed: int, scale_name: str = "bench", workers: int = 1
+) -> dict:
+    """One payload (``compute`` or ``storage``) through the uniform envelope."""
+    payload = _envelope(seed, scale_name, workers)
+    for key, scenario, overrides in SCENARIO_SETS[side]:
+        result = api.run(
+            scenario,
+            overrides={"scale": scale_name, **overrides},
+            workers=workers,
+            seed=seed,
+        )
+        payload["scenarios"][key] = {
+            "wall_clock_seconds": result.wall_clock_seconds,
+            "headline": result.headline(),
+        }
+    return payload
+
+
+def compute_payload(seed: int, scale_name: str = "bench", workers: int = 1) -> dict:
     """Figures 13 and 10/11: the scheduler-stack hot paths."""
-    scale = SCALES[scale_name]
-    payload = _envelope(seed, scale_name)
-
-    sweep, elapsed = _timed(
-        run_datacenter_sweep,
-        "DC-9",
-        utilization_levels=(0.25, 0.45),
-        scalings=(ScalingMethod.LINEAR, ScalingMethod.ROOT),
-        scale=scale,
-        seed=seed,
-    )
-    payload["scenarios"]["fig13_dc9_sweep"] = {
-        "wall_clock_seconds": elapsed,
-        "headline": {
-            "points": [
-                {
-                    "scaling": p.scaling.value,
-                    "target_utilization": p.target_utilization,
-                    "yarn_pt_seconds": p.yarn_pt_seconds,
-                    "yarn_h_seconds": p.yarn_h_seconds,
-                    "improvement": p.improvement,
-                    "yarn_pt_tasks_killed": p.yarn_pt_tasks_killed,
-                    "yarn_h_tasks_killed": p.yarn_h_tasks_killed,
-                }
-                for p in sweep.points
-            ],
-            "average_improvement_linear": sweep.average_improvement(
-                ScalingMethod.LINEAR
-            ),
-        },
-    }
-
-    testbed, elapsed = _timed(run_scheduling_testbed, scale, seed=seed)
-    payload["scenarios"]["fig10_11_scheduling_testbed"] = {
-        "wall_clock_seconds": elapsed,
-        "headline": {
-            "no_harvesting_p99_ms": testbed.no_harvesting_p99_ms,
-            "variants": {
-                name: {
-                    "average_p99_ms": v.average_p99_ms,
-                    "max_p99_ms": v.max_p99_ms,
-                    "average_job_seconds": v.average_job_seconds,
-                    "jobs_completed": v.jobs_completed,
-                    "tasks_killed": v.tasks_killed,
-                    "average_cpu_utilization": v.average_cpu_utilization,
-                }
-                for name, v in testbed.variants.items()
-            },
-        },
-    }
-    return payload
+    return emit_payload("compute", seed, scale_name, workers)
 
 
-def storage_payload(seed: int, scale_name: str = "bench") -> dict:
+def storage_payload(seed: int, scale_name: str = "bench", workers: int = 1) -> dict:
     """Figures 15, 16, and 12: the storage-stack hot paths."""
-    scale = SCALES[scale_name]
-    payload = _envelope(seed, scale_name)
+    return emit_payload("storage", seed, scale_name, workers)
 
-    durability, elapsed = _timed(
-        run_durability_experiment, "DC-9", scale=scale, seed=seed
-    )
-    payload["scenarios"]["fig15_durability"] = {
-        "wall_clock_seconds": elapsed,
-        "headline": {
-            f"{variant}-r{replication}": {
-                "blocks_created": r.blocks_created,
-                "blocks_lost": r.blocks_lost,
-            }
-            for (variant, replication), r in sorted(durability.results.items())
-        },
-    }
 
-    availability, elapsed = _timed(
-        run_availability_experiment,
-        "DC-9",
-        utilization_levels=(0.3, 0.5, 0.66),
-        scale=scale,
-        seed=seed,
-    )
-    payload["scenarios"]["fig16_availability"] = {
-        "wall_clock_seconds": elapsed,
-        "headline": {
-            f"{p.variant}-r{p.replication}-u{p.target_utilization}": {
-                "accesses": p.accesses,
-                "failed_accesses": p.failed_accesses,
-            }
-            for p in availability.points
-        },
-    }
+#: The grid-heavy scenarios whose parallel speedup the history snapshot
+#: records: (payload side, scenario key).
+SPEEDUP_SCENARIOS = (("compute", "fig13_dc9_sweep"), ("storage", "fig16_availability"))
 
-    storage_testbed, elapsed = _timed(run_storage_testbed, scale, seed=seed)
-    payload["scenarios"]["fig12_storage_testbed"] = {
-        "wall_clock_seconds": elapsed,
-        "headline": {
-            "no_harvesting_p99_ms": storage_testbed.no_harvesting_p99_ms,
-            "variants": {
-                name: {
-                    "average_p99_ms": v.average_p99_ms,
-                    "failed_accesses": v.failed_accesses,
-                    "served_accesses": v.served_accesses,
-                }
-                for name, v in storage_testbed.variants.items()
-            },
-        },
+
+def speedup_section(
+    payloads: dict, seed: int, scale_name: str, workers: int
+) -> dict:
+    """Re-run the grid-heavy scenarios with ``workers`` processes.
+
+    Verifies the parallel headline is bit-identical to the serial payload
+    already emitted (any drift is a hard failure) and records the measured
+    serial/parallel wall-clock pair plus the grid's parallelism profile:
+    ``cell_seconds_sum`` is the embarrassingly parallel work and
+    ``max_cell_seconds`` its critical path, so ``cell_seconds_sum /
+    max_cell_seconds`` bounds the achievable speedup on a machine with
+    enough cores — ``cpu_count`` records how many this emission actually
+    had (a single-core container cannot beat 1x regardless of workers; the
+    measurement is then the equivalence proof plus the overhead cost).  The
+    section carries no ``scenarios`` key on purpose: trajectory tools that
+    walk ``scenarios`` entries skip it, so it is pure provenance.
+    """
+    import os
+
+    section: dict = {
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "speedups": {},
     }
-    return payload
+    for side, key in SPEEDUP_SCENARIOS:
+        if side not in payloads:
+            continue
+        scenario, overrides = next(
+            (name, row_overrides)
+            for row_key, name, row_overrides in SCENARIO_SETS[side]
+            if row_key == key
+        )
+        result = api.run(
+            scenario,
+            overrides={"scale": scale_name, **overrides},
+            workers=workers,
+            seed=seed,
+        )
+        serial_entry = payloads[side]["scenarios"][key]
+        if result.headline() != serial_entry["headline"]:
+            raise SystemExit(
+                f"parallel headline drift in {key} at workers={workers}; "
+                "the executor equivalence contract is broken"
+            )
+        serial_seconds = serial_entry["wall_clock_seconds"]
+        cell_seconds = [t.seconds for t in result.cell_timings]
+        section["speedups"][key] = {
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": result.wall_clock_seconds,
+            "speedup": serial_seconds / result.wall_clock_seconds,
+            "cells": len(result.cell_timings),
+            "cell_seconds_sum": sum(cell_seconds),
+            "max_cell_seconds": max(cell_seconds) if cell_seconds else 0.0,
+        }
+        print(
+            f"{key}: {serial_seconds:.1f}s serial -> "
+            f"{result.wall_clock_seconds:.1f}s at workers={workers} "
+            f"({serial_seconds / result.wall_clock_seconds:.1f}x), "
+            "headline bit-identical; "
+            f"grid bound {sum(cell_seconds) / max(cell_seconds):.1f}x "
+            f"over {len(cell_seconds)} cells"
+        )
+    return section
 
 
 def main() -> int:
@@ -193,9 +205,19 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument(
         "--scale",
-        choices=sorted(SCALES),
+        choices=sorted(SCALE_NAMES),
         default="bench",
         help="experiment scale; 'tiny' is the CI smoke setting",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "execute each scenario's cell grid on N worker processes; "
+            "headline fingerprints are bit-identical to --workers 1"
+        ),
     )
     parser.add_argument(
         "--only",
@@ -209,29 +231,48 @@ def main() -> int:
         default=None,
         help="also snapshot the combined payloads to history/BENCH_<TAG>.json",
     )
+    parser.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "additionally re-run the grid-heavy scenarios (fig13 sweep, "
+            "fig16 availability) with N worker processes, assert their "
+            "headlines are bit-identical to the serial emission, and record "
+            "the measured speedups (in the --history snapshot when given)"
+        ),
+    )
     args = parser.parse_args()
     if args.history and args.only:
         # A history snapshot is the combined trajectory point; a partial one
         # would leave a silent gap in the per-PR series.
         parser.error("--history requires emitting both payloads (drop --only)")
+    if args.parallel_workers and args.workers > 1:
+        # The speedup section uses the main emission's wall-clock as its
+        # serial baseline; a parallel main emission would silently record
+        # parallel-vs-parallel "speedups".
+        parser.error("--parallel-workers needs a serial baseline (drop --workers)")
     args.output_dir.mkdir(parents=True, exist_ok=True)
 
     payloads = {}
-    if args.only in (None, "compute"):
-        payloads["compute"] = compute_payload(args.seed, args.scale)
-        path = args.output_dir / "BENCH_compute.json"
-        path.write_text(json.dumps(payloads["compute"], indent=2) + "\n")
+    for side in ("compute", "storage"):
+        if args.only not in (None, side):
+            continue
+        payloads[side] = emit_payload(side, args.seed, args.scale, args.workers)
+        path = args.output_dir / f"BENCH_{side}.json"
+        path.write_text(json.dumps(payloads[side], indent=2) + "\n")
         print(f"wrote {path}")
-    if args.only in (None, "storage"):
-        payloads["storage"] = storage_payload(args.seed, args.scale)
-        path = args.output_dir / "BENCH_storage.json"
-        path.write_text(json.dumps(payloads["storage"], indent=2) + "\n")
-        print(f"wrote {path}")
+    snapshot = dict(payloads)
+    if args.parallel_workers and args.parallel_workers > 1:
+        snapshot["parallel"] = speedup_section(
+            payloads, args.seed, args.scale, args.parallel_workers
+        )
     if args.history:
         history_dir = args.output_dir / "history"
         history_dir.mkdir(parents=True, exist_ok=True)
         path = history_dir / f"BENCH_{args.history}.json"
-        path.write_text(json.dumps(payloads, indent=2) + "\n")
+        path.write_text(json.dumps(snapshot, indent=2) + "\n")
         print(f"wrote {path}")
     return 0
 

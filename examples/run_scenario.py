@@ -8,8 +8,10 @@ user code:
 1. derive a faster variant of the Figure 16 availability scenario (fewer
    tenants, fewer sampled accesses, a custom utilization sweep);
 2. register it, so it is runnable by name like any built-in figure;
-3. run it twice with the same seed and check the harness's metric registry
-   snapshots agree — the determinism contract the benchmarks rely on.
+3. run it through ``repro.api`` serially and on a 2-worker process pool and
+   check the ``RunResult`` fingerprints agree — the parallel executor is
+   bit-identical to the serial run by construction;
+4. build a small cross-product family with ``api.sweep`` and run it.
 
 Run with::
 
@@ -18,14 +20,10 @@ Run with::
 
 from __future__ import annotations
 
+import repro.api as api
 from repro.experiments.config import QUICK_SCALE
 from repro.experiments.report import format_table
-from repro.harness import (
-    ExperimentHarness,
-    get_scenario,
-    register_scenario,
-    run_scenario,
-)
+from repro.harness import get_scenario, register_scenario, run_scenario
 
 
 def main() -> None:
@@ -59,14 +57,27 @@ def main() -> None:
         title="\nCustom availability sweep",
     ))
 
-    # 3. Same spec + same seed => identical metric snapshots.
-    first = ExperimentHarness(custom, seed=1)
-    second = ExperimentHarness(custom, seed=1)
-    first.run()
-    second.run()
-    identical = first.metrics.snapshot() == second.metrics.snapshot()
-    print(f"\nDeterminism check (two runs, seed 1): "
+    # 3. The programmatic API: the same run as a uniform RunResult
+    # envelope, serially and on a 2-worker process pool.  The cell grid
+    # makes the parallel run bit-identical, so the fingerprints must agree.
+    serial = api.run("availability-fast", seed=1)
+    parallel = api.run("availability-fast", seed=1, workers=2)
+    identical = serial.fingerprint() == parallel.fingerprint()
+    print(f"\nExecutor equivalence (serial vs workers=2): "
           f"{'identical' if identical else 'MISMATCH'}")
+    print(f"cells: {serial.cell_seconds()}")
+
+    # 4. A derived cross-product family: no registration, no new code.
+    family = api.sweep(
+        "availability-fast",
+        {"seed": [1, 2]},
+        overrides={"utilization_levels": (0.55,), "accesses_per_point": 200},
+    )
+    for run_result in api.run_sweep(family):
+        failed = {
+            p.variant: p.failed_accesses for p in run_result.payload.points
+        }
+        print(f"{run_result.scenario}: failed accesses {failed}")
 
 
 if __name__ == "__main__":

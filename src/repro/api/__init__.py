@@ -1,0 +1,214 @@
+"""``repro.api`` — the programmatic experiment surface.
+
+The paper's evaluation is a grid of independent experiment cells; this
+package names that structure and makes it drivable from Python without
+touching the CLI:
+
+* :func:`run` executes any scenario — registered name or explicit
+  :class:`~repro.harness.spec.ScenarioSpec` — serially or across a process
+  pool (``workers=N``), and returns a uniform :class:`RunResult` envelope
+  whose payload, metrics, and :meth:`~RunResult.fingerprint` are
+  bit-identical regardless of worker count;
+* :func:`sweep` manufactures derived specs over a ``{field: values}``
+  cross-product, so user-defined scenario grids need no new runner code;
+* :func:`run_sweep` executes such a grid and returns one envelope per spec.
+
+Cookbook::
+
+    import repro.api as api
+
+    # One figure, four worker processes, bit-identical to serial:
+    result = api.run("fig13-dc9-sweep", workers=4)
+    print(result.render())
+    print(result.fingerprint())
+
+    # A derived grid: 2 datacenters x 3 seeds = 6 independent specs.
+    specs = api.sweep(
+        "fig15-durability",
+        {"datacenter": ["DC-3", "DC-9"], "seed": [0, 1, 2]},
+        overrides={"scale": "tiny"},
+    )
+    results = api.run_sweep(specs, workers=2)
+
+New scenario kinds plug in by registering a
+:class:`~repro.harness.runners.ScenarioRunner` subclass that declares its
+cell grid; every ``repro.api`` entry point, the CLI, and the benchmark
+tooling pick it up without modification.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import fields as dataclass_fields
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.api.result import RunResult
+from repro.harness.cells import Cell, CellTiming
+from repro.harness.config import (
+    BENCH_SCALE,
+    QUICK_SCALE,
+    TESTBED_SCALE,
+    TINY_SCALE,
+)
+from repro.harness.harness import ExperimentHarness
+from repro.harness.spec import (
+    ScenarioSpec,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from repro.simulation.metrics import MetricRegistry
+
+__all__ = [
+    "Cell",
+    "CellTiming",
+    "NAMED_SCALES",
+    "RunResult",
+    "ScenarioSpec",
+    "get_scenario",
+    "iter_scenarios",
+    "register_scenario",
+    "run",
+    "run_sweep",
+    "scenario_names",
+    "sweep",
+]
+
+#: Scale presets addressable by name in ``overrides={"scale": "tiny"}``.
+NAMED_SCALES = {
+    "tiny": TINY_SCALE,
+    "quick": QUICK_SCALE,
+    "bench": BENCH_SCALE,
+    "testbed": TESTBED_SCALE,
+}
+
+#: ScenarioSpec field names (``sweep``/``resolve`` route everything else
+#: into ``params``).
+_SPEC_FIELDS = {f.name for f in dataclass_fields(ScenarioSpec)}
+
+
+def resolve(
+    scenario: Union[str, ScenarioSpec],
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> ScenarioSpec:
+    """A concrete spec from a registered name or explicit spec + overrides.
+
+    Spec fields are replaced directly (``scale`` additionally accepts the
+    preset names in :data:`NAMED_SCALES`); unknown keys land in the spec's
+    ``params`` dict, so kind-specific knobs need no special casing.
+    """
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    if not overrides:
+        return spec
+    changes: Dict[str, Any] = {}
+    params = dict(spec.params)
+    for key, value in overrides.items():
+        if key == "scale" and isinstance(value, str):
+            try:
+                value = NAMED_SCALES[value]
+            except KeyError:
+                raise ValueError(
+                    f"unknown scale preset {value!r}; expected one of "
+                    f"{', '.join(sorted(NAMED_SCALES))}"
+                ) from None
+        if key in _SPEC_FIELDS and key != "params":
+            changes[key] = value
+        elif key == "params":
+            params.update(value)
+        else:
+            params[key] = value
+    return spec.with_overrides(params=params, **changes)
+
+
+def run(
+    scenario: Union[str, ScenarioSpec],
+    *,
+    overrides: Optional[Mapping[str, Any]] = None,
+    workers: int = 1,
+    seed: Optional[int] = None,
+    metrics: Optional[MetricRegistry] = None,
+) -> RunResult:
+    """Execute one scenario and return its :class:`RunResult` envelope.
+
+    Args:
+        scenario: a registered scenario name or an explicit spec.
+        overrides: spec-field (or params) replacements applied first.
+        workers: worker processes for the cell grid; ``1`` runs serially.
+            Any value yields bit-identical results — parallel partials are
+            reassembled in deterministic cell order.
+        seed: run-time seed override (defaults to the spec's seed).
+        metrics: registry to collect into (a fresh one by default).
+    """
+    spec = resolve(scenario, overrides)
+    harness = ExperimentHarness(spec, seed=seed, metrics=metrics, workers=workers)
+    started = time.perf_counter()
+    payload = harness.run()
+    elapsed = time.perf_counter() - started
+    return RunResult(
+        scenario=spec.name,
+        kind=spec.kind,
+        seed=harness.seed,
+        spec=spec,
+        payload=payload,
+        wall_clock_seconds=elapsed,
+        workers=harness.workers,
+        cell_timings=list(harness.cell_timings),
+        metrics=harness.metrics,
+    )
+
+
+def _format_value(value: Any) -> str:
+    """A short, stable rendering of one grid value for derived spec names."""
+    if hasattr(value, "value"):  # enums render as their payload
+        value = value.value
+    if isinstance(value, float):
+        return format(value, "g")
+    return str(value)
+
+
+def sweep(
+    scenario: Union[str, ScenarioSpec],
+    grid: Mapping[str, Sequence[Any]],
+    *,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> List[ScenarioSpec]:
+    """Derived specs over the cross-product of ``grid``.
+
+    ``grid`` maps field names to the values to sweep; fields combine in
+    insertion order (the last field varies fastest, like nested loops).
+    Keys that are not ``ScenarioSpec`` fields go into ``params``, so
+    kind-specific knobs (``accesses_per_point``, burst rates, ...) sweep the
+    same way first-class fields do.  Each derived spec gets a unique
+    ``base[key=value,...]`` name, making the family registrable and the
+    provenance of every result self-describing.
+    """
+    base = resolve(scenario, overrides)
+    if not grid:
+        return [base]
+    for key in grid:
+        if key in ("name", "kind", "params"):
+            raise ValueError(f"cannot sweep over the {key!r} field")
+    specs: List[ScenarioSpec] = []
+    keys = list(grid)
+    for combo in itertools.product(*(grid[key] for key in keys)):
+        assignment = dict(zip(keys, combo))
+        label = ",".join(f"{k}={_format_value(v)}" for k, v in assignment.items())
+        derived = resolve(base, assignment)
+        specs.append(derived.with_overrides(name=f"{base.name}[{label}]"))
+    return specs
+
+
+def run_sweep(
+    specs: Iterable[Union[str, ScenarioSpec]],
+    *,
+    workers: int = 1,
+    seed: Optional[int] = None,
+) -> List[RunResult]:
+    """Execute a list of specs (e.g. from :func:`sweep`), one envelope each.
+
+    ``workers`` applies to each run's cell grid in turn; the runs themselves
+    execute sequentially so their envelopes line up with ``specs``.
+    """
+    return [run(spec, workers=workers, seed=seed) for spec in specs]

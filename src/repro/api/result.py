@@ -1,0 +1,100 @@
+"""The uniform result envelope returned by :func:`repro.api.run`.
+
+Every scenario kind used to return one of six unrelated dataclasses that the
+CLI, the benchmark emitter, and the diff gate each special-cased.  A
+:class:`RunResult` wraps whichever payload a run produced together with the
+run's identity (spec snapshot, effective seed), its wall-clock, and the
+per-cell timings the executor recorded, and exposes the uniform protocol
+every consumer speaks:
+
+* :meth:`to_jsonable` — the exact JSON document ``repro run-scenario
+  --json`` prints (deterministic except for ``wall_clock_seconds``);
+* :meth:`fingerprint` — a digest of the deterministic part, so "two runs
+  produced bit-identical results" is one string comparison regardless of
+  kind, worker count, or process;
+* :meth:`headline` / :meth:`render` — the payload's own fingerprint summary
+  and figure table (see :mod:`repro.harness.results`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.harness.cells import CellTiming
+from repro.harness.results import result_to_jsonable
+from repro.harness.spec import ScenarioSpec
+from repro.simulation.metrics import MetricRegistry
+
+
+@dataclass
+class RunResult:
+    """One executed scenario: identity, payload, and timings.
+
+    Attributes:
+        scenario: name of the spec that ran (after any overrides).
+        kind: the scenario kind (one of ``SCENARIO_KINDS``).
+        seed: the effective seed the run used.
+        spec: snapshot of the exact spec that ran.
+        payload: the kind-specific result dataclass.
+        wall_clock_seconds: end-to-end duration of the run.
+        workers: how many worker processes executed the cell grid (1 =
+            serial; results are bit-identical either way).
+        cell_timings: wall-clock per executed cell, in cell order.
+        metrics: the harness registry holding the run's metric streams.
+    """
+
+    scenario: str
+    kind: str
+    seed: int
+    spec: ScenarioSpec
+    payload: Any
+    wall_clock_seconds: float
+    workers: int = 1
+    cell_timings: List[CellTiming] = field(default_factory=list)
+    metrics: Optional[MetricRegistry] = None
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """The run as JSON-safe data — the ``--json`` document.
+
+        Worker count and per-cell timings are deliberately excluded: the
+        document must be identical for a serial and a parallel run of the
+        same (spec, seed), so everything in it except ``wall_clock_seconds``
+        is deterministic.
+        """
+        return {
+            "scenario": self.scenario,
+            "kind": self.kind,
+            "seed": self.seed,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "result": result_to_jsonable(self.payload),
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the deterministic part of :meth:`to_jsonable`.
+
+        Two runs of the same (spec, seed) — serial, ``workers=4``, another
+        machine — must produce the same fingerprint; any drift means the
+        simulation itself diverged.
+        """
+        data = self.to_jsonable()
+        data.pop("wall_clock_seconds")
+        canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def headline(self) -> Any:
+        """The payload's fingerprint-relevant summary (kind-defined)."""
+        return self.payload.headline()
+
+    def render(self) -> str:
+        """The payload's figure table (kind-defined); ``repr`` fallback."""
+        render = getattr(self.payload, "render", None)
+        if callable(render):
+            return render()
+        return repr(self.payload)
+
+    def cell_seconds(self) -> Dict[str, float]:
+        """Per-cell wall-clock keyed by cell label."""
+        return {timing.key: timing.seconds for timing in self.cell_timings}

@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import argparse
 import json
-import time
 from typing import Optional, Sequence
 
+import repro.api as api
 from repro.analysis import characterize_fleet
 from repro.analysis.cdf import fraction_at_or_below
 from repro.experiments.availability import run_availability_experiment
@@ -32,16 +32,7 @@ from repro.experiments.microbench import run_microbenchmarks
 from repro.experiments.report import format_float, format_table
 from repro.experiments.scheduling import run_datacenter_sweep
 from repro.experiments.testbed import run_scheduling_testbed, run_storage_testbed
-from repro.harness import get_scenario, iter_scenarios, run_scenario
-from repro.harness.results import (
-    AvailabilityResult,
-    DurabilityResult,
-    FleetImprovementResult,
-    SchedulingSweepResult,
-    SchedulingTestbedResult,
-    StorageTestbedResult,
-    result_to_jsonable,
-)
+from repro.harness import get_scenario, iter_scenarios
 from repro.simulation.random import RandomSource
 from repro.traces import build_fleet
 from repro.traces.scaling import ScalingMethod
@@ -167,78 +158,15 @@ def cmd_microbench(args: argparse.Namespace) -> str:
 
 
 def render_scenario_result(result: object) -> str:
-    """Format any scenario result as the table its figure uses."""
-    if isinstance(result, DurabilityResult):
-        rows = [
-            [variant, replication, r.blocks_created, r.blocks_lost,
-             f"{100 * r.lost_fraction:.4f}%"]
-            for (variant, replication), r in sorted(result.results.items())
-        ]
-        return format_table(
-            ["system", "replication", "blocks", "lost", "lost fraction"],
-            rows,
-            title=f"Durability ({result.datacenter})",
-        )
-    if isinstance(result, AvailabilityResult):
-        variants = sorted({(p.variant, p.replication) for p in result.points})
-        levels = sorted({p.target_utilization for p in result.points})
-        rows = [
-            [f"{util:.2f}"]
-            + [
-                f"{100 * result.failed_fraction(v, r, util):.2f}%"
-                for v, r in variants
-            ]
-            for util in levels
-        ]
-        return format_table(
-            ["avg util"] + [f"{v} R{r}" for v, r in variants],
-            rows,
-            title=f"Availability ({result.datacenter}, {result.scaling.value})",
-        )
-    if isinstance(result, SchedulingSweepResult):
-        rows = [
-            [p.scaling.value, f"{p.target_utilization:.2f}",
-             f"{p.yarn_pt_seconds:.0f}", f"{p.yarn_h_seconds:.0f}",
-             f"{100 * p.improvement:.0f}%"]
-            for p in result.points
-        ]
-        return format_table(
-            ["scaling", "target util", "YARN-PT (s)", "YARN-H (s)", "improvement"],
-            rows,
-            title=f"{result.datacenter} utilization sweep",
-        )
-    if isinstance(result, FleetImprovementResult):
-        rows = [
-            [name, f"{100 * s['min']:.0f}%", f"{100 * s['avg']:.0f}%",
-             f"{100 * s['max']:.0f}%"]
-            for name, s in sorted(result.summary().items())
-        ]
-        return format_table(
-            ["DC", "min", "avg", "max"], rows, title="Fleet improvements"
-        )
-    if isinstance(result, SchedulingTestbedResult):
-        rows = [["No-Harvesting", f"{result.no_harvesting_p99_ms:.0f}", "-", "-", "-"]]
-        for name, v in result.variants.items():
-            rows.append([
-                name, f"{v.average_p99_ms:.0f}", f"{v.average_job_seconds:.0f}",
-                v.tasks_killed, f"{100 * v.average_cpu_utilization:.0f}%",
-            ])
-        return format_table(
-            ["variant", "avg p99 (ms)", "avg job (s)", "kills", "cpu util"],
-            rows,
-            title="Scheduling testbed",
-        )
-    if isinstance(result, StorageTestbedResult):
-        rows = [["No-Harvesting", f"{result.no_harvesting_p99_ms:.0f}", "-", "-"]]
-        for name, v in result.variants.items():
-            rows.append([
-                name, f"{v.average_p99_ms:.0f}", v.failed_accesses, v.served_accesses,
-            ])
-        return format_table(
-            ["variant", "avg p99 (ms)", "failed accesses", "served accesses"],
-            rows,
-            title="Storage testbed",
-        )
+    """Format any scenario result as the table its figure uses.
+
+    The per-kind tables live on the result dataclasses themselves
+    (:mod:`repro.harness.results`); this shim survives for the legacy
+    subcommands and for callers holding a bare payload.
+    """
+    render = getattr(result, "render", None)
+    if callable(render):
+        return render()
     return repr(result)
 
 
@@ -300,34 +228,23 @@ def cmd_run_scenario(args: argparse.Namespace) -> str:
         spec = get_scenario(args.name)
     except KeyError as error:
         raise SystemExit(f"error: {error.args[0]}") from None
-    if getattr(args, "scale", None):
-        from repro.experiments.config import BENCH_SCALE, TINY_SCALE
-
-        scales = {"quick": QUICK_SCALE, "bench": BENCH_SCALE, "tiny": TINY_SCALE}
-        spec = spec.with_overrides(scale=scales[args.scale])
+    overrides = {"scale": args.scale} if getattr(args, "scale", None) else None
+    workers = getattr(args, "workers", 1)
     profiler = None
     if getattr(args, "profile", None) is not None:
         import cProfile
 
         profiler = cProfile.Profile()
-    started = time.perf_counter()
     if profiler is not None:
-        result = profiler.runcall(run_scenario, spec, seed=args.seed)
-    else:
-        result = run_scenario(spec, seed=args.seed)
-    elapsed = time.perf_counter() - started
-    if profiler is not None:
+        result = profiler.runcall(
+            api.run, spec, overrides=overrides, workers=workers, seed=args.seed
+        )
         _report_profile(profiler, args.profile)
+    else:
+        result = api.run(spec, overrides=overrides, workers=workers, seed=args.seed)
     if args.json:
-        payload = {
-            "scenario": spec.name,
-            "kind": spec.kind,
-            "seed": args.seed,
-            "wall_clock_seconds": elapsed,
-            "result": result_to_jsonable(result),
-        }
-        return json.dumps(payload, indent=2, sort_keys=True)
-    return render_scenario_result(result)
+        return json.dumps(result.to_jsonable(), indent=2, sort_keys=True)
+    return result.render()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -391,6 +308,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["quick", "bench", "tiny"],
         default=None,
         help="override the scenario's registered experiment scale",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run the scenario's cell grid on N worker processes "
+            "(bit-identical to the serial run; 1 = in-process)"
+        ),
     )
     p.add_argument(
         "--profile",

@@ -116,6 +116,13 @@ class ResourceManager:
         self.metrics = metrics or MetricRegistry()
         self._fleet = FleetState()
         self._servers: Dict[str, ServerRecord] = {}
+        # Request shapes (allocation, labels) that the current cluster state
+        # provably cannot place: a wave that left requests unsatisfied ran
+        # out of candidates, and placements only ever consume availability,
+        # so the shape stays unplaceable until something returns capacity or
+        # changes the view — any heartbeat refresh (which also carries the
+        # kills), completion, label change, or registration clears the set.
+        self._exhausted: set = set()
 
     @property
     def fleet(self) -> FleetState:
@@ -136,10 +143,12 @@ class ResourceManager:
         self._servers[node_manager.server_id] = ServerRecord(
             node_manager, self._fleet, index
         )
+        self._exhausted.clear()
 
     def set_label(self, server_id: str, label: Optional[str]) -> None:
         """Update a server's utilization-class label (after re-clustering)."""
         self._record(server_id).label = label
+        self._exhausted.clear()
 
     @property
     def server_ids(self) -> List[str]:
@@ -166,6 +175,7 @@ class ResourceManager:
         instead of a per-NodeManager call loop.
         """
         killed = self._fleet.refresh(time)
+        self._exhausted.clear()
         if killed:
             self.metrics.counter("containers_killed").increment(len(killed))
         return killed
@@ -235,6 +245,29 @@ class ResourceManager:
         return statistics
 
     # -- scheduling -------------------------------------------------------------
+
+    @staticmethod
+    def _request_shape(allocation: Resource, node_labels: Sequence[str]) -> tuple:
+        """The exhaustion-set key of a request shape."""
+        return (allocation.cores, allocation.memory_gb, tuple(node_labels))
+
+    def capacity_exhausted(
+        self, allocation: Resource, node_labels: Sequence[str]
+    ) -> bool:
+        """Whether a wave of this shape is known to be unplaceable right now.
+
+        True only between a ``schedule_wave`` that left requests of this
+        exact (allocation, labels) shape unsatisfied and the next event that
+        could return capacity or change eligibility (heartbeat refresh,
+        kill, completion, label change, registration).  Starved pump waves
+        use it to skip rebuilding their request lists entirely: a skipped
+        wave would have drawn nothing and placed nothing, so skipping is
+        draw-invisible.  It is, deliberately, *not* counter-invisible:
+        skipped waves no longer bump ``requests_unsatisfied``, so that
+        counter now tallies waves that reached the RM rather than every
+        starved retry tick.
+        """
+        return self._request_shape(allocation, node_labels) in self._exhausted
 
     def _candidate_mask(self, request: ContainerRequest) -> np.ndarray:
         """Boolean row mask of servers eligible for the request."""
@@ -322,6 +355,12 @@ class ResourceManager:
         if launched:
             self.metrics.counter("containers_launched").increment(launched)
         if unsatisfied:
+            # Candidate bits are only ever cleared within a wave, so an
+            # unsatisfied request means the shape ended with zero
+            # candidates — remember that until capacity can return.
+            self._exhausted.add(
+                self._request_shape(first.allocation, first.node_labels)
+            )
             self.metrics.counter("requests_unsatisfied").increment(unsatisfied)
         return results
 
@@ -330,4 +369,5 @@ class ResourceManager:
         record = self._record(container.server_id)
         record.node_manager.server.complete_container(container.container_id, time)
         self._fleet.release(record.index, container.allocation)
+        self._exhausted.clear()
         self.metrics.counter("containers_completed").increment()

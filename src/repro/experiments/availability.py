@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.experiments.config import ExperimentScale, QUICK_SCALE
-from repro.harness.harness import ExperimentHarness
+from repro.api import run as _run
 from repro.harness.results import AvailabilityPoint, AvailabilityResult
 from repro.harness.spec import ScenarioSpec
 from repro.traces.scaling import ScalingMethod
@@ -41,6 +41,7 @@ def run_availability_experiment(
     accesses_per_point: int = 2000,
     max_tenants: Optional[int] = 40,
     servers_per_tenant_limit: Optional[int] = 4,
+    workers: int = 1,
 ) -> AvailabilityResult:
     """Figure 16: failed-access fraction across the utilization spectrum."""
     spec = ScenarioSpec(
@@ -58,4 +59,4 @@ def run_availability_experiment(
         seed=seed,
         params={"accesses_per_point": accesses_per_point},
     )
-    return ExperimentHarness(spec).run()
+    return _run(spec, workers=workers).payload

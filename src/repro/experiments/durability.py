@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.experiments.config import ExperimentScale, QUICK_SCALE
-from repro.harness.harness import ExperimentHarness
+from repro.api import run as _run
 from repro.harness.results import DurabilityResult, VariantDurabilityResult
 from repro.harness.runners import REPLICATION_PERIOD_SECONDS
 from repro.harness.spec import ScenarioSpec
@@ -38,6 +38,7 @@ def run_durability_experiment(
     servers_per_tenant_limit: Optional[int] = 4,
     environment_burst_rate_per_month: float = 0.1,
     environment_burst_fraction: float = 0.9,
+    workers: int = 1,
 ) -> DurabilityResult:
     """Figure 15: one-year durability comparison for one datacenter."""
     spec = ScenarioSpec(
@@ -56,4 +57,4 @@ def run_durability_experiment(
             "environment_burst_fraction": environment_burst_fraction,
         },
     )
-    return ExperimentHarness(spec).run()
+    return _run(spec, workers=workers).payload

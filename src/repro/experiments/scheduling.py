@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.experiments.config import ExperimentScale, QUICK_SCALE
-from repro.harness.harness import ExperimentHarness
+from repro.api import run as _run
 from repro.harness.results import (
     FleetImprovementResult,
     SchedulingSweepPoint,
@@ -47,6 +47,7 @@ def run_datacenter_sweep(
     seed: int = 0,
     max_tenants: Optional[int] = 24,
     servers_per_tenant_limit: Optional[int] = 4,
+    workers: int = 1,
 ) -> SchedulingSweepResult:
     """Figure 13: sweep utilization levels for one datacenter.
 
@@ -66,7 +67,7 @@ def run_datacenter_sweep(
         servers_per_tenant_limit=servers_per_tenant_limit,
         seed=seed,
     )
-    return ExperimentHarness(spec).run()
+    return _run(spec, workers=workers).payload
 
 
 def run_fleet_improvements(
@@ -77,6 +78,7 @@ def run_fleet_improvements(
     seed: int = 0,
     max_tenants: Optional[int] = 16,
     servers_per_tenant_limit: Optional[int] = 3,
+    workers: int = 1,
 ) -> FleetImprovementResult:
     """Figure 14: run the sweep for every datacenter and summarize."""
     spec = ScenarioSpec(
@@ -93,4 +95,4 @@ def run_fleet_improvements(
             "datacenters": list(datacenters) if datacenters is not None else None
         },
     )
-    return ExperimentHarness(spec).run()
+    return _run(spec, workers=workers).payload

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.experiments.config import ExperimentScale, QUICK_SCALE
 from repro.harness.builders import build_testbed_tenants
-from repro.harness.harness import ExperimentHarness
+from repro.api import run as _run
 from repro.harness.results import (
     SchedulingTestbedResult,
     StorageTestbedResult,
@@ -41,6 +41,7 @@ __all__ = [
 def run_scheduling_testbed(
     scale: ExperimentScale = QUICK_SCALE,
     seed: int = 0,
+    workers: int = 1,
 ) -> SchedulingTestbedResult:
     """Run the full scheduling testbed comparison (Figures 10 and 11)."""
     spec = ScenarioSpec(
@@ -51,7 +52,7 @@ def run_scheduling_testbed(
         variants=("YARN-Stock", "YARN-PT", "YARN-H"),
         seed=seed,
     )
-    return ExperimentHarness(spec).run()
+    return _run(spec, workers=workers).payload
 
 
 def run_storage_testbed(
@@ -59,6 +60,7 @@ def run_storage_testbed(
     seed: int = 0,
     accesses_per_minute: int = 60,
     utilization_target: float = 0.5,
+    workers: int = 1,
 ) -> StorageTestbedResult:
     """Run the storage testbed comparison (Figure 12)."""
     spec = ScenarioSpec(
@@ -73,4 +75,4 @@ def run_storage_testbed(
             "utilization_target": utilization_target,
         },
     )
-    return ExperimentHarness(spec).run()
+    return _run(spec, workers=workers).payload

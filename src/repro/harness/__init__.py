@@ -22,6 +22,7 @@ The legacy ``repro.experiments.run_*`` entry points survive as thin wrappers
 that assemble a spec and hand it to the harness.
 """
 
+from repro.harness.cells import Cell, CellTiming
 from repro.harness.spec import (
     ScenarioSpec,
     get_scenario,
@@ -35,6 +36,8 @@ from repro.harness import scenarios as _scenarios  # registers the defaults
 _scenarios.register_default_scenarios()
 
 __all__ = [
+    "Cell",
+    "CellTiming",
     "ScenarioSpec",
     "ExperimentHarness",
     "run_scenario",

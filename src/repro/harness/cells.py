@@ -1,0 +1,56 @@
+"""The cell-grid decomposition of a scenario run.
+
+Every evaluation figure is a grid of independent experiment cells — one
+(variant, replication) pair of the durability study, one (utilization,
+scaling) point of the scheduling sweep — and each cell already runs from its
+own forked random stream.  A :class:`Cell` names one such unit: which
+coordinates it covers and which child seed(s) its stream forks resolved to,
+so the cell can be executed anywhere (same process, worker process) and
+still draw the exact stream the serial loop would have handed it.
+
+Runners declare their grid through ``cells()`` and execute/assemble it with
+the pure ``run_cell(cell)`` / ``merge(cells, partials)`` pair; the harness
+is then free to run cells serially or across a process pool and reassemble
+partial results in deterministic cell order — bit-identical to the serial
+run by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of a scenario's experiment grid.
+
+    Attributes:
+        index: position in the runner's enumeration order; ``merge`` receives
+            partial results in exactly this order.
+        key: human-readable cell label (``"HDFS-H-r3"``, ``"linear-u0.35"``).
+        seeds: child seeds, in the order ``run_cell`` consumes them.  They
+            are recorded from the runner's own fork calls, so
+            ``RandomSource(seed)`` inside ``run_cell`` reproduces the exact
+            stream the serial loop forked at this point.
+        coords: the cell's grid coordinates (variant, replication, target
+            utilization, ...), keyed by field name.
+    """
+
+    index: int
+    key: str
+    seeds: Tuple[int, ...]
+    coords: Dict[str, Any] = field(default_factory=dict)
+
+    def coord(self, name: str) -> Any:
+        """One grid coordinate by name; raises ``KeyError`` when absent."""
+        return self.coords[name]
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Wall-clock of one executed cell (recorded by the harness executor)."""
+
+    index: int
+    key: str
+    seconds: float

@@ -1,13 +1,58 @@
-"""The experiment harness: one entry point for every scenario kind."""
+"""The experiment harness: one thin executor for every scenario kind.
+
+Since the ``repro.api`` redesign the harness no longer knows anything about
+scenario kinds: every runner declares its **cell grid** (see
+:mod:`repro.harness.cells`) and the harness merely executes it — either
+serially in-process, or across a ``ProcessPoolExecutor`` (spawn) when
+``workers > 1``.  Each worker rebuilds the runner's shared context from the
+same ``(spec, seed)`` pair (all randomness is seed-derived, so the rebuild is
+exact) and executes cells purely from their recorded child seeds; the parent
+reassembles partial results in deterministic cell order, so a parallel run
+is bit-identical to the serial one by construction.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Optional, Union
+import time
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
-from repro.harness.runners import RUNNERS
+from repro.harness.cells import Cell, CellTiming
+from repro.harness.runners import RUNNERS, ScenarioRunner
 from repro.harness.spec import ScenarioSpec, get_scenario
 from repro.simulation.metrics import MetricRegistry
 from repro.simulation.random import RandomSource
+
+#: Per-process cache of the prepared runner, keyed by (spec, seed); a pool
+#: worker prepares the shared context once and serves every cell it is
+#: handed from it.
+_WORKER_STATE: dict = {}
+
+
+def _build_runner(
+    spec: ScenarioSpec, seed: int, metrics: Optional[MetricRegistry] = None
+) -> ScenarioRunner:
+    runner_cls = RUNNERS.get(spec.kind)
+    if runner_cls is None:
+        raise ValueError(f"no runner registered for kind {spec.kind!r}")
+    return runner_cls(
+        spec, RandomSource(seed), metrics if metrics is not None else MetricRegistry()
+    )
+
+
+def _worker_init(spec: ScenarioSpec, seed: int) -> None:
+    """Pool initializer: prepare the runner once per worker process."""
+    runner = _build_runner(spec, seed)
+    _WORKER_STATE["runner"] = runner
+    _WORKER_STATE["cells"] = runner.cells()
+
+
+def _worker_run_cell(index: int) -> Tuple[int, Any, float]:
+    """Execute one cell (by enumeration index) in a pool worker."""
+    runner: ScenarioRunner = _WORKER_STATE["runner"]
+    cell: Cell = _WORKER_STATE["cells"][index]
+    started = time.perf_counter()
+    partial = runner.run_cell(cell)
+    return index, partial, time.perf_counter() - started
 
 
 class ExperimentHarness:
@@ -15,10 +60,13 @@ class ExperimentHarness:
 
     The harness owns the run's seed-derived random stream and its
     :class:`MetricRegistry`; the scenario's runner builds the fleet once,
-    loops over policy variants with forked streams, and drives all
-    time-stepped logic through the simulation engine.  After ``run()`` the
-    registry holds the scenario's headline numbers, so two runs with the same
-    spec and seed produce identical snapshots.
+    declares one cell per independent grid point (each with forked streams),
+    and the harness executes the cells — serially, or on a spawn-based
+    process pool when ``workers > 1`` — before the runner merges the partial
+    results in cell order.  After ``run()`` the registry holds the
+    scenario's headline numbers and :attr:`cell_timings` the per-cell
+    wall-clock, so two runs with the same spec and seed produce identical
+    snapshots regardless of worker count.
     """
 
     def __init__(
@@ -26,25 +74,75 @@ class ExperimentHarness:
         spec: ScenarioSpec,
         seed: Optional[int] = None,
         metrics: Optional[MetricRegistry] = None,
+        workers: int = 1,
     ) -> None:
         self.spec = spec
         self.seed = spec.seed if seed is None else int(seed)
         self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.workers = max(1, int(workers))
+        self.cell_timings: List[CellTiming] = []
 
-    def run(self) -> Any:
+    def run(self, workers: Optional[int] = None) -> Any:
         """Execute the scenario; returns its kind-specific result dataclass."""
-        runner_cls = RUNNERS.get(self.spec.kind)
-        if runner_cls is None:
-            raise ValueError(f"no runner registered for kind {self.spec.kind!r}")
-        runner = runner_cls(self.spec, RandomSource(self.seed), self.metrics)
-        return runner.run()
+        runner = _build_runner(self.spec, self.seed, self.metrics)
+        cells = runner.cells()
+        effective = self.workers if workers is None else max(1, int(workers))
+        effective = min(effective, len(cells)) if cells else 1
+        if effective > 1:
+            partials = self._run_cells_parallel(cells, effective)
+        else:
+            partials = self._run_cells_serial(runner, cells)
+        return runner.merge(cells, partials)
+
+    def _run_cells_serial(
+        self, runner: ScenarioRunner, cells: Sequence[Cell]
+    ) -> List[Any]:
+        partials: List[Any] = []
+        timings: List[CellTiming] = []
+        for cell in cells:
+            started = time.perf_counter()
+            partials.append(runner.run_cell(cell))
+            timings.append(
+                CellTiming(cell.index, cell.key, time.perf_counter() - started)
+            )
+        self.cell_timings = timings
+        return partials
+
+    def _run_cells_parallel(self, cells: Sequence[Cell], workers: int) -> List[Any]:
+        """Execute the cells on a spawn pool; partials return in cell order.
+
+        Workers receive only ``(spec, seed)`` and a cell index: each process
+        re-derives the shared context and the grid from the seed (exact, as
+        every stream is seed-derived), so no simulation state ever needs to
+        pickle, and results are reassembled by index before the merge.
+        """
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        partials: List[Any] = [None] * len(cells)
+        timings: List[Optional[CellTiming]] = [None] * len(cells)
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(self.spec, self.seed),
+        ) as pool:
+            for index, partial, seconds in pool.map(
+                _worker_run_cell, range(len(cells))
+            ):
+                partials[index] = partial
+                timings[index] = CellTiming(index, cells[index].key, seconds)
+        self.cell_timings = [t for t in timings if t is not None]
+        return partials
 
 
 def run_scenario(
     scenario: Union[str, ScenarioSpec],
     seed: Optional[int] = None,
     metrics: Optional[MetricRegistry] = None,
+    workers: int = 1,
 ) -> Any:
     """Run a scenario by name (registry lookup) or from an explicit spec."""
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
-    return ExperimentHarness(spec, seed=seed, metrics=metrics).run()
+    return ExperimentHarness(spec, seed=seed, metrics=metrics, workers=workers).run()

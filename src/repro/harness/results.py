@@ -4,6 +4,18 @@ These used to live in the per-experiment driver modules; they moved here when
 the drivers were unified on :class:`repro.harness.ExperimentHarness` so the
 runners and the (thin) legacy wrappers can share them without import cycles.
 The driver modules re-export them under their historical names.
+
+Every top-level result implements the uniform presentation protocol the
+``repro.api`` envelope relies on:
+
+* ``headline()`` — the figure's fingerprint-relevant numbers as JSON-safe
+  data (what ``benchmarks/emit_bench.py`` records and
+  ``benchmarks/diff_bench.py`` gates on);
+* ``render()`` — the figure's table as text (what the CLI prints).
+
+Both used to be ~75-line ``isinstance`` switches in ``cli.py`` and
+``emit_bench.py``; as methods, a new scenario kind brings its own
+presentation along and no tool needs a new case.
 """
 
 from __future__ import annotations
@@ -64,6 +76,31 @@ class DurabilityResult:
             return float("inf") if stock > 0 else 1.0
         return stock / history
 
+    def headline(self) -> Dict[str, Dict[str, int]]:
+        """Fingerprint-relevant numbers: created/lost per (variant, R)."""
+        return {
+            f"{variant}-r{replication}": {
+                "blocks_created": r.blocks_created,
+                "blocks_lost": r.blocks_lost,
+            }
+            for (variant, replication), r in sorted(self.results.items())
+        }
+
+    def render(self) -> str:
+        """Figure 15's table."""
+        from repro.experiments.report import format_table
+
+        rows = [
+            [variant, replication, r.blocks_created, r.blocks_lost,
+             f"{100 * r.lost_fraction:.4f}%"]
+            for (variant, replication), r in sorted(self.results.items())
+        ]
+        return format_table(
+            ["system", "replication", "blocks", "lost", "lost fraction"],
+            rows,
+            title=f"Durability ({self.datacenter})",
+        )
+
 
 # ---------------------------------------------------------------------------
 # Figure 16: availability
@@ -118,6 +155,36 @@ class AvailabilityResult:
             series, key=lambda p: abs(p.target_utilization - target_utilization)
         )
         return closest.failed_fraction
+
+    def headline(self) -> Dict[str, Dict[str, int]]:
+        """Fingerprint-relevant numbers: accesses/failures per grid point."""
+        return {
+            f"{p.variant}-r{p.replication}-u{p.target_utilization}": {
+                "accesses": p.accesses,
+                "failed_accesses": p.failed_accesses,
+            }
+            for p in self.points
+        }
+
+    def render(self) -> str:
+        """Figure 16's table."""
+        from repro.experiments.report import format_table
+
+        variants = sorted({(p.variant, p.replication) for p in self.points})
+        levels = sorted({p.target_utilization for p in self.points})
+        rows = [
+            [f"{util:.2f}"]
+            + [
+                f"{100 * self.failed_fraction(v, r, util):.2f}%"
+                for v, r in variants
+            ]
+            for util in levels
+        ]
+        return format_table(
+            ["avg util"] + [f"{v} R{r}" for v, r in variants],
+            rows,
+            title=f"Availability ({self.datacenter}, {self.scaling.value})",
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -180,6 +247,42 @@ class SchedulingSweepResult:
         improvements = self.improvements(scaling)
         return float(np.min(improvements)) if improvements else 0.0
 
+    def headline(self) -> Dict[str, object]:
+        """Fingerprint-relevant numbers: every sweep point plus the mean."""
+        return {
+            "points": [
+                {
+                    "scaling": p.scaling.value,
+                    "target_utilization": p.target_utilization,
+                    "yarn_pt_seconds": p.yarn_pt_seconds,
+                    "yarn_h_seconds": p.yarn_h_seconds,
+                    "improvement": p.improvement,
+                    "yarn_pt_tasks_killed": p.yarn_pt_tasks_killed,
+                    "yarn_h_tasks_killed": p.yarn_h_tasks_killed,
+                }
+                for p in self.points
+            ],
+            "average_improvement_linear": self.average_improvement(
+                ScalingMethod.LINEAR
+            ),
+        }
+
+    def render(self) -> str:
+        """Figure 13's table."""
+        from repro.experiments.report import format_table
+
+        rows = [
+            [p.scaling.value, f"{p.target_utilization:.2f}",
+             f"{p.yarn_pt_seconds:.0f}", f"{p.yarn_h_seconds:.0f}",
+             f"{100 * p.improvement:.0f}%"]
+            for p in self.points
+        ]
+        return format_table(
+            ["scaling", "target util", "YARN-PT (s)", "YARN-H (s)", "improvement"],
+            rows,
+            title=f"{self.datacenter} utilization sweep",
+        )
+
 
 @dataclass
 class FleetImprovementResult:
@@ -199,6 +302,23 @@ class FleetImprovementResult:
                 "max": sweep.max_improvement(scaling),
             }
         return table
+
+    def headline(self) -> Dict[str, Dict[str, float]]:
+        """Fingerprint-relevant numbers: the per-datacenter summary."""
+        return {name: dict(stats) for name, stats in sorted(self.summary().items())}
+
+    def render(self) -> str:
+        """Figure 14's table."""
+        from repro.experiments.report import format_table
+
+        rows = [
+            [name, f"{100 * s['min']:.0f}%", f"{100 * s['avg']:.0f}%",
+             f"{100 * s['max']:.0f}%"]
+            for name, s in sorted(self.summary().items())
+        ]
+        return format_table(
+            ["DC", "min", "avg", "max"], rows, title="Fleet improvements"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -232,6 +352,39 @@ class SchedulingTestbedResult:
         """Result for one variant by name (e.g. ``"YARN-H"``)."""
         return self.variants[name]
 
+    def headline(self) -> Dict[str, object]:
+        """Fingerprint-relevant numbers: baseline plus per-variant summary."""
+        return {
+            "no_harvesting_p99_ms": self.no_harvesting_p99_ms,
+            "variants": {
+                name: {
+                    "average_p99_ms": v.average_p99_ms,
+                    "max_p99_ms": v.max_p99_ms,
+                    "average_job_seconds": v.average_job_seconds,
+                    "jobs_completed": v.jobs_completed,
+                    "tasks_killed": v.tasks_killed,
+                    "average_cpu_utilization": v.average_cpu_utilization,
+                }
+                for name, v in self.variants.items()
+            },
+        }
+
+    def render(self) -> str:
+        """Figure 10/11's table."""
+        from repro.experiments.report import format_table
+
+        rows = [["No-Harvesting", f"{self.no_harvesting_p99_ms:.0f}", "-", "-", "-"]]
+        for name, v in self.variants.items():
+            rows.append([
+                name, f"{v.average_p99_ms:.0f}", f"{v.average_job_seconds:.0f}",
+                v.tasks_killed, f"{100 * v.average_cpu_utilization:.0f}%",
+            ])
+        return format_table(
+            ["variant", "avg p99 (ms)", "avg job (s)", "kills", "cpu util"],
+            rows,
+            title="Scheduling testbed",
+        )
+
 
 @dataclass
 class VariantStorageResult:
@@ -255,6 +408,35 @@ class StorageTestbedResult:
     def variant(self, name: str) -> VariantStorageResult:
         """Result for one variant by name (e.g. ``"HDFS-H"``)."""
         return self.variants[name]
+
+    def headline(self) -> Dict[str, object]:
+        """Fingerprint-relevant numbers: baseline plus per-variant summary."""
+        return {
+            "no_harvesting_p99_ms": self.no_harvesting_p99_ms,
+            "variants": {
+                name: {
+                    "average_p99_ms": v.average_p99_ms,
+                    "failed_accesses": v.failed_accesses,
+                    "served_accesses": v.served_accesses,
+                }
+                for name, v in self.variants.items()
+            },
+        }
+
+    def render(self) -> str:
+        """Figure 12's table."""
+        from repro.experiments.report import format_table
+
+        rows = [["No-Harvesting", f"{self.no_harvesting_p99_ms:.0f}", "-", "-"]]
+        for name, v in self.variants.items():
+            rows.append([
+                name, f"{v.average_p99_ms:.0f}", v.failed_accesses, v.served_accesses,
+            ])
+        return format_table(
+            ["variant", "avg p99 (ms)", "failed accesses", "served accesses"],
+            rows,
+            title="Storage testbed",
+        )
 
 
 # ---------------------------------------------------------------------------

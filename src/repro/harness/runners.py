@@ -6,6 +6,16 @@ policy variant, drive every time-stepped piece through
 :class:`~repro.simulation.engine.SimulationEngine`, and record headline
 numbers in the harness :class:`~repro.simulation.metrics.MetricRegistry`.
 
+Since the ``repro.api`` redesign every runner declares its work as a **cell
+grid** (:meth:`ScenarioRunner.cells`): shared setup runs once, then each
+independent grid cell — one (variant, replication) pair, one (utilization,
+scaling) sweep point — carries the child seed(s) its forked streams resolved
+to and executes through a pure :meth:`ScenarioRunner.run_cell`, with
+:meth:`ScenarioRunner.merge` reassembling partial results (and the metric
+writes) in deterministic cell order.  The harness can therefore run cells
+serially or across a process pool and produce bit-identical results either
+way.
+
 The runners reproduce the legacy drivers' random-stream fork order exactly,
 so a fixed seed yields the same figures the drivers produced before the
 consolidation.
@@ -13,7 +23,7 @@ consolidation.
 
 from __future__ import annotations
 
-from typing import ClassVar, Dict, List, Sequence, Type
+from typing import Any, ClassVar, Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -27,6 +37,7 @@ from repro.harness.builders import (
     scaled_tenants,
     trimmed_tenants,
 )
+from repro.harness.cells import Cell
 from repro.harness.results import (
     AvailabilityPoint,
     AvailabilityResult,
@@ -94,6 +105,26 @@ def _per_server_utilization(
     return matrix.utilization(rows[None, :], np.asarray(times, dtype=float)[:, None])
 
 
+def _baseline_p99(
+    tenants: Sequence[PrimaryTenant], duration: float, rng: RandomSource
+) -> float:
+    """The testbeds' No-Harvesting baseline: mean per-minute primary p99.
+
+    The primary service alone, no batch containers.  One (minutes x
+    servers) latency matrix replaces the per-tenant/per-server Python
+    loops; the jitter draws are consumed in the same minute-major order the
+    scalar loop used.
+    """
+    latency_model = LatencyModel(rng=rng)
+    minutes = np.arange(60.0, duration, 60.0)
+    samples: List[float] = []
+    if len(minutes):
+        utilization = _per_server_utilization(tenants, minutes)
+        latencies = latency_model.p99_latency_ms_array(utilization, 0.0)
+        samples = [float(np.mean(row)) for row in latencies]
+    return float(np.mean(samples)) if samples else 0.0
+
+
 def _bucket_mean(times: np.ndarray, matrix: np.ndarray, interval: float) -> np.ndarray:
     """Bucket matrix rows into fixed ``interval`` windows and average each.
 
@@ -115,7 +146,25 @@ def _register(cls: Type["ScenarioRunner"]) -> Type["ScenarioRunner"]:
 
 
 class ScenarioRunner:
-    """Base class: one scenario kind, one ``run()`` implementation."""
+    """Base class: one scenario kind, one cell-grid decomposition.
+
+    Subclasses implement three hooks:
+
+    * ``_prepare()`` — the shared setup every cell needs (fleet build, trace
+      scaling, reimage schedules), consuming the runner's stream in exactly
+      the order the serial drivers did;
+    * ``_enumerate_cells()`` — the grid, forking one child stream per cell
+      (in the serial loop order) and recording the child seeds on the cells;
+    * ``run_cell(cell)`` — execute one cell *purely*: no access to
+      ``self.rng`` or ``self.metrics``, randomness only from
+      ``RandomSource(cell.seeds[i])``, so a cell computes the same partial
+      result in any process;
+    * ``merge(cells, partials)`` — reassemble partial results (and perform
+      every metric write) in cell order.
+
+    ``run()`` composes them serially; the harness uses the same hooks to
+    execute cells on a process pool with bit-identical output.
+    """
 
     kind: ClassVar[str] = ""
 
@@ -125,10 +174,56 @@ class ScenarioRunner:
         self.spec = spec
         self.rng = rng
         self.metrics = metrics
+        self._ctx: Optional[Dict[str, Any]] = None
+        self._cells: Optional[List[Cell]] = None
 
-    def run(self):
-        """Execute the scenario and return its result dataclass."""
+    # -- cell protocol ------------------------------------------------------
+
+    def cells(self) -> List[Cell]:
+        """The scenario's cell grid (shared setup runs on first call)."""
+        if self._cells is None:
+            self._ctx = self._prepare()
+            self._cells = self._enumerate_cells()
+        return self._cells
+
+    @property
+    def ctx(self) -> Dict[str, Any]:
+        """Shared context built by ``_prepare`` (forces ``cells()``)."""
+        self.cells()
+        assert self._ctx is not None
+        return self._ctx
+
+    def _prepare(self) -> Dict[str, Any]:
+        """Build the state every cell shares; consumes shared stream forks."""
         raise NotImplementedError
+
+    def _enumerate_cells(self) -> List[Cell]:
+        """Enumerate the grid, forking one child stream per cell."""
+        raise NotImplementedError
+
+    def run_cell(self, cell: Cell) -> Any:
+        """Execute one cell purely; returns a picklable partial result."""
+        raise NotImplementedError
+
+    def merge(self, cells: Sequence[Cell], partials: Sequence[Any]) -> Any:
+        """Assemble partial results (in cell order) into the kind result."""
+        raise NotImplementedError
+
+    def run(self) -> Any:
+        """Execute the scenario serially and return its result dataclass."""
+        cells = self.cells()
+        return self.merge(cells, [self.run_cell(cell) for cell in cells])
+
+    # -- shared helpers -----------------------------------------------------
+
+    def fork_seed(self, label: str) -> int:
+        """Fork a child stream off the runner stream; returns its seed.
+
+        The child seed depends on the parent seed, the fork index, and the
+        label — recording it on a cell preserves the exact serial fork order
+        while letting the cell rebuild the stream in another process.
+        """
+        return self.rng.fork(label).seed
 
     def build_fleet(self) -> Datacenter:
         """Build the scenario's datacenter once (first fork of the run)."""
@@ -187,11 +282,15 @@ def _reimage_schedule(
 
 @_register
 class DurabilityRunner(ScenarioRunner):
-    """Figure 15: replay a reimage history against each HDFS variant."""
+    """Figure 15: replay a reimage history against each HDFS variant.
+
+    Cell grid: one cell per (replication level, variant) pair, in the serial
+    loop's nesting order.
+    """
 
     kind = "durability"
 
-    def run(self) -> DurabilityResult:
+    def _prepare(self) -> Dict[str, Any]:
         spec = self.spec
         datacenter = self.build_fleet()
         tenants = trimmed_tenants(
@@ -208,32 +307,59 @@ class DurabilityRunner(ScenarioRunner):
             ),
             environment_burst_fraction=spec.param("environment_burst_fraction", 0.9),
         )
-        matrix = TraceMatrix(tenants)
+        return {
+            "tenants": tenants,
+            "reimages": reimages,
+            "duration": duration,
+            "matrix": TraceMatrix(tenants),
+        }
 
-        result = DurabilityResult(spec.datacenter)
-        for replication in spec.replication_levels:
-            for variant in spec.variants:
-                variant_rng = self.rng.fork(f"{variant}-{replication}")
-                outcome = self._run_variant(
-                    variant,
-                    replication,
-                    tenants,
-                    reimages,
-                    duration,
-                    variant_rng,
-                    matrix,
+    def _enumerate_cells(self) -> List[Cell]:
+        cells: List[Cell] = []
+        for replication in self.spec.replication_levels:
+            for variant in self.spec.variants:
+                cells.append(
+                    Cell(
+                        index=len(cells),
+                        key=f"{variant}-r{replication}",
+                        seeds=(self.fork_seed(f"{variant}-{replication}"),),
+                        coords={"variant": variant, "replication": replication},
+                    )
                 )
-                result.results[(variant, replication)] = outcome
-                prefix = f"durability.{variant}.r{replication}"
-                self.metrics.counter(f"{prefix}.blocks_created").increment(
-                    outcome.blocks_created
-                )
-                self.metrics.counter(f"{prefix}.blocks_lost").increment(
-                    outcome.blocks_lost
-                )
-                self.metrics.counter(f"{prefix}.reimage_events").increment(
-                    outcome.reimage_events
-                )
+        return cells
+
+    def run_cell(self, cell: Cell) -> VariantDurabilityResult:
+        ctx = self.ctx
+        return self._run_variant(
+            cell.coord("variant"),
+            cell.coord("replication"),
+            ctx["tenants"],
+            ctx["reimages"],
+            ctx["duration"],
+            RandomSource(cell.seeds[0]),
+            ctx["matrix"],
+        )
+
+    def merge(
+        self,
+        cells: Sequence[Cell],
+        partials: Sequence[VariantDurabilityResult],
+    ) -> DurabilityResult:
+        result = DurabilityResult(self.spec.datacenter)
+        for cell, outcome in zip(cells, partials):
+            variant = cell.coord("variant")
+            replication = cell.coord("replication")
+            result.results[(variant, replication)] = outcome
+            prefix = f"durability.{variant}.r{replication}"
+            self.metrics.counter(f"{prefix}.blocks_created").increment(
+                outcome.blocks_created
+            )
+            self.metrics.counter(f"{prefix}.blocks_lost").increment(
+                outcome.blocks_lost
+            )
+            self.metrics.counter(f"{prefix}.reimage_events").increment(
+                outcome.reimage_events
+            )
         return result
 
     def _run_variant(
@@ -303,11 +429,15 @@ class DurabilityRunner(ScenarioRunner):
 
 @_register
 class AvailabilityRunner(ScenarioRunner):
-    """Figure 16: sample block accesses across the utilization spectrum."""
+    """Figure 16: sample block accesses across the utilization spectrum.
+
+    Cell grid: one cell per (target utilization, replication, variant)
+    triple, in the serial loop's nesting order.
+    """
 
     kind = "availability"
 
-    def run(self) -> AvailabilityResult:
+    def _prepare(self) -> Dict[str, Any]:
         spec = self.spec
         accesses_per_point = int(spec.param("accesses_per_point", 2000))
         if accesses_per_point <= 0:
@@ -324,35 +454,75 @@ class AvailabilityRunner(ScenarioRunner):
         trimmed = trimmed_tenants(
             datacenter, spec.max_tenants, spec.servers_per_tenant_limit
         )
-        duration = spec.scale.simulation_days * 24 * 3600.0
-        num_blocks = min(spec.scale.num_blocks, 2000)
-
-        result = AvailabilityResult(spec.datacenter, scaling)
+        # Trace scaling draws nothing from the stream, so deriving every
+        # target's tenant set here (instead of inside the cell loop) leaves
+        # the fork sequence unchanged.
+        per_target: Dict[float, Dict[str, Any]] = {}
         for target in spec.utilization_levels:
             tenants = scaled_tenants(trimmed, target, scaling)
-            all_servers = [s.server_id for t in tenants for s in t.servers]
-            matrix = TraceMatrix(tenants) if tenants else None
-            for replication in spec.replication_levels:
-                for variant in spec.variants:
-                    variant_rng = self.rng.fork(f"{variant}-{replication}-{target}")
-                    point = self._run_point(
-                        variant,
-                        replication,
-                        target,
-                        tenants,
-                        all_servers,
-                        matrix,
-                        num_blocks,
-                        accesses_per_point,
-                        duration,
-                        variant_rng,
+            per_target[target] = {
+                "tenants": tenants,
+                "all_servers": [s.server_id for t in tenants for s in t.servers],
+                "matrix": TraceMatrix(tenants) if tenants else None,
+            }
+        return {
+            "scaling": scaling,
+            "per_target": per_target,
+            "duration": spec.scale.simulation_days * 24 * 3600.0,
+            "num_blocks": min(spec.scale.num_blocks, 2000),
+            "accesses_per_point": accesses_per_point,
+        }
+
+    def _enumerate_cells(self) -> List[Cell]:
+        cells: List[Cell] = []
+        for target in self.spec.utilization_levels:
+            for replication in self.spec.replication_levels:
+                for variant in self.spec.variants:
+                    cells.append(
+                        Cell(
+                            index=len(cells),
+                            key=f"{variant}-r{replication}-u{target}",
+                            seeds=(
+                                self.fork_seed(f"{variant}-{replication}-{target}"),
+                            ),
+                            coords={
+                                "variant": variant,
+                                "replication": replication,
+                                "target_utilization": target,
+                            },
+                        )
                     )
-                    result.points.append(point)
-                    prefix = f"availability.{variant}.r{replication}.u{target}"
-                    self.metrics.counter(f"{prefix}.accesses").increment(point.accesses)
-                    self.metrics.counter(f"{prefix}.failed").increment(
-                        point.failed_accesses
-                    )
+        return cells
+
+    def run_cell(self, cell: Cell) -> AvailabilityPoint:
+        ctx = self.ctx
+        target = cell.coord("target_utilization")
+        scaled = ctx["per_target"][target]
+        return self._run_point(
+            cell.coord("variant"),
+            cell.coord("replication"),
+            target,
+            scaled["tenants"],
+            scaled["all_servers"],
+            scaled["matrix"],
+            ctx["num_blocks"],
+            ctx["accesses_per_point"],
+            ctx["duration"],
+            RandomSource(cell.seeds[0]),
+        )
+
+    def merge(
+        self, cells: Sequence[Cell], partials: Sequence[AvailabilityPoint]
+    ) -> AvailabilityResult:
+        result = AvailabilityResult(self.spec.datacenter, self.ctx["scaling"])
+        for point in partials:
+            result.points.append(point)
+            prefix = (
+                f"availability.{point.variant}.r{point.replication}"
+                f".u{point.target_utilization}"
+            )
+            self.metrics.counter(f"{prefix}.accesses").increment(point.accesses)
+            self.metrics.counter(f"{prefix}.failed").increment(point.failed_accesses)
         return result
 
     def _run_point(
@@ -429,46 +599,85 @@ class AvailabilityRunner(ScenarioRunner):
 
 @_register
 class SchedulingSweepRunner(ScenarioRunner):
-    """Figure 13: YARN-PT vs YARN-H across the utilization spectrum."""
+    """Figure 13: YARN-PT vs YARN-H across the utilization spectrum.
+
+    Cell grid: one cell per (scaling method, target utilization) point; both
+    scheduler variants run inside the cell because they share the point's
+    forked stream (PT first, then H, exactly as the serial loop ran them).
+    """
 
     kind = "scheduling_sweep"
 
-    def run(self) -> SchedulingSweepResult:
+    def _prepare(self) -> Dict[str, Any]:
         spec = self.spec
         datacenter = self.build_fleet()
-        result = SchedulingSweepResult(spec.datacenter)
         trimmed = trimmed_tenants(
             datacenter, spec.max_tenants, spec.servers_per_tenant_limit
         )
+        per_point: Dict[Tuple[str, float], List[PrimaryTenant]] = {}
         for scaling in spec.scalings:
             for target in spec.utilization_levels:
-                tenants = scaled_tenants(trimmed, target, scaling)
-                if not tenants:
+                per_point[(scaling.value, target)] = scaled_tenants(
+                    trimmed, target, scaling
+                )
+        return {"per_point": per_point}
+
+    def _enumerate_cells(self) -> List[Cell]:
+        cells: List[Cell] = []
+        per_point = self._ctx["per_point"]
+        for scaling in self.spec.scalings:
+            for target in self.spec.utilization_levels:
+                if not per_point[(scaling.value, target)]:
+                    # The serial loop `continue`d before forking; skipping
+                    # without a fork keeps every later seed identical.
                     continue
-                point_rng = self.rng.fork(f"{scaling.value}-{target}")
-                pt = self._run_variant(SchedulerMode.PRIMARY_AWARE, tenants, point_rng)
-                h = self._run_variant(SchedulerMode.HISTORY, tenants, point_rng)
-                point = SchedulingSweepPoint(
-                    target_utilization=target,
-                    scaling=scaling,
-                    yarn_pt_seconds=pt.average_job_execution_seconds(),
-                    yarn_h_seconds=h.average_job_execution_seconds(),
-                    yarn_pt_tasks_killed=pt.total_tasks_killed(),
-                    yarn_h_tasks_killed=h.total_tasks_killed(),
-                    jobs_completed_pt=pt.completed_job_count(),
-                    jobs_completed_h=h.completed_job_count(),
+                cells.append(
+                    Cell(
+                        index=len(cells),
+                        key=f"{scaling.value}-u{target}",
+                        seeds=(self.fork_seed(f"{scaling.value}-{target}"),),
+                        coords={"scaling": scaling, "target_utilization": target},
+                    )
                 )
-                result.points.append(point)
-                prefix = f"sweep.{spec.datacenter}.{scaling.value}.u{target}"
-                self.metrics.distribution(f"{prefix}.yarn_pt_seconds").add(
-                    point.yarn_pt_seconds
-                )
-                self.metrics.distribution(f"{prefix}.yarn_h_seconds").add(
-                    point.yarn_h_seconds
-                )
-                self.metrics.distribution(f"{prefix}.improvement").add(
-                    point.improvement
-                )
+        return cells
+
+    def run_cell(self, cell: Cell) -> SchedulingSweepPoint:
+        ctx = self.ctx
+        scaling: ScalingMethod = cell.coord("scaling")
+        target = cell.coord("target_utilization")
+        tenants = ctx["per_point"][(scaling.value, target)]
+        point_rng = RandomSource(cell.seeds[0])
+        pt = self._run_variant(SchedulerMode.PRIMARY_AWARE, tenants, point_rng)
+        h = self._run_variant(SchedulerMode.HISTORY, tenants, point_rng)
+        return SchedulingSweepPoint(
+            target_utilization=target,
+            scaling=scaling,
+            yarn_pt_seconds=pt.average_job_execution_seconds(),
+            yarn_h_seconds=h.average_job_execution_seconds(),
+            yarn_pt_tasks_killed=pt.total_tasks_killed(),
+            yarn_h_tasks_killed=h.total_tasks_killed(),
+            jobs_completed_pt=pt.completed_job_count(),
+            jobs_completed_h=h.completed_job_count(),
+        )
+
+    def merge(
+        self, cells: Sequence[Cell], partials: Sequence[SchedulingSweepPoint]
+    ) -> SchedulingSweepResult:
+        spec = self.spec
+        result = SchedulingSweepResult(spec.datacenter)
+        for point in partials:
+            result.points.append(point)
+            prefix = (
+                f"sweep.{spec.datacenter}.{point.scaling.value}"
+                f".u{point.target_utilization}"
+            )
+            self.metrics.distribution(f"{prefix}.yarn_pt_seconds").add(
+                point.yarn_pt_seconds
+            )
+            self.metrics.distribution(f"{prefix}.yarn_h_seconds").add(
+                point.yarn_h_seconds
+            )
+            self.metrics.distribution(f"{prefix}.improvement").add(point.improvement)
         return result
 
     def _run_variant(
@@ -507,20 +716,24 @@ class SchedulingSweepRunner(ScenarioRunner):
 
 @_register
 class FleetImprovementRunner(ScenarioRunner):
-    """Figure 14: run the sweep scenario for every datacenter and summarize."""
+    """Figure 14: run the sweep scenario for every datacenter and summarize.
+
+    Cell grid: the concatenation of each datacenter's sweep grid, so the
+    fleet summary parallelizes across (datacenter x sweep point) — the
+    widest grid any built-in scenario exposes.
+    """
 
     kind = "fleet_improvement"
 
-    def run(self) -> FleetImprovementResult:
-        from repro.harness.harness import ExperimentHarness
-
+    def _prepare(self) -> Dict[str, Any]:
         spec = self.spec
         names = spec.param("datacenters")
         if names is None:
             from repro.traces.fleet import fleet_specs
 
             names = [dc.name for dc in fleet_specs()]
-        result = FleetImprovementResult()
+        subs: List[Tuple[str, SchedulingSweepRunner, List[Cell]]] = []
+        flat: List[Tuple[SchedulingSweepRunner, Cell]] = []
         for name in names:
             sweep_spec = spec.with_overrides(
                 name=f"{spec.name}[{name}]",
@@ -531,9 +744,43 @@ class FleetImprovementRunner(ScenarioRunner):
             # run's effective seed (self.rng.seed carries any run-time
             # override), so per-datacenter results are independent of the
             # fleet iteration order.
-            result.sweeps[name] = ExperimentHarness(
-                sweep_spec, seed=self.rng.seed, metrics=self.metrics
-            ).run()
+            runner = SchedulingSweepRunner(
+                sweep_spec, RandomSource(self.rng.seed), self.metrics
+            )
+            sub_cells = runner.cells()
+            subs.append((name, runner, sub_cells))
+            flat.extend((runner, sub_cell) for sub_cell in sub_cells)
+        return {"names": list(names), "subs": subs, "flat": flat}
+
+    def _enumerate_cells(self) -> List[Cell]:
+        cells: List[Cell] = []
+        for name, _, sub_cells in self._ctx["subs"]:
+            for sub_cell in sub_cells:
+                cells.append(
+                    Cell(
+                        index=len(cells),
+                        key=f"{name}/{sub_cell.key}",
+                        seeds=sub_cell.seeds,
+                        coords={**sub_cell.coords, "datacenter": name},
+                    )
+                )
+        return cells
+
+    def run_cell(self, cell: Cell) -> SchedulingSweepPoint:
+        runner, sub_cell = self.ctx["flat"][cell.index]
+        return runner.run_cell(sub_cell)
+
+    def merge(
+        self, cells: Sequence[Cell], partials: Sequence[SchedulingSweepPoint]
+    ) -> FleetImprovementResult:
+        result = FleetImprovementResult()
+        offset = 0
+        for name, runner, sub_cells in self.ctx["subs"]:
+            count = len(sub_cells)
+            result.sweeps[name] = runner.merge(
+                sub_cells, partials[offset : offset + count]
+            )
+            offset += count
         return result
 
 
@@ -547,42 +794,72 @@ _SCHEDULING_VARIANT_MODES = {
     "YARN-H": SchedulerMode.HISTORY,
 }
 
+#: Marks the testbed runners' No-Harvesting baseline cell.
+BASELINE = "no-harvesting"
+
 
 @_register
 class SchedulingTestbedRunner(ScenarioRunner):
-    """Figures 10/11: No-Harvesting baseline plus the three YARN variants."""
+    """Figures 10/11: No-Harvesting baseline plus the three YARN variants.
+
+    Cell grid: the baseline latency evaluation, then one cell per YARN
+    variant (each carrying the four child seeds its serial forks resolved
+    to: cluster, workload factory, arrival stream, latency model).
+    """
 
     kind = "scheduling_testbed"
 
-    def run(self) -> SchedulingTestbedResult:
-        spec = self.spec
-        tenants = build_testbed_tenants(spec.scale, self.rng)
+    def _prepare(self) -> Dict[str, Any]:
+        return {"tenants": build_testbed_tenants(self.spec.scale, self.rng)}
 
-        # No-Harvesting baseline: the primary service alone, no batch
-        # containers.  One (minutes x servers) latency matrix replaces the
-        # per-tenant/per-server Python loops; the jitter draws are consumed
-        # in the same minute-major order the scalar loop used.
-        latency_model = LatencyModel(rng=self.rng.fork("latency-baseline"))
-        duration = spec.scale.experiment_hours * 3600.0
-        sample_times = np.arange(60.0, duration, 60.0)
-        baseline_samples: List[float] = []
-        if len(sample_times):
-            utilization = _per_server_utilization(tenants, sample_times)
-            latencies = latency_model.p99_latency_ms_array(utilization, 0.0)
-            baseline_samples = [float(np.mean(row)) for row in latencies]
-        baseline_p99 = float(np.mean(baseline_samples)) if baseline_samples else 0.0
+    def _enumerate_cells(self) -> List[Cell]:
+        cells = [
+            Cell(
+                index=0,
+                key=BASELINE,
+                seeds=(self.fork_seed("latency-baseline"),),
+                coords={"variant": BASELINE},
+            )
+        ]
+        for name in self.spec.variants:
+            cells.append(
+                Cell(
+                    index=len(cells),
+                    key=name,
+                    seeds=(
+                        self.fork_seed(f"cluster-{name}"),
+                        self.fork_seed("tpcds"),
+                        self.fork_seed(f"workload-{name}"),
+                        self.fork_seed(f"latency-{name}"),
+                    ),
+                    coords={"variant": name},
+                )
+            )
+        return cells
+
+    def run_cell(self, cell: Cell):
+        tenants = self.ctx["tenants"]
+        if cell.coord("variant") == BASELINE:
+            duration = self.spec.scale.experiment_hours * 3600.0
+            return _baseline_p99(tenants, duration, RandomSource(cell.seeds[0]))
+        return self._run_variant(
+            cell.coord("variant"),
+            _SCHEDULING_VARIANT_MODES[cell.coord("variant")],
+            tenants,
+            cell.seeds,
+        )
+
+    def merge(self, cells: Sequence[Cell], partials: Sequence[Any]):
+        baseline_p99 = float(partials[0])
         self.metrics.distribution("testbed.no_harvesting.p99_ms").add(baseline_p99)
-
         variants: Dict[str, VariantSchedulingResult] = {}
-        for name in spec.variants:
-            variants[name] = self._run_variant(
-                name, _SCHEDULING_VARIANT_MODES[name], tenants
+        for outcome in partials[1:]:
+            variants[outcome.variant] = outcome
+            self.metrics.distribution(f"testbed.{outcome.variant}.p99_ms").add(
+                outcome.average_p99_ms
             )
-            self.metrics.distribution(f"testbed.{name}.p99_ms").add(
-                variants[name].average_p99_ms
-            )
-            self.metrics.counter(f"testbed.{name}.tasks_killed").increment(
-                variants[name].tasks_killed
+            self.metrics.counter(f"testbed.{outcome.variant}.tasks_killed").increment(
+                outcome.tasks_killed
             )
         return SchedulingTestbedResult(
             no_harvesting_p99_ms=baseline_p99, variants=variants
@@ -593,27 +870,28 @@ class SchedulingTestbedRunner(ScenarioRunner):
         name: str,
         mode: SchedulerMode,
         tenants: Sequence[PrimaryTenant],
+        seeds: Tuple[int, ...],
     ) -> VariantSchedulingResult:
         """Run the testbed workload under one scheduler variant."""
-        rng = self.rng
         scale = self.spec.scale
         duration = scale.experiment_hours * 3600.0
+        cluster_rng, tpcds_rng, workload_rng, latency_rng = (
+            RandomSource(seed) for seed in seeds
+        )
         cluster = HarvestingCluster(
             tenants,
             config=ClusterConfig(mode=mode, record_server_series=True),
-            rng=rng.fork(f"cluster-{name}"),
+            rng=cluster_rng,
         )
-        factory = TpcdsWorkloadFactory(
-            rng.fork("tpcds"), duration_scale=1.0, width_scale=0.35
-        )
+        factory = TpcdsWorkloadFactory(tpcds_rng, duration_scale=1.0, width_scale=0.35)
         generator = WorkloadGenerator(
-            factory, scale.mean_interarrival_seconds, rng.fork(f"workload-{name}")
+            factory, scale.mean_interarrival_seconds, workload_rng
         )
         cluster.submit_arrivals(generator.arrivals(duration * 0.8))
         cluster.run(duration)
 
         latency_model = LatencyModel(
-            rng=rng.fork(f"latency-{name}"),
+            rng=latency_rng,
             reserve_fraction=cluster.config.reserve_cpu_fraction,
         )
         # Evaluate the primary tail latency per minute from the per-server
@@ -660,11 +938,14 @@ class StorageTestbedRunner(ScenarioRunner):
     scaled towards the target utilization so that busy periods (utilization
     above the two-thirds access threshold) actually occur within the scaled-
     down experiment, as they do in the paper's production-derived traces.
+
+    Cell grid: the baseline latency evaluation, then one cell per HDFS
+    variant.
     """
 
     kind = "storage_testbed"
 
-    def run(self) -> StorageTestbedResult:
+    def _prepare(self) -> Dict[str, Any]:
         spec = self.spec
         accesses_per_minute = int(spec.param("accesses_per_minute", 60))
         utilization_target = float(spec.param("utilization_target", 0.5))
@@ -691,30 +972,59 @@ class StorageTestbedRunner(ScenarioRunner):
             )
             for t in tenants
         ]
-        duration = spec.scale.experiment_hours * 3600.0
+        return {
+            "tenants": tenants,
+            "duration": spec.scale.experiment_hours * 3600.0,
+            "accesses_per_minute": accesses_per_minute,
+        }
 
-        latency_model = LatencyModel(rng=self.rng.fork("latency-baseline"))
-        minutes = np.arange(60.0, duration, 60.0)
-        baseline_samples: List[float] = []
-        if len(minutes):
-            utilization = _per_server_utilization(tenants, minutes)
-            latencies = latency_model.p99_latency_ms_array(utilization, 0.0)
-            baseline_samples = [float(np.mean(row)) for row in latencies]
-        baseline_p99 = float(np.mean(baseline_samples)) if baseline_samples else 0.0
+    def _enumerate_cells(self) -> List[Cell]:
+        cells = [
+            Cell(
+                index=0,
+                key=BASELINE,
+                seeds=(self.fork_seed("latency-baseline"),),
+                coords={"variant": BASELINE},
+            )
+        ]
+        for variant in self.spec.variants:
+            cells.append(
+                Cell(
+                    index=len(cells),
+                    key=variant,
+                    seeds=(self.fork_seed(variant),),
+                    coords={"variant": variant},
+                )
+            )
+        return cells
+
+    def run_cell(self, cell: Cell):
+        ctx = self.ctx
+        if cell.coord("variant") == BASELINE:
+            return _baseline_p99(
+                ctx["tenants"], ctx["duration"], RandomSource(cell.seeds[0])
+            )
+        return self._run_variant(
+            cell.coord("variant"),
+            ctx["tenants"],
+            ctx["duration"],
+            ctx["accesses_per_minute"],
+            RandomSource(cell.seeds[0]),
+        )
+
+    def merge(self, cells: Sequence[Cell], partials: Sequence[Any]):
+        baseline_p99 = float(partials[0])
         self.metrics.distribution("storage_testbed.no_harvesting.p99_ms").add(
             baseline_p99
         )
-
         results: Dict[str, VariantStorageResult] = {}
-        for variant in spec.variants:
-            results[variant] = self._run_variant(
-                variant, tenants, duration, accesses_per_minute
-            )
-            self.metrics.distribution(f"storage_testbed.{variant}.p99_ms").add(
-                results[variant].average_p99_ms
-            )
-            self.metrics.counter(f"storage_testbed.{variant}.failed").increment(
-                results[variant].failed_accesses
+        for outcome in partials[1:]:
+            results[outcome.variant] = outcome
+            self.metrics.distribution(
+                f"storage_testbed.{outcome.variant}.p99_ms"
+            ).add(outcome.average_p99_ms)
+            self.metrics.counter(f"storage_testbed.{outcome.variant}.failed").increment(
+                outcome.failed_accesses
             )
         return StorageTestbedResult(
             no_harvesting_p99_ms=baseline_p99, variants=results
@@ -726,8 +1036,8 @@ class StorageTestbedRunner(ScenarioRunner):
         tenants: Sequence[PrimaryTenant],
         duration: float,
         accesses_per_minute: int,
+        variant_rng: RandomSource,
     ) -> VariantStorageResult:
-        variant_rng = self.rng.fork(variant)
         trace_matrix = TraceMatrix(tenants)
         namenode = build_namenode(
             variant, tenants, 3, variant_rng, trace_matrix=trace_matrix

@@ -136,6 +136,11 @@ class ApplicationMaster:
         self._history = history
         self.metrics = metrics or resource_manager.metrics
         self._results: List[JobResult] = []
+        # Container id -> owning execution, maintained across launches and
+        # completions so a reserve-kill heartbeat resolves its affected
+        # executions with dict lookups instead of fanning out over every
+        # live execution (see :meth:`resolve_kills`).
+        self._owner: Dict[int, JobExecution] = {}
 
     @property
     def results(self) -> List[JobResult]:
@@ -175,15 +180,24 @@ class ApplicationMaster:
         one placement per request in wave order, so the random stream is
         consumed exactly as it was by the per-task ``schedule`` calls.
         Tasks the wave could not place stay pending and retry on the next
-        pump.
+        pump.  A starved wave whose (allocation, labels) shape the RM knows
+        to be unplaceable is skipped before the runnable frontier is even
+        rebuilt: the wave would have drawn nothing and placed nothing, so
+        the skip is draw-invisible (results and placement streams are
+        bit-identical) and saves the per-wave mask scan and request-list
+        construction.  The one observable difference is bookkeeping: the
+        RM's ``requests_unsatisfied`` counter no longer ticks for waves
+        that never reach it.
         """
         if execution.finished or not execution.table.needs_containers:
+            return
+        allocation = self._container_allocation(execution.dag)
+        labels = self._node_labels(execution)
+        if self._rm.capacity_exhausted(allocation, labels):
             return
         wave = execution.runnable_tasks()
         if not wave:
             return
-        allocation = self._container_allocation(execution.dag)
-        labels = self._node_labels(execution)
         requests = [
             ContainerRequest(
                 job_id=execution.dag.name,
@@ -203,6 +217,7 @@ class ApplicationMaster:
     ) -> None:
         execution.table.mark_running(task.row, container.container_id)
         execution.running[container.container_id] = task
+        self._owner[container.container_id] = execution
         if execution.start_time is None:
             execution.start_time = self._engine.now
         self._engine.schedule(
@@ -216,6 +231,7 @@ class ApplicationMaster:
         task = execution.running.pop(container.container_id, None)
         if task is None:
             return
+        self._owner.pop(container.container_id, None)
         if container.state is ContainerState.KILLED:
             # The kill was already handled by handle_kills; nothing to do.
             return
@@ -227,6 +243,17 @@ class ApplicationMaster:
         else:
             self._schedule_runnable(execution)
 
+    def _mark_killed(self, execution: JobExecution, container: Container) -> bool:
+        """Return a killed container's task to the runnable pool."""
+        task = execution.running.pop(container.container_id, None)
+        if task is None:
+            return False
+        self._owner.pop(container.container_id, None)
+        task.state = TaskState.KILLED
+        execution.tasks_killed += 1
+        self.metrics.counter("tasks_killed").increment()
+        return True
+
     def handle_kills(self, execution: JobExecution, killed: List[Container]) -> None:
         """React to containers killed by NodeManagers replenishing the reserve.
 
@@ -234,14 +261,24 @@ class ApplicationMaster:
         is exactly the re-execution cost that inflates YARN-PT's job times.
         """
         for container in killed:
-            task = execution.running.pop(container.container_id, None)
-            if task is None:
-                continue
-            task.state = TaskState.KILLED
-            execution.tasks_killed += 1
-            self.metrics.counter("tasks_killed").increment()
+            self._mark_killed(execution, container)
         if killed and not execution.finished:
             self._schedule_runnable(execution)
+
+    def resolve_kills(self, killed: List[Container]) -> None:
+        """Mark every killed container's task via the container->execution index.
+
+        One dict lookup per killed container replaces the old broadcast that
+        offered every live execution every killed container.  Marking a task
+        killed only mutates its own execution's state, so resolving all
+        kills up front and retrying container requests afterwards (the
+        cluster pumps each execution in submission order) consumes the
+        placement stream exactly as the per-execution fan-out did.
+        """
+        for container in killed:
+            execution = self._owner.get(container.container_id)
+            if execution is not None:
+                self._mark_killed(execution, container)
 
     def pump(self, execution: JobExecution) -> None:
         """Periodic retry of unsatisfied container requests."""

@@ -237,8 +237,14 @@ class HarvestingCluster:
         killed = self.resource_manager.process_heartbeats(engine.now)
         if killed:
             self._prune_finished()
+            # Resolve each killed container straight to its owning execution
+            # (one dict lookup each), then give every execution its retry
+            # pump in submission order — the same order the old
+            # per-execution ``handle_kills`` fan-out scheduled in, minus the
+            # executions x kills broadcast.
+            self.app_master.resolve_kills(killed)
             for execution in self._executions:
-                self.app_master.handle_kills(execution, killed)
+                self.app_master.pump(execution)
         self.metrics.time_series("primary_utilization").add(
             engine.now, self.resource_manager.average_primary_utilization(engine.now)
         )

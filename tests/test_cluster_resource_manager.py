@@ -89,6 +89,36 @@ class TestScheduling:
         assert rm.schedule(big_request, 0.0) is None
         assert rm.metrics.counter_value("requests_unsatisfied") == 1
 
+    def test_capacity_exhaustion_flag_lifecycle(self):
+        """An unsatisfied wave marks its shape exhausted until capacity can
+        return (heartbeat refresh / completion); other shapes are unaffected."""
+        rm = build_rm(SchedulerMode.PRIMARY_AWARE, {"a": 0.2})
+        big = Resource(10.0, 20.0)
+        small = Resource(1.0, 2.0)
+        assert not rm.capacity_exhausted(big, [])
+        assert rm.schedule(ContainerRequest("job", "t", big), 0.0) is None
+        assert rm.capacity_exhausted(big, [])
+        # A different allocation (or label set) is a different shape.
+        assert not rm.capacity_exhausted(small, [])
+        assert not rm.capacity_exhausted(big, ["constant-0"])
+        # The next heartbeat may change the view, so the flag clears.
+        rm.process_heartbeats(30.0)
+        assert not rm.capacity_exhausted(big, [])
+
+    def test_completion_clears_capacity_exhaustion(self):
+        rm = build_rm(SchedulerMode.PRIMARY_AWARE, {"a": 0.2})
+        # 12 - 2.4 (primary) - 4 (reserve) leaves 5 harvestable cores.
+        placed = [
+            rm.schedule(ContainerRequest("job", f"t{i}", Resource(1.0, 2.0)), 0.0)
+            for i in range(5)
+        ]
+        assert all(placed)
+        assert rm.schedule(ContainerRequest("job", "t5", Resource(1.0, 2.0)), 0.0) is None
+        assert rm.capacity_exhausted(Resource(1.0, 2.0), [])
+        rm.complete(placed[0], 1.0)
+        assert not rm.capacity_exhausted(Resource(1.0, 2.0), [])
+        assert rm.schedule(ContainerRequest("job", "t6", Resource(1.0, 2.0)), 1.0)
+
     def test_history_mode_honours_labels(self):
         rm = build_rm(
             SchedulerMode.HISTORY,

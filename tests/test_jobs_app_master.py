@@ -139,3 +139,44 @@ class TestKillHandling:
         execution = am.submit(small_dag(), JobType.MEDIUM)
         am.handle_kills(execution, [])
         assert execution.tasks_killed == 0
+
+    def test_resolve_kills_matches_per_execution_broadcast(self):
+        """The container->execution index resolves exactly the kills the old
+        every-execution ``handle_kills`` fan-out would have marked."""
+
+        def rig_with_two_jobs():
+            engine, rm, am, _, servers = build_rig(num_servers=1, utilization=0.1)
+            first = am.submit(small_dag("first"), JobType.MEDIUM)
+            second = am.submit(small_dag("second"), JobType.MEDIUM)
+            engine.run_until(5.0)
+            servers[0].set_utilization_override(lambda t: 0.7)
+            killed = rm.process_heartbeats(6.0)
+            assert killed
+            return am, first, second, killed
+
+        am_a, first_a, second_a, killed_a = rig_with_two_jobs()
+        for execution in (first_a, second_a):
+            am_a.handle_kills(execution, killed_a)
+
+        am_b, first_b, second_b, killed_b = rig_with_two_jobs()
+        am_b.resolve_kills(killed_b)
+        for execution in (first_b, second_b):
+            am_b.pump(execution)
+
+        assert (first_a.tasks_killed, second_a.tasks_killed) == (
+            first_b.tasks_killed,
+            second_b.tasks_killed,
+        )
+        assert am_a.metrics.counter_value("tasks_killed") == am_b.metrics.counter_value(
+            "tasks_killed"
+        )
+        assert {c for c in first_a.running} == {c for c in first_b.running}
+        assert {c for c in second_a.running} == {c for c in second_b.running}
+
+    def test_owner_index_tracks_launches_and_completions(self):
+        engine, rm, am, _, _ = build_rig()
+        execution = am.submit(small_dag(), JobType.MEDIUM)
+        assert set(am._owner) == set(execution.running)
+        engine.run_until(200.0)
+        assert execution.finished
+        assert am._owner == {}

@@ -63,14 +63,29 @@ class RunResult:
         document must be identical for a serial and a parallel run of the
         same (spec, seed), so everything in it except ``wall_clock_seconds``
         is deterministic.
+
+        Runs that tick the scheduler hot-path cache counters
+        (``waves_coalesced`` / ``frontier_cache_hits``) also carry a
+        ``scheduler_counters`` section — deterministic observability that,
+        like ``wall_clock_seconds``, stays outside :meth:`fingerprint` so
+        historical fingerprints are unchanged by its presence.
         """
-        return {
+        doc = {
             "scenario": self.scenario,
             "kind": self.kind,
             "seed": self.seed,
             "wall_clock_seconds": self.wall_clock_seconds,
             "result": result_to_jsonable(self.payload),
         }
+        if self.metrics is not None:
+            counters = {
+                name: counter.value
+                for name, counter in sorted(self.metrics.counters.items())
+                if name.startswith("scheduler.")
+            }
+            if counters:
+                doc["scheduler_counters"] = counters
+        return doc
 
     def fingerprint(self) -> str:
         """SHA-256 over the deterministic part of :meth:`to_jsonable`.
@@ -81,6 +96,7 @@ class RunResult:
         """
         data = self.to_jsonable()
         data.pop("wall_clock_seconds")
+        data.pop("scheduler_counters", None)
         canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

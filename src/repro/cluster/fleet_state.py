@@ -37,9 +37,12 @@ recomputation exactly as long as container allocations sit on a 1/256
 binary grid (the shipped workloads use 1 core / 2 GB containers); the first
 allocation seen off that grid flips a guard that recomputes the columns
 from the servers on every refresh, so fractional containers can never
-drift the RM view.  Kill *decisions* always recompute through the scalar
-:meth:`SimulatedServer.reclaim_reserve`, so reserve enforcement never
-depends on the incremental sums.
+drift the RM view.  Reserve kill decisions run through the vectorized
+:meth:`FleetState._batch_reclaim` sweep on the exact grid — prefix-sum
+arithmetic there is provably equal to the scalar per-kill re-sums — and
+fall back to the scalar :meth:`SimulatedServer.reclaim_reserve` walk the
+moment the grid guard trips, so reserve enforcement never depends on
+possibly-drifted incremental sums.
 """
 
 from __future__ import annotations
@@ -97,8 +100,14 @@ class FleetState:
         self._override_indices: set[int] = set()
 
         self._label_masks: Dict[Optional[str], np.ndarray] = {}
+        # Combined (multi-label) masks, keyed order-independently: the mask
+        # is an OR of per-label masks, so every ordering of the same label
+        # set yields identical bits.  Cleared with _label_masks.
+        self._combined_label_masks: Dict[frozenset, np.ndarray] = {}
         self._cached_util_time: Optional[float] = None
         self._cached_util: Optional[np.ndarray] = None
+        self._any_aware = False
+        self._all_aware = True
         # Kill-path guard: once any allocation delta is not exactly
         # representable on the 1/256 binary grid, incremental maintenance of
         # the allocated columns can drift from the scalar recomputation, so
@@ -147,6 +156,7 @@ class FleetState:
         if self._labels[index] != label:
             self._labels[index] = label
             self._label_masks.clear()
+            self._combined_label_masks.clear()
 
     def label_of(self, index: int) -> Optional[str]:
         """The label currently carried by row ``index``."""
@@ -197,6 +207,11 @@ class FleetState:
 
         self._build_trace_rows()
         self._label_masks.clear()
+        self._combined_label_masks.clear()
+        # Awareness is fixed per NodeManager, so the refresh-path reductions
+        # over the aware mask are constants between membership changes.
+        self._any_aware = bool(self.primary_aware.any())
+        self._all_aware = bool(self.primary_aware.all())
         self._invalidate_utilization_cache()
         self._dirty = False
 
@@ -318,12 +333,23 @@ class FleetState:
         return self.allocated_cores / self.capacity_cores
 
     def label_mask(self, labels: Sequence[str]) -> np.ndarray:
-        """Boolean row mask of servers carrying any of ``labels``."""
+        """Boolean row mask of servers carrying any of ``labels``.
+
+        The combined mask is cached per label *set* — an OR of per-label
+        masks is order-independent, so permuted label lists share one
+        entry.  The returned array is frozen; callers combine it with
+        ``&``/indexing and must not mutate it.
+        """
         self.ensure_built()
-        mask = np.zeros(len(self._ids), dtype=bool)
-        for label in labels:
-            mask |= self._single_label_mask(label)
-        return mask
+        key = frozenset(labels)
+        cached = self._combined_label_masks.get(key)
+        if cached is None:
+            cached = np.zeros(len(self._ids), dtype=bool)
+            for label in labels:
+                cached |= self._single_label_mask(label)
+            cached.flags.writeable = False
+            self._combined_label_masks[key] = cached
+        return cached
 
     def _single_label_mask(self, label: Optional[str]) -> np.ndarray:
         cached = self._label_masks.get(label)
@@ -350,8 +376,9 @@ class FleetState:
 
         Equivalent to calling ``NodeManager.heartbeat(time)`` on every server
         in registration order: enforce the reserve where the primary tenant
-        burst into it (youngest containers die first, via the scalar kill
-        path), then publish each server's available resources to the RM view.
+        burst into it (youngest containers die first, batched across the
+        violators — see :meth:`_batch_reclaim`), then publish each server's
+        available resources to the RM view.
         """
         self.ensure_built()
         if len(self._servers) == 0:
@@ -360,7 +387,7 @@ class FleetState:
             self._recompute_allocations()
         aware = self.primary_aware
         killed: List["Container"] = []
-        if aware.any():
+        if self._any_aware:
             util = self.primary_utilization(time)
             # Resource arithmetic, vectorized: ceil(primary usage), then
             # capacity - (ceil + reserve) with the per-dimension max(0, .)
@@ -374,26 +401,135 @@ class FleetState:
                 0.0, self.capacity_memory - (ceil_memory + self.reserve_memory)
             )
             # Reserve violations: allocated intrudes past the harvestable
-            # room (Resource.is_zero tolerance).  Rare, so the actual kills
-            # run through the scalar youngest-first path per violator.
-            violated = aware & self.running_containers.astype(bool) & (
+            # room (Resource.is_zero tolerance).
+            violated = aware & (self.running_containers > 0) & (
                 (self.allocated_cores - harvest_cores > 1e-12)
                 | (self.allocated_memory - harvest_memory > 1e-12)
             )
-            for index in np.flatnonzero(violated):
-                killed.extend(self._node_managers[index].enforce_reserve(time))
+            if violated.any():
+                violator_rows = np.flatnonzero(violated)
+                if self._inexact_allocations:
+                    # Off the 1/256 grid the incremental column sums may not
+                    # equal the scalar fresh re-sums a kill loop performs,
+                    # so the decisions fall back to the per-server scalar
+                    # youngest-first walk.
+                    for index in violator_rows:
+                        killed.extend(
+                            self._node_managers[index].enforce_reserve(time)
+                        )
+                else:
+                    killed.extend(
+                        self._batch_reclaim(
+                            violator_rows, harvest_cores, harvest_memory, time
+                        )
+                    )
             available_cores = np.maximum(0.0, harvest_cores - self.allocated_cores)
             available_memory = np.maximum(0.0, harvest_memory - self.allocated_memory)
         else:
             available_cores = np.zeros(len(self._servers))
             available_memory = np.zeros(len(self._servers))
-        oblivious_cores = np.maximum(0.0, self.capacity_cores - self.allocated_cores)
-        oblivious_memory = np.maximum(
-            0.0, self.capacity_memory - self.allocated_memory
-        )
-        self.available_cores = np.where(aware, available_cores, oblivious_cores)
-        self.available_memory = np.where(aware, available_memory, oblivious_memory)
+        if self._all_aware:
+            # Homogeneous awareness (every real variant): the where() below
+            # would select the aware column everywhere.
+            self.available_cores = available_cores
+            self.available_memory = available_memory
+        else:
+            oblivious_cores = np.maximum(
+                0.0, self.capacity_cores - self.allocated_cores
+            )
+            oblivious_memory = np.maximum(
+                0.0, self.capacity_memory - self.allocated_memory
+            )
+            self.available_cores = np.where(aware, available_cores, oblivious_cores)
+            self.available_memory = np.where(
+                aware, available_memory, oblivious_memory
+            )
         self.last_heartbeat.fill(time)
+        return killed
+
+    def _batch_reclaim(
+        self,
+        rows: np.ndarray,
+        harvest_cores: np.ndarray,
+        harvest_memory: np.ndarray,
+        time: float,
+    ) -> List["Container"]:
+        """Youngest-first reserve kills for every violating row, in one sweep.
+
+        Replaces the per-violator scalar walk of
+        :meth:`SimulatedServer.reclaim_reserve` with one vectorized pass:
+        sort every violator's running containers youngest-first (one stable
+        ``lexsort`` keyed by server row then descending start time — ties
+        keep insertion order, exactly like ``sorted(..., reverse=True)``),
+        take per-server prefix sums of the victims' allocations, and kill
+        the shortest prefix whose removal clears the violation.
+
+        The stop condition mirrors ``ResourceReserve.violated`` +
+        ``Resource.is_zero``: after killing a prefix, the remaining
+        allocation must sit within the harvestable room to a 1e-12
+        tolerance on both dimensions.  On the 1/256 allocation grid the
+        prefix-sum arithmetic is exact, so "total minus killed prefix"
+        equals the scalar path's fresh per-kill re-sum bit for bit; fleets
+        that saw off-grid allocations never reach this path (refresh falls
+        back to the scalar walk).  Kills are applied and reported server by
+        server in row order, so the kill list and every downstream
+        ``resolve_kills`` / callback ordering are unchanged.
+        """
+        keep_rows: List[int] = []
+        running_lists: List[List["Container"]] = []
+        for index in rows:
+            running = self._servers[index].running_containers
+            if running:
+                keep_rows.append(int(index))
+                running_lists.append(running)
+        if not keep_rows:
+            return []
+        counts = np.array([len(r) for r in running_lists], dtype=np.int64)
+        total = int(counts.sum())
+        seg = np.repeat(np.arange(len(keep_rows), dtype=np.int64), counts)
+        start_times = np.empty(total)
+        victim_cores = np.empty(total)
+        victim_memory = np.empty(total)
+        flat: List["Container"] = []
+        i = 0
+        for running in running_lists:
+            for container in running:
+                start_times[i] = container.start_time
+                victim_cores[i] = container.allocation.cores
+                victim_memory[i] = container.allocation.memory_gb
+                flat.append(container)
+                i += 1
+        order = np.lexsort((-start_times, seg))
+        cum_cores = np.cumsum(victim_cores[order])
+        cum_memory = np.cumsum(victim_memory[order])
+        bounds = np.zeros(len(keep_rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        base_cores = np.concatenate(([0.0], cum_cores))[bounds[:-1]]
+        base_memory = np.concatenate(([0.0], cum_memory))[bounds[:-1]]
+        row_index = np.asarray(keep_rows, dtype=np.int64)
+        after_cores = np.repeat(self.allocated_cores[row_index], counts) - (
+            cum_cores - base_cores[seg]
+        )
+        after_memory = np.repeat(self.allocated_memory[row_index], counts) - (
+            cum_memory - base_memory[seg]
+        )
+        cleared = (
+            after_cores - np.repeat(harvest_cores[row_index], counts) <= 1e-12
+        ) & (after_memory - np.repeat(harvest_memory[row_index], counts) <= 1e-12)
+        positions = np.arange(total, dtype=np.int64)
+        first_cleared = np.minimum.reduceat(
+            np.where(cleared, positions, total), bounds[:-1]
+        )
+        kill_counts = np.where(
+            first_cleared < bounds[1:], first_cleared - bounds[:-1] + 1, counts
+        )
+        killed: List["Container"] = []
+        for s, index in enumerate(keep_rows):
+            start = int(bounds[s])
+            victims = [flat[order[t]] for t in range(start, start + int(kill_counts[s]))]
+            self._servers[index].kill_containers(victims, time)
+            self._node_managers[index].notify_kills(victims)
+            killed.extend(victims)
         return killed
 
     # -- placement ----------------------------------------------------------

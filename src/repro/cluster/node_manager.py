@@ -84,10 +84,19 @@ class NodeManager:
         if not self._primary_aware:
             return []
         killed = self._server.reclaim_reserve(time)
+        self.notify_kills(killed)
+        return killed
+
+    def notify_kills(self, killed: List[Container]) -> None:
+        """Run the on-kill callback over an applied kill list, in order.
+
+        The batched reclaim path applies kills directly on the server and
+        reports them here, so callback order per server stays identical to
+        :meth:`enforce_reserve`.
+        """
         if self._on_kill is not None:
             for container in killed:
                 self._on_kill(container)
-        return killed
 
     def heartbeat(self, time: float) -> Heartbeat:
         """Produce the heartbeat the Resource Manager consumes."""

@@ -123,6 +123,9 @@ class ResourceManager:
         # changes the view — any heartbeat refresh (which also carries the
         # kills), completion, label change, or registration clears the set.
         self._exhausted: set = set()
+        # Lazily bound hot-path counter (created on first coalesced wave,
+        # exactly as metrics.counter() would).
+        self._waves_coalesced = None
 
     @property
     def fleet(self) -> FleetState:
@@ -269,6 +272,14 @@ class ResourceManager:
         """
         return self._request_shape(allocation, node_labels) in self._exhausted
 
+    def shape_exhausted(self, shape: tuple) -> bool:
+        """:meth:`capacity_exhausted` for a pre-built shape key.
+
+        The Application Master caches each execution's shape tuple, so the
+        per-pump starvation check is one set lookup with no tuple rebuild.
+        """
+        return shape in self._exhausted
+
     def _candidate_mask(self, request: ContainerRequest) -> np.ndarray:
         """Boolean row mask of servers eligible for the request."""
         fits = self._fleet.fits_mask(
@@ -297,71 +308,46 @@ class ResourceManager:
         """Place a whole wave of requests; one entry per request, in order.
 
         Every request of a wave must carry the same allocation and node
-        labels (an Application Master's runnable wave does).  The candidate
-        mask is then a loop invariant maintained incrementally: placements
-        only *consume* availability, so the single bit that can flip per
-        placement is the chosen server's, and rechecking it reproduces the
-        full per-request ``fits_mask`` recomputation exactly.  Each
-        placement still draws from the stream individually, in wave order —
-        a fixed seed schedules bit-identically to per-request ``schedule``
-        calls.
+        labels (an Application Master's runnable wave does).  A batch of
+        one — see :class:`WaveBatch` for the placement mechanics and the
+        equivalence argument.
         """
-        results: List[Optional[Container]] = []
-        if not requests:
-            return results
-        first = requests[0]
-        mask = self._candidate_mask(first)
-        fleet = self._fleet
-        cores = first.allocation.cores
-        memory_gb = first.allocation.memory_gb
-        for request in requests[1:]:
-            if (
-                request.allocation.cores != cores
-                or request.allocation.memory_gb != memory_gb
-                or request.node_labels != first.node_labels
-            ):
-                raise ValueError(
-                    "schedule_wave requires a uniform wave: every request "
-                    "must carry the same allocation and node_labels"
-                )
-        epsilon = FleetState.FIT_EPSILON
-        launched = unsatisfied = 0
-        candidates: Optional[np.ndarray] = None
-        for request in requests:
-            if candidates is None:
-                candidates = np.flatnonzero(mask)
-            if len(candidates) == 0:
-                unsatisfied += 1
-                results.append(None)
-                continue
-            if self.mode is SchedulerMode.STOCK:
-                chosen = fleet.most_available(candidates)
-            else:
-                chosen = fleet.draw_proportional(candidates, self._rng)
-            server = fleet.server_at(chosen)
-            container = server.launch_container(
-                request.task_id, request.job_id, request.allocation, time
-            )
-            fleet.consume(chosen, request.allocation)
-            launched += 1
-            results.append(container)
-            still_fits = (
-                cores <= fleet.available_cores[chosen] + epsilon
-                and memory_gb <= fleet.available_memory[chosen] + epsilon
-            )
-            if not still_fits:
-                mask[chosen] = False
-                candidates = None
-        if launched:
-            self.metrics.counter("containers_launched").increment(launched)
-        if unsatisfied:
-            # Candidate bits are only ever cleared within a wave, so an
-            # unsatisfied request means the shape ended with zero
-            # candidates — remember that until capacity can return.
-            self._exhausted.add(
-                self._request_shape(first.allocation, first.node_labels)
-            )
-            self.metrics.counter("requests_unsatisfied").increment(unsatisfied)
+        return WaveBatch(self, time).schedule(requests)
+
+    def begin_batch(self, time: float) -> "WaveBatch":
+        """A mask-coalescing scheduling context for one pump tick."""
+        return WaveBatch(self, time)
+
+    def schedule_waves(
+        self, waves: Sequence[Sequence[ContainerRequest]], time: float
+    ) -> List[List[Optional[Container]]]:
+        """Place a batch of pre-collected uniform waves, one result list each.
+
+        The eager-collection convenience over :meth:`begin_batch`: waves are
+        placed wave-major, request-minor — exactly the order sequential
+        ``schedule_wave`` calls produced — and a wave whose ``(allocation,
+        labels)`` shape starved earlier in the same batch is skipped
+        outright, returning all-``None`` without touching the random stream
+        or the ``requests_unsatisfied`` counter.  That skip mirrors the
+        Application Master's sequential bookkeeping: the starving wave put
+        the shape in the exhaustion set, so a sequential pump loop would
+        never have submitted the later wave.
+        """
+        batch = self.begin_batch(time)
+        starved: set = set()
+        results: List[List[Optional[Container]]] = []
+        for requests in waves:
+            shape = None
+            if requests:
+                first = requests[0]
+                shape = self._request_shape(first.allocation, first.node_labels)
+                if shape in starved:
+                    results.append([None] * len(requests))
+                    continue
+            placed = batch.schedule(requests)
+            results.append(placed)
+            if shape is not None and any(c is None for c in placed):
+                starved.add(shape)
         return results
 
     def complete(self, container: Container, time: float) -> None:
@@ -371,3 +357,210 @@ class ResourceManager:
         self._fleet.release(record.index, container.allocation)
         self._exhausted.clear()
         self.metrics.counter("containers_completed").increment()
+
+
+class _ShapeEntry:
+    """One maintained candidate mask of a :class:`WaveBatch` shape.
+
+    ``seen`` is the length of the batch's placement log the mask is
+    current with; an entry catches up lazily when its shape is next
+    scheduled (see :meth:`WaveBatch.schedule`).
+    """
+
+    __slots__ = ("cores", "memory_gb", "mask", "candidates", "seen")
+
+    def __init__(
+        self, cores: float, memory_gb: float, mask: np.ndarray, seen: int
+    ) -> None:
+        self.cores = cores
+        self.memory_gb = memory_gb
+        self.mask = mask
+        self.candidates: Optional[np.ndarray] = None
+        self.seen = seen
+
+
+class WaveBatch:
+    """Mask-coalescing placement context for one pump tick's waves.
+
+    One pump tick submits many uniform waves back to back — one per live
+    execution — and between them nothing touches the fleet's availability
+    view (launch bookkeeping schedules engine events and writes task
+    tables; only placements consume capacity, and completions arrive as
+    separate engine events).  The candidate mask of
+    :meth:`ResourceManager.schedule_wave` is therefore invariant *across*
+    wave boundaries too, not just within a wave, and the batch keeps one
+    maintained mask per ``(allocation, labels)`` shape it has seen:
+
+    * a freshly built mask is ``fits_now & labelled`` (labels are static
+      within a tick);
+    * placements only *consume* availability, so the only bits of any
+      maintained mask that can flip are the chosen servers' — the batch
+      logs every chosen row, the active shape rechecks each placement
+      immediately, and a dormant shape catches up when it is next
+      scheduled, replaying the log entries it missed (or rebuilding from
+      the fleet outright when it is too far behind) with the same epsilon
+      the batch ``fits_mask`` uses;
+    * bits only ever clear (availability never grows mid-tick), so the
+      maintained mask equals the freshly built one at every wave boundary.
+
+    Later waves of an already-seen shape therefore reuse the maintained
+    mask instead of rebuilding fits and label masks from the fleet
+    (``waves_coalesced`` counts these reuses; on a tiny fig13 sweep this
+    turns ~130k mask builds into a few thousand).  Every placement draws
+    from the random stream individually, in submission order, and each
+    wave ticks the ``containers_launched`` / ``requests_unsatisfied``
+    counters and the exhaustion set exactly as a standalone
+    ``schedule_wave`` call would — a fixed seed schedules bit-identically
+    through a batch and through sequential calls.
+    """
+
+    __slots__ = (
+        "_rm",
+        "_time",
+        "_entries",
+        "_log",
+        "_fleet",
+        "_avail_cores",
+        "_avail_memory",
+        "_stock",
+    )
+
+    #: Replay horizon: an entry reused after more placements than this is
+    #: rebuilt from the fleet instead of replayed placement-by-placement.
+    REPLAY_LIMIT = 32
+
+    def __init__(self, rm: ResourceManager, time: float) -> None:
+        self._rm = rm
+        self._time = time
+        self._entries: Dict[tuple, _ShapeEntry] = {}
+        # Every chosen row, in placement order; dormant entries replay
+        # their unseen suffix when their shape next schedules.
+        self._log: List[int] = []
+        # A batch lives within one engine event, so the fleet's availability
+        # arrays are stable object references for its whole lifetime
+        # (consume mutates in place; only heartbeat refresh / membership
+        # changes replace them, and both happen in other events).
+        fleet = rm._fleet
+        fleet.ensure_built()
+        self._fleet = fleet
+        self._avail_cores = fleet.available_cores
+        self._avail_memory = fleet.available_memory
+        self._stock = rm.mode is SchedulerMode.STOCK
+
+    def schedule(
+        self,
+        requests: Sequence[ContainerRequest],
+        uniform: bool = False,
+        key: Optional[tuple] = None,
+    ) -> List[Optional[Container]]:
+        """Place one uniform wave; one entry per request, in order.
+
+        ``uniform=True`` asserts the caller already guarantees every
+        request carries the same allocation and node labels (the
+        Application Master's cached request lists do by construction) and
+        skips the per-request validation scan.  ``key`` optionally supplies
+        the precomputed ``(cores, memory_gb, frozenset(labels))`` entry key
+        for the wave's shape.
+        """
+        results: List[Optional[Container]] = []
+        if not requests:
+            return results
+        rm = self._rm
+        first = requests[0]
+        cores = first.allocation.cores
+        memory_gb = first.allocation.memory_gb
+        if not uniform:
+            for request in requests[1:]:
+                if (
+                    request.allocation.cores != cores
+                    or request.allocation.memory_gb != memory_gb
+                    or request.node_labels != first.node_labels
+                ):
+                    raise ValueError(
+                        "schedule_wave requires a uniform wave: every request "
+                        "must carry the same allocation and node_labels"
+                    )
+        fleet = self._fleet
+        available_cores = self._avail_cores
+        available_memory = self._avail_memory
+        epsilon = FleetState.FIT_EPSILON
+        log = self._log
+        # Entries are keyed order-independently (label set, not label
+        # list): the candidate mask is ``fits & (OR of label masks)``, so
+        # permuted label orderings — common across jobs sharing a class
+        # pair — have bit-identical masks and share one maintained entry.
+        if key is None:
+            key = (cores, memory_gb, frozenset(first.node_labels))
+        entry = self._entries.get(key)
+        if entry is not None:
+            counter = rm._waves_coalesced
+            if counter is None:
+                counter = rm._waves_coalesced = rm.metrics.counter(
+                    "waves_coalesced"
+                )
+            counter.increment()
+            behind = len(log) - entry.seen
+            if behind:
+                if behind <= self.REPLAY_LIMIT:
+                    mask = entry.mask
+                    for chosen in log[entry.seen :]:
+                        if mask[chosen] and not (
+                            cores <= available_cores[chosen] + epsilon
+                            and memory_gb <= available_memory[chosen] + epsilon
+                        ):
+                            mask[chosen] = False
+                            entry.candidates = None
+                else:
+                    entry.mask = rm._candidate_mask(first)
+                    entry.candidates = None
+                entry.seen = len(log)
+        else:
+            entry = _ShapeEntry(
+                cores, memory_gb, rm._candidate_mask(first), len(log)
+            )
+            self._entries[key] = entry
+        stock = self._stock
+        launched = unsatisfied = 0
+        for request in requests:
+            candidates = entry.candidates
+            if candidates is None:
+                candidates = entry.candidates = entry.mask.nonzero()[0]
+            if len(candidates) == 0:
+                unsatisfied += 1
+                results.append(None)
+                continue
+            if stock:
+                chosen = fleet.most_available(candidates)
+            else:
+                chosen = fleet.draw_proportional(candidates, rm._rng)
+            server = fleet.server_at(chosen)
+            container = server.launch_container(
+                request.task_id, request.job_id, request.allocation, self._time
+            )
+            fleet.consume(chosen, request.allocation)
+            launched += 1
+            results.append(container)
+            log.append(chosen)
+            # The chosen server is the only one whose availability moved;
+            # the active shape rechecks it now, dormant shapes catch up
+            # from the log on their next wave.
+            if entry.mask[chosen] and not (
+                cores <= available_cores[chosen] + epsilon
+                and memory_gb <= available_memory[chosen] + epsilon
+            ):
+                entry.mask[chosen] = False
+                entry.candidates = None
+        entry.seen = len(log)
+        if launched:
+            rm.metrics.counter("containers_launched").increment(launched)
+        if unsatisfied:
+            # Candidate bits are only ever cleared within a batch, so an
+            # unsatisfied request means the shape ended with zero
+            # candidates — remember that until capacity can return.  The
+            # exhaustion set keeps the exact (ordered) label tuple so the
+            # skip semantics of capacity_exhausted() are unchanged.
+            rm._exhausted.add(
+                rm._request_shape(first.allocation, first.node_labels)
+            )
+            rm.metrics.counter("requests_unsatisfied").increment(unsatisfied)
+        return results

@@ -93,6 +93,12 @@ class SimulatedServer:
         self.capacity = Resource(float(server.cores), float(server.memory_gb))
         self.reserve = reserve or ResourceReserve.from_fractions(self.capacity)
         self._containers: Dict[int, Container] = {}
+        # Insertion-ordered index of the containers still running, so the
+        # hot queries (allocated sums, reclaim scans) touch only live
+        # containers instead of the server's whole container history.
+        # Python dicts preserve insertion order under deletion, so iterating
+        # this index reproduces the order of filtering the full history.
+        self._running: Dict[int, Container] = {}
         self._utilization_override: Optional[Callable[[float], float]] = None
         self._fleet = None
         self._fleet_index = -1
@@ -174,7 +180,7 @@ class SimulatedServer:
     def running_containers(self) -> List[Container]:
         """Containers currently running on this server."""
         return [
-            c for c in self._containers.values() if c.state is ContainerState.RUNNING
+            c for c in self._running.values() if c.state is ContainerState.RUNNING
         ]
 
     def allocated(self) -> Resource:
@@ -206,6 +212,7 @@ class SimulatedServer:
             start_time=time,
         )
         self._containers[container.container_id] = container
+        self._running[container.container_id] = container
         self._notify_fleet(allocation, +1)
         return container
 
@@ -213,8 +220,25 @@ class SimulatedServer:
         """Mark a container as finished and free its resources."""
         container = self._containers[container_id]
         container.finish(time)
+        self._running.pop(container_id, None)
         self._notify_fleet(container.allocation, -1)
         return container
+
+    def kill_containers(self, containers: List[Container], time: float) -> None:
+        """Apply an already-decided kill list (the batched reclaim path).
+
+        Each kill mirrors one step of :meth:`reclaim_reserve`: mark the
+        container killed, drop it from the running index, and return its
+        allocation through the fleet hook.  The caller is responsible for
+        having picked the containers youngest-first.
+        """
+        for container in containers:
+            self._kill_container(container, time)
+
+    def _kill_container(self, container: Container, time: float) -> None:
+        container.kill(time)
+        self._running.pop(container.container_id, None)
+        self._notify_fleet(container.allocation, -1)
 
     def reclaim_reserve(self, time: float) -> List[Container]:
         """Kill containers, youngest first, until the reserve is restored.
@@ -234,8 +258,7 @@ class SimulatedServer:
         ):
             if violation.is_zero():
                 break
-            container.kill(time)
-            self._notify_fleet(container.allocation, -1)
+            self._kill_container(container, time)
             killed.append(container)
             violation = self.reserve.violated(
                 self.capacity, self.primary_usage(time), self.allocated()

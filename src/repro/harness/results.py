@@ -204,6 +204,11 @@ class SchedulingSweepPoint:
     yarn_h_tasks_killed: int
     jobs_completed_pt: int
     jobs_completed_h: int
+    #: Per-variant hot-path cache counters, excluded from the fingerprinted
+    #: JSON (see ``result_to_jsonable``).
+    scheduler_counters: Dict[str, Dict[str, int]] = field(
+        default_factory=dict, metadata={"jsonable": False}
+    )
 
     @property
     def improvement(self) -> float:
@@ -339,6 +344,11 @@ class VariantSchedulingResult:
     average_cpu_utilization: float
     latency_samples: List[float] = field(default_factory=list)
     job_execution_seconds: List[float] = field(default_factory=list)
+    #: Hot-path cache counters (waves_coalesced / frontier_cache_hits),
+    #: excluded from the fingerprinted JSON (see ``result_to_jsonable``).
+    scheduler_counters: Dict[str, int] = field(
+        default_factory=dict, metadata={"jsonable": False}
+    )
 
 
 @dataclass
@@ -456,9 +466,14 @@ def result_to_jsonable(value):
     import enum
 
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Fields marked ``metadata={"jsonable": False}`` are observability
+        # side-channels (e.g. scheduler counters): carried on the payload
+        # and surfaced elsewhere in the run document, but excluded here so
+        # the fingerprinted result JSON is unchanged by their presence.
         return {
             f.name: result_to_jsonable(getattr(value, f.name))
             for f in dataclasses.fields(value)
+            if f.metadata.get("jsonable", True)
         }
     if isinstance(value, enum.Enum):
         return result_to_jsonable(value.value)

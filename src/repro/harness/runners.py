@@ -597,6 +597,20 @@ class AvailabilityRunner(ScenarioRunner):
 # ---------------------------------------------------------------------------
 
 
+#: Hot-path cache counters ticked by the RM/AM fast paths; snapshot into the
+#: run payload so ``--json`` output can surface them without touching the
+#: fingerprinted result document.
+_SCHEDULER_COUNTER_NAMES = ("waves_coalesced", "frontier_cache_hits")
+
+
+def _scheduler_counters(cluster: HarvestingCluster) -> Dict[str, int]:
+    """Snapshot the hot-path cache counters from one cluster's registry."""
+    return {
+        name: cluster.metrics.counter_value(name)
+        for name in _SCHEDULER_COUNTER_NAMES
+    }
+
+
 @_register
 class SchedulingSweepRunner(ScenarioRunner):
     """Figure 13: YARN-PT vs YARN-H across the utilization spectrum.
@@ -658,6 +672,10 @@ class SchedulingSweepRunner(ScenarioRunner):
             yarn_h_tasks_killed=h.total_tasks_killed(),
             jobs_completed_pt=pt.completed_job_count(),
             jobs_completed_h=h.completed_job_count(),
+            scheduler_counters={
+                "yarn_pt": _scheduler_counters(pt),
+                "yarn_h": _scheduler_counters(h),
+            },
         )
 
     def merge(
@@ -678,6 +696,11 @@ class SchedulingSweepRunner(ScenarioRunner):
                 point.yarn_h_seconds
             )
             self.metrics.distribution(f"{prefix}.improvement").add(point.improvement)
+            for variant, counters in point.scheduler_counters.items():
+                for name, value in counters.items():
+                    self.metrics.counter(
+                        f"scheduler.{prefix}.{variant}.{name}"
+                    ).increment(value)
         return result
 
     def _run_variant(
@@ -861,6 +884,10 @@ class SchedulingTestbedRunner(ScenarioRunner):
             self.metrics.counter(f"testbed.{outcome.variant}.tasks_killed").increment(
                 outcome.tasks_killed
             )
+            for name, value in outcome.scheduler_counters.items():
+                self.metrics.counter(
+                    f"scheduler.testbed.{outcome.variant}.{name}"
+                ).increment(value)
         return SchedulingTestbedResult(
             no_harvesting_p99_ms=baseline_p99, variants=variants
         )
@@ -920,6 +947,7 @@ class SchedulingTestbedRunner(ScenarioRunner):
             average_cpu_utilization=utilization_series.mean(),
             latency_samples=latencies,
             job_execution_seconds=job_times,
+            scheduler_counters=_scheduler_counters(cluster),
         )
 
 

@@ -14,7 +14,7 @@ container requests carry; Stock and PT variants request unlabeled containers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.resource_manager import ContainerRequest, ResourceManager
 from repro.cluster.resources import Resource
@@ -84,6 +84,17 @@ class JobExecution:
 
     def __post_init__(self) -> None:
         self.table = TaskTable(self.dag)
+        # Request-side caches, filled by the Application Master: the
+        # container allocation, labels, and per-task requests of an
+        # execution never change after submit, and an unchanged frontier
+        # (same cached list object) re-submits the same request list.
+        self._allocation: Optional[Resource] = None
+        self._labels: Optional[List[str]] = None
+        self._shape: Optional[tuple] = None
+        self._mask_key: Optional[tuple] = None
+        self._requests: List[Optional[ContainerRequest]] = []
+        self._cached_wave: Optional[List[TaskView]] = None
+        self._cached_requests: Optional[List[ContainerRequest]] = None
         if self.tasks:
             for vertex_name, scalar_tasks in self.tasks.items():
                 start = int(
@@ -141,6 +152,9 @@ class ApplicationMaster:
         # executions with dict lookups instead of fanning out over every
         # live execution (see :meth:`resolve_kills`).
         self._owner: Dict[int, JobExecution] = {}
+        # Lazily bound hot-path counter (created on first hit, exactly as
+        # metrics.counter() would).
+        self._frontier_hits = None
 
     @property
     def results(self) -> List[JobResult]:
@@ -189,25 +203,13 @@ class ApplicationMaster:
         RM's ``requests_unsatisfied`` counter no longer ticks for waves
         that never reach it.
         """
-        if execution.finished or not execution.table.needs_containers:
+        collected = self._collect_wave(execution)
+        if collected is None:
             return
-        allocation = self._container_allocation(execution.dag)
-        labels = self._node_labels(execution)
-        if self._rm.capacity_exhausted(allocation, labels):
-            return
-        wave = execution.runnable_tasks()
-        if not wave:
-            return
-        requests = [
-            ContainerRequest(
-                job_id=execution.dag.name,
-                task_id=task.task_id,
-                allocation=allocation,
-                node_labels=labels,
-            )
-            for task in wave
-        ]
-        containers = self._rm.schedule_wave(requests, self._engine.now)
+        wave, requests = collected
+        containers = self._rm.begin_batch(self._engine.now).schedule(
+            requests, uniform=True, key=execution._mask_key
+        )
         for task, container in zip(wave, containers):
             if container is not None:
                 self._launch(execution, task, container)
@@ -284,6 +286,98 @@ class ApplicationMaster:
         """Periodic retry of unsatisfied container requests."""
         if not execution.finished:
             self._schedule_runnable(execution)
+
+    def _collect_wave(
+        self, execution: JobExecution
+    ) -> Optional[Tuple[List[TaskView], List[ContainerRequest]]]:
+        """The execution's ``(wave, requests)`` for this tick, or None.
+
+        The single home of the wave early-outs: finished or fully-scheduled
+        executions and starved shapes never build a request list.
+        ``frontier_cache_hits`` counts the waves served straight from the
+        :class:`~repro.jobs.task_table.TaskTable` frontier cache.
+        """
+        if execution.finished or not execution.table.needs_containers:
+            return None
+        allocation = execution._allocation
+        if allocation is None:
+            allocation = execution._allocation = self._container_allocation(
+                execution.dag
+            )
+            execution._labels = self._node_labels(execution)
+            execution._shape = (
+                allocation.cores,
+                allocation.memory_gb,
+                tuple(execution._labels),
+            )
+            execution._mask_key = (
+                allocation.cores,
+                allocation.memory_gb,
+                frozenset(execution._labels),
+            )
+            execution._requests = [None] * execution.table.num_tasks
+        labels = execution._labels
+        if self._rm.shape_exhausted(execution._shape):
+            return None
+        wave = execution.table.cached_runnable_views()
+        if wave is not None:
+            counter = self._frontier_hits
+            if counter is None:
+                counter = self._frontier_hits = self.metrics.counter(
+                    "frontier_cache_hits"
+                )
+            counter.increment()
+        else:
+            wave = execution.runnable_tasks()
+        if not wave:
+            return None
+        if wave is execution._cached_wave:
+            # Unchanged frontier (the cached list object itself): the wave
+            # re-submits the identical request list.
+            return wave, execution._cached_requests
+        by_row = execution._requests
+        requests = []
+        for task in wave:
+            row = task.row
+            request = by_row[row]
+            if request is None:
+                request = by_row[row] = ContainerRequest(
+                    job_id=execution.dag.name,
+                    task_id=task.task_id,
+                    allocation=allocation,
+                    node_labels=labels,
+                )
+            requests.append(request)
+        execution._cached_wave = wave
+        execution._cached_requests = requests
+        return wave, requests
+
+    def pump_all(self, executions: Sequence[JobExecution]) -> None:
+        """Pump every execution's retry wave through one coalesced RM batch.
+
+        Step-for-step identical to calling :meth:`pump` on each execution
+        in order — every early-out, starvation skip, placement draw, and
+        launch happens at the same point of the sequence — except that the
+        waves share one :class:`~repro.cluster.resource_manager.WaveBatch`,
+        which reuses the candidate mask across consecutive same-shape waves
+        instead of rebuilding it per execution (launches never touch the
+        fleet's availability view, so the mask stays valid across the
+        boundary; see ``WaveBatch`` for the argument).
+        """
+        batch = None
+        for execution in executions:
+            collected = self._collect_wave(execution)
+            if collected is None:
+                continue
+            wave, requests = collected
+            if batch is None:
+                batch = self._rm.begin_batch(self._engine.now)
+            containers = batch.schedule(
+                requests, uniform=True, key=execution._mask_key
+            )
+            for task, container in zip(wave, containers):
+                if container is not None:
+                    self._launch(execution, task, container)
 
     def _finish(self, execution: JobExecution) -> None:
         execution.finished = True

@@ -241,10 +241,10 @@ class HarvestingCluster:
             # (one dict lookup each), then give every execution its retry
             # pump in submission order — the same order the old
             # per-execution ``handle_kills`` fan-out scheduled in, minus the
-            # executions x kills broadcast.
+            # executions x kills broadcast.  The pumps go to the RM as one
+            # coalesced batch (see ``ApplicationMaster.pump_all``).
             self.app_master.resolve_kills(killed)
-            for execution in self._executions:
-                self.app_master.pump(execution)
+            self.app_master.pump_all(self._executions)
         self.metrics.time_series("primary_utilization").add(
             engine.now, self.resource_manager.average_primary_utilization(engine.now)
         )
@@ -264,8 +264,7 @@ class HarvestingCluster:
 
     def _pump_step(self, engine: SimulationEngine) -> None:
         self._prune_finished()
-        for execution in self._executions:
-            self.app_master.pump(execution)
+        self.app_master.pump_all(self._executions)
 
     def run(self, duration_seconds: float) -> None:
         """Run the cluster for ``duration_seconds`` of simulated time."""

@@ -33,11 +33,20 @@ draw for draw (see ``tests/test_jobs_task_table.py`` for the scalar oracle).
 mirroring ``BlockView`` / ``ServerRecord``: the ``state`` / ``attempts``
 attributes read and write the arrays, and every state transition keeps the
 counters and the readiness frontier in sync.
+
+The runnable frontier itself is cached between state transitions: the
+overwhelmingly common pump tick touches no task state, so
+:meth:`TaskTable.runnable_rows` / :meth:`TaskTable.runnable_views` hand back
+the previously computed row array and view list untouched.  Any actual
+``set_state`` transition — launch, completion, kill, or a completion that
+unlocks downstream vertices — marks the frontier dirty, because each of
+those can change either the needs-container column or the vertex-readiness
+column the mask is built from.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -203,6 +212,10 @@ class TaskTable:
         self._total_completed = 0
         self._task_ids: List[str | None] = [None] * n
         self._views: List[TaskView | None] = [None] * n
+        #: Frontier cache: rows/views are rebuilt only after a state change.
+        self._frontier_dirty = True
+        self._frontier_rows: np.ndarray | None = None
+        self._frontier_views: List[TaskView] | None = None
 
     # -- identity -----------------------------------------------------------
 
@@ -247,6 +260,10 @@ class TaskTable:
         old = int(self.state[row])
         if old == code:
             return
+        # Any real transition can move the frontier: it rewrites the
+        # needs-container column and/or (via completion propagation) the
+        # vertex-readiness column the runnable mask intersects.
+        self._frontier_dirty = True
         self.state[row] = code
         needs = code == PENDING or code == KILLED
         if needs != (old == PENDING or old == KILLED):
@@ -310,15 +327,46 @@ class TaskTable:
         """
         return self._needs_count > 0
 
+    @property
+    def frontier_cached(self) -> bool:
+        """Whether the next :meth:`runnable_views` call is a cache hit."""
+        return not self._frontier_dirty and self._frontier_views is not None
+
+    def cached_runnable_views(self) -> Optional[List[TaskView]]:
+        """The cached frontier view list, or ``None`` on a stale cache.
+
+        The pump fast path: when no state transition dirtied the frontier
+        since the views were built, the caller gets the cached list (by
+        identity, possibly empty) without touching the mask machinery.
+        """
+        if self._frontier_dirty:
+            return None
+        return self._frontier_views
+
     def runnable_rows(self) -> np.ndarray:
         """Rows of tasks that need a container and whose vertex is ready.
 
         Row order is vertex-major DAG insertion order — identical to the
-        scalar ``for vertex ... for task`` rescans this mask replaces.
+        scalar ``for vertex ... for task`` rescans this mask replaces.  The
+        returned array is cached (and read-only) until the next state
+        transition dirties the frontier.
         """
-        mask = self._needs_container & self._vertex_ready[self.layout.vertex_of]
-        return np.flatnonzero(mask)
+        if self._frontier_dirty or self._frontier_rows is None:
+            mask = self._needs_container & self._vertex_ready[self.layout.vertex_of]
+            rows = mask.nonzero()[0]
+            rows.setflags(write=False)
+            self._frontier_rows = rows
+            self._frontier_views = None
+            self._frontier_dirty = False
+        return self._frontier_rows
 
     def runnable_views(self) -> List[TaskView]:
-        """The runnable frontier as stable view objects, in row order."""
-        return [self.view(int(row)) for row in self.runnable_rows()]
+        """The runnable frontier as stable view objects, in row order.
+
+        The list object itself is cached alongside the rows; callers must
+        treat it as read-only (every in-repo consumer only iterates it).
+        """
+        rows = self.runnable_rows()
+        if self._frontier_views is None:
+            self._frontier_views = [self.view(int(row)) for row in rows]
+        return self._frontier_views

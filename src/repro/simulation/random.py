@@ -100,7 +100,13 @@ class RandomSource:
         total = float(weights.sum())
         if total <= 0 or not np.isfinite(total):
             return int(self._rng.integers(0, len(weights)))
-        return int(self._rng.choice(len(weights), p=weights / total))
+        # Inline of Generator.choice(n, p=weights/total) for a single draw:
+        # choice normalizes to a cdf and searchsorts one uniform sample, so
+        # this consumes the stream and resolves ties bit-identically while
+        # skipping choice's per-call probability validation.
+        cdf = (weights / total).cumsum()
+        cdf /= cdf[-1]
+        return int(cdf.searchsorted(self._rng.random(), side="right"))
 
     def shuffle(self, items: list[T]) -> list[T]:
         """Return a new shuffled copy of ``items``."""

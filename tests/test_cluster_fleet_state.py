@@ -363,3 +363,62 @@ class TestInexactAllocationGuard:
         assert not rm.fleet._inexact_allocations
         rm.process_heartbeats(1.0)
         assert float(rm.fleet.allocated_cores[0]) == 1.0
+
+
+class TestBatchReclaimEquivalence:
+    """The vectorized reserve reclaim vs the scalar per-server kill walk."""
+
+    def test_multiple_violators_match_scalar_order_with_ties(self):
+        profiles = {f"v{i}": [0.1, 0.8] for i in range(3)}
+        fleet_servers, scalar_servers = twin_servers(profiles)
+        rm = build_rm(fleet_servers)
+        scalar_nms = [NodeManager(s, primary_aware=True) for s in scalar_servers]
+        rm.process_heartbeats(0.0)
+        # Launch identical containers on both twins, with start-time ties so
+        # the youngest-first sort's stability is exercised.
+        start_times = [0.0, 1.0, 1.0, 2.0, 3.0, 3.0]
+        for sim, scalar_nm in zip(fleet_servers, scalar_nms):
+            for i, start in enumerate(start_times):
+                for server in (sim, scalar_nm.server):
+                    server.launch_container(
+                        f"{sim.server_id}-t{i}", "job", Resource(1.0, 2.0), start
+                    )
+        assert not rm.fleet._inexact_allocations
+        killed = rm.process_heartbeats(120.0)
+        expected = []
+        for nm in scalar_nms:
+            expected.extend(nm.heartbeat(120.0).killed_containers)
+        assert killed
+        assert [c.task_id for c in killed] == [c.task_id for c in expected]
+        # Youngest-first within each violating server.
+        for sim in fleet_servers:
+            starts = [c.start_time for c in killed if c.server_id == sim.server_id]
+            assert starts == sorted(starts, reverse=True)
+        assert rm.metrics.counter_value("containers_killed") == len(killed)
+
+    def test_off_grid_allocations_use_scalar_fallback(self, monkeypatch):
+        fleet_servers, scalar_servers = twin_servers({"frac": [0.1, 0.5]})
+        rm = build_rm(fleet_servers)
+        scalar_nm = NodeManager(scalar_servers[0], primary_aware=True)
+        rm.process_heartbeats(0.0)
+        allocation = Resource(0.7, 1.3)  # off the 1/256 binary grid
+        for i in range(8):
+            for server in (fleet_servers[0], scalar_nm.server):
+                server.launch_container(f"t{i}", "job", allocation, float(i))
+        fleet = rm.fleet
+        assert fleet._inexact_allocations
+        calls = []
+        original = fleet._batch_reclaim
+
+        def recording(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(fleet, "_batch_reclaim", recording)
+        killed = rm.process_heartbeats(120.0)
+        expected = scalar_nm.heartbeat(120.0).killed_containers
+        assert killed
+        assert [c.task_id for c in killed] == [c.task_id for c in expected]
+        # Off-grid fleets must take the per-server scalar walk, never the
+        # prefix-sum fast path.
+        assert not calls

@@ -180,3 +180,25 @@ class TestKillHandling:
         engine.run_until(200.0)
         assert execution.finished
         assert am._owner == {}
+
+
+class TestPumpFastPathCounters:
+    def test_frontier_cache_hits_tick_when_pumps_repoll_a_starved_wave(self):
+        engine, rm, am, _, _ = build_rig(num_servers=1)
+        wide = JobDag("wide", [Vertex("stage", 30, 10.0)])
+        execution = am.submit(wide, JobType.SHORT)
+        # The submit-time pump launches what fits and leaves the rest
+        # queued; the launches dirtied the frontier.
+        engine.run_until(1.0)
+        assert am.metrics.counter_value("frontier_cache_hits") == 0
+        # A heartbeat clears the exhaustion flag without touching any task
+        # state.  The next pump rebuilds the frontier (miss), places
+        # nothing, and starves again.
+        rm.process_heartbeats(1.0)
+        am.pump(execution)
+        assert am.metrics.counter_value("frontier_cache_hits") == 0
+        # Re-polling the same starved wave with no transition in between is
+        # the fast path: the wave comes straight from the TaskTable cache.
+        rm.process_heartbeats(2.0)
+        am.pump(execution)
+        assert am.metrics.counter_value("frontier_cache_hits") == 1

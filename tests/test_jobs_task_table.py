@@ -349,3 +349,91 @@ class TestWaveSchedulingParity:
         assert wave_rm.metrics.counter_value(
             "requests_unsatisfied"
         ) == scalar_rm.metrics.counter_value("requests_unsatisfied")
+
+
+# ---------------------------------------------------------------------------
+# Frontier cache: object identity and invalidation edge cases.
+# ---------------------------------------------------------------------------
+
+
+class TestFrontierCacheIdentity:
+    """The pump fast path returns cached frontier lists *by identity*."""
+
+    def test_runnable_views_identity_stable_without_transitions(self):
+        dag = JobDag(
+            "cache",
+            [Vertex("a", 3, 10.0), Vertex("b", 2, 10.0, upstream=["a"])],
+        )
+        execution = JobExecution(dag=dag, submit_time=0.0, job_type=JobType.SHORT)
+        table = execution.table
+        first = execution.runnable_tasks()
+        # Repeated calls with no state transition return the same list
+        # object — the regression guard for the fresh-allocation-per-call
+        # behaviour the cache replaced.
+        assert execution.runnable_tasks() is first
+        assert table.runnable_views() is first
+        assert table.cached_runnable_views() is first
+        assert table.frontier_cached
+
+    def test_cache_cold_until_first_build(self):
+        table = TaskTable(JobDag("cold", [Vertex("a", 1, 10.0)]))
+        assert table.cached_runnable_views() is None
+        views = table.runnable_views()
+        assert table.cached_runnable_views() is views
+
+    def test_kill_then_retry_invalidates_and_recaches(self):
+        dag = JobDag("kill", [Vertex("stage", 3, 10.0)])
+        execution = JobExecution(dag=dag, submit_time=0.0, job_type=JobType.SHORT)
+        table = execution.table
+        wave = execution.runnable_tasks()
+        for task in wave:
+            task.state = TaskState.RUNNING
+        assert table.cached_runnable_views() is None
+        empty = execution.runnable_tasks()
+        assert empty == []
+        # The empty frontier is cached by identity too.
+        assert execution.runnable_tasks() is empty
+        table.set_state(1, CODE_OF_STATE[TaskState.KILLED])
+        assert table.cached_runnable_views() is None
+        retry = execution.runnable_tasks()
+        assert retry is not wave
+        assert [v.task_id for v in retry] == ["kill/stage/1"]
+        assert table.cached_runnable_views() is retry
+
+    def test_vertex_completion_unlocking_downstream_invalidates(self):
+        dag = JobDag(
+            "unlock",
+            [Vertex("up", 2, 10.0), Vertex("down", 1, 10.0, upstream=["up"])],
+        )
+        table = TaskTable(dag)
+        up = table.runnable_views()
+        assert [v.task_id for v in up] == ["unlock/up/0", "unlock/up/1"]
+        table.set_state(0, CODE_OF_STATE[TaskState.COMPLETED])
+        assert table.cached_runnable_views() is None
+        assert [v.task_id for v in table.runnable_views()] == ["unlock/up/1"]
+        # The last upstream completion unlocks the downstream vertex: the
+        # cache must not serve the pre-unlock frontier.
+        table.set_state(1, CODE_OF_STATE[TaskState.COMPLETED])
+        assert table.cached_runnable_views() is None
+        down = table.runnable_views()
+        assert [v.task_id for v in down] == ["unlock/down/0"]
+        assert table.runnable_views() is down
+
+    def test_recurring_submissions_share_layout_not_cache(self):
+        dag = JobDag("recurring", [Vertex("a", 2, 10.0)])
+        first = TaskTable(dag)
+        second = TaskTable(dag)
+        # Recurring submissions of the same DAG share one immutable layout...
+        assert first.layout is second.layout
+        views_first = first.runnable_views()
+        views_second = second.runnable_views()
+        assert views_first is not views_second
+        # ...but dirtying one execution's frontier leaves the other's
+        # cache untouched.
+        first.set_state(0, CODE_OF_STATE[TaskState.RUNNING])
+        assert first.cached_runnable_views() is None
+        assert second.cached_runnable_views() is views_second
+        assert [v.task_id for v in second.runnable_views()] == [
+            "recurring/a/0",
+            "recurring/a/1",
+        ]

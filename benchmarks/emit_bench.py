@@ -194,6 +194,102 @@ def speedup_section(
     return section
 
 
+#: fig14 restricted to two real datacenters: big enough that context
+#: preparation dominates, small enough to measure on every emission.
+SNAPSHOT_SCENARIO = "fig14-fleet-improvements"
+SNAPSHOT_OVERRIDES = {"params": {"datacenters": ["DC-3", "DC-9"]}}
+
+
+def snapshot_section(seed: int, scale_name: str) -> dict:
+    """Measure the prepared-context snapshot economics on fig14.
+
+    fig14 is the snapshot tentpole's motivating case: its context is a full
+    fleet build per datacenter, which every pool worker used to rebuild from
+    scratch and which cell enumeration used to pay just to list the grid.
+    This section records both before/after pairs:
+
+    * ``enumeration``: full-build ``runner.cells()`` versus the spec-only
+      :func:`repro.api.cells_from_spec` fork-replay fast path (identical
+      grids, asserted);
+    * ``worker_context``: the parent's one-time build + serialize cost and
+      each worker's deserialize cost (``restore_seconds``) versus the build
+      cost (``rebuild_seconds``) that same worker used to pay — with the
+      parallel headline asserted bit-identical to the serial run.
+    """
+    import time
+
+    from repro.harness.runners import RUNNERS
+    from repro.harness.snapshot import serialize_snapshot, snapshot_runner
+    from repro.simulation.metrics import MetricRegistry
+    from repro.simulation.random import RandomSource
+
+    spec = api.resolve(
+        SNAPSHOT_SCENARIO, {"scale": scale_name, **SNAPSHOT_OVERRIDES}
+    )
+
+    started = time.perf_counter()
+    fast_cells = api.cells_from_spec(spec, seed=seed)
+    spec_only_seconds = time.perf_counter() - started
+
+    runner = RUNNERS[spec.kind](spec, RandomSource(seed), MetricRegistry())
+    started = time.perf_counter()
+    full_cells = runner.cells()
+    full_build_seconds = time.perf_counter() - started
+    if [(c.index, c.key, c.seeds) for c in fast_cells] != [
+        (c.index, c.key, c.seeds) for c in full_cells
+    ]:
+        raise SystemExit(
+            "spec-only cell enumeration diverged from the full build; "
+            "the fork-replay contract is broken"
+        )
+
+    data = serialize_snapshot(snapshot_runner(runner))
+
+    serial = api.run(
+        spec, overrides={"scale": scale_name, **SNAPSHOT_OVERRIDES}, seed=seed
+    )
+    parallel = api.run(
+        spec,
+        overrides={"scale": scale_name, **SNAPSHOT_OVERRIDES},
+        seed=seed,
+        workers=2,
+    )
+    if parallel.headline() != serial.headline():
+        raise SystemExit(
+            "fig14 parallel headline drift against the serial run; "
+            "the snapshot-restore contract is broken"
+        )
+    restores = list(parallel.worker_restore_seconds)
+    section = {
+        "scenario": SNAPSHOT_SCENARIO,
+        "datacenters": SNAPSHOT_OVERRIDES["params"]["datacenters"],
+        "cells": len(full_cells),
+        "enumeration": {
+            "full_build_seconds": full_build_seconds,
+            "spec_only_seconds": spec_only_seconds,
+        },
+        "worker_context": {
+            "rebuild_seconds": parallel.ctx_seconds,
+            "snapshot_seconds": parallel.snapshot_seconds,
+            "snapshot_bytes": len(data),
+            "restore_seconds": restores,
+        },
+    }
+    print(
+        f"fig14 enumeration: {full_build_seconds:.2f}s full build -> "
+        f"{spec_only_seconds * 1000:.1f}ms spec-only "
+        f"({len(full_cells)} cells, identical grid)"
+    )
+    mean_restore = sum(restores) / len(restores) if restores else 0.0
+    print(
+        f"fig14 worker ctx: {parallel.ctx_seconds:.2f}s rebuild -> "
+        f"{mean_restore:.2f}s restore per worker "
+        f"({len(data) / 1e6:.1f} MB snapshot, serialized once in "
+        f"{parallel.snapshot_seconds:.2f}s), headline bit-identical"
+    )
+    return section
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -269,6 +365,9 @@ def main() -> int:
             payloads, args.seed, args.scale, args.parallel_workers
         )
     if args.history:
+        # The history point also records the prepared-context snapshot
+        # economics (fig14 enumeration and worker restore-vs-rebuild).
+        snapshot["context_snapshot"] = snapshot_section(args.seed, args.scale)
         history_dir = args.output_dir / "history"
         history_dir.mkdir(parents=True, exist_ok=True)
         path = history_dir / f"BENCH_{args.history}.json"

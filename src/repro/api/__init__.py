@@ -41,6 +41,7 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import fields as dataclass_fields
+from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.api.result import RunResult
@@ -51,7 +52,7 @@ from repro.harness.config import (
     TESTBED_SCALE,
     TINY_SCALE,
 )
-from repro.harness.harness import ExperimentHarness
+from repro.harness.harness import ExperimentHarness, cells_from_spec
 from repro.harness.spec import (
     ScenarioSpec,
     get_scenario,
@@ -67,6 +68,7 @@ __all__ = [
     "NAMED_SCALES",
     "RunResult",
     "ScenarioSpec",
+    "cells_from_spec",
     "get_scenario",
     "iter_scenarios",
     "register_scenario",
@@ -129,6 +131,9 @@ def run(
     workers: int = 1,
     seed: Optional[int] = None,
     metrics: Optional[MetricRegistry] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    stop_after_cells: Optional[int] = None,
 ) -> RunResult:
     """Execute one scenario and return its :class:`RunResult` envelope.
 
@@ -140,9 +145,26 @@ def run(
             reassembled in deterministic cell order.
         seed: run-time seed override (defaults to the spec's seed).
         metrics: registry to collect into (a fresh one by default).
+        checkpoint: directory to record run progress in (the serialized
+            context snapshot plus one file per completed cell).
+        resume: restore the context and completed cells from ``checkpoint``
+            instead of rebuilding; the merged result is bit-identical to a
+            straight-line run.  A missing checkpoint falls back to a fresh
+            run that writes one.
+        stop_after_cells: deliberately pause (raising
+            :class:`~repro.harness.snapshot.CheckpointPause`) after this
+            many cells have executed; requires ``checkpoint``.
     """
     spec = resolve(scenario, overrides)
-    harness = ExperimentHarness(spec, seed=seed, metrics=metrics, workers=workers)
+    harness = ExperimentHarness(
+        spec,
+        seed=seed,
+        metrics=metrics,
+        workers=workers,
+        checkpoint_dir=checkpoint,
+        resume=resume,
+        stop_after_cells=stop_after_cells,
+    )
     started = time.perf_counter()
     payload = harness.run()
     elapsed = time.perf_counter() - started
@@ -156,6 +178,10 @@ def run(
         workers=harness.workers,
         cell_timings=list(harness.cell_timings),
         metrics=harness.metrics,
+        ctx_seconds=harness.ctx_seconds,
+        snapshot_seconds=harness.snapshot_seconds,
+        worker_restore_seconds=list(harness.worker_restore_seconds),
+        resumed_cells=harness.resumed_cells,
     )
 
 

@@ -44,6 +44,13 @@ class RunResult:
             serial; results are bit-identical either way).
         cell_timings: wall-clock per executed cell, in cell order.
         metrics: the harness registry holding the run's metric streams.
+        ctx_seconds: time spent preparing (or restoring) the shared context
+            before any cell ran.
+        snapshot_seconds: time spent serializing the prepared context (0.0
+            when no snapshot was taken — serial, no checkpoint).
+        worker_restore_seconds: per-worker time to deserialize the context
+            snapshot instead of rebuilding it (empty for serial runs).
+        resumed_cells: cells served from a checkpoint instead of executed.
     """
 
     scenario: str
@@ -55,19 +62,25 @@ class RunResult:
     workers: int = 1
     cell_timings: List[CellTiming] = field(default_factory=list)
     metrics: Optional[MetricRegistry] = None
+    ctx_seconds: float = 0.0
+    snapshot_seconds: float = 0.0
+    worker_restore_seconds: List[float] = field(default_factory=list)
+    resumed_cells: int = 0
 
     def to_jsonable(self) -> Dict[str, Any]:
         """The run as JSON-safe data — the ``--json`` document.
 
-        Worker count and per-cell timings are deliberately excluded: the
-        document must be identical for a serial and a parallel run of the
-        same (spec, seed), so everything in it except ``wall_clock_seconds``
-        is deterministic.
+        The document must be identical for a serial and a parallel run of
+        the same (spec, seed), so everything in it is deterministic except
+        ``wall_clock_seconds`` and the ``timings`` section, which splits the
+        run's cost into context preparation (``ctx_seconds``) versus cell
+        execution (``cell_seconds``) and records the snapshot economics
+        (serialize once, restore per worker).
 
         Runs that tick the scheduler hot-path cache counters
         (``waves_coalesced`` / ``frontier_cache_hits``) also carry a
         ``scheduler_counters`` section — deterministic observability that,
-        like ``wall_clock_seconds``, stays outside :meth:`fingerprint` so
+        like the timing fields, stays outside :meth:`fingerprint` so
         historical fingerprints are unchanged by its presence.
         """
         doc = {
@@ -75,6 +88,15 @@ class RunResult:
             "kind": self.kind,
             "seed": self.seed,
             "wall_clock_seconds": self.wall_clock_seconds,
+            "timings": {
+                "ctx_seconds": self.ctx_seconds,
+                "cell_seconds": {
+                    timing.key: timing.seconds for timing in self.cell_timings
+                },
+                "snapshot_seconds": self.snapshot_seconds,
+                "worker_restore_seconds": list(self.worker_restore_seconds),
+                "resumed_cells": self.resumed_cells,
+            },
             "result": result_to_jsonable(self.payload),
         }
         if self.metrics is not None:
@@ -96,6 +118,7 @@ class RunResult:
         """
         data = self.to_jsonable()
         data.pop("wall_clock_seconds")
+        data.pop("timings", None)
         data.pop("scheduler_counters", None)
         canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

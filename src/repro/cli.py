@@ -33,6 +33,7 @@ from repro.experiments.report import format_float, format_table
 from repro.experiments.scheduling import run_datacenter_sweep
 from repro.experiments.testbed import run_scheduling_testbed, run_storage_testbed
 from repro.harness import get_scenario, iter_scenarios
+from repro.harness.snapshot import CheckpointPause
 from repro.simulation.random import RandomSource
 from repro.traces import build_fleet
 from repro.traces.scaling import ScalingMethod
@@ -229,22 +230,76 @@ def cmd_run_scenario(args: argparse.Namespace) -> str:
     except KeyError as error:
         raise SystemExit(f"error: {error.args[0]}") from None
     overrides = {"scale": args.scale} if getattr(args, "scale", None) else None
+    if getattr(args, "list_cells", False):
+        return _render_cells(api.resolve(spec, overrides), args)
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint_dir", None):
+        raise SystemExit("error: --resume requires --checkpoint-dir")
     workers = getattr(args, "workers", 1)
+    run_kwargs = dict(
+        overrides=overrides,
+        workers=workers,
+        seed=args.seed,
+        checkpoint=getattr(args, "checkpoint_dir", None),
+        resume=getattr(args, "resume", False),
+        stop_after_cells=getattr(args, "stop_after_cells", None),
+    )
     profiler = None
     if getattr(args, "profile", None) is not None:
         import cProfile
 
         profiler = cProfile.Profile()
-    if profiler is not None:
-        result = profiler.runcall(
-            api.run, spec, overrides=overrides, workers=workers, seed=args.seed
-        )
-        _report_profile(profiler, args.profile)
-    else:
-        result = api.run(spec, overrides=overrides, workers=workers, seed=args.seed)
+    try:
+        if profiler is not None:
+            result = profiler.runcall(api.run, spec, **run_kwargs)
+            _report_profile(profiler, args.profile)
+        else:
+            result = api.run(spec, **run_kwargs)
+    except CheckpointPause as pause:
+        import sys as _sys
+
+        print(pause, file=_sys.stderr)
+        raise SystemExit(3) from None
     if args.json:
         return json.dumps(result.to_jsonable(), indent=2, sort_keys=True)
     return result.render()
+
+
+def _render_cells(spec: "api.ScenarioSpec", args: argparse.Namespace) -> str:
+    """The scenario's cell grid, enumerated from the spec alone.
+
+    Uses :func:`repro.api.cells_from_spec`, which replays the runner's fork
+    arithmetic without building any fleet — the listing is instant even for
+    scenarios whose preparation takes minutes.
+    """
+    cells = api.cells_from_spec(spec, seed=args.seed)
+    if args.json:
+        return json.dumps(
+            [
+                {
+                    "index": cell.index,
+                    "key": cell.key,
+                    "seeds": list(cell.seeds),
+                    "coords": dict(cell.coords),
+                }
+                for cell in cells
+            ],
+            indent=2,
+            sort_keys=True,
+        )
+    rows = [
+        [
+            cell.index,
+            cell.key,
+            ",".join(str(seed) for seed in cell.seeds),
+            ",".join(f"{k}={v}" for k, v in sorted(cell.coords.items())),
+        ]
+        for cell in cells
+    ]
+    return format_table(
+        ["index", "cell", "seeds", "coords"],
+        rows,
+        title=f"Cells of {spec.name} ({len(cells)})",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -328,6 +383,44 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "run under cProfile; dump stats to PATH, or print the top 25 "
             "hottest functions to stderr when PATH is omitted"
+        ),
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        dest="checkpoint_dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "record run progress in DIR (context snapshot + one file per "
+            "completed cell) so an interrupted run can be resumed"
+        ),
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from --checkpoint-dir: restore the prepared context and "
+            "completed cells instead of rebuilding (bit-identical result)"
+        ),
+    )
+    p.add_argument(
+        "--stop-after-cells",
+        dest="stop_after_cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "checkpoint and deliberately pause (exit code 3) after N cells; "
+            "requires --checkpoint-dir"
+        ),
+    )
+    p.add_argument(
+        "--list-cells",
+        dest="list_cells",
+        action="store_true",
+        help=(
+            "enumerate the scenario's cell grid from the spec alone "
+            "(no fleet build) and exit"
         ),
     )
     p.set_defaults(func=cmd_run_scenario)

@@ -114,6 +114,97 @@ class FleetState:
         # every refresh recomputes them from the servers instead.
         self._inexact_allocations = False
 
+    # -- serialized form ----------------------------------------------------
+
+    def to_arrays(self) -> Dict[str, object]:
+        """The fleet's column image — its canonical serialized form.
+
+        Builds the columns first so the image is complete.  Unlike the other
+        substrates, a FleetState is a *view* over live server / NodeManager
+        objects; the image captures every column (including the trace
+        substrate and the RM heartbeat view) but not the object graph, so
+        :meth:`from_arrays` yields a detached, read-only fleet: batch
+        queries (``fits_mask``, ``label_mask``, ``secondary_cpu_fraction``,
+        trace gathers) answer exactly like the original, while membership
+        mutation and the heartbeat/reclaim paths need the live objects the
+        image does not carry.
+        """
+        self.ensure_built()
+        return {
+            "version": 1,
+            "server_ids": list(self._ids),
+            "labels": list(self._labels),
+            "capacity_cores": np.array(self.capacity_cores),
+            "capacity_memory": np.array(self.capacity_memory),
+            "reserve_cores": np.array(self.reserve_cores),
+            "reserve_memory": np.array(self.reserve_memory),
+            "allocated_cores": np.array(self.allocated_cores),
+            "allocated_memory": np.array(self.allocated_memory),
+            "available_cores": np.array(self.available_cores),
+            "available_memory": np.array(self.available_memory),
+            "running_containers": np.array(self.running_containers),
+            "primary_aware": np.array(self.primary_aware),
+            "last_heartbeat": np.array(self.last_heartbeat),
+            "trace_values": np.array(self._trace_values),
+            "trace_lengths": np.array(self._trace_lengths),
+            "server_row": np.array(self._server_row),
+            "fallback": np.array(sorted(self._fallback), dtype=np.int64),
+            "override_indices": np.array(
+                sorted(self._override_indices), dtype=np.int64
+            ),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, object]) -> "FleetState":
+        """A detached fleet restored from :meth:`to_arrays` output.
+
+        See :meth:`to_arrays` for what "detached" means; the columns and
+        the query caches behave exactly like the original's.
+        """
+        fleet = cls.__new__(cls)
+        fleet._node_managers = []
+        fleet._servers = []
+        fleet._ids = [str(s) for s in arrays["server_ids"]]  # type: ignore[union-attr]
+        fleet._labels = [
+            None if label is None else str(label)
+            for label in arrays["labels"]  # type: ignore[union-attr]
+        ]
+        fleet._index_of = {sid: i for i, sid in enumerate(fleet._ids)}
+        for name in (
+            "capacity_cores",
+            "capacity_memory",
+            "reserve_cores",
+            "reserve_memory",
+            "allocated_cores",
+            "allocated_memory",
+            "available_cores",
+            "available_memory",
+            "last_heartbeat",
+        ):
+            setattr(fleet, name, np.array(arrays[name], dtype=float))
+        fleet.running_containers = np.array(
+            arrays["running_containers"], dtype=np.int64
+        )
+        fleet.primary_aware = np.array(arrays["primary_aware"], dtype=bool)
+        fleet._trace_values = np.array(arrays["trace_values"], dtype=float)
+        fleet._trace_lengths = np.array(arrays["trace_lengths"], dtype=np.int64)
+        fleet._server_row = np.array(arrays["server_row"], dtype=np.int64)
+        fleet._fallback = {int(i) for i in np.asarray(arrays["fallback"])}
+        fleet._override_indices = {
+            int(i) for i in np.asarray(arrays["override_indices"])
+        }
+        fleet._label_masks = {}
+        fleet._combined_label_masks = {}
+        fleet._cached_util_time = None
+        fleet._cached_util = None
+        fleet._any_aware = bool(fleet.primary_aware.any())
+        fleet._all_aware = bool(fleet.primary_aware.all())
+        fleet._inexact_allocations = False
+        # The image is complete; ensure_built() must not rebuild from the
+        # (absent) server objects.
+        fleet._dirty = False
+        return fleet
+
     # -- membership ---------------------------------------------------------
 
     def add(self, node_manager: "NodeManager", label: Optional[str]) -> int:

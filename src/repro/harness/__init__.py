@@ -30,7 +30,18 @@ from repro.harness.spec import (
     register_scenario,
     scenario_names,
 )
-from repro.harness.harness import ExperimentHarness, run_scenario
+from repro.harness.harness import ExperimentHarness, cells_from_spec, run_scenario
+from repro.harness.snapshot import (
+    CheckpointPause,
+    ContextSnapshot,
+    RunCheckpoint,
+    SnapshotError,
+    deserialize_snapshot,
+    restore_runner,
+    serialize_snapshot,
+    snapshot_digest,
+    snapshot_runner,
+)
 from repro.harness import scenarios as _scenarios  # registers the defaults
 
 _scenarios.register_default_scenarios()
@@ -38,11 +49,21 @@ _scenarios.register_default_scenarios()
 __all__ = [
     "Cell",
     "CellTiming",
+    "CheckpointPause",
+    "ContextSnapshot",
+    "RunCheckpoint",
     "ScenarioSpec",
+    "SnapshotError",
     "ExperimentHarness",
+    "cells_from_spec",
+    "deserialize_snapshot",
+    "restore_runner",
     "run_scenario",
     "register_scenario",
     "get_scenario",
     "scenario_names",
     "iter_scenarios",
+    "serialize_snapshot",
+    "snapshot_digest",
+    "snapshot_runner",
 ]

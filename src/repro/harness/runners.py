@@ -58,7 +58,7 @@ from repro.jobs.workload import WorkloadGenerator
 from repro.services.latency_model import LatencyModel
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.metrics import MetricRegistry
-from repro.simulation.random import RandomSource
+from repro.simulation.random import ForkSequence, RandomSource
 from repro.storage.namenode import AccessResult, NameNode
 from repro.traces.datacenter import Datacenter, PrimaryTenant
 from repro.traces.fleet import build_datacenter
@@ -168,6 +168,13 @@ class ScenarioRunner:
 
     kind: ClassVar[str] = ""
 
+    #: Fork labels ``_prepare`` consumes off the runner stream, in order.
+    #: Child-seed derivation is pure arithmetic, so replaying these labels
+    #: through a :class:`ForkSequence` positions the fork index exactly
+    #: where ``_enumerate_cells`` starts — the spec-only enumeration fast
+    #: path.  ``None`` disables the fast path for the kind.
+    SHARED_FORK_LABELS: ClassVar[Optional[Tuple[str, ...]]] = None
+
     def __init__(
         self, spec: ScenarioSpec, rng: RandomSource, metrics: MetricRegistry
     ) -> None:
@@ -209,10 +216,49 @@ class ScenarioRunner:
         """Assemble partial results (in cell order) into the kind result."""
         raise NotImplementedError
 
+    def _after_restore(self) -> None:
+        """Hook for snapshot restores: re-bind context pieces that must
+        reference live run state (default: nothing to re-bind)."""
+
     def run(self) -> Any:
         """Execute the scenario serially and return its result dataclass."""
         cells = self.cells()
         return self.merge(cells, [self.run_cell(cell) for cell in cells])
+
+    # -- spec-only enumeration ----------------------------------------------
+
+    @classmethod
+    def cells_from_spec(cls, spec: ScenarioSpec, seed: int) -> Optional[List[Cell]]:
+        """The kind's cell grid derived from the spec alone — no build.
+
+        Replays the fork labels ``_prepare`` consumes (they draw nothing —
+        seeds are arithmetic), then runs the same grid loops
+        ``_enumerate_cells`` runs, so the returned cells are identical —
+        index, key, seeds, coords — to what a fully prepared runner
+        enumerates, at zero fleet-build cost.  Returns ``None`` when the
+        kind cannot enumerate without context.
+        """
+        if cls.SHARED_FORK_LABELS is None:
+            return None
+        forks = ForkSequence(seed)
+        for label in cls.SHARED_FORK_LABELS:
+            forks.fork_seed(label)
+        return cls._spec_cells(spec, forks)
+
+    @classmethod
+    def _spec_cells(cls, spec: ScenarioSpec, forks: ForkSequence) -> List[Cell]:
+        """Grid enumeration against a replayed fork sequence."""
+        return cls._grid_cells(spec, forks.fork_seed)
+
+    @classmethod
+    def _grid_cells(cls, spec: ScenarioSpec, fork_seed: Any) -> List[Cell]:
+        """The kind's grid loops, parameterized over the seed source.
+
+        ``fork_seed`` is either a prepared runner's :meth:`fork_seed` (the
+        full path) or a :class:`ForkSequence`'s (the spec-only path); both
+        yield the same seeds for the same call sequence.
+        """
+        raise NotImplementedError
 
     # -- shared helpers -----------------------------------------------------
 
@@ -289,6 +335,7 @@ class DurabilityRunner(ScenarioRunner):
     """
 
     kind = "durability"
+    SHARED_FORK_LABELS = ("fleet", "reimages")
 
     def _prepare(self) -> Dict[str, Any]:
         spec = self.spec
@@ -314,19 +361,23 @@ class DurabilityRunner(ScenarioRunner):
             "matrix": TraceMatrix(tenants),
         }
 
-    def _enumerate_cells(self) -> List[Cell]:
+    @classmethod
+    def _grid_cells(cls, spec: ScenarioSpec, fork_seed: Any) -> List[Cell]:
         cells: List[Cell] = []
-        for replication in self.spec.replication_levels:
-            for variant in self.spec.variants:
+        for replication in spec.replication_levels:
+            for variant in spec.variants:
                 cells.append(
                     Cell(
                         index=len(cells),
                         key=f"{variant}-r{replication}",
-                        seeds=(self.fork_seed(f"{variant}-{replication}"),),
+                        seeds=(fork_seed(f"{variant}-{replication}"),),
                         coords={"variant": variant, "replication": replication},
                     )
                 )
         return cells
+
+    def _enumerate_cells(self) -> List[Cell]:
+        return self._grid_cells(self.spec, self.fork_seed)
 
     def run_cell(self, cell: Cell) -> VariantDurabilityResult:
         ctx = self.ctx
@@ -436,6 +487,7 @@ class AvailabilityRunner(ScenarioRunner):
     """
 
     kind = "availability"
+    SHARED_FORK_LABELS = ("fleet",)
 
     def _prepare(self) -> Dict[str, Any]:
         spec = self.spec
@@ -473,18 +525,17 @@ class AvailabilityRunner(ScenarioRunner):
             "accesses_per_point": accesses_per_point,
         }
 
-    def _enumerate_cells(self) -> List[Cell]:
+    @classmethod
+    def _grid_cells(cls, spec: ScenarioSpec, fork_seed: Any) -> List[Cell]:
         cells: List[Cell] = []
-        for target in self.spec.utilization_levels:
-            for replication in self.spec.replication_levels:
-                for variant in self.spec.variants:
+        for target in spec.utilization_levels:
+            for replication in spec.replication_levels:
+                for variant in spec.variants:
                     cells.append(
                         Cell(
                             index=len(cells),
                             key=f"{variant}-r{replication}-u{target}",
-                            seeds=(
-                                self.fork_seed(f"{variant}-{replication}-{target}"),
-                            ),
+                            seeds=(fork_seed(f"{variant}-{replication}-{target}"),),
                             coords={
                                 "variant": variant,
                                 "replication": replication,
@@ -493,6 +544,9 @@ class AvailabilityRunner(ScenarioRunner):
                         )
                     )
         return cells
+
+    def _enumerate_cells(self) -> List[Cell]:
+        return self._grid_cells(self.spec, self.fork_seed)
 
     def run_cell(self, cell: Cell) -> AvailabilityPoint:
         ctx = self.ctx
@@ -621,6 +675,7 @@ class SchedulingSweepRunner(ScenarioRunner):
     """
 
     kind = "scheduling_sweep"
+    SHARED_FORK_LABELS = ("fleet",)
 
     def _prepare(self) -> Dict[str, Any]:
         spec = self.spec
@@ -636,12 +691,14 @@ class SchedulingSweepRunner(ScenarioRunner):
                 )
         return {"per_point": per_point}
 
-    def _enumerate_cells(self) -> List[Cell]:
+    @classmethod
+    def _grid_cells(
+        cls, spec: ScenarioSpec, fork_seed: Any, skip_point: Any = None
+    ) -> List[Cell]:
         cells: List[Cell] = []
-        per_point = self._ctx["per_point"]
-        for scaling in self.spec.scalings:
-            for target in self.spec.utilization_levels:
-                if not per_point[(scaling.value, target)]:
+        for scaling in spec.scalings:
+            for target in spec.utilization_levels:
+                if skip_point is not None and skip_point(scaling, target):
                     # The serial loop `continue`d before forking; skipping
                     # without a fork keeps every later seed identical.
                     continue
@@ -649,11 +706,29 @@ class SchedulingSweepRunner(ScenarioRunner):
                     Cell(
                         index=len(cells),
                         key=f"{scaling.value}-u{target}",
-                        seeds=(self.fork_seed(f"{scaling.value}-{target}"),),
+                        seeds=(fork_seed(f"{scaling.value}-{target}"),),
                         coords={"scaling": scaling, "target_utilization": target},
                     )
                 )
         return cells
+
+    def _enumerate_cells(self) -> List[Cell]:
+        per_point = self._ctx["per_point"]
+        return self._grid_cells(
+            self.spec,
+            self.fork_seed,
+            skip_point=lambda scaling, target: not per_point[(scaling.value, target)],
+        )
+
+    @classmethod
+    def _spec_cells(cls, spec: ScenarioSpec, forks: ForkSequence) -> List[Cell]:
+        # A sweep point is empty exactly when no traced tenant survives
+        # trimming.  The fleet builders always attach traces, so that only
+        # happens when the tenant budget itself is zero — in which case the
+        # full path skips *every* point (without forking), and so does this.
+        if spec.max_tenants is not None and spec.max_tenants <= 0:
+            return []
+        return cls._grid_cells(spec, forks.fork_seed)
 
     def run_cell(self, cell: Cell) -> SchedulingSweepPoint:
         ctx = self.ctx
@@ -747,22 +822,53 @@ class FleetImprovementRunner(ScenarioRunner):
     """
 
     kind = "fleet_improvement"
+    #: The runner stream forks nothing shared: each datacenter sweep runs
+    #: from a fresh ``RandomSource(seed)``, so the spec-only path just
+    #: delegates to the sweep runner's per datacenter.
+    SHARED_FORK_LABELS = ()
 
-    def _prepare(self) -> Dict[str, Any]:
-        spec = self.spec
+    @staticmethod
+    def _datacenter_names(spec: ScenarioSpec) -> List[str]:
         names = spec.param("datacenters")
         if names is None:
             from repro.traces.fleet import fleet_specs
 
             names = [dc.name for dc in fleet_specs()]
+        return list(names)
+
+    @staticmethod
+    def _sweep_spec(spec: ScenarioSpec, name: str) -> ScenarioSpec:
+        return spec.with_overrides(
+            name=f"{spec.name}[{name}]",
+            kind="scheduling_sweep",
+            datacenter=name,
+        )
+
+    @classmethod
+    def _spec_cells(cls, spec: ScenarioSpec, forks: ForkSequence) -> List[Cell]:
+        cells: List[Cell] = []
+        for name in cls._datacenter_names(spec):
+            sub_cells = SchedulingSweepRunner.cells_from_spec(
+                cls._sweep_spec(spec, name), forks.seed
+            )
+            for sub_cell in sub_cells or []:
+                cells.append(
+                    Cell(
+                        index=len(cells),
+                        key=f"{name}/{sub_cell.key}",
+                        seeds=sub_cell.seeds,
+                        coords={**sub_cell.coords, "datacenter": name},
+                    )
+                )
+        return cells
+
+    def _prepare(self) -> Dict[str, Any]:
+        spec = self.spec
+        names = self._datacenter_names(spec)
         subs: List[Tuple[str, SchedulingSweepRunner, List[Cell]]] = []
         flat: List[Tuple[SchedulingSweepRunner, Cell]] = []
         for name in names:
-            sweep_spec = spec.with_overrides(
-                name=f"{spec.name}[{name}]",
-                kind="scheduling_sweep",
-                datacenter=name,
-            )
+            sweep_spec = self._sweep_spec(spec, name)
             # Each datacenter sweep runs from a fresh stream derived from the
             # run's effective seed (self.rng.seed carries any run-time
             # override), so per-datacenter results are independent of the
@@ -792,6 +898,14 @@ class FleetImprovementRunner(ScenarioRunner):
     def run_cell(self, cell: Cell) -> SchedulingSweepPoint:
         runner, sub_cell = self.ctx["flat"][cell.index]
         return runner.run_cell(sub_cell)
+
+    def _after_restore(self) -> None:
+        # The snapshotted sub-runners carry a pickled copy of the original
+        # registry; point them at this run's registry so the merge writes
+        # its metrics where the harness reads them.
+        assert self._ctx is not None
+        for _, runner, _ in self._ctx["subs"]:
+            runner.metrics = self.metrics
 
     def merge(
         self, cells: Sequence[Cell], partials: Sequence[SchedulingSweepPoint]
@@ -831,34 +945,39 @@ class SchedulingTestbedRunner(ScenarioRunner):
     """
 
     kind = "scheduling_testbed"
+    SHARED_FORK_LABELS = ("testbed-dc9",)
 
     def _prepare(self) -> Dict[str, Any]:
         return {"tenants": build_testbed_tenants(self.spec.scale, self.rng)}
 
-    def _enumerate_cells(self) -> List[Cell]:
+    @classmethod
+    def _grid_cells(cls, spec: ScenarioSpec, fork_seed: Any) -> List[Cell]:
         cells = [
             Cell(
                 index=0,
                 key=BASELINE,
-                seeds=(self.fork_seed("latency-baseline"),),
+                seeds=(fork_seed("latency-baseline"),),
                 coords={"variant": BASELINE},
             )
         ]
-        for name in self.spec.variants:
+        for name in spec.variants:
             cells.append(
                 Cell(
                     index=len(cells),
                     key=name,
                     seeds=(
-                        self.fork_seed(f"cluster-{name}"),
-                        self.fork_seed("tpcds"),
-                        self.fork_seed(f"workload-{name}"),
-                        self.fork_seed(f"latency-{name}"),
+                        fork_seed(f"cluster-{name}"),
+                        fork_seed("tpcds"),
+                        fork_seed(f"workload-{name}"),
+                        fork_seed(f"latency-{name}"),
                     ),
                     coords={"variant": name},
                 )
             )
         return cells
+
+    def _enumerate_cells(self) -> List[Cell]:
+        return self._grid_cells(self.spec, self.fork_seed)
 
     def run_cell(self, cell: Cell):
         tenants = self.ctx["tenants"]
@@ -972,6 +1091,7 @@ class StorageTestbedRunner(ScenarioRunner):
     """
 
     kind = "storage_testbed"
+    SHARED_FORK_LABELS = ("testbed-dc9",)
 
     def _prepare(self) -> Dict[str, Any]:
         spec = self.spec
@@ -1006,25 +1126,29 @@ class StorageTestbedRunner(ScenarioRunner):
             "accesses_per_minute": accesses_per_minute,
         }
 
-    def _enumerate_cells(self) -> List[Cell]:
+    @classmethod
+    def _grid_cells(cls, spec: ScenarioSpec, fork_seed: Any) -> List[Cell]:
         cells = [
             Cell(
                 index=0,
                 key=BASELINE,
-                seeds=(self.fork_seed("latency-baseline"),),
+                seeds=(fork_seed("latency-baseline"),),
                 coords={"variant": BASELINE},
             )
         ]
-        for variant in self.spec.variants:
+        for variant in spec.variants:
             cells.append(
                 Cell(
                     index=len(cells),
                     key=variant,
-                    seeds=(self.fork_seed(variant),),
+                    seeds=(fork_seed(variant),),
                     coords={"variant": variant},
                 )
             )
         return cells
+
+    def _enumerate_cells(self) -> List[Cell]:
+        return self._grid_cells(self.spec, self.fork_seed)
 
     def run_cell(self, cell: Cell):
         ctx = self.ctx

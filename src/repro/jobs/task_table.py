@@ -217,6 +217,61 @@ class TaskTable:
         self._frontier_rows: np.ndarray | None = None
         self._frontier_views: List[TaskView] | None = None
 
+    # -- serialized form ----------------------------------------------------
+
+    def to_arrays(self) -> Dict[str, object]:
+        """The table's dynamic columns — its canonical serialized form.
+
+        Only the primary columns are captured: everything else (needs
+        counters, per-vertex completion totals, the readiness frontier) is
+        derived from ``state`` and the DAG layout, and
+        :meth:`from_arrays` recomputes it.
+        """
+        return {
+            "version": 1,
+            "job_name": self.job_name,
+            "state": np.array(self.state),
+            "attempts": np.array(self.attempts),
+            "container_slot": np.array(self.container_slot),
+        }
+
+    @classmethod
+    def from_arrays(cls, dag: "JobDag", arrays: Dict[str, object]) -> "TaskTable":
+        """Rebuild a table over ``dag`` from :meth:`to_arrays` output.
+
+        The layout comes from the DAG (shared, as always); the derived
+        counters and the frontier are recomputed from the state column, so
+        the restored table answers every query exactly like the original.
+        """
+        table = cls(dag)
+        state = np.asarray(arrays["state"], dtype=np.int8)
+        if len(state) != table.num_tasks:
+            raise ValueError(
+                f"state column has {len(state)} rows; DAG {dag.name!r} "
+                f"has {table.num_tasks} tasks"
+            )
+        layout = table.layout
+        table.state = np.array(state)
+        table.attempts = np.array(arrays["attempts"], dtype=np.int64)
+        table.container_slot = np.array(arrays["container_slot"], dtype=np.int64)
+        table._needs_container = (state == PENDING) | (state == KILLED)
+        table._needs_count = int(table._needs_container.sum())
+        completed = state == COMPLETED
+        table.completed_counts = np.bincount(
+            layout.vertex_of[completed], minlength=len(layout.task_counts)
+        ).astype(np.int64)
+        table._total_completed = int(completed.sum())
+        unmet = layout.initial_unmet.copy()
+        for vertex in np.flatnonzero(table.completed_counts == layout.task_counts):
+            for i in range(
+                int(layout.down_indptr[vertex]), int(layout.down_indptr[vertex + 1])
+            ):
+                unmet[int(layout.down_indices[i])] -= 1
+        table._unmet_upstream = unmet
+        table._vertex_ready = unmet == 0
+        table._frontier_dirty = True
+        return table
+
     # -- identity -----------------------------------------------------------
 
     @property

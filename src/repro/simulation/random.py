@@ -9,11 +9,46 @@ get independent but reproducible streams.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, TypeVar
+from typing import Any, Dict, Iterator, Optional, Sequence, TypeVar
 
 import numpy as np
 
 T = TypeVar("T")
+
+
+def child_seed(parent_seed: int, fork_index: int, label: str = "") -> int:
+    """The seed :meth:`RandomSource.fork` assigns to its ``fork_index``-th
+    child (1-based), given the parent's seed and the fork label.
+
+    Seed derivation is pure arithmetic — no generator draws — so a fork
+    sequence can be replayed from the parent seed alone.  This is what lets
+    cell grids be enumerated from a spec without building any simulation
+    state (see :class:`ForkSequence`).
+    """
+    label_hash = sum(ord(c) * (31 ** (i % 8)) for i, c in enumerate(label)) % (2**31)
+    return (int(parent_seed) * 1_000_003 + int(fork_index) * 7919 + label_hash) % (
+        2**63
+    )
+
+
+class ForkSequence:
+    """Replays a :class:`RandomSource`'s fork-seed sequence without one.
+
+    A ``ForkSequence(seed)`` yields, via :meth:`fork_seed`, exactly the
+    child seeds ``RandomSource(seed).fork(label).seed`` would yield for the
+    same label sequence — but it carries no generator, so replaying a
+    scenario's fork order costs nothing.  Used by the spec-only cell
+    enumeration fast path.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.fork_count = 0
+
+    def fork_seed(self, label: str = "") -> int:
+        """Seed of the next child stream (advances the fork index)."""
+        self.fork_count += 1
+        return child_seed(self.seed, self.fork_count, label)
 
 
 class RandomSource:
@@ -29,6 +64,11 @@ class RandomSource:
         """Seed this source was created with."""
         return self._seed
 
+    @property
+    def fork_count(self) -> int:
+        """How many child streams have been forked off this source."""
+        return self._fork_count
+
     def fork(self, label: str = "") -> "RandomSource":
         """Create an independent child stream.
 
@@ -37,13 +77,37 @@ class RandomSource:
         does not perturb the streams used elsewhere when the label differs.
         """
         self._fork_count += 1
-        label_hash = (
-            sum(ord(c) * (31 ** (i % 8)) for i, c in enumerate(label)) % (2**31)
-        )
-        child_seed = (
-            self._seed * 1_000_003 + self._fork_count * 7919 + label_hash
-        ) % (2**63)
-        return RandomSource(child_seed)
+        return RandomSource(child_seed(self._seed, self._fork_count, label))
+
+    # -- state capture / restore ------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """The source's exact position: seed, fork index, and generator state.
+
+        The ``bit_generator`` entry is numpy's own state dict (PCG64 counters
+        included), so a restored source continues the draw stream bit for bit
+        and its next :meth:`fork` assigns the same child seed the original
+        would have.
+        """
+        return {
+            "seed": self._seed,
+            "fork_count": self._fork_count,
+            "bit_generator": self._rng.bit_generator.state,
+        }
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        """Restore a position captured by :meth:`state_dict` in place."""
+        self._seed = int(state["seed"])
+        self._fork_count = int(state["fork_count"])
+        self._rng = np.random.default_rng(self._seed)
+        self._rng.bit_generator.state = state["bit_generator"]
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "RandomSource":
+        """A new source positioned exactly where :meth:`state_dict` was taken."""
+        source = cls(int(state["seed"]))
+        source.set_state(state)
+        return source
 
     # -- scalar draws -----------------------------------------------------
 

@@ -108,6 +108,78 @@ class BlockTable:
         #: the batched access path (one 0.05 increment per served access).
         self.io_load = np.zeros(len(self.server_ids))
 
+    # -- serialized form -----------------------------------------------------
+
+    def to_arrays(self) -> Dict[str, object]:
+        """The table as plain arrays/lists — its canonical serialized form.
+
+        Columns are trimmed to the used prefix; :meth:`from_arrays` rebuilds
+        an exact equivalent (same rows, same slot order, same io load), with
+        the per-row :class:`BlockView` cache lazily repopulated.
+        """
+        n = self._n
+        return {
+            "version": 1,
+            "server_ids": list(self.server_ids),
+            "tenant_of_server": list(self.tenant_of_server),
+            "block_ids": list(self._ids),
+            "size_gb": np.array(self._size_gb[:n]),
+            "target": np.array(self._target[:n]),
+            "healthy_count": np.array(self._healthy_count[:n]),
+            "lost": np.array(self._lost[:n]),
+            "access_count": np.array(self._access_count[:n]),
+            "slots_used": np.array(self._slots_used[:n]),
+            "replica_servers": np.array(self._replica_servers[:n]),
+            "replica_healthy": np.array(self._replica_healthy[:n]),
+            "replica_created": np.array(self._replica_created[:n]),
+            "io_load": np.array(self.io_load),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, object]) -> "BlockTable":
+        """Rebuild a table from :meth:`to_arrays` output."""
+        replica_servers = np.asarray(arrays["replica_servers"], dtype=np.int64)
+        slots = replica_servers.shape[1] if replica_servers.ndim == 2 else 0
+        table = cls(
+            [str(s) for s in arrays["server_ids"]],  # type: ignore[union-attr]
+            [str(t) for t in arrays["tenant_of_server"]],  # type: ignore[union-attr]
+            replica_slots=max(1, slots),
+        )
+        block_ids = [str(b) for b in arrays["block_ids"]]  # type: ignore[union-attr]
+        n = len(block_ids)
+        capacity = max(n, INITIAL_ROW_CAPACITY)
+        table._n = n
+        table._ids = block_ids
+        table._row_of = {bid: i for i, bid in enumerate(block_ids)}
+        table._views = [None] * n
+
+        def column(name: str, dtype: type) -> np.ndarray:
+            fresh = np.zeros(capacity, dtype=dtype)
+            fresh[:n] = np.asarray(arrays[name], dtype=dtype)
+            return fresh
+
+        table._size_gb = column("size_gb", float)
+        table._target = column("target", np.int64)
+        table._healthy_count = column("healthy_count", np.int64)
+        table._lost = column("lost", bool)
+        table._access_count = column("access_count", np.int64)
+        table._slots_used = column("slots_used", np.int64)
+        table._replica_servers = np.full(
+            (capacity, max(1, slots)), -1, dtype=np.int64
+        )
+        table._replica_healthy = np.zeros((capacity, max(1, slots)), dtype=bool)
+        table._replica_created = np.zeros((capacity, max(1, slots)))
+        if n and slots:
+            table._replica_servers[:n, :slots] = replica_servers
+            table._replica_healthy[:n, :slots] = np.asarray(
+                arrays["replica_healthy"], dtype=bool
+            )
+            table._replica_created[:n, :slots] = np.asarray(
+                arrays["replica_created"], dtype=float
+            )
+        table.io_load = np.array(arrays["io_load"], dtype=float)
+        return table
+
     # -- shape ---------------------------------------------------------------
 
     @property

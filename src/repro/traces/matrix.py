@@ -65,6 +65,57 @@ class TraceMatrix:
             for server in tenant.servers:
                 self._row_of_server[server.server_id] = row
 
+    # -- serialized form ----------------------------------------------------
+
+    def to_arrays(self) -> Dict[str, object]:
+        """The matrix as plain arrays/scalars — its canonical serialized form.
+
+        Everything a matrix holds is derived from these entries;
+        :meth:`from_arrays` reconstructs an exact equivalent without the
+        tenants.  ``server_ids``/``server_rows`` are parallel (id order is
+        the insertion order of ``_row_of_server``, so ``busy_servers``
+        output order survives the round trip).
+        """
+        return {
+            "version": 1,
+            "tenant_ids": list(self._tenant_ids),
+            "interval": self._interval,
+            "lengths": np.array(self._lengths, copy=True),
+            "values": np.array(self._values, copy=True),
+            "server_ids": list(self._row_of_server),
+            "server_rows": np.asarray(
+                list(self._row_of_server.values()), dtype=np.int64
+            ),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, object]) -> "TraceMatrix":
+        """Rebuild a matrix from :meth:`to_arrays` output, tenants not needed."""
+        matrix = cls.__new__(cls)
+        matrix._init_from_arrays(arrays)
+        return matrix
+
+    def _init_from_arrays(self, arrays: Dict[str, object]) -> None:
+        tenant_ids = [str(t) for t in arrays["tenant_ids"]]
+        self._tenant_ids = tenant_ids
+        self._row_of_tenant = {tid: i for i, tid in enumerate(tenant_ids)}
+        self._interval = float(arrays["interval"])  # type: ignore[arg-type]
+        self._lengths = np.array(arrays["lengths"], dtype=np.int64)
+        self._values = np.array(arrays["values"], dtype=float)
+        server_ids = list(arrays["server_ids"])  # type: ignore[arg-type]
+        server_rows = np.asarray(arrays["server_rows"], dtype=np.int64)
+        self._row_of_server = {
+            str(sid): int(row) for sid, row in zip(server_ids, server_rows)
+        }
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Pickle through the canonical array form so context snapshots carry
+        # pure numpy payloads instead of tenant object graphs.
+        return self.to_arrays()
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self._init_from_arrays(state)
+
     # -- shape and lookup --------------------------------------------------
 
     @property

@@ -203,12 +203,20 @@ class TestRunResultEnvelope:
         result = api.run(spec, seed=5)
         document = json.loads(json.dumps(result.to_jsonable()))
         assert set(document) == {
-            "scenario", "kind", "seed", "wall_clock_seconds", "result",
+            "scenario", "kind", "seed", "wall_clock_seconds", "timings",
+            "result",
         }
         assert document["scenario"] == spec.name
         assert document["kind"] == "durability"
         assert document["seed"] == 5
         assert document["result"] == result_to_jsonable(run_scenario(spec, seed=5))
+        # ctx vs cell split: both sides of the run's cost are visible, and
+        # neither participates in the fingerprint.
+        timings = document["timings"]
+        assert timings["ctx_seconds"] > 0
+        assert set(timings["cell_seconds"]) == {"HDFS-Stock-r3", "HDFS-H-r3"}
+        assert timings["resumed_cells"] == 0
+        assert timings["worker_restore_seconds"] == []
 
     def test_fingerprint_stable_and_seed_sensitive(self):
         spec = tiny_spec("fig15-durability", max_tenants=6,

@@ -1,0 +1,426 @@
+"""Tests for prepared-context snapshots: serialize once, restore bit-exactly.
+
+Three layers of the contract, bottom-up:
+
+* :class:`~repro.simulation.random.RandomSource` state capture — a restored
+  stream continues draw-for-draw and fork-for-fork, and
+  :class:`~repro.simulation.random.ForkSequence` replays fork seeds with no
+  generator at all (the spec-only cell enumeration fast path);
+* each columnar substrate round-trips through its ``to_arrays`` /
+  ``from_arrays`` form with every column, cache, and derived counter intact;
+* a runner restored from a serialized :class:`ContextSnapshot` — in this
+  process or via the checkpoint directory — produces results bit-identical
+  to the straight-line serial run, for every scenario kind.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.harness import (
+    ExperimentHarness,
+    CheckpointPause,
+    RunCheckpoint,
+    SnapshotError,
+    cells_from_spec,
+    deserialize_snapshot,
+    get_scenario,
+    restore_runner,
+    serialize_snapshot,
+    snapshot_digest,
+    snapshot_runner,
+)
+from repro.harness.config import TINY_SCALE
+from repro.harness.results import result_to_jsonable
+from repro.harness.runners import RUNNERS
+from repro.harness.spec import ScenarioSpec
+from repro.jobs.dag import JobDag, Vertex
+from repro.jobs.task_table import COMPLETED, KILLED, RUNNING, TaskTable
+from repro.simulation.metrics import MetricRegistry
+from repro.simulation.random import ForkSequence, RandomSource, child_seed
+from repro.storage.block_table import BlockTable
+from repro.cluster.node_manager import NodeManager
+from repro.cluster.resource_manager import ResourceManager, SchedulerMode
+from repro.cluster.server import SimulatedServer
+from repro.traces.datacenter import PrimaryTenant, Server
+from repro.traces.matrix import TraceMatrix
+from repro.traces.utilization import UtilizationPattern, UtilizationTrace
+
+
+def tiny_spec(name: str, **overrides) -> ScenarioSpec:
+    """A registered scenario shrunk to unit-test size."""
+    spec = get_scenario(name).with_overrides(scale=TINY_SCALE)
+    return spec.with_overrides(**overrides) if overrides else spec
+
+
+#: One trimmed spec per scenario kind — the full kind coverage matrix.
+KIND_CASES = [
+    ("fig15-durability", {"max_tenants": 6, "servers_per_tenant_limit": 2,
+                          "replication_levels": (3,)}),
+    ("fig16-availability", {"max_tenants": 6, "servers_per_tenant_limit": 2,
+                            "utilization_levels": (0.4,),
+                            "replication_levels": (3,),
+                            "params": {"accesses_per_point": 50}}),
+    ("fig13-dc9-sweep", {"utilization_levels": (0.25, 0.5)}),
+    ("fig10-11-scheduling-testbed", {}),
+    ("fig12-storage-testbed", {}),
+    ("fig14-fleet-improvements", {"params": {"datacenters": ["DC-3", "DC-9"]}}),
+]
+KIND_IDS = [case[0] for case in KIND_CASES]
+
+
+def assert_arrays_equal(left: dict, right: dict) -> None:
+    """Two ``to_arrays`` images hold exactly the same data."""
+    assert set(left) == set(right)
+    for key in left:
+        a, b = left[key], right[key]
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            a, b = np.asarray(a), np.asarray(b)
+            assert a.dtype == b.dtype, key
+            assert np.array_equal(a, b), key
+        else:
+            assert a == b, key
+
+
+# ---------------------------------------------------------------------------
+# RandomSource state capture and fork replay
+# ---------------------------------------------------------------------------
+
+
+class TestRandomSourceState:
+    def test_restored_stream_continues_bit_for_bit(self):
+        source = RandomSource(11)
+        source.normal_array(0.0, 1.0, 17)  # advance the stream
+        source.fork("warmup")
+        state = source.state_dict()
+        expected = [source.uniform() for _ in range(10)]
+        expected_fork = source.fork("after").seed
+
+        restored = RandomSource.from_state(state)
+        assert [restored.uniform() for _ in range(10)] == expected
+        assert restored.fork("after").seed == expected_fork
+
+    def test_state_dict_round_trips_through_pickle(self):
+        source = RandomSource(3)
+        source.poisson_process(0.5, 20.0)
+        state = pickle.loads(pickle.dumps(source.state_dict()))
+        restored = RandomSource.from_state(state)
+        assert restored.seed == source.seed
+        assert restored.fork_count == source.fork_count
+        assert restored.uniform() == source.uniform()
+
+    def test_set_state_rewinds_in_place(self):
+        source = RandomSource(4)
+        state = source.state_dict()
+        first = source.normal_array(0.0, 1.0, 5)
+        source.set_state(state)
+        assert np.array_equal(source.normal_array(0.0, 1.0, 5), first)
+
+    def test_fork_sequence_replays_fork_seeds_without_a_generator(self):
+        labels = ["fleet", "reimages", "", "cell-3", "fleet"]
+        source = RandomSource(29)
+        source.uniform_array(0.0, 1.0, 100)  # draws must not affect fork seeds
+        forks = ForkSequence(29)
+        for label in labels:
+            assert forks.fork_seed(label) == source.fork(label).seed
+
+    def test_child_seed_is_the_fork_arithmetic(self):
+        source = RandomSource(8)
+        assert source.fork("x").seed == child_seed(8, 1, "x")
+        assert source.fork("y").seed == child_seed(8, 2, "y")
+
+
+# ---------------------------------------------------------------------------
+# Substrate array round-trips
+# ---------------------------------------------------------------------------
+
+
+def make_tenant(tenant_id: str, values, num_servers: int = 2) -> PrimaryTenant:
+    tenant = PrimaryTenant(
+        tenant_id=tenant_id,
+        environment=f"env-{tenant_id}",
+        machine_function="mf",
+        trace=UtilizationTrace(
+            np.asarray(values, dtype=float), UtilizationPattern.CONSTANT
+        ),
+        pattern=UtilizationPattern.CONSTANT,
+    )
+    for index in range(num_servers):
+        tenant.servers.append(
+            Server(
+                server_id=f"{tenant_id}-s{index}",
+                tenant_id=tenant_id,
+                rack=f"rack-{index}",
+                harvestable_disk_gb=64.0,
+                cores=12,
+                memory_gb=32.0,
+            )
+        )
+    return tenant
+
+
+class TestTraceMatrixRoundTrip:
+    def test_arrays_round_trip(self):
+        matrix = TraceMatrix([
+            make_tenant("a", [0.1, 0.9, 0.5, 0.3]),
+            make_tenant("b", [0.8, 0.2]),
+        ])
+        restored = TraceMatrix.from_arrays(matrix.to_arrays())
+        assert_arrays_equal(matrix.to_arrays(), restored.to_arrays())
+        assert restored.tenant_ids == matrix.tenant_ids
+        assert restored.row_of_server("b-s1") == matrix.row_of_server("b-s1")
+
+    def test_pickle_round_trip_preserves_queries(self):
+        matrix = TraceMatrix([make_tenant("a", [0.1, 0.9, 0.5, 0.3])])
+        restored = pickle.loads(pickle.dumps(matrix))
+        assert_arrays_equal(matrix.to_arrays(), restored.to_arrays())
+
+
+class TestBlockTableRoundTrip:
+    def build_table(self) -> BlockTable:
+        servers = [f"s{i}" for i in range(6)]
+        tenants = [f"t{i % 2}" for i in range(6)]
+        table = BlockTable(servers, tenants, replica_slots=2)
+        rng = RandomSource(5)
+        for i in range(40):
+            row = table.append(f"blk-{i}", 1.0 + i * 0.25, 3)
+            for server in rng.sample(range(6), 3):
+                table.add_replica(row, int(server), float(i))
+        # Exercise the sticky-lost / slot-reuse paths before serializing.
+        for row in range(0, 40, 7):
+            for server in list(table.holders_of(row)):
+                table.destroy_replica(row, int(server))
+        table.record_accesses(np.arange(0, 40, 3))
+        return table
+
+    def test_arrays_round_trip(self):
+        table = self.build_table()
+        restored = BlockTable.from_arrays(table.to_arrays())
+        assert_arrays_equal(table.to_arrays(), restored.to_arrays())
+        assert restored.num_blocks == table.num_blocks
+        assert np.array_equal(restored.lost_rows(), table.lost_rows())
+        assert np.array_equal(
+            restored.under_replicated_rows(), table.under_replicated_rows()
+        )
+        # Views and mutation keep working on the restored table.
+        row = restored.row_of("blk-1")
+        assert restored.view(row).block_id == "blk-1"
+        restored.add_replica(row, 0, 99.0)
+
+
+class TestTaskTableRoundTrip:
+    def build_dag(self) -> JobDag:
+        return JobDag(
+            "job-rt",
+            [
+                Vertex("v0", num_tasks=3, task_duration_seconds=10.0, upstream=[]),
+                Vertex("v1", num_tasks=2, task_duration_seconds=5.0,
+                       upstream=["v0"]),
+                Vertex("v2", num_tasks=4, task_duration_seconds=7.0,
+                       upstream=["v0", "v1"]),
+            ],
+        )
+
+    def test_arrays_round_trip_recomputes_derived_state(self):
+        dag = self.build_dag()
+        table = TaskTable(dag)
+        for row in range(3):  # complete v0
+            table.set_state(row, COMPLETED)
+        table.mark_running(3, container_id=7)
+        table.set_state(4, KILLED)
+
+        restored = TaskTable.from_arrays(dag, table.to_arrays())
+        assert_arrays_equal(table.to_arrays(), restored.to_arrays())
+        assert np.array_equal(restored.runnable_rows(), table.runnable_rows())
+        assert restored.vertex_completed("v0") and not restored.vertex_completed("v2")
+        assert restored.tasks_completed_total == 3
+        assert restored.needs_containers == table.needs_containers
+
+    def test_row_count_mismatch_rejected(self):
+        dag = self.build_dag()
+        arrays = TaskTable(dag).to_arrays()
+        arrays["state"] = np.zeros(2, dtype=np.int8)
+        with pytest.raises(ValueError):
+            TaskTable.from_arrays(dag, arrays)
+
+
+class TestFleetStateRoundTrip:
+    def build_fleet(self):
+        rm = ResourceManager(mode=SchedulerMode.PRIMARY_AWARE, rng=RandomSource(1))
+        profiles = {
+            "idle": [0.1, 0.1, 0.2, 0.1],
+            "diurnal": [0.2, 0.7, 0.9, 0.3],
+            "busy": [0.6, 0.65, 0.7, 0.6],
+        }
+        for sid, values in profiles.items():
+            tenant = make_tenant(f"tenant-{sid}", values, num_servers=1)
+            server = tenant.servers[0]
+            rm.register_node(
+                NodeManager(SimulatedServer(server, tenant), primary_aware=True),
+                label="gold" if sid == "busy" else None,
+            )
+        rm.process_heartbeats(120.0)
+        return rm.fleet
+
+    def test_arrays_round_trip_preserves_queries(self):
+        fleet = self.build_fleet()
+        restored = type(fleet).from_arrays(fleet.to_arrays())
+        assert_arrays_equal(fleet.to_arrays(), restored.to_arrays())
+        assert restored.server_ids == fleet.server_ids
+        assert np.array_equal(
+            restored.label_mask(["gold"]), fleet.label_mask(["gold"])
+        )
+        assert np.array_equal(
+            restored.primary_utilization(240.0), fleet.primary_utilization(240.0)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Snapshot envelope and restored-runner parity
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotEnvelope:
+    def test_bad_magic_and_version_fail_loudly(self):
+        with pytest.raises(SnapshotError):
+            deserialize_snapshot(b"NOTASNAP" + b"\x00" * 16)
+        spec = tiny_spec("fig15-durability", max_tenants=6,
+                         servers_per_tenant_limit=2, replication_levels=(3,))
+        runner = RUNNERS[spec.kind](spec, RandomSource(7), MetricRegistry())
+        data = bytearray(serialize_snapshot(snapshot_runner(runner)))
+        data[6] = 0xFF  # corrupt the version bytes
+        with pytest.raises(SnapshotError):
+            deserialize_snapshot(bytes(data))
+
+    def test_digest_is_stable_per_payload(self):
+        assert snapshot_digest(b"abc") == snapshot_digest(b"abc")
+        assert snapshot_digest(b"abc") != snapshot_digest(b"abd")
+
+
+class TestRestoredRunParity:
+    """A runner restored from bytes must finish the run bit-identically."""
+
+    @pytest.mark.parametrize("name,overrides", KIND_CASES, ids=KIND_IDS)
+    def test_restore_then_run_matches_straight_line(self, name, overrides):
+        spec = tiny_spec(name, **overrides)
+        straight = ExperimentHarness(spec, seed=7)
+        reference = result_to_jsonable(straight.run())
+
+        runner = RUNNERS[spec.kind](spec, RandomSource(7), MetricRegistry())
+        data = serialize_snapshot(snapshot_runner(runner))
+        restored = restore_runner(deserialize_snapshot(data))
+        cells = restored.cells()
+        partials = [restored.run_cell(cell) for cell in cells]
+        merged = restored.merge(cells, partials)
+        assert result_to_jsonable(merged) == reference
+        # Restored metrics land in the restored runner's live registry.
+        assert restored.metrics.snapshot() == straight.metrics.snapshot()
+
+
+class TestCellsFromSpec:
+    """Spec-only enumeration replays the full build's grid exactly."""
+
+    @pytest.mark.parametrize("name,overrides", KIND_CASES, ids=KIND_IDS)
+    def test_spec_only_cells_match_full_build(self, name, overrides):
+        spec = tiny_spec(name, **overrides)
+        fast = cells_from_spec(spec, seed=7)
+        full = RUNNERS[spec.kind](spec, RandomSource(7), MetricRegistry()).cells()
+        assert [(c.index, c.key, c.seeds, c.coords) for c in fast] == [
+            (c.index, c.key, c.seeds, c.coords) for c in full
+        ]
+
+    def test_empty_sweep_grid_short_circuits(self):
+        spec = tiny_spec("fig13-dc9-sweep", max_tenants=0)
+        assert cells_from_spec(spec, seed=7) == []
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / resume
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointResume:
+    SPEC_KW = dict(max_tenants=6, servers_per_tenant_limit=2)
+
+    def spec(self):
+        return tiny_spec("fig15-durability", **self.SPEC_KW)
+
+    def test_pause_then_resume_is_bit_identical(self, tmp_path):
+        spec = self.spec()
+        reference = api.run(spec, seed=7)
+        ckpt = tmp_path / "ckpt"
+
+        with pytest.raises(CheckpointPause) as pause:
+            api.run(spec, seed=7, checkpoint=ckpt, stop_after_cells=2)
+        assert pause.value.completed == 2
+        assert RunCheckpoint(ckpt).exists()
+        assert len(RunCheckpoint(ckpt).completed_cells()) == 2
+
+        resumed = api.run(spec, seed=7, checkpoint=ckpt, resume=True, workers=2)
+        assert resumed.fingerprint() == reference.fingerprint()
+        assert resumed.resumed_cells == 2
+        assert resumed.metrics.snapshot() == reference.metrics.snapshot()
+        # All cells report a timing, resumed ones included.
+        assert len(resumed.cell_timings) == len(reference.cell_timings)
+
+    def test_fully_cached_resume_re_merges_everything(self, tmp_path):
+        spec = self.spec()
+        ckpt = tmp_path / "ckpt"
+        first = api.run(spec, seed=7, checkpoint=ckpt)
+        again = api.run(spec, seed=7, checkpoint=ckpt, resume=True)
+        assert again.fingerprint() == first.fingerprint()
+        assert again.resumed_cells == len(first.cell_timings)
+
+    def test_resume_with_missing_checkpoint_is_a_fresh_run(self, tmp_path):
+        spec = self.spec()
+        ckpt = tmp_path / "never-written"
+        result = api.run(spec, seed=7, checkpoint=ckpt, resume=True)
+        assert result.resumed_cells == 0
+        assert RunCheckpoint(ckpt).exists()  # written for next time
+        assert result.fingerprint() == api.run(spec, seed=7).fingerprint()
+
+    def test_seed_or_spec_mismatch_rejected(self, tmp_path):
+        spec = self.spec()
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(CheckpointPause):
+            api.run(spec, seed=7, checkpoint=ckpt, stop_after_cells=1)
+        with pytest.raises(SnapshotError):
+            api.run(spec, seed=8, checkpoint=ckpt, resume=True)
+        other = spec.with_overrides(replication_levels=(3,))
+        with pytest.raises(SnapshotError):
+            api.run(other, seed=7, checkpoint=ckpt, resume=True)
+
+    def test_stop_after_cells_requires_checkpoint_dir(self):
+        with pytest.raises(ValueError):
+            ExperimentHarness(self.spec(), stop_after_cells=2)
+
+    def test_torn_context_detected_by_digest(self, tmp_path):
+        spec = self.spec()
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(CheckpointPause):
+            api.run(spec, seed=7, checkpoint=ckpt, stop_after_cells=1)
+        path = RunCheckpoint(ckpt).context_path
+        path.write_bytes(path.read_bytes()[:-8])  # truncate the snapshot
+        with pytest.raises(SnapshotError):
+            api.run(spec, seed=7, checkpoint=ckpt, resume=True)
+
+
+class TestTimingsSurface:
+    def test_parallel_run_reports_snapshot_economics(self):
+        spec = tiny_spec("fig15-durability", max_tenants=6,
+                         servers_per_tenant_limit=2, replication_levels=(3,))
+        result = api.run(spec, seed=7, workers=2)
+        doc = json.loads(json.dumps(result.to_jsonable()))
+        timings = doc["timings"]
+        assert timings["ctx_seconds"] > 0
+        assert timings["snapshot_seconds"] > 0
+        assert timings["worker_restore_seconds"]  # each worker restored once
+        assert all(s > 0 for s in timings["worker_restore_seconds"])
+        # The timings section never participates in the fingerprint.
+        serial = api.run(spec, seed=7)
+        assert result.fingerprint() == serial.fingerprint()

@@ -11,7 +11,13 @@ touching the CLI:
   bit-identical regardless of worker count;
 * :func:`sweep` manufactures derived specs over a ``{field: values}``
   cross-product, so user-defined scenario grids need no new runner code;
-* :func:`run_sweep` executes such a grid and returns one envelope per spec.
+* :func:`run_sweep` executes such a grid and returns one envelope per spec;
+* :func:`run_continuous` runs a ``continuous`` scenario — live traffic from
+  an arrival process (:func:`~repro.harness.traffic.parse_traffic` specs)
+  for a horizon of fixed epochs — and returns a :class:`RunResult` whose
+  payload is a :class:`~repro.harness.results.ContinuousResult`: one
+  windowed :class:`~repro.harness.results.EpochMetrics` stream per
+  scheduler variant, covered by :meth:`~RunResult.fingerprint`.
 
 Cookbook::
 
@@ -29,6 +35,17 @@ Cookbook::
         overrides={"scale": "tiny"},
     )
     results = api.run_sweep(specs, workers=2)
+
+    # Live traffic: open-loop diurnal arrivals, 12 five-minute epochs.
+    live = api.run_continuous(
+        "continuous-open",
+        traffic="open:rate=0.005,profile=diurnal,period=7200",
+        epochs=12,
+        epoch_seconds=300.0,
+        overrides={"scale": "tiny"},
+    )
+    for epoch in live.payload.variant("YARN-H").epochs:
+        print(epoch.index, epoch.p99_primary_ms, epoch.queue_depth)
 
 New scenario kinds plug in by registering a
 :class:`~repro.harness.runners.ScenarioRunner` subclass that declares its
@@ -53,6 +70,7 @@ from repro.harness.config import (
     TINY_SCALE,
 )
 from repro.harness.harness import ExperimentHarness, cells_from_spec
+from repro.harness.results import ContinuousResult, EpochMetrics
 from repro.harness.spec import (
     ScenarioSpec,
     get_scenario,
@@ -60,19 +78,34 @@ from repro.harness.spec import (
     register_scenario,
     scenario_names,
 )
+from repro.harness.traffic import (
+    ClosedLoopDriver,
+    OpenLoopDriver,
+    RateSchedule,
+    TrafficDriver,
+    parse_traffic,
+)
 from repro.simulation.metrics import MetricRegistry
 
 __all__ = [
     "Cell",
     "CellTiming",
+    "ClosedLoopDriver",
+    "ContinuousResult",
+    "EpochMetrics",
     "NAMED_SCALES",
+    "OpenLoopDriver",
+    "RateSchedule",
     "RunResult",
     "ScenarioSpec",
+    "TrafficDriver",
     "cells_from_spec",
     "get_scenario",
     "iter_scenarios",
+    "parse_traffic",
     "register_scenario",
     "run",
+    "run_continuous",
     "run_sweep",
     "scenario_names",
     "sweep",
@@ -183,6 +216,50 @@ def run(
         worker_restore_seconds=list(harness.worker_restore_seconds),
         resumed_cells=harness.resumed_cells,
     )
+
+
+def run_continuous(
+    scenario: Union[str, ScenarioSpec] = "continuous-open",
+    *,
+    traffic: Optional[str] = None,
+    epochs: Optional[int] = None,
+    epoch_seconds: Optional[float] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+    **run_kwargs: Any,
+) -> RunResult:
+    """Run a ``continuous`` scenario under an arrival-process driver.
+
+    A convenience wrapper over :func:`run` that surfaces the continuous
+    kind's params as keyword arguments:
+
+    Args:
+        scenario: a ``continuous``-kind scenario name or spec (the built-in
+            registrations are ``continuous-open`` and ``continuous-closed``).
+        traffic: arrival-process spec string — e.g.
+            ``"open:rate=0.005,profile=diurnal"`` or
+            ``"closed:users=4,think=300"`` — parsed by
+            :func:`repro.harness.traffic.parse_traffic`; ``None`` keeps the
+            scenario's registered process.
+        epochs: number of metric windows to simulate (the horizon is
+            ``epochs * epoch_seconds``).
+        epoch_seconds: length of one metric window, in simulated seconds.
+        overrides: further spec overrides, as for :func:`run`.
+        **run_kwargs: forwarded to :func:`run` (``workers``, ``seed``,
+            ``checkpoint``, ...).
+
+    Returns:
+        A :class:`RunResult` whose payload is a
+        :class:`~repro.harness.results.ContinuousResult` — the per-variant
+        epoch stream, fully covered by :meth:`RunResult.fingerprint`.
+    """
+    merged: Dict[str, Any] = dict(overrides or {})
+    if traffic is not None:
+        merged["traffic"] = traffic
+    if epochs is not None:
+        merged["epochs"] = epochs
+    if epoch_seconds is not None:
+        merged["epoch_seconds"] = epoch_seconds
+    return run(scenario, overrides=merged or None, **run_kwargs)
 
 
 def _format_value(value: Any) -> str:

@@ -114,7 +114,10 @@ class RunResult:
 
         Two runs of the same (spec, seed) — serial, ``workers=4``, another
         machine — must produce the same fingerprint; any drift means the
-        simulation itself diverged.
+        simulation itself diverged.  For ``continuous`` runs the digested
+        document embeds the full per-variant epoch stream, so the
+        fingerprint certifies every window of the horizon, not just a
+        terminal summary.
         """
         data = self.to_jsonable()
         data.pop("wall_clock_seconds")

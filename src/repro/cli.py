@@ -229,7 +229,18 @@ def cmd_run_scenario(args: argparse.Namespace) -> str:
         spec = get_scenario(args.name)
     except KeyError as error:
         raise SystemExit(f"error: {error.args[0]}") from None
-    overrides = {"scale": args.scale} if getattr(args, "scale", None) else None
+    overrides = {}
+    if getattr(args, "scale", None):
+        overrides["scale"] = args.scale
+    # Continuous-mode knobs route into the spec's params (see api.resolve);
+    # they are inert for the fixed-grid figure kinds.
+    if getattr(args, "traffic", None):
+        overrides["traffic"] = args.traffic
+    if getattr(args, "epochs", None) is not None:
+        overrides["epochs"] = args.epochs
+    if getattr(args, "epoch_seconds", None) is not None:
+        overrides["epoch_seconds"] = args.epoch_seconds
+    overrides = overrides or None
     if getattr(args, "list_cells", False):
         return _render_cells(api.resolve(spec, overrides), args)
     if getattr(args, "resume", False) and not getattr(args, "checkpoint_dir", None):
@@ -349,7 +360,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_microbench)
 
     p = subparsers.add_parser(
-        "run-scenario", help="run any registered scenario by name"
+        "run-scenario",
+        help="run any registered scenario by name",
+        epilog=(
+            "exit codes: 0 on success; 3 when the run checkpointed and "
+            "deliberately paused (--stop-after-cells reached, state saved "
+            "under --checkpoint-dir; rerun with --resume to finish)."
+        ),
     )
     p.add_argument("name", nargs="?", default=None)
     p.add_argument("--list", action="store_true", help="list registered scenarios")
@@ -422,6 +439,34 @@ def build_parser() -> argparse.ArgumentParser:
             "enumerate the scenario's cell grid from the spec alone "
             "(no fleet build) and exit"
         ),
+    )
+    p.add_argument(
+        "--traffic",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "continuous scenarios: arrival process, e.g. "
+            "'open:rate=0.005,profile=diurnal' or 'closed:users=4,think=300' "
+            "(see repro.harness.traffic.parse_traffic)"
+        ),
+    )
+    p.add_argument(
+        "--epochs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "continuous scenarios: run for N metric windows and emit one "
+            "row of windowed metrics per epoch"
+        ),
+    )
+    p.add_argument(
+        "--epoch-seconds",
+        dest="epoch_seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="continuous scenarios: length of one metric window in seconds",
     )
     p.set_defaults(func=cmd_run_scenario)
 

@@ -42,7 +42,10 @@ from repro.harness.snapshot import (
     snapshot_digest,
     snapshot_runner,
 )
+from repro.harness import continuous as _continuous  # registers the kind
 from repro.harness import scenarios as _scenarios  # registers the defaults
+
+del _continuous  # imported for its @_register side effect only
 
 _scenarios.register_default_scenarios()
 

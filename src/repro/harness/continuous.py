@@ -1,0 +1,237 @@
+"""The ``continuous`` scenario kind: live traffic with windowed metrics.
+
+Where the figure runners materialize one workload and report a terminal
+payload, :class:`ContinuousRunner` drives a
+:class:`~repro.jobs.scheduler_variants.HarvestingCluster` under a
+:class:`~repro.harness.traffic.TrafficDriver` arrival process for
+``epochs * epoch_seconds`` of simulated time and reports *per-epoch*
+windowed metrics — p99 primary latency, harvest throughput, kill rate,
+queue depth — as a :class:`~repro.harness.results.ContinuousResult`.
+
+Cell grid: one cell per scheduler variant.  Each cell records the four
+child seeds its serial forks resolve to (cluster, workload factory, traffic
+process, latency model) and replays the *entire* continuous simulation from
+them in :meth:`ContinuousRunner.run_cell`, so the epoch stream is
+bit-identical whether cells run serially or on a process pool.  Epochs
+within a cell are inherently sequential (epoch N's cluster state feeds
+epoch N+1), which is why the variant — not the epoch — is the unit of
+parallelism.
+
+Kind-specific spec params (all reachable via ``repro run-scenario``
+``--traffic/--epochs/--epoch-seconds`` or ``repro.api`` overrides):
+
+* ``traffic`` — a :func:`~repro.harness.traffic.parse_traffic` spec string;
+* ``epochs`` — number of metric windows (the horizon is their sum);
+* ``epoch_seconds`` — window length in simulated seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.harness.builders import build_testbed_tenants
+from repro.harness.cells import Cell
+from repro.harness.results import (
+    ContinuousResult,
+    EpochMetrics,
+    VariantContinuousResult,
+)
+from repro.harness.runners import (
+    _SCHEDULING_VARIANT_MODES,
+    _bucket_mean,
+    ScenarioRunner,
+    _register,
+)
+from repro.harness.spec import ScenarioSpec
+from repro.harness.traffic import EpochRecorder, parse_traffic
+from repro.jobs.scheduler_variants import ClusterConfig, HarvestingCluster
+from repro.jobs.tpcds import TpcdsWorkloadFactory
+from repro.services.latency_model import LatencyModel
+from repro.simulation.random import RandomSource
+
+#: Default horizon: eight 10-minute windows.
+DEFAULT_EPOCHS = 8
+DEFAULT_EPOCH_SECONDS = 600.0
+#: Default arrival process: one job every ~200s, open loop.
+DEFAULT_TRAFFIC = "open:rate=0.005"
+
+
+@_register
+class ContinuousRunner(ScenarioRunner):
+    """Continuous simulation under an arrival-process traffic driver.
+
+    Cell grid: one cell per scheduler variant, each carrying the four child
+    seeds its serial forks resolved to (cluster, workload factory, traffic,
+    latency model).
+    """
+
+    kind = "continuous"
+    SHARED_FORK_LABELS = ("testbed-dc9",)
+
+    def _prepare(self) -> Dict[str, Any]:
+        return {"tenants": build_testbed_tenants(self.spec.scale, self.rng)}
+
+    @classmethod
+    def _grid_cells(cls, spec: ScenarioSpec, fork_seed: Any) -> List[Cell]:
+        cells: List[Cell] = []
+        for name in spec.variants:
+            cells.append(
+                Cell(
+                    index=len(cells),
+                    key=name,
+                    seeds=(
+                        fork_seed(f"cluster-{name}"),
+                        fork_seed("tpcds"),
+                        fork_seed(f"traffic-{name}"),
+                        fork_seed(f"latency-{name}"),
+                    ),
+                    coords={"variant": name},
+                )
+            )
+        return cells
+
+    def _enumerate_cells(self) -> List[Cell]:
+        return self._grid_cells(self.spec, self.fork_seed)
+
+    # -- execution ----------------------------------------------------------
+
+    def run_cell(self, cell: Cell) -> VariantContinuousResult:
+        name = cell.coord("variant")
+        return _run_continuous_variant(
+            name,
+            self.ctx["tenants"],
+            cell.seeds,
+            traffic=str(self.spec.param("traffic", DEFAULT_TRAFFIC)),
+            epochs=int(self.spec.param("epochs", DEFAULT_EPOCHS)),
+            epoch_seconds=float(
+                self.spec.param("epoch_seconds", DEFAULT_EPOCH_SECONDS)
+            ),
+        )
+
+    def merge(
+        self, cells: Sequence[Cell], partials: Sequence[Any]
+    ) -> ContinuousResult:
+        epochs = int(self.spec.param("epochs", DEFAULT_EPOCHS))
+        epoch_seconds = float(
+            self.spec.param("epoch_seconds", DEFAULT_EPOCH_SECONDS)
+        )
+        variants: Dict[str, VariantContinuousResult] = {}
+        for outcome in partials:
+            variants[outcome.variant] = outcome
+            p99 = self.metrics.distribution(
+                f"continuous.{outcome.variant}.p99_ms"
+            )
+            for epoch in outcome.epochs:
+                p99.add(epoch.p99_primary_ms)
+            self.metrics.counter(
+                f"continuous.{outcome.variant}.jobs_completed"
+            ).increment(outcome.jobs_completed)
+            self.metrics.counter(
+                f"continuous.{outcome.variant}.tasks_killed"
+            ).increment(outcome.tasks_killed)
+        return ContinuousResult(
+            traffic=str(self.spec.param("traffic", DEFAULT_TRAFFIC)),
+            epoch_seconds=epoch_seconds,
+            num_epochs=epochs,
+            variants=variants,
+        )
+
+
+def _run_continuous_variant(
+    name: str,
+    tenants,
+    seeds: Tuple[int, ...],
+    *,
+    traffic: str,
+    epochs: int,
+    epoch_seconds: float,
+) -> VariantContinuousResult:
+    """One variant's full continuous run, purely from its recorded seeds."""
+    mode = _SCHEDULING_VARIANT_MODES[name]
+    cluster_rng, tpcds_rng, traffic_rng, latency_rng = (
+        RandomSource(seed) for seed in seeds
+    )
+    horizon = epochs * epoch_seconds
+    cluster = HarvestingCluster(
+        tenants,
+        config=ClusterConfig(mode=mode, record_server_series=True),
+        rng=cluster_rng,
+    )
+    factory = TpcdsWorkloadFactory(tpcds_rng, duration_scale=1.0, width_scale=0.35)
+    driver = parse_traffic(traffic)
+    driver.attach(cluster, factory, horizon, traffic_rng)
+    recorder = EpochRecorder(cluster, driver, epoch_seconds, epochs)
+    recorder.install()
+    cluster.run(horizon)
+
+    per_epoch_p99 = _epoch_p99_latency(
+        cluster, latency_rng, epochs, epoch_seconds
+    )
+    metrics: List[EpochMetrics] = []
+    previous = {
+        "jobs_submitted": 0,
+        "jobs_completed": 0,
+        "tasks_completed": 0,
+        "tasks_killed": 0,
+    }
+    for index, snapshot in enumerate(recorder.snapshots):
+        metrics.append(
+            EpochMetrics(
+                index=index,
+                start_seconds=index * epoch_seconds,
+                end_seconds=snapshot["time"],
+                jobs_submitted=snapshot["jobs_submitted"]
+                - previous["jobs_submitted"],
+                jobs_completed=snapshot["jobs_completed"]
+                - previous["jobs_completed"],
+                tasks_completed=snapshot["tasks_completed"]
+                - previous["tasks_completed"],
+                tasks_killed=snapshot["tasks_killed"] - previous["tasks_killed"],
+                queue_depth=snapshot["jobs_submitted"]
+                - snapshot["jobs_completed"],
+                p99_primary_ms=per_epoch_p99[index],
+            )
+        )
+        previous = snapshot
+    return VariantContinuousResult(variant=name, epochs=metrics)
+
+
+def _epoch_p99_latency(
+    cluster: HarvestingCluster,
+    latency_rng: RandomSource,
+    epochs: int,
+    epoch_seconds: float,
+) -> List[float]:
+    """p99 of the per-minute fleet-mean primary latency, per epoch window.
+
+    The same evaluation the scheduling testbed performs — bucket the
+    recorded per-server heartbeat matrices into minutes, one latency-matrix
+    evaluation, fleet mean per minute — then each minute sample lands in the
+    epoch its minute *starts* in and every window reports the 99th
+    percentile of its samples (0.0 for windows without a complete minute).
+    The jitter draws are consumed in minute-major order exactly once, so
+    the per-epoch split costs no extra randomness.
+    """
+    per_epoch: List[List[float]] = [[] for _ in range(epochs)]
+    series = cluster.server_series()
+    if len(series.times):
+        latency_model = LatencyModel(
+            rng=latency_rng,
+            reserve_fraction=cluster.config.reserve_cpu_fraction,
+        )
+        buckets = np.floor(series.times / 60.0).astype(int)
+        minute_starts = np.unique(buckets) * 60.0
+        secondary = _bucket_mean(series.times, series.secondary_cpu, 60.0)
+        primary = _bucket_mean(series.times, series.primary_cpu, 60.0)
+        per_minute = latency_model.p99_latency_ms_array(
+            np.minimum(1.0, primary), secondary
+        )
+        for start, row in zip(minute_starts, per_minute):
+            index = min(int(start // epoch_seconds), epochs - 1)
+            per_epoch[index].append(float(np.mean(row)))
+    return [
+        float(np.percentile(np.asarray(samples), 99.0)) if samples else 0.0
+        for samples in per_epoch
+    ]

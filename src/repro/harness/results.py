@@ -450,6 +450,156 @@ class StorageTestbedResult:
 
 
 # ---------------------------------------------------------------------------
+# Continuous mode: windowed epoch metrics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EpochMetrics:
+    """One epoch window of a continuous run.
+
+    All counts are *deltas within the window* except ``queue_depth``, which
+    is the backlog (jobs submitted but not yet finished) at the window's
+    closing boundary.  ``p99_primary_ms`` is the 99th percentile of the
+    per-minute fleet-mean primary latency samples whose minute starts inside
+    the window (0.0 when the window holds no complete minute).
+    """
+
+    index: int
+    start_seconds: float
+    end_seconds: float
+    jobs_submitted: int
+    jobs_completed: int
+    tasks_completed: int
+    tasks_killed: int
+    queue_depth: int
+    p99_primary_ms: float
+
+    @property
+    def duration_hours(self) -> float:
+        """Window length in hours (rates below are per hour)."""
+        return (self.end_seconds - self.start_seconds) / 3600.0
+
+    @property
+    def harvest_throughput_tasks_per_hour(self) -> float:
+        """Harvested work rate: batch tasks completed per hour."""
+        return self.tasks_completed / self.duration_hours
+
+    @property
+    def kill_rate(self) -> float:
+        """Fraction of this window's finished task attempts that were killed."""
+        attempts = self.tasks_completed + self.tasks_killed
+        if attempts == 0:
+            return 0.0
+        return self.tasks_killed / attempts
+
+
+@dataclass
+class VariantContinuousResult:
+    """The epoch stream one scheduler variant produced."""
+
+    variant: str
+    epochs: List["EpochMetrics"]
+
+    @property
+    def jobs_completed(self) -> int:
+        """Jobs finished over the whole horizon."""
+        return sum(e.jobs_completed for e in self.epochs)
+
+    @property
+    def tasks_killed(self) -> int:
+        """Task attempts killed over the whole horizon."""
+        return sum(e.tasks_killed for e in self.epochs)
+
+    @property
+    def final_queue_depth(self) -> int:
+        """Backlog when the horizon closed."""
+        return self.epochs[-1].queue_depth if self.epochs else 0
+
+
+@dataclass
+class ContinuousResult:
+    """Continuous-mode results: one windowed epoch stream per variant.
+
+    Unlike the figure results, the payload here *is* the time series — the
+    fingerprint covers every epoch of every variant, so a single diverging
+    window anywhere in the horizon changes the run's fingerprint.
+    """
+
+    traffic: str
+    epoch_seconds: float
+    num_epochs: int
+    variants: Dict[str, VariantContinuousResult] = field(default_factory=dict)
+
+    def variant(self, name: str) -> VariantContinuousResult:
+        """The epoch stream for one variant by name (e.g. ``"YARN-H"``)."""
+        return self.variants[name]
+
+    def headline(self) -> Dict[str, object]:
+        """Fingerprint-relevant data: the full per-variant epoch stream."""
+        return {
+            "traffic": self.traffic,
+            "epoch_seconds": self.epoch_seconds,
+            "num_epochs": self.num_epochs,
+            "variants": {
+                name: {
+                    "epochs": [
+                        {
+                            "index": e.index,
+                            "jobs_submitted": e.jobs_submitted,
+                            "jobs_completed": e.jobs_completed,
+                            "tasks_completed": e.tasks_completed,
+                            "tasks_killed": e.tasks_killed,
+                            "queue_depth": e.queue_depth,
+                            "p99_primary_ms": e.p99_primary_ms,
+                        }
+                        for e in v.epochs
+                    ]
+                }
+                for name, v in self.variants.items()
+            },
+        }
+
+    def render(self) -> str:
+        """Per-epoch table, one row per (variant, epoch) window."""
+        from repro.experiments.report import format_table
+
+        rows = []
+        for name, v in self.variants.items():
+            for e in v.epochs:
+                rows.append(
+                    [
+                        name,
+                        e.index,
+                        f"{e.start_seconds:.0f}-{e.end_seconds:.0f}s",
+                        f"{e.p99_primary_ms:.0f}",
+                        e.jobs_submitted,
+                        e.jobs_completed,
+                        f"{e.harvest_throughput_tasks_per_hour:.0f}",
+                        e.tasks_killed,
+                        f"{100 * e.kill_rate:.1f}%",
+                        e.queue_depth,
+                    ]
+                )
+        return format_table(
+            [
+                "variant",
+                "epoch",
+                "window",
+                "p99 (ms)",
+                "submitted",
+                "completed",
+                "tasks/h",
+                "kills",
+                "kill rate",
+                "queue",
+            ],
+            rows,
+            title=f"Continuous run — {self.traffic}",
+        )
+
+
+# ---------------------------------------------------------------------------
 # JSON export
 # ---------------------------------------------------------------------------
 

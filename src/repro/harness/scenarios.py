@@ -77,6 +77,30 @@ _DEFAULT_SCENARIOS = (
         scale=QUICK_SCALE,
         params={"accesses_per_minute": 60, "utilization_target": 0.5},
     ),
+    ScenarioSpec(
+        name="continuous-open",
+        kind="continuous",
+        description="Live open-loop traffic (diurnal rate), windowed epoch metrics",
+        variants=("YARN-PT", "YARN-H"),
+        scale=QUICK_SCALE,
+        params={
+            "traffic": "open:rate=0.005,profile=diurnal,period=7200,amplitude=0.5",
+            "epochs": 8,
+            "epoch_seconds": 900.0,
+        },
+    ),
+    ScenarioSpec(
+        name="continuous-closed",
+        kind="continuous",
+        description="Live closed-loop traffic (4 users, think time), windowed epoch metrics",
+        variants=("YARN-PT", "YARN-H"),
+        scale=QUICK_SCALE,
+        params={
+            "traffic": "closed:users=4,think=300",
+            "epochs": 8,
+            "epoch_seconds": 900.0,
+        },
+    ),
 )
 
 

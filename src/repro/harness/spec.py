@@ -25,6 +25,7 @@ SCENARIO_KINDS = (
     "fleet_improvement",
     "scheduling_testbed",
     "storage_testbed",
+    "continuous",
 )
 
 

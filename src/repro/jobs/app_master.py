@@ -14,7 +14,7 @@ container requests carry; Stock and PT variants request unlabeled containers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.resource_manager import ContainerRequest, ResourceManager
 from repro.cluster.resources import Resource
@@ -155,6 +155,12 @@ class ApplicationMaster:
         # Lazily bound hot-path counter (created on first hit, exactly as
         # metrics.counter() would).
         self._frontier_hits = None
+        #: Optional completion hook: called as ``on_job_finished(execution,
+        #: result)`` after a job's result is recorded.  Closed-loop traffic
+        #: drivers use it to schedule the submitting user's next job.
+        self.on_job_finished: Optional[
+            Callable[[JobExecution, JobResult], None]
+        ] = None
 
     @property
     def results(self) -> List[JobResult]:
@@ -396,3 +402,5 @@ class ApplicationMaster:
         self._results.append(result)
         self.metrics.distribution("job_execution_seconds").add(result.execution_seconds)
         self.metrics.counter("jobs_completed").increment()
+        if self.on_job_finished is not None:
+            self.on_job_finished(execution, result)

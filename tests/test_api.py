@@ -38,6 +38,17 @@ PARALLEL_CASES = [
     ("fig10-11-scheduling-testbed", 2, {}),
     ("fig12-storage-testbed", 3, {}),
     ("fig14-fleet-improvements", 4, {"params": {"datacenters": ["DC-3", "DC-9"]}}),
+    (
+        "continuous-open",
+        2,
+        {
+            "params": {
+                "traffic": "open:rate=0.005,profile=diurnal,period=1800,amplitude=0.5",
+                "epochs": 3,
+                "epoch_seconds": 300.0,
+            }
+        },
+    ),
 ]
 
 

@@ -70,6 +70,16 @@ KIND_CASES = [
     ("fig10-11-scheduling-testbed", {}),
     ("fig12-storage-testbed", {}),
     ("fig14-fleet-improvements", {"params": {"datacenters": ["DC-3", "DC-9"]}}),
+    (
+        "continuous-closed",
+        {
+            "params": {
+                "traffic": "closed:users=3,think=180",
+                "epochs": 3,
+                "epoch_seconds": 300.0,
+            }
+        },
+    ),
 ]
 KIND_IDS = [case[0] for case in KIND_CASES]
 

@@ -290,6 +290,82 @@ def snapshot_section(seed: int, scale_name: str) -> dict:
     return section
 
 
+#: Continuous-mode memory benchmark: the same tiny open-loop traffic at a
+#: short and a 4x horizon.  Streaming fold keeps retained series state flat.
+CONTINUOUS_MEMORY_SCENARIO = "continuous-open"
+CONTINUOUS_MEMORY_TRAFFIC = "open:rate=0.005"
+CONTINUOUS_MEMORY_EPOCH_SECONDS = 300.0
+CONTINUOUS_MEMORY_HORIZONS = (8, 32)  # epochs: short, 4x
+
+
+def continuous_memory_section(seed: int, scale_name: str) -> dict:
+    """Measure continuous-mode memory at two horizons (one 4x the other).
+
+    Two figures per horizon:
+
+    * ``peak_tail_bytes`` — the streaming aggregator's peak retained raw
+      heartbeat-series bytes (the fold-at-boundary tentpole's headline:
+      flat in the horizon, where the retired retain-all recorder grew
+      linearly);
+    * ``peak_rss_bytes`` — the process-level high-water mark around the
+      run (``ru_maxrss``), coarse but honest about total footprint.
+
+    The 4x pair is asserted flat within 10% — a regression here means raw
+    rows are leaking across epoch boundaries again.
+    """
+    import resource
+
+    def _rss_peak() -> int:
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes; normalize to bytes.
+        return usage * 1024 if platform.system() == "Linux" else usage
+
+    section: dict = {
+        "scenario": CONTINUOUS_MEMORY_SCENARIO,
+        "traffic": CONTINUOUS_MEMORY_TRAFFIC,
+        "epoch_seconds": CONTINUOUS_MEMORY_EPOCH_SECONDS,
+        "horizons": {},
+    }
+    peaks = {}
+    for epochs in CONTINUOUS_MEMORY_HORIZONS:
+        rss_before = _rss_peak()
+        result = api.run_continuous(
+            CONTINUOUS_MEMORY_SCENARIO,
+            traffic=CONTINUOUS_MEMORY_TRAFFIC,
+            epochs=epochs,
+            epoch_seconds=CONTINUOUS_MEMORY_EPOCH_SECONDS,
+            overrides={"scale": scale_name},
+            seed=seed,
+        )
+        tail = max(
+            v.peak_tail_bytes for v in result.payload.variants.values()
+        )
+        peaks[epochs] = tail
+        section["horizons"][str(epochs)] = {
+            "epochs": epochs,
+            "sim_seconds": epochs * CONTINUOUS_MEMORY_EPOCH_SECONDS,
+            "peak_tail_bytes": tail,
+            "peak_tail_rows": max(
+                v.peak_tail_rows for v in result.payload.variants.values()
+            ),
+            "peak_rss_bytes": max(_rss_peak(), rss_before),
+            "wall_clock_seconds": result.wall_clock_seconds,
+        }
+    short, long = (peaks[h] for h in CONTINUOUS_MEMORY_HORIZONS)
+    if long > short * 1.10:
+        raise SystemExit(
+            f"continuous retained-series memory grew {long / short:.2f}x "
+            f"across a {CONTINUOUS_MEMORY_HORIZONS[1] // CONTINUOUS_MEMORY_HORIZONS[0]}x "
+            "horizon; the fold-at-boundary contract is broken"
+        )
+    print(
+        f"continuous memory: peak retained series {short} B at "
+        f"{CONTINUOUS_MEMORY_HORIZONS[0]} epochs -> {long} B at "
+        f"{CONTINUOUS_MEMORY_HORIZONS[1]} epochs (flat within 10%)"
+    )
+    return section
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -366,8 +442,12 @@ def main() -> int:
         )
     if args.history:
         # The history point also records the prepared-context snapshot
-        # economics (fig14 enumeration and worker restore-vs-rebuild).
+        # economics (fig14 enumeration and worker restore-vs-rebuild) and
+        # the continuous-mode memory profile at two horizons.
         snapshot["context_snapshot"] = snapshot_section(args.seed, args.scale)
+        snapshot["continuous_memory"] = continuous_memory_section(
+            args.seed, args.scale
+        )
         history_dir = args.output_dir / "history"
         history_dir.mkdir(parents=True, exist_ok=True)
         path = history_dir / f"BENCH_{args.history}.json"

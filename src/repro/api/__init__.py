@@ -167,6 +167,8 @@ def run(
     checkpoint: Optional[Union[str, Path]] = None,
     resume: bool = False,
     stop_after_cells: Optional[int] = None,
+    runner_setup: Optional[Any] = None,
+    cell_callback: Optional[Any] = None,
 ) -> RunResult:
     """Execute one scenario and return its :class:`RunResult` envelope.
 
@@ -187,6 +189,12 @@ def run(
         stop_after_cells: deliberately pause (raising
             :class:`~repro.harness.snapshot.CheckpointPause`) after this
             many cells have executed; requires ``checkpoint``.
+        runner_setup: ``runner_setup(runner)`` hook, called once after the
+            scenario runner is built or restored — for attaching live,
+            non-snapshot state (e.g. the continuous kind's ``on_epoch``).
+        cell_callback: ``cell_callback(cell, partial)`` observer, invoked
+            for every completed cell as its result reaches the parent
+            (resumed, serial, and pool cells alike).
     """
     spec = resolve(scenario, overrides)
     harness = ExperimentHarness(
@@ -197,6 +205,8 @@ def run(
         checkpoint_dir=checkpoint,
         resume=resume,
         stop_after_cells=stop_after_cells,
+        runner_setup=runner_setup,
+        cell_callback=cell_callback,
     )
     started = time.perf_counter()
     payload = harness.run()
@@ -224,6 +234,8 @@ def run_continuous(
     traffic: Optional[str] = None,
     epochs: Optional[int] = None,
     epoch_seconds: Optional[float] = None,
+    max_sim_seconds: Optional[float] = None,
+    on_epoch: Optional[Any] = None,
     overrides: Optional[Mapping[str, Any]] = None,
     **run_kwargs: Any,
 ) -> RunResult:
@@ -241,8 +253,18 @@ def run_continuous(
             :func:`repro.harness.traffic.parse_traffic`; ``None`` keeps the
             scenario's registered process.
         epochs: number of metric windows to simulate (the horizon is
-            ``epochs * epoch_seconds``).
+            ``epochs * epoch_seconds``), or ``0`` to run forever: windows
+            stream unbounded until ``max_sim_seconds``.
         epoch_seconds: length of one metric window, in simulated seconds.
+        max_sim_seconds: the run-forever horizon in simulated seconds
+            (required with, and only valid with, ``epochs=0``).
+        on_epoch: ``on_epoch(variant, metrics)`` callback receiving each
+            finalized :class:`~repro.harness.results.EpochMetrics` exactly
+            once, in index order per variant.  A serial in-process run
+            streams epochs the moment their window closes; pool workers and
+            resumed checkpoints deliver at cell granularity (each variant's
+            stream replays, deduplicated, when its cell result reaches the
+            parent).
         overrides: further spec overrides, as for :func:`run`.
         **run_kwargs: forwarded to :func:`run` (``workers``, ``seed``,
             ``checkpoint``, ...).
@@ -259,7 +281,37 @@ def run_continuous(
         merged["epochs"] = epochs
     if epoch_seconds is not None:
         merged["epoch_seconds"] = epoch_seconds
-    return run(scenario, overrides=merged or None, **run_kwargs)
+    if max_sim_seconds is not None:
+        merged["max_sim_seconds"] = max_sim_seconds
+    if on_epoch is None:
+        return run(scenario, overrides=merged or None, **run_kwargs)
+
+    # Exactly-once emission regardless of executor: a live serial runner
+    # streams per epoch (runner_setup attaches the hook), while pool or
+    # resumed cells arrive whole and replay only their unseen epochs.
+    seen: set = set()
+
+    def _emit(variant: str, metrics: EpochMetrics) -> None:
+        key = (variant, metrics.index)
+        if key in seen:
+            return
+        seen.add(key)
+        on_epoch(variant, metrics)
+
+    def _setup(runner: Any) -> None:
+        runner.on_epoch = _emit
+
+    def _observe(cell: Any, partial: Any) -> None:
+        for metrics in partial.epochs:
+            _emit(partial.variant, metrics)
+
+    return run(
+        scenario,
+        overrides=merged or None,
+        runner_setup=_setup,
+        cell_callback=_observe,
+        **run_kwargs,
+    )
 
 
 def _format_value(value: Any) -> str:

@@ -33,6 +33,7 @@ from repro.experiments.report import format_float, format_table
 from repro.experiments.scheduling import run_datacenter_sweep
 from repro.experiments.testbed import run_scheduling_testbed, run_storage_testbed
 from repro.harness import get_scenario, iter_scenarios
+from repro.harness.results import epoch_record
 from repro.harness.snapshot import CheckpointPause
 from repro.simulation.random import RandomSource
 from repro.traces import build_fleet
@@ -229,6 +230,30 @@ def cmd_run_scenario(args: argparse.Namespace) -> str:
         spec = get_scenario(args.name)
     except KeyError as error:
         raise SystemExit(f"error: {error.args[0]}") from None
+    epochs_arg = getattr(args, "epochs", None)
+    epoch_seconds_arg = getattr(args, "epoch_seconds", None)
+    max_sim_arg = getattr(args, "max_sim_seconds", None)
+    emit_epochs = getattr(args, "emit_epochs", None)
+    if epochs_arg is not None and epochs_arg < 0:
+        raise SystemExit("error: --epochs must be >= 0 (0 = run forever)")
+    if epoch_seconds_arg is not None and epoch_seconds_arg <= 0:
+        raise SystemExit("error: --epoch-seconds must be a positive number")
+    if max_sim_arg is not None and max_sim_arg <= 0:
+        raise SystemExit("error: --max-sim-seconds must be a positive number")
+    if epochs_arg == 0 and max_sim_arg is None:
+        raise SystemExit(
+            "error: --epochs 0 (run forever) requires --max-sim-seconds "
+            "as the horizon"
+        )
+    if max_sim_arg is not None and epochs_arg != 0:
+        raise SystemExit("error: --max-sim-seconds requires --epochs 0")
+    if (
+        emit_epochs or epochs_arg == 0 or max_sim_arg is not None
+    ) and spec.kind != "continuous":
+        raise SystemExit(
+            "error: --emit-epochs/--epochs 0/--max-sim-seconds apply only to "
+            f"continuous scenarios ({spec.name} is kind {spec.kind!r})"
+        )
     overrides = {}
     if getattr(args, "scale", None):
         overrides["scale"] = args.scale
@@ -236,10 +261,12 @@ def cmd_run_scenario(args: argparse.Namespace) -> str:
     # they are inert for the fixed-grid figure kinds.
     if getattr(args, "traffic", None):
         overrides["traffic"] = args.traffic
-    if getattr(args, "epochs", None) is not None:
-        overrides["epochs"] = args.epochs
-    if getattr(args, "epoch_seconds", None) is not None:
-        overrides["epoch_seconds"] = args.epoch_seconds
+    if epochs_arg is not None:
+        overrides["epochs"] = epochs_arg
+    if epoch_seconds_arg is not None:
+        overrides["epoch_seconds"] = epoch_seconds_arg
+    if max_sim_arg is not None:
+        overrides["max_sim_seconds"] = max_sim_arg
     overrides = overrides or None
     if getattr(args, "list_cells", False):
         return _render_cells(api.resolve(spec, overrides), args)
@@ -259,10 +286,29 @@ def cmd_run_scenario(args: argparse.Namespace) -> str:
         import cProfile
 
         profiler = cProfile.Profile()
+    emit_handle = None
+    if emit_epochs:
+        # Incremental epoch stream: one JSONL line per finalized epoch,
+        # flushed as it lands, so a paused (exit code 3) or crashed run
+        # leaves every epoch it completed on disk.
+        emit_handle = open(emit_epochs, "w")
+
+        def _emit(variant: str, metrics: "api.EpochMetrics") -> None:
+            record = epoch_record(variant, metrics)
+            emit_handle.write(json.dumps(record, sort_keys=True) + "\n")
+            emit_handle.flush()
+
     try:
         if profiler is not None:
-            result = profiler.runcall(api.run, spec, **run_kwargs)
+            if emit_handle is not None:
+                result = profiler.runcall(
+                    api.run_continuous, spec, on_epoch=_emit, **run_kwargs
+                )
+            else:
+                result = profiler.runcall(api.run, spec, **run_kwargs)
             _report_profile(profiler, args.profile)
+        elif emit_handle is not None:
+            result = api.run_continuous(spec, on_epoch=_emit, **run_kwargs)
         else:
             result = api.run(spec, **run_kwargs)
     except CheckpointPause as pause:
@@ -270,6 +316,9 @@ def cmd_run_scenario(args: argparse.Namespace) -> str:
 
         print(pause, file=_sys.stderr)
         raise SystemExit(3) from None
+    finally:
+        if emit_handle is not None:
+            emit_handle.close()
     if args.json:
         return json.dumps(result.to_jsonable(), indent=2, sort_keys=True)
     return result.render()
@@ -457,7 +506,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help=(
             "continuous scenarios: run for N metric windows and emit one "
-            "row of windowed metrics per epoch"
+            "row of windowed metrics per epoch; 0 runs forever (requires "
+            "--max-sim-seconds as the horizon)"
         ),
     )
     p.add_argument(
@@ -467,6 +517,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="S",
         help="continuous scenarios: length of one metric window in seconds",
+    )
+    p.add_argument(
+        "--max-sim-seconds",
+        dest="max_sim_seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "continuous scenarios with --epochs 0: stop the run-forever "
+            "simulation after S simulated seconds (the trailing partial "
+            "window still emits an epoch)"
+        ),
+    )
+    p.add_argument(
+        "--emit-epochs",
+        dest="emit_epochs",
+        metavar="PATH",
+        default=None,
+        help=(
+            "continuous scenarios: append one JSONL record per finalized "
+            "epoch to PATH as the run progresses (schema: "
+            "repro.harness.results.epoch_record)"
+        ),
     )
     p.set_defaults(func=cmd_run_scenario)
 

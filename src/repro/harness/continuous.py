@@ -3,10 +3,21 @@
 Where the figure runners materialize one workload and report a terminal
 payload, :class:`ContinuousRunner` drives a
 :class:`~repro.jobs.scheduler_variants.HarvestingCluster` under a
-:class:`~repro.harness.traffic.TrafficDriver` arrival process for
-``epochs * epoch_seconds`` of simulated time and reports *per-epoch*
-windowed metrics — p99 primary latency, harvest throughput, kill rate,
-queue depth — as a :class:`~repro.harness.results.ContinuousResult`.
+:class:`~repro.harness.traffic.TrafficDriver` arrival process and reports
+*per-epoch* windowed metrics — p99 primary latency, harvest throughput,
+kill rate, queue depth — as a
+:class:`~repro.harness.results.ContinuousResult`.
+
+Epoch metrics are computed **streamingly**: a
+:class:`~repro.harness.streaming.StreamingEpochAggregator` is installed as
+the cluster's series recorder, folds each closed window's heartbeat rows
+into per-minute latency samples at the
+:class:`~repro.harness.traffic.EpochRecorder` boundary, and emits the
+finalized :class:`~repro.harness.results.EpochMetrics` the moment its
+window can no longer change — so retained series state is O(window), not
+O(horizon), and callers can observe epochs incrementally via the runner's
+``on_epoch`` hook (see :func:`repro.api.run_continuous`).  The streamed
+fold is bit-identical to the retired full-horizon post-hoc pass.
 
 Cell grid: one cell per scheduler variant.  Each cell records the four
 child seeds its serial forks resolve to (cluster, workload factory, traffic
@@ -18,18 +29,20 @@ epoch N+1), which is why the variant — not the epoch — is the unit of
 parallelism.
 
 Kind-specific spec params (all reachable via ``repro run-scenario``
-``--traffic/--epochs/--epoch-seconds`` or ``repro.api`` overrides):
+``--traffic/--epochs/--epoch-seconds/--max-sim-seconds`` or ``repro.api``
+overrides):
 
 * ``traffic`` — a :func:`~repro.harness.traffic.parse_traffic` spec string;
-* ``epochs`` — number of metric windows (the horizon is their sum);
-* ``epoch_seconds`` — window length in simulated seconds.
+* ``epochs`` — number of metric windows (the horizon is their sum), or
+  ``0`` to run forever — epochs stream unbounded until the horizon below;
+* ``epoch_seconds`` — window length in simulated seconds;
+* ``max_sim_seconds`` — the run-forever horizon (required with, and only
+  valid with, ``epochs=0``).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
-
-import numpy as np
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.builders import build_testbed_tenants
 from repro.harness.cells import Cell
@@ -40,15 +53,14 @@ from repro.harness.results import (
 )
 from repro.harness.runners import (
     _SCHEDULING_VARIANT_MODES,
-    _bucket_mean,
     ScenarioRunner,
     _register,
 )
 from repro.harness.spec import ScenarioSpec
+from repro.harness.streaming import StreamingEpochAggregator
 from repro.harness.traffic import EpochRecorder, parse_traffic
 from repro.jobs.scheduler_variants import ClusterConfig, HarvestingCluster
 from repro.jobs.tpcds import TpcdsWorkloadFactory
-from repro.services.latency_model import LatencyModel
 from repro.simulation.random import RandomSource
 
 #: Default horizon: eight 10-minute windows.
@@ -69,6 +81,13 @@ class ContinuousRunner(ScenarioRunner):
 
     kind = "continuous"
     SHARED_FORK_LABELS = ("testbed-dc9",)
+
+    #: Optional live-emission hook, called as ``on_epoch(variant, metrics)``
+    #: the moment an epoch finalizes inside :meth:`run_cell`.  A class-level
+    #: default (never instance state) so it is invisible to context
+    #: snapshots — restored runners come back with the hook unset and the
+    #: harness re-attaches it via its ``runner_setup`` hook.
+    on_epoch: Optional[Callable[[str, EpochMetrics], None]] = None
 
     def _prepare(self) -> Dict[str, Any]:
         return {"tenants": build_testbed_tenants(self.spec.scale, self.rng)}
@@ -99,6 +118,7 @@ class ContinuousRunner(ScenarioRunner):
 
     def run_cell(self, cell: Cell) -> VariantContinuousResult:
         name = cell.coord("variant")
+        hook = self.on_epoch
         return _run_continuous_variant(
             name,
             self.ctx["tenants"],
@@ -108,7 +128,15 @@ class ContinuousRunner(ScenarioRunner):
             epoch_seconds=float(
                 self.spec.param("epoch_seconds", DEFAULT_EPOCH_SECONDS)
             ),
+            max_sim_seconds=self._max_sim_seconds(),
+            on_epoch=(
+                (lambda metrics: hook(name, metrics)) if hook is not None else None
+            ),
         )
+
+    def _max_sim_seconds(self) -> Optional[float]:
+        value = self.spec.param("max_sim_seconds", None)
+        return None if value is None else float(value)
 
     def merge(
         self, cells: Sequence[Cell], partials: Sequence[Any]
@@ -131,6 +159,10 @@ class ContinuousRunner(ScenarioRunner):
             self.metrics.counter(
                 f"continuous.{outcome.variant}.tasks_killed"
             ).increment(outcome.tasks_killed)
+        if not epochs:
+            # Run-forever: the window count is whatever the horizon produced
+            # (identical across variants — boundaries are time-driven).
+            epochs = max((len(v.epochs) for v in variants.values()), default=0)
         return ContinuousResult(
             traffic=str(self.spec.param("traffic", DEFAULT_TRAFFIC)),
             epoch_seconds=epoch_seconds,
@@ -147,91 +179,65 @@ def _run_continuous_variant(
     traffic: str,
     epochs: int,
     epoch_seconds: float,
+    max_sim_seconds: Optional[float] = None,
+    on_epoch: Optional[Callable[[EpochMetrics], None]] = None,
 ) -> VariantContinuousResult:
-    """One variant's full continuous run, purely from its recorded seeds."""
+    """One variant's full continuous run, purely from its recorded seeds.
+
+    The horizon is ``epochs * epoch_seconds`` in bounded mode; run-forever
+    mode (``epochs == 0``) requires ``max_sim_seconds`` as the horizon and
+    streams however many windows fit in it (a trailing partial window
+    closes at the horizon).
+    """
+    if epochs < 0:
+        raise ValueError("epochs must be non-negative (0 = run forever)")
+    if epoch_seconds <= 0:
+        raise ValueError("epoch_seconds must be positive")
+    if epochs == 0:
+        if max_sim_seconds is None:
+            raise ValueError(
+                "epochs=0 (run forever) requires max_sim_seconds as the horizon"
+            )
+        if max_sim_seconds <= 0:
+            raise ValueError("max_sim_seconds must be positive")
+        horizon = float(max_sim_seconds)
+    else:
+        if max_sim_seconds is not None:
+            raise ValueError(
+                "max_sim_seconds only applies to run-forever mode (epochs=0)"
+            )
+        horizon = epochs * epoch_seconds
+
     mode = _SCHEDULING_VARIANT_MODES[name]
     cluster_rng, tpcds_rng, traffic_rng, latency_rng = (
         RandomSource(seed) for seed in seeds
     )
-    horizon = epochs * epoch_seconds
     cluster = HarvestingCluster(
         tenants,
-        config=ClusterConfig(mode=mode, record_server_series=True),
+        config=ClusterConfig(mode=mode),
         rng=cluster_rng,
     )
+    aggregator = StreamingEpochAggregator(
+        latency_rng=latency_rng,
+        reserve_fraction=cluster.config.reserve_cpu_fraction,
+        epochs=epochs,
+        epoch_seconds=epoch_seconds,
+        on_epoch=on_epoch,
+    )
+    cluster.set_series_recorder(aggregator)
     factory = TpcdsWorkloadFactory(tpcds_rng, duration_scale=1.0, width_scale=0.35)
     driver = parse_traffic(traffic)
     driver.attach(cluster, factory, horizon, traffic_rng)
-    recorder = EpochRecorder(cluster, driver, epoch_seconds, epochs)
+    recorder = EpochRecorder(
+        cluster, driver, epoch_seconds, epochs, aggregator=aggregator
+    )
     recorder.install()
     cluster.run(horizon)
-
-    per_epoch_p99 = _epoch_p99_latency(
-        cluster, latency_rng, epochs, epoch_seconds
+    metrics = recorder.finalize(horizon)
+    return VariantContinuousResult(
+        variant=name,
+        epochs=metrics,
+        peak_tail_rows=aggregator.peak_tail_rows,
+        peak_tail_bytes=aggregator.peak_tail_bytes,
+        series_folds=aggregator.folds,
     )
-    metrics: List[EpochMetrics] = []
-    previous = {
-        "jobs_submitted": 0,
-        "jobs_completed": 0,
-        "tasks_completed": 0,
-        "tasks_killed": 0,
-    }
-    for index, snapshot in enumerate(recorder.snapshots):
-        metrics.append(
-            EpochMetrics(
-                index=index,
-                start_seconds=index * epoch_seconds,
-                end_seconds=snapshot["time"],
-                jobs_submitted=snapshot["jobs_submitted"]
-                - previous["jobs_submitted"],
-                jobs_completed=snapshot["jobs_completed"]
-                - previous["jobs_completed"],
-                tasks_completed=snapshot["tasks_completed"]
-                - previous["tasks_completed"],
-                tasks_killed=snapshot["tasks_killed"] - previous["tasks_killed"],
-                queue_depth=snapshot["jobs_submitted"]
-                - snapshot["jobs_completed"],
-                p99_primary_ms=per_epoch_p99[index],
-            )
-        )
-        previous = snapshot
-    return VariantContinuousResult(variant=name, epochs=metrics)
-
-
-def _epoch_p99_latency(
-    cluster: HarvestingCluster,
-    latency_rng: RandomSource,
-    epochs: int,
-    epoch_seconds: float,
-) -> List[float]:
-    """p99 of the per-minute fleet-mean primary latency, per epoch window.
-
-    The same evaluation the scheduling testbed performs — bucket the
-    recorded per-server heartbeat matrices into minutes, one latency-matrix
-    evaluation, fleet mean per minute — then each minute sample lands in the
-    epoch its minute *starts* in and every window reports the 99th
-    percentile of its samples (0.0 for windows without a complete minute).
-    The jitter draws are consumed in minute-major order exactly once, so
-    the per-epoch split costs no extra randomness.
-    """
-    per_epoch: List[List[float]] = [[] for _ in range(epochs)]
-    series = cluster.server_series()
-    if len(series.times):
-        latency_model = LatencyModel(
-            rng=latency_rng,
-            reserve_fraction=cluster.config.reserve_cpu_fraction,
-        )
-        buckets = np.floor(series.times / 60.0).astype(int)
-        minute_starts = np.unique(buckets) * 60.0
-        secondary = _bucket_mean(series.times, series.secondary_cpu, 60.0)
-        primary = _bucket_mean(series.times, series.primary_cpu, 60.0)
-        per_minute = latency_model.p99_latency_ms_array(
-            np.minimum(1.0, primary), secondary
-        )
-        for start, row in zip(minute_starts, per_minute):
-            index = min(int(start // epoch_seconds), epochs - 1)
-            per_epoch[index].append(float(np.mean(row)))
-    return [
-        float(np.percentile(np.asarray(samples), 99.0)) if samples else 0.0
-        for samples in per_epoch
-    ]

@@ -156,6 +156,8 @@ class ExperimentHarness:
         checkpoint_dir: Optional[Union[str, Path]] = None,
         resume: bool = False,
         stop_after_cells: Optional[int] = None,
+        runner_setup: Optional[Any] = None,
+        cell_callback: Optional[Any] = None,
     ) -> None:
         self.spec = spec
         self.seed = spec.seed if seed is None else int(seed)
@@ -173,6 +175,17 @@ class ExperimentHarness:
                     "without one would just discard the progress"
                 )
         self.stop_after_cells = stop_after_cells
+        #: ``runner_setup(runner)`` runs once after the runner is built *or*
+        #: restored — the hook point for attaching non-snapshot state such
+        #: as a live ``on_epoch`` emission callback (runner instance
+        #: attributes never survive snapshot/restore by design).
+        self.runner_setup = runner_setup
+        #: ``cell_callback(cell, partial)`` observes every completed cell as
+        #: its result becomes available to the parent: resumed cells at
+        #: checkpoint load, serial cells as they finish, pool cells as the
+        #: pool yields them.  Lets callers stream per-cell output without
+        #: waiting for the merge.
+        self.cell_callback = cell_callback
         self.cell_timings: List[CellTiming] = []
         self.ctx_seconds = 0.0
         self.snapshot_seconds = 0.0
@@ -202,8 +215,17 @@ class ExperimentHarness:
             resumed = True
         else:
             runner = _build_runner(self.spec, self.seed, self.metrics)
+        if self.runner_setup is not None:
+            self.runner_setup(runner)
         cells = runner.cells()
         self.ctx_seconds = time.perf_counter() - started
+        if done and self.cell_callback is not None:
+            # Resumed cells stream to the observer too, in cell order, so a
+            # resumed run replays the already-finished prefix before new
+            # cells start arriving.
+            for cell in cells:
+                if cell.index in done:
+                    self.cell_callback(cell, done[cell.index][0])
 
         if checkpoint is not None and not resumed:
             snapshot_data = self._serialize(runner)
@@ -260,6 +282,8 @@ class ExperimentHarness:
             timing = CellTiming(cell.index, cell.key, time.perf_counter() - started)
             if checkpoint is not None:
                 checkpoint.record_cell(timing, partial)
+            if self.cell_callback is not None:
+                self.cell_callback(cell, partial)
             executed[cell.index] = (partial, timing)
             if (
                 self.stop_after_cells is not None
@@ -312,6 +336,8 @@ class ExperimentHarness:
                     self.worker_restore_seconds.append(restore_seconds)
                 if checkpoint is not None:
                     checkpoint.record_cell(timing, partial)
+                if self.cell_callback is not None:
+                    self.cell_callback(cells[index], partial)
                 executed[index] = (partial, timing)
         return executed
 

@@ -494,12 +494,39 @@ class EpochMetrics:
         return self.tasks_killed / attempts
 
 
+def epoch_record(variant: str, epoch: "EpochMetrics") -> Dict[str, object]:
+    """One JSON-safe record for a finalized epoch.
+
+    The schema of the ``--emit-epochs`` JSONL stream: the epoch's headline
+    fields plus its window bounds and owning variant, so a line is
+    self-describing without the surrounding payload.
+    """
+    return {
+        "variant": variant,
+        "index": epoch.index,
+        "start_seconds": epoch.start_seconds,
+        "end_seconds": epoch.end_seconds,
+        "jobs_submitted": epoch.jobs_submitted,
+        "jobs_completed": epoch.jobs_completed,
+        "tasks_completed": epoch.tasks_completed,
+        "tasks_killed": epoch.tasks_killed,
+        "queue_depth": epoch.queue_depth,
+        "p99_primary_ms": epoch.p99_primary_ms,
+    }
+
+
 @dataclass
 class VariantContinuousResult:
     """The epoch stream one scheduler variant produced."""
 
     variant: str
     epochs: List["EpochMetrics"]
+    #: Streaming-fold observability (excluded from the JSON payload and
+    #: therefore from the fingerprint): peak raw heartbeat rows/bytes the
+    #: aggregator held at once, and how many fold passes ran.
+    peak_tail_rows: int = field(default=0, metadata={"jsonable": False})
+    peak_tail_bytes: int = field(default=0, metadata={"jsonable": False})
+    series_folds: int = field(default=0, metadata={"jsonable": False})
 
     @property
     def jobs_completed(self) -> int:

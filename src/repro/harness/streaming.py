@@ -1,0 +1,309 @@
+"""Bounded-memory fold-at-boundary epoch aggregation for continuous runs.
+
+The continuous mode used to retain every per-server heartbeat row for the
+whole horizon and evaluate all per-epoch p99 latency in one terminal pass —
+O(horizon x servers) memory and a monolithic end-of-run computation.  The
+:class:`StreamingEpochAggregator` replaces that with a streaming fold: it is
+installed on the cluster as its
+:class:`~repro.jobs.scheduler_variants.SeriesRecorder` *and* hooked into the
+:class:`~repro.harness.traffic.EpochRecorder`, and at every epoch boundary it
+
+1. buckets the closed window's heartbeat rows into per-minute means (the
+   exact :func:`~repro.harness.runners._bucket_mean` arithmetic, minute by
+   minute),
+2. evaluates :meth:`~repro.services.latency_model.LatencyModel.\
+p99_latency_ms_array` for just those minutes — the jitter draws fill the
+   output row-major, so consecutive per-fold chunks consume the identical
+   draw stream the one-shot full-horizon evaluation did,
+3. emits every :class:`~repro.harness.results.EpochMetrics` whose window can
+   no longer receive samples, and
+4. drops the folded raw rows, carrying only the open partial-minute tail
+   across the boundary.
+
+The stream it produces is **bit-identical** to the retired post-hoc pass:
+same per-minute means (same pairwise-summation order), same jitter stream,
+same window-assignment and clamp semantics, same percentile inputs.
+
+Window-boundary semantics (the previously implicit clamp, now explicit):
+
+* a minute sample belongs to the epoch its minute *starts* in:
+  ``index = int(minute_start // epoch_seconds)``;
+* in bounded mode (``epochs > 0``) the index clamps to ``epochs - 1`` — a
+  minute that starts past the last boundary (a heartbeat landing exactly on
+  the final window edge starts such a minute) folds into the last epoch,
+  which is therefore only finalizable at the end-of-run flush;
+* a heartbeat landing exactly on an interior window edge starts a new
+  minute and belongs to the *next* epoch, while the boundary's counter
+  snapshot (priority-ordered after every same-time event) still includes
+  its effects in the closing window — exactly the post-hoc behavior;
+* with non-integer ``epoch_seconds`` (windows not aligned to the minute
+  grid) a straddling minute delays its epochs' finalization until the
+  minute itself is complete, one boundary later.
+
+Run-forever mode (``epochs == 0``) applies no clamp: every minute lands in
+its natural window and epochs finalize as soon as their minutes complete,
+so the emission stream is unbounded while the retained state — the
+partial-minute tail plus the open windows' scalar samples — stays O(window).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.harness.results import EpochMetrics
+from repro.jobs.scheduler_variants import SeriesRecorder
+from repro.services.latency_model import LatencyModel
+from repro.simulation.random import RandomSource
+
+#: The latency analysis buckets heartbeat rows into fixed one-minute means.
+MINUTE_SECONDS = 60.0
+
+#: Cumulative counters an epoch-boundary snapshot carries (deltas of
+#: consecutive snapshots are the per-window counts).
+COUNTER_KEYS = ("jobs_submitted", "jobs_completed", "tasks_completed", "tasks_killed")
+
+
+class StreamingEpochAggregator(SeriesRecorder):
+    """Folds heartbeat rows into finalized epochs at window boundaries.
+
+    Wiring (see ``harness/continuous.py``): the cluster calls
+    :meth:`record` once per heartbeat, the epoch recorder calls
+    :meth:`boundary` with each window-closing counter snapshot, and the
+    runner calls :meth:`finalize` when the horizon ends.  Finalized
+    :class:`EpochMetrics` stream through ``on_epoch`` (when given) the
+    moment their window closes and accumulate in :attr:`finalized`.
+
+    Args:
+        latency_rng: the cell's recorded latency stream — consumed in
+            ascending minute order exactly as the one-shot evaluation did.
+        reserve_fraction: the cluster's reserve CPU fraction (latency-model
+            parameter).
+        epochs: number of windows; ``0`` means unbounded (run forever).
+        epoch_seconds: window length in simulated seconds.
+        on_epoch: optional callback invoked with each finalized
+            :class:`EpochMetrics`, in index order.
+    """
+
+    def __init__(
+        self,
+        *,
+        latency_rng: RandomSource,
+        reserve_fraction: float,
+        epochs: int,
+        epoch_seconds: float,
+        on_epoch: Optional[Callable[[EpochMetrics], None]] = None,
+    ) -> None:
+        if epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        if epochs < 0:
+            raise ValueError("epochs must be non-negative (0 = run forever)")
+        self.epochs = int(epochs)
+        self.epoch_seconds = float(epoch_seconds)
+        self.on_epoch = on_epoch
+        self._latency_rng = latency_rng
+        self._reserve_fraction = float(reserve_fraction)
+        #: Created lazily on the first fold with data, mirroring the
+        #: post-hoc pass that only built the model when rows existed.
+        self._latency_model: Optional[LatencyModel] = None
+
+        # The open tail: heartbeat rows not yet folded, in time order.
+        # Bounded by the partial-minute(s) still receiving rows — this is
+        # the only raw series state that survives a boundary.
+        self._tail_times: List[float] = []
+        self._tail_secondary: List[np.ndarray] = []
+        self._tail_primary: List[np.ndarray] = []
+        self._tail_bytes = 0
+
+        #: Folded per-minute fleet-mean latency samples, keyed by epoch
+        #: index; entries are popped as their epoch finalizes.
+        self._samples: Dict[int, List[float]] = {}
+        #: Boundary counter snapshots not yet consumed, keyed by epoch
+        #: index (snapshot k closes epoch k); entries pop as epochs emit.
+        self._boundaries: Dict[int, Dict[str, Any]] = {}
+        self._boundary_count = 0
+        #: Minute-start watermark: no future heartbeat can land in a minute
+        #: starting below this, so windows ending at or before it are closed.
+        self._watermark = 0.0
+        self._previous = {key: 0 for key in COUNTER_KEYS}
+
+        #: Finalized epochs, in index order (the runner's result payload).
+        self.finalized: List[EpochMetrics] = []
+        # Observability (outside the fingerprint): peak size of the carried
+        # tail — the bounded-memory claim, measured.
+        self.peak_tail_rows = 0
+        self.peak_tail_bytes = 0
+        self.folds = 0
+
+    # -- SeriesRecorder ------------------------------------------------------
+
+    def record(
+        self, time: float, secondary_cpu: np.ndarray, primary_cpu: np.ndarray
+    ) -> None:
+        """Buffer one heartbeat row in the open tail."""
+        self._tail_times.append(time)
+        self._tail_secondary.append(secondary_cpu)
+        self._tail_primary.append(primary_cpu)
+        self._tail_bytes += 8 + secondary_cpu.nbytes + primary_cpu.nbytes
+        if len(self._tail_times) > self.peak_tail_rows:
+            self.peak_tail_rows = len(self._tail_times)
+        if self._tail_bytes > self.peak_tail_bytes:
+            self.peak_tail_bytes = self._tail_bytes
+
+    # -- boundary / finalize -------------------------------------------------
+
+    def boundary(self, snapshot: Dict[str, Any]) -> None:
+        """One window just closed: fold its complete minutes, emit epochs.
+
+        ``snapshot`` is the boundary's cumulative counter snapshot (time
+        included).  Heartbeats at exactly the boundary time have already
+        been recorded (the boundary event runs at a later priority), and
+        every future row is strictly later, so a minute bucket is complete
+        here iff it ends at or before the boundary.
+        """
+        self._boundaries[self._boundary_count] = snapshot
+        self._boundary_count += 1
+        time = float(snapshot["time"])
+        self._fold(complete_before=time)
+        self._watermark = math.floor(time / MINUTE_SECONDS) * MINUTE_SECONDS
+        self._emit_ready(final=False)
+
+    def finalize(self) -> List[EpochMetrics]:
+        """End of run: fold the remaining tail and emit every open epoch."""
+        self._fold(complete_before=None)
+        self._watermark = math.inf
+        self._emit_ready(final=True)
+        return list(self.finalized)
+
+    # -- the fold ------------------------------------------------------------
+
+    def _fold(self, complete_before: Optional[float]) -> None:
+        """Fold complete minute buckets off the tail into epoch samples.
+
+        A bucket ``b`` (rows with times in ``[60b, 60(b+1))``) is complete
+        at time ``T`` iff ``60(b+1) <= T``; ``complete_before=None`` folds
+        everything (end of run).  Each bucket reduces exactly as
+        ``_bucket_mean`` did — stack the bucket's rows, transpose to make
+        the reduction axis contiguous, mean — and the latency model
+        evaluates all newly complete minutes in one ascending-minute call,
+        so the jitter stream position after every fold equals the one-shot
+        evaluation's position after the same minutes.
+        """
+        times = self._tail_times
+        if not times:
+            return
+        cut = len(times)
+        if complete_before is not None:
+            cut = 0
+            while cut < len(times):
+                bucket = math.floor(times[cut] / MINUTE_SECONDS)
+                if (bucket + 1) * MINUTE_SECONDS > complete_before:
+                    break
+                cut += 1
+        if cut == 0:
+            return
+
+        # Group the folded prefix into its minute buckets (time order means
+        # the buckets are ascending runs).
+        starts: List[int] = []
+        secondary_means: List[np.ndarray] = []
+        primary_means: List[np.ndarray] = []
+        row = 0
+        while row < cut:
+            bucket = math.floor(times[row] / MINUTE_SECONDS)
+            end = row
+            while end < cut and math.floor(times[end] / MINUTE_SECONDS) == bucket:
+                end += 1
+            secondary_means.append(
+                np.ascontiguousarray(
+                    np.vstack(self._tail_secondary[row:end]).T
+                ).mean(axis=1)
+            )
+            primary_means.append(
+                np.ascontiguousarray(
+                    np.vstack(self._tail_primary[row:end]).T
+                ).mean(axis=1)
+            )
+            starts.append(bucket)
+            row = end
+
+        if self._latency_model is None:
+            self._latency_model = LatencyModel(
+                rng=self._latency_rng,
+                reserve_fraction=self._reserve_fraction,
+            )
+        secondary = np.vstack(secondary_means)
+        primary = np.vstack(primary_means)
+        per_minute = self._latency_model.p99_latency_ms_array(
+            np.minimum(1.0, primary), secondary
+        )
+        for bucket, latency_row in zip(starts, per_minute):
+            start = np.float64(bucket) * MINUTE_SECONDS
+            index = int(start // self.epoch_seconds)
+            if self.epochs:
+                index = min(index, self.epochs - 1)
+            self._samples.setdefault(index, []).append(float(np.mean(latency_row)))
+        self.folds += 1
+
+        # Drop the folded rows; only the open partial-minute tail survives.
+        del self._tail_times[:cut]
+        del self._tail_secondary[:cut]
+        del self._tail_primary[:cut]
+        self._tail_bytes = sum(
+            8 + s.nbytes + p.nbytes
+            for s, p in zip(self._tail_secondary, self._tail_primary)
+        )
+
+    # -- emission ------------------------------------------------------------
+
+    def _ready(self, index: int, final: bool) -> bool:
+        """Whether epoch ``index`` can be finalized now.
+
+        Needs its closing counter snapshot, plus the certainty that no
+        future minute can land in its window: immediate for any window
+        ending at or before the minute watermark, but the *clamped* last
+        bounded window absorbs every later minute, so only the end-of-run
+        flush closes it.
+        """
+        if self.epochs and index >= self.epochs:
+            return False
+        if index not in self._boundaries:
+            return False
+        if final:
+            return True
+        if self.epochs and index >= self.epochs - 1:
+            return False
+        return (index + 1) * self.epoch_seconds <= self._watermark
+
+    def _emit_ready(self, final: bool) -> None:
+        while self._ready(len(self.finalized), final):
+            index = len(self.finalized)
+            snapshot = self._boundaries.pop(index)
+            samples = self._samples.pop(index, [])
+            p99 = (
+                float(np.percentile(np.asarray(samples), 99.0))
+                if samples
+                else 0.0
+            )
+            metrics = EpochMetrics(
+                index=index,
+                start_seconds=index * self.epoch_seconds,
+                end_seconds=snapshot["time"],
+                jobs_submitted=snapshot["jobs_submitted"]
+                - self._previous["jobs_submitted"],
+                jobs_completed=snapshot["jobs_completed"]
+                - self._previous["jobs_completed"],
+                tasks_completed=snapshot["tasks_completed"]
+                - self._previous["tasks_completed"],
+                tasks_killed=snapshot["tasks_killed"]
+                - self._previous["tasks_killed"],
+                queue_depth=snapshot["jobs_submitted"]
+                - snapshot["jobs_completed"],
+                p99_primary_ms=p99,
+            )
+            self._previous = snapshot
+            self.finalized.append(metrics)
+            if self.on_epoch is not None:
+                self.on_epoch(metrics)

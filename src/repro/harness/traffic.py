@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 from repro.simulation.random import RandomSource
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.harness.streaming import StreamingEpochAggregator
     from repro.jobs.scheduler_variants import HarvestingCluster
     from repro.jobs.tpcds import TpcdsWorkloadFactory
 
@@ -485,7 +486,14 @@ class EpochRecorder:
     Boundary events are scheduled at ``k * epoch_seconds`` with
     :data:`EPOCH_BOUNDARY_PRIORITY`, so a snapshot observes every
     simulation event that fired at the same timestamp.  The runner turns
-    consecutive snapshots into per-epoch deltas.
+    consecutive snapshots into per-epoch deltas — or, when a streaming
+    ``aggregator`` is attached, each snapshot is handed to it at the
+    boundary so the closed window folds and finalizes immediately.
+
+    ``epochs == 0`` is the run-forever sentinel: instead of pre-scheduling
+    a fixed boundary ladder, each boundary schedules the next one, so the
+    ladder extends as far as the engine runs (the horizon cutoff simply
+    stops executing future events).
     """
 
     def __init__(
@@ -494,33 +502,72 @@ class EpochRecorder:
         driver: TrafficDriver,
         epoch_seconds: float,
         epochs: int,
+        aggregator: Optional["StreamingEpochAggregator"] = None,
     ) -> None:
-        if epoch_seconds <= 0 or epochs <= 0:
-            raise ValueError("epoch_seconds and epochs must be positive")
+        if epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        if epochs < 0:
+            raise ValueError("epochs must be non-negative (0 = run forever)")
         self.cluster = cluster
         self.driver = driver
         self.epoch_seconds = float(epoch_seconds)
         self.epochs = int(epochs)
+        self.aggregator = aggregator
         self.snapshots: List[Dict[str, Any]] = []
 
     def install(self) -> None:
-        """Schedule one boundary snapshot per epoch (call before ``run``)."""
-        for k in range(1, self.epochs + 1):
-            self.cluster.engine.schedule_at(
-                k * self.epoch_seconds,
-                self._boundary,
-                priority=EPOCH_BOUNDARY_PRIORITY,
-                name=f"epoch-{k}",
-            )
+        """Schedule boundary snapshots (call before ``run``).
+
+        Bounded mode schedules the whole ladder up front; run-forever mode
+        seeds only the first boundary and lets each boundary chain the next.
+        """
+        if self.epochs:
+            for k in range(1, self.epochs + 1):
+                self._schedule_boundary(k)
+        else:
+            self._schedule_boundary(1)
+
+    def _schedule_boundary(self, k: int) -> None:
+        self.cluster.engine.schedule_at(
+            k * self.epoch_seconds,
+            self._boundary,
+            priority=EPOCH_BOUNDARY_PRIORITY,
+            name=f"epoch-{k}",
+        )
+
+    def _snapshot(self, time: float) -> Dict[str, Any]:
+        results = self.cluster.results
+        return {
+            "time": time,
+            "jobs_submitted": self.driver.jobs_submitted,
+            "jobs_completed": len(results),
+            "tasks_completed": sum(r.tasks_completed for r in results),
+            "tasks_killed": self.cluster.metrics.counter_value("tasks_killed"),
+        }
 
     def _boundary(self, engine) -> None:
-        results = self.cluster.results
-        self.snapshots.append(
-            {
-                "time": engine.now,
-                "jobs_submitted": self.driver.jobs_submitted,
-                "jobs_completed": len(results),
-                "tasks_completed": sum(r.tasks_completed for r in results),
-                "tasks_killed": self.cluster.metrics.counter_value("tasks_killed"),
-            }
-        )
+        snapshot = self._snapshot(engine.now)
+        self.snapshots.append(snapshot)
+        if self.aggregator is not None:
+            self.aggregator.boundary(snapshot)
+        if not self.epochs:
+            self._schedule_boundary(len(self.snapshots) + 1)
+
+    def finalize(self, now: float) -> List[Any]:
+        """End of run: close the trailing partial window, flush the fold.
+
+        In run-forever mode the horizon rarely lands on a boundary; the
+        partial window past the last boundary still deserves an epoch, so
+        take one last counter snapshot at ``now`` before the aggregator
+        flushes.  Returns the full finalized
+        :class:`~repro.harness.results.EpochMetrics` stream (empty without
+        an aggregator — the legacy post-hoc path reads :attr:`snapshots`
+        directly).
+        """
+        if self.aggregator is None:
+            return []
+        last = self.snapshots[-1]["time"] if self.snapshots else 0.0
+        if now > last:
+            self.snapshots.append(self._snapshot(now))
+            self.aggregator.boundary(self.snapshots[-1])
+        return self.aggregator.finalize()

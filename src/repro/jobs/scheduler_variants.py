@@ -57,6 +57,62 @@ class ServerSeries(NamedTuple):
     server_ids: List[str]
 
 
+class SeriesRecorder:
+    """Where per-server heartbeat rows go when series recording is on.
+
+    The cluster feeds one row per heartbeat to :meth:`record`; what happens
+    to it is the recorder's policy.  The default
+    :class:`RetainAllSeriesRecorder` keeps every row for a terminal
+    analysis pass (the testbed figures); the continuous mode installs a
+    fold-at-boundary recorder instead
+    (:class:`~repro.harness.streaming.StreamingEpochAggregator`) so memory
+    stays bounded over an arbitrarily long horizon.
+    """
+
+    def record(
+        self, time: float, secondary_cpu: np.ndarray, primary_cpu: np.ndarray
+    ) -> None:
+        """Ingest one heartbeat row (``primary_cpu`` is already a copy)."""
+        raise NotImplementedError
+
+    def series(self, num_servers: int, server_ids: List[str]) -> ServerSeries:
+        """The full recorded matrices, for recorders that retain them."""
+        raise RuntimeError(
+            f"{type(self).__name__} does not retain the full server series"
+        )
+
+
+class RetainAllSeriesRecorder(SeriesRecorder):
+    """Keeps every heartbeat row — O(horizon x servers) memory.
+
+    The policy the testbed figures need: their latency analysis buckets the
+    whole run's matrices in one terminal pass.
+    """
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.secondary: List[np.ndarray] = []
+        self.primary: List[np.ndarray] = []
+
+    def record(
+        self, time: float, secondary_cpu: np.ndarray, primary_cpu: np.ndarray
+    ) -> None:
+        self.times.append(time)
+        self.secondary.append(secondary_cpu)
+        self.primary.append(primary_cpu)
+
+    def series(self, num_servers: int, server_ids: List[str]) -> ServerSeries:
+        if not self.times:
+            empty = np.zeros((0, num_servers))
+            return ServerSeries(np.zeros(0), empty, empty.copy(), server_ids)
+        return ServerSeries(
+            np.asarray(self.times),
+            np.vstack(self.secondary),
+            np.vstack(self.primary),
+            server_ids,
+        )
+
+
 @dataclass
 class ClusterConfig:
     """Configuration of a harvesting cluster run.
@@ -69,8 +125,11 @@ class ClusterConfig:
         pump_seconds: how often pending jobs retry unsatisfied requests.
         thresholds: job-length thresholds for Algorithm 1 typing.
         record_server_series: when True, per-server primary and secondary CPU
-            vectors are recorded at every heartbeat (needed by the testbed
-            latency analysis; skipped by the large sweeps).
+            vectors are recorded at every heartbeat into a retain-all
+            :class:`SeriesRecorder` (needed by the testbed latency analysis;
+            skipped by the large sweeps).  Callers that need a different
+            retention policy install one via
+            :meth:`HarvestingCluster.set_series_recorder`.
     """
 
     mode: SchedulerMode = SchedulerMode.HISTORY
@@ -136,32 +195,38 @@ class HarvestingCluster:
             self.refresh_clustering()
 
         self._executions: List[JobExecution] = []
-        self._series_times: List[float] = []
-        self._series_secondary: List[np.ndarray] = []
-        self._series_primary: List[np.ndarray] = []
+        self._series_recorder: Optional[SeriesRecorder] = (
+            RetainAllSeriesRecorder() if self.config.record_server_series else None
+        )
 
     @property
     def fleet(self):
         """The array substrate the cluster's scheduler runs on."""
         return self.resource_manager.fleet
 
+    def set_series_recorder(self, recorder: Optional[SeriesRecorder]) -> None:
+        """Install a heartbeat-series recorder (enables recording when set).
+
+        Replaces whatever ``record_server_series`` installed; pass ``None``
+        to stop recording.  Must be called before :meth:`run` — swapping
+        recorders mid-run would split the series across policies.
+        """
+        self._series_recorder = recorder
+
     def server_series(self) -> ServerSeries:
         """The recorded per-server heartbeat matrices.
 
-        Empty (zero-row) matrices when ``record_server_series`` was off.
+        Empty (zero-row) matrices when no recorder was installed; raises
+        ``RuntimeError`` for recorders (the continuous mode's folding
+        aggregator) that deliberately do not retain the full series.
         """
         num_servers = len(self.servers)
-        if not self._series_times:
+        if self._series_recorder is None:
             empty = np.zeros((0, num_servers))
             return ServerSeries(
                 np.zeros(0), empty, empty.copy(), self.fleet.server_ids
             )
-        return ServerSeries(
-            np.asarray(self._series_times),
-            np.vstack(self._series_secondary),
-            np.vstack(self._series_primary),
-            self.fleet.server_ids,
-        )
+        return self._series_recorder.series(num_servers, self.fleet.server_ids)
 
     # -- clustering --------------------------------------------------------
 
@@ -256,11 +321,13 @@ class HarvestingCluster:
         # every point of the run rather than only at its end.  Both vectors
         # are read straight from the fleet arrays (the refresh above already
         # gathered this heartbeat's utilization).
-        if self.config.record_server_series:
+        if self._series_recorder is not None:
             fleet = self.fleet
-            self._series_times.append(engine.now)
-            self._series_secondary.append(fleet.secondary_cpu_fraction())
-            self._series_primary.append(fleet.primary_utilization(engine.now).copy())
+            self._series_recorder.record(
+                engine.now,
+                fleet.secondary_cpu_fraction(),
+                fleet.primary_utilization(engine.now).copy(),
+            )
 
     def _pump_step(self, engine: SimulationEngine) -> None:
         self._prune_finished()

@@ -55,6 +55,13 @@ SCENARIO_SETS = {
             {"utilization_levels": (0.25, 0.45)},
         ),
         ("fig10_11_scheduling_testbed", "fig10-11-scheduling-testbed", {}),
+        (
+            "heterogeneous_fleet",
+            "heterogeneous-fleet",
+            {"params": {"workload": "tenant_arrivals_per_hour=2"}},
+        ),
+        ("antagonist", "antagonist", {}),
+        ("predictor_ablation", "predictor-ablation", {}),
     ),
     "storage": (
         ("fig15_durability", "fig15-durability", {}),
@@ -64,6 +71,7 @@ SCENARIO_SETS = {
             {"utilization_levels": (0.3, 0.5, 0.66)},
         ),
         ("fig12_storage_testbed", "fig12-storage-testbed", {}),
+        ("failure_storm", "failure-storm", {}),
     ),
 }
 

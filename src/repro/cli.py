@@ -254,9 +254,45 @@ def cmd_run_scenario(args: argparse.Namespace) -> str:
             "error: --emit-epochs/--epochs 0/--max-sim-seconds apply only to "
             f"continuous scenarios ({spec.name} is kind {spec.kind!r})"
         )
+    workload_arg = getattr(args, "workload", None)
+    skew_arg = getattr(args, "skew", None)
+    record_arg = getattr(args, "record_trace", None)
+    replay_arg = getattr(args, "replay_trace", None)
+    if workload_arg:
+        # Validate eagerly so a typo'd distribution fails before any build.
+        from repro.workload.spec import parse_workload
+
+        try:
+            parse_workload(workload_arg)
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from None
+    if skew_arg:
+        from repro.workload.distributions import parse_skew
+
+        try:
+            parse_skew(skew_arg)
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from None
+    if record_arg and replay_arg:
+        raise SystemExit("error: cannot record and replay a trace in the same run")
+    if replay_arg:
+        from repro.workload.trace import read_trace_header
+
+        try:
+            read_trace_header(replay_arg)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"error: {error}") from None
     overrides = {}
     if getattr(args, "scale", None):
         overrides["scale"] = args.scale
+    if workload_arg:
+        overrides["workload"] = workload_arg
+    if skew_arg:
+        overrides["skew"] = skew_arg
+    if record_arg:
+        overrides["record_trace"] = record_arg
+    if replay_arg:
+        overrides["replay_trace"] = replay_arg
     # Continuous-mode knobs route into the spec's params (see api.resolve);
     # they are inert for the fixed-grid figure kinds.
     if getattr(args, "traffic", None):
@@ -497,6 +533,48 @@ def build_parser() -> argparse.ArgumentParser:
             "continuous scenarios: arrival process, e.g. "
             "'open:rate=0.005,profile=diurnal' or 'closed:users=4,think=300' "
             "(see repro.harness.traffic.parse_traffic)"
+        ),
+    )
+    p.add_argument(
+        "--workload",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "workload-substrate scenarios: synthetic workload overrides, "
+            "';'-separated key=value pairs, e.g. "
+            "'interarrival=exponential:mean=120;stages=integer_range:low=2,high=5' "
+            "(see repro.workload.parse_workload)"
+        ),
+    )
+    p.add_argument(
+        "--skew",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "storage scenarios: block-access skew sampler, e.g. "
+            "'zipf:alpha=1.2', 'hotspot:hot_fraction=0.1,hot_weight=0.9', "
+            "or 'uniform' (see repro.workload.parse_skew)"
+        ),
+    )
+    p.add_argument(
+        "--record-trace",
+        dest="record_trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "workload-substrate scenarios: serialize the run's generated "
+            "op plan to PATH as a versioned JSONL trace"
+        ),
+    )
+    p.add_argument(
+        "--replay-trace",
+        dest="replay_trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "workload-substrate scenarios: drive the run from a recorded "
+            "trace instead of the synthetic generators (bit-identical to "
+            "the recorded run)"
         ),
     )
     p.add_argument(

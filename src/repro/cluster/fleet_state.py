@@ -253,6 +253,25 @@ class FleetState:
         """The label currently carried by row ``index``."""
         return self._labels[index]
 
+    def apply_reserve(self, cpu_fraction: float, memory_fraction: float) -> None:
+        """Re-size every server's protection reserve to the given fractions.
+
+        The online reserve controllers (predictor-ablation scenarios) call
+        this each control tick: both views of the reserve — the per-server
+        :class:`~repro.cluster.reserve.ResourceReserve` objects the scalar
+        fallbacks read and the vectorized enforcement columns — are updated
+        together so the batched and scalar reclaim paths keep agreeing.
+        """
+        from repro.cluster.reserve import ResourceReserve
+
+        self.ensure_built()
+        for index, server in enumerate(self._servers):
+            server.reserve = ResourceReserve.from_fractions(
+                server.capacity, cpu_fraction, memory_fraction
+            )
+            self.reserve_cores[index] = server.reserve.reserve.cores
+            self.reserve_memory[index] = server.reserve.reserve.memory_gb
+
     # -- array (re)construction --------------------------------------------
 
     def ensure_built(self) -> None:

@@ -1,0 +1,83 @@
+"""An online feedback controller sizing the protection reserve.
+
+The paper's YARN-H sizes each server's reserve from long-horizon
+utilization history (the harvest predictor).  This controller is the
+ablation alternative: no history at all — every control tick it reads the
+cluster's recent *violation count* (tasks killed to protect primaries
+since the last tick) and resizes the fleet-wide reserve multiplicatively:
+
+* more kills than the target —> the reserve was too small to absorb the
+  primaries' swings, grow it;
+* a quiet interval —> decay the reserve towards the floor, releasing
+  capacity back to harvesting.
+
+Fully deterministic (no random draws), so scenario cells using it stay
+bit-identical across serial and parallel executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FeedbackReserveConfig:
+    """Controller knobs (all dimensionless except the interval)."""
+
+    interval_seconds: float = 300.0
+    target_kills_per_interval: float = 1.0
+    grow_factor: float = 1.5
+    decay_factor: float = 0.9
+    min_fraction: float = 0.05
+    max_fraction: float = 0.6
+    memory_ratio: float = 0.93
+
+    def __post_init__(self) -> None:
+        if self.interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        if not 0.0 < self.min_fraction <= self.max_fraction < 1.0:
+            raise ValueError(
+                "reserve fractions must satisfy 0 < min <= max < 1 "
+                f"(got {self.min_fraction}..{self.max_fraction})"
+            )
+        if self.grow_factor <= 1.0 or not 0.0 < self.decay_factor <= 1.0:
+            raise ValueError("grow_factor must exceed 1 and decay be in (0, 1]")
+
+
+class FeedbackReserveController:
+    """Periodic reserve re-sizing driven by recent violation counts."""
+
+    def __init__(self, cluster, config: FeedbackReserveConfig) -> None:
+        self._cluster = cluster
+        self.config = config
+        self.fraction = float(cluster.config.reserve_cpu_fraction)
+        self._last_kills = 0
+        self.adjustments = 0
+        self.ticks = 0
+
+    def install(self, until: float) -> None:
+        """Arm the control loop on the cluster's engine (call before run)."""
+        self._cluster.engine.schedule_periodic(
+            self.config.interval_seconds,
+            self._tick,
+            name="reserve-controller",
+            until=until,
+        )
+
+    def _tick(self, engine) -> None:
+        cfg = self.config
+        kills = self._cluster.total_tasks_killed()
+        delta = kills - self._last_kills
+        self._last_kills = kills
+        self.ticks += 1
+        if delta > cfg.target_kills_per_interval:
+            fraction = min(cfg.max_fraction, self.fraction * cfg.grow_factor)
+        else:
+            fraction = max(cfg.min_fraction, self.fraction * cfg.decay_factor)
+        if fraction == self.fraction:
+            return
+        self.fraction = fraction
+        self.adjustments += 1
+        self._cluster.fleet.apply_reserve(
+            fraction, min(0.99, fraction * cfg.memory_ratio)
+        )

@@ -58,9 +58,8 @@ from repro.harness.runners import (
 )
 from repro.harness.spec import ScenarioSpec
 from repro.harness.streaming import StreamingEpochAggregator
-from repro.harness.traffic import EpochRecorder, parse_traffic
+from repro.harness.traffic import EpochRecorder, factory_from_spec, parse_traffic
 from repro.jobs.scheduler_variants import ClusterConfig, HarvestingCluster
-from repro.jobs.tpcds import TpcdsWorkloadFactory
 from repro.simulation.random import RandomSource
 
 #: Default horizon: eight 10-minute windows.
@@ -124,6 +123,7 @@ class ContinuousRunner(ScenarioRunner):
             self.ctx["tenants"],
             cell.seeds,
             traffic=str(self.spec.param("traffic", DEFAULT_TRAFFIC)),
+            workload=self.spec.param("workload", None),
             epochs=int(self.spec.param("epochs", DEFAULT_EPOCHS)),
             epoch_seconds=float(
                 self.spec.param("epoch_seconds", DEFAULT_EPOCH_SECONDS)
@@ -177,6 +177,7 @@ def _run_continuous_variant(
     seeds: Tuple[int, ...],
     *,
     traffic: str,
+    workload: Any = None,
     epochs: int,
     epoch_seconds: float,
     max_sim_seconds: Optional[float] = None,
@@ -225,7 +226,9 @@ def _run_continuous_variant(
         on_epoch=on_epoch,
     )
     cluster.set_series_recorder(aggregator)
-    factory = TpcdsWorkloadFactory(tpcds_rng, duration_scale=1.0, width_scale=0.35)
+    factory = factory_from_spec(
+        workload, tpcds_rng, duration_scale=1.0, width_scale=0.35
+    )
     driver = parse_traffic(traffic)
     driver.attach(cluster, factory, horizon, traffic_rng)
     recorder = EpochRecorder(

@@ -627,6 +627,246 @@ class ContinuousResult:
 
 
 # ---------------------------------------------------------------------------
+# Workload-substrate scenario kinds (failure storms, heterogeneous fleets,
+# antagonist tenants, predictor ablations)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StormVariantResult:
+    """One (variant, storm rate) durability cell under correlated storms."""
+
+    variant: str
+    storm_rate_per_day: float
+    blocks_created: int
+    blocks_lost: int
+    reimage_events: int
+    storms: int
+
+    @property
+    def lost_fraction(self) -> float:
+        """Fraction of created blocks that were lost."""
+        return self.blocks_lost / self.blocks_created if self.blocks_created else 0.0
+
+
+@dataclass
+class FailureStormResult:
+    """Failure-storm scenario: block loss per variant and storm intensity."""
+
+    datacenter: str
+    replication: int
+    results: Dict[Tuple[str, float], StormVariantResult] = field(
+        default_factory=dict
+    )
+
+    def result(self, variant: str, storm_rate: float) -> StormVariantResult:
+        """Result for one variant at one storm rate."""
+        return self.results[(variant, storm_rate)]
+
+    def headline(self) -> Dict[str, Dict[str, int]]:
+        """Fingerprint-relevant numbers: created/lost per (variant, rate)."""
+        return {
+            f"{variant}-s{rate}": {
+                "blocks_created": r.blocks_created,
+                "blocks_lost": r.blocks_lost,
+                "storms": r.storms,
+            }
+            for (variant, rate), r in sorted(self.results.items())
+        }
+
+    def render(self) -> str:
+        """The failure-storm table."""
+        from repro.experiments.report import format_table
+
+        rows = [
+            [variant, f"{rate:g}/day", r.storms, r.reimage_events,
+             r.blocks_created, r.blocks_lost, f"{100 * r.lost_fraction:.4f}%"]
+            for (variant, rate), r in sorted(self.results.items())
+        ]
+        return format_table(
+            ["variant", "storm rate", "storms", "reimages", "created", "lost",
+             "lost %"],
+            rows,
+            title=f"Failure storms — {self.datacenter} (R={self.replication})",
+        )
+
+
+@dataclass
+class HeterogeneousFleetResult:
+    """Mixed-capacity fleet: scheduling outcomes per variant, plus the mix."""
+
+    no_harvesting_p99_ms: float
+    class_counts: Dict[str, int]
+    elastic_tenants: int
+    variants: Dict[str, VariantSchedulingResult] = field(default_factory=dict)
+
+    def variant(self, name: str) -> VariantSchedulingResult:
+        """Result for one variant by name (e.g. ``"YARN-H"``)."""
+        return self.variants[name]
+
+    def headline(self) -> Dict[str, object]:
+        """Fingerprint-relevant numbers: mix, baseline, per-variant summary."""
+        return {
+            "no_harvesting_p99_ms": self.no_harvesting_p99_ms,
+            "class_counts": dict(sorted(self.class_counts.items())),
+            "elastic_tenants": self.elastic_tenants,
+            "variants": {
+                name: {
+                    "average_p99_ms": v.average_p99_ms,
+                    "average_job_seconds": v.average_job_seconds,
+                    "jobs_completed": v.jobs_completed,
+                    "tasks_killed": v.tasks_killed,
+                    "average_cpu_utilization": v.average_cpu_utilization,
+                }
+                for name, v in self.variants.items()
+            },
+        }
+
+    def render(self) -> str:
+        """The heterogeneous-fleet table."""
+        from repro.experiments.report import format_table
+
+        mix = ", ".join(
+            f"{name}:{count}" for name, count in sorted(self.class_counts.items())
+        )
+        rows = [["No-Harvesting", f"{self.no_harvesting_p99_ms:.0f}", "-", "-", "-"]]
+        for name, v in self.variants.items():
+            rows.append([
+                name, f"{v.average_p99_ms:.0f}", f"{v.average_job_seconds:.0f}",
+                v.jobs_completed, v.tasks_killed,
+            ])
+        return format_table(
+            ["variant", "avg p99 (ms)", "avg job (s)", "jobs", "kills"],
+            rows,
+            title=(
+                f"Heterogeneous fleet [{mix}] "
+                f"(+{self.elastic_tenants} elastic tenants)"
+            ),
+        )
+
+
+@dataclass
+class AntagonistPoint:
+    """One (variant, spike rate) cell under adversarial primary spikes."""
+
+    variant: str
+    spike_rate_per_hour: float
+    baseline_p99_ms: float
+    average_p99_ms: float
+    average_job_seconds: float
+    jobs_completed: int
+    tasks_killed: int
+
+    @property
+    def slo_inflation(self) -> float:
+        """Harvest-SLO pressure: p99 relative to the spiked baseline."""
+        if self.baseline_p99_ms <= 0:
+            return 1.0
+        return self.average_p99_ms / self.baseline_p99_ms
+
+
+@dataclass
+class AntagonistResult:
+    """Antagonist scenario: SLO pressure per variant and spike intensity."""
+
+    points: List[AntagonistPoint] = field(default_factory=list)
+
+    def point(self, variant: str, spike_rate: float) -> AntagonistPoint:
+        """Result for one variant at one spike rate."""
+        for p in self.points:
+            if p.variant == variant and p.spike_rate_per_hour == spike_rate:
+                return p
+        raise KeyError((variant, spike_rate))
+
+    def headline(self) -> Dict[str, object]:
+        """Fingerprint-relevant numbers per (variant, spike rate)."""
+        return {
+            f"{p.variant}-a{p.spike_rate_per_hour:g}": {
+                "baseline_p99_ms": p.baseline_p99_ms,
+                "average_p99_ms": p.average_p99_ms,
+                "average_job_seconds": p.average_job_seconds,
+                "jobs_completed": p.jobs_completed,
+                "tasks_killed": p.tasks_killed,
+            }
+            for p in self.points
+        }
+
+    def render(self) -> str:
+        """The antagonist table."""
+        from repro.experiments.report import format_table
+
+        rows = [
+            [p.variant, f"{p.spike_rate_per_hour:g}/h",
+             f"{p.baseline_p99_ms:.0f}", f"{p.average_p99_ms:.0f}",
+             f"{p.slo_inflation:.2f}x", p.jobs_completed, p.tasks_killed]
+            for p in self.points
+        ]
+        return format_table(
+            ["variant", "spikes", "baseline p99", "avg p99 (ms)", "inflation",
+             "jobs", "kills"],
+            rows,
+            title="Antagonist tenants",
+        )
+
+
+@dataclass
+class PredictorVariantResult:
+    """One predictor arm: history-based vs online feedback reserve sizing."""
+
+    variant: str
+    average_p99_ms: float
+    average_job_seconds: float
+    jobs_completed: int
+    tasks_killed: int
+    average_cpu_utilization: float
+    final_reserve_fraction: float
+    reserve_adjustments: int
+
+
+@dataclass
+class PredictorAblationResult:
+    """Predictor ablation: the harvest predictor against a feedback loop."""
+
+    variants: Dict[str, PredictorVariantResult] = field(default_factory=dict)
+
+    def variant(self, name: str) -> PredictorVariantResult:
+        """Result for one predictor arm by name (e.g. ``"YARN-FB"``)."""
+        return self.variants[name]
+
+    def headline(self) -> Dict[str, object]:
+        """Fingerprint-relevant numbers per predictor arm."""
+        return {
+            name: {
+                "average_p99_ms": v.average_p99_ms,
+                "average_job_seconds": v.average_job_seconds,
+                "jobs_completed": v.jobs_completed,
+                "tasks_killed": v.tasks_killed,
+                "average_cpu_utilization": v.average_cpu_utilization,
+                "final_reserve_fraction": v.final_reserve_fraction,
+                "reserve_adjustments": v.reserve_adjustments,
+            }
+            for name, v in self.variants.items()
+        }
+
+    def render(self) -> str:
+        """The predictor-ablation table."""
+        from repro.experiments.report import format_table
+
+        rows = [
+            [name, f"{v.average_p99_ms:.0f}", f"{v.average_job_seconds:.0f}",
+             v.jobs_completed, v.tasks_killed,
+             f"{v.final_reserve_fraction:.2f}", v.reserve_adjustments]
+            for name, v in self.variants.items()
+        ]
+        return format_table(
+            ["predictor", "avg p99 (ms)", "avg job (s)", "jobs", "kills",
+             "reserve", "adjusts"],
+            rows,
+            title="Predictor ablation",
+        )
+
+
+# ---------------------------------------------------------------------------
 # JSON export
 # ---------------------------------------------------------------------------
 

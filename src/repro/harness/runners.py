@@ -65,6 +65,7 @@ from repro.traces.fleet import build_datacenter
 from repro.traces.matrix import TraceMatrix
 from repro.traces.reimage import ReimageEvent, ReimageProfile, generate_reimage_events
 from repro.traces.scaling import ScalingMethod, fleet_scaling_factor, scale_trace
+from repro.workload.distributions import parse_skew
 
 #: How often the NameNode's re-replication loop runs in the simulation.
 REPLICATION_PERIOD_SECONDS = 600.0
@@ -1120,10 +1121,14 @@ class StorageTestbedRunner(ScenarioRunner):
             )
             for t in tenants
         ]
+        skew = spec.param("skew", None)
         return {
             "tenants": tenants,
             "duration": spec.scale.experiment_hours * 3600.0,
             "accesses_per_minute": accesses_per_minute,
+            # Access-skew sampler from the workload substrate; ``None``
+            # keeps the historical uniform access stream bit for bit.
+            "skew": parse_skew(str(skew)) if skew else None,
         }
 
     @classmethod
@@ -1162,6 +1167,7 @@ class StorageTestbedRunner(ScenarioRunner):
             ctx["duration"],
             ctx["accesses_per_minute"],
             RandomSource(cell.seeds[0]),
+            ctx["skew"],
         )
 
     def merge(self, cells: Sequence[Cell], partials: Sequence[Any]):
@@ -1189,6 +1195,7 @@ class StorageTestbedRunner(ScenarioRunner):
         duration: float,
         accesses_per_minute: int,
         variant_rng: RandomSource,
+        skew=None,
     ) -> VariantStorageResult:
         trace_matrix = TraceMatrix(tenants)
         namenode = build_namenode(
@@ -1218,7 +1225,9 @@ class StorageTestbedRunner(ScenarioRunner):
             # The NameNode's server columns follow the same tenant-major
             # order as ``all_servers``, so the io vector feeds the latency
             # matrix directly.
-            batch = namenode.access_blocks(minute, accesses_per_minute, variant_rng)
+            batch = namenode.access_blocks(
+                minute, accesses_per_minute, variant_rng, sampler=skew
+            )
             counts["served"] += batch.served
             counts["failed"] += batch.failed
 
@@ -1242,3 +1251,9 @@ class StorageTestbedRunner(ScenarioRunner):
             served_accesses=counts["served"],
             blocks_created=counts["created"],
         )
+
+
+# The workload-substrate kinds register themselves on import; importing at
+# the bottom lets their module reuse this one's base class and helpers
+# without a cycle.
+from repro.harness import workload_runners as _workload_runners  # noqa: E402,F401

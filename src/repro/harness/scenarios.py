@@ -90,6 +90,40 @@ _DEFAULT_SCENARIOS = (
         },
     ),
     ScenarioSpec(
+        name="failure-storm",
+        kind="failure_storm",
+        description="Correlated reimage storms vs block durability, recordable",
+        variants=("HDFS-Stock", "HDFS-H"),
+        replication_levels=(3,),
+        max_tenants=40,
+        servers_per_tenant_limit=4,
+        scale=QUICK_SCALE,
+        params={"storm_rates_per_day": (0.5, 2.0), "storm_fraction": 0.15},
+    ),
+    ScenarioSpec(
+        name="heterogeneous-fleet",
+        kind="heterogeneous_fleet",
+        description="Mixed server-capacity classes plus elastic tenant arrivals",
+        variants=("YARN-PT", "YARN-H"),
+        scale=QUICK_SCALE,
+        params={"workload": "tenant_arrivals_per_hour=0.5"},
+    ),
+    ScenarioSpec(
+        name="antagonist",
+        kind="antagonist",
+        description="Adversarial primary-utilization spikes vs the harvest SLOs",
+        variants=("YARN-PT", "YARN-H"),
+        scale=QUICK_SCALE,
+        params={"spike_rates_per_hour": (2.0, 6.0)},
+    ),
+    ScenarioSpec(
+        name="predictor-ablation",
+        kind="predictor_ablation",
+        description="History-based harvest predictor vs online feedback reserve",
+        variants=("YARN-H", "YARN-FB"),
+        scale=QUICK_SCALE,
+    ),
+    ScenarioSpec(
         name="continuous-closed",
         kind="continuous",
         description="Live closed-loop traffic (4 users, think time), windowed epoch metrics",

@@ -26,6 +26,10 @@ SCENARIO_KINDS = (
     "scheduling_testbed",
     "storage_testbed",
     "continuous",
+    "failure_storm",
+    "heterogeneous_fleet",
+    "antagonist",
+    "predictor_ablation",
 )
 
 

@@ -475,6 +475,35 @@ def parse_traffic(spec: str) -> TrafficDriver:
     return driver
 
 
+def factory_from_spec(
+    workload: Any,
+    rng: RandomSource,
+    duration_scale: float = 1.0,
+    width_scale: float = 0.35,
+):
+    """The traffic layer's job factory: TPC-DS, or a spec-driven catalog.
+
+    ``workload`` is the scenario's ``workload`` param — a
+    :func:`repro.workload.parse_workload` overlay string, a
+    :class:`~repro.workload.WorkloadSpec`, or ``None``/empty.  Absent, the
+    historical TPC-DS factory is built with the exact arguments the drivers
+    always used, so existing scenarios stay draw-identical; present, the
+    catalog is drawn from the workload's job-shape distributions instead
+    (same ``query``/``all_queries``/``duration_distribution`` surface, so
+    every driver accepts either).
+    """
+    from repro.jobs.tpcds import TpcdsWorkloadFactory
+
+    if not workload:
+        return TpcdsWorkloadFactory(
+            rng, duration_scale=duration_scale, width_scale=width_scale
+        )
+    from repro.workload.spec import workload_from_param
+    from repro.workload.synthetic import ShapeWorkloadFactory
+
+    return ShapeWorkloadFactory(workload_from_param(workload).shape, rng)
+
+
 # ---------------------------------------------------------------------------
 # Epoch windows
 # ---------------------------------------------------------------------------

@@ -20,9 +20,33 @@ from typing import Dict, List, Optional
 
 from repro.jobs.dag import JobDag, Vertex
 from repro.simulation.random import RandomSource
+from repro.workload.distributions import IntegerRange, Uniform
+from repro.workload.spec import JobShapeSpec
 
 #: Number of distinct queries in the workload, as in the paper's testbed.
 NUM_QUERIES = 52
+
+#: The three query families (small lookup / medium aggregation / wide join)
+#: as workload shape specs.  ``JobShapeSpec.generate_dag`` consumes its
+#: stream in exactly the order the inline synthesizer used, so these specs
+#: are draw-for-draw identical to the legacy generator.
+QUERY_SHAPES = (
+    JobShapeSpec(
+        stages=IntegerRange(2, 4),
+        width=IntegerRange(2, 20),
+        duration=Uniform(20.0, 60.0),
+    ),
+    JobShapeSpec(
+        stages=IntegerRange(3, 6),
+        width=IntegerRange(20, 120),
+        duration=Uniform(40.0, 90.0),
+    ),
+    JobShapeSpec(
+        stages=IntegerRange(4, 8),
+        width=IntegerRange(100, 400),
+        duration=Uniform(60.0, 140.0),
+    ),
+)
 
 
 def _query19_dag() -> JobDag:
@@ -56,33 +80,8 @@ def _synthetic_query_dag(query_number: int, rng: RandomSource) -> JobDag:
     the query number so the same query always has the same DAG.
     """
     query_rng = rng.fork(f"query-{query_number}")
-    bucket = query_number % 3
-    if bucket == 0:
-        num_stages = query_rng.integer(2, 4)
-        base_width = query_rng.integer(2, 20)
-        base_duration = query_rng.uniform(20.0, 60.0)
-    elif bucket == 1:
-        num_stages = query_rng.integer(3, 6)
-        base_width = query_rng.integer(20, 120)
-        base_duration = query_rng.uniform(40.0, 90.0)
-    else:
-        num_stages = query_rng.integer(4, 8)
-        base_width = query_rng.integer(100, 400)
-        base_duration = query_rng.uniform(60.0, 140.0)
-
-    vertices: List[Vertex] = []
-    previous: Optional[str] = None
-    for stage in range(num_stages):
-        # Widths taper towards the end of the pipeline (reduce stages are
-        # narrower than the scans that feed them).
-        taper = max(0.15, 1.0 - 0.25 * stage)
-        width = max(1, int(round(base_width * taper * query_rng.uniform(0.7, 1.3))))
-        duration = base_duration * query_rng.uniform(0.6, 1.4)
-        name = f"Stage {stage + 1}"
-        upstream = [previous] if previous is not None else []
-        vertices.append(Vertex(name, width, duration, upstream=upstream))
-        previous = name
-    return JobDag(f"tpcds-q{query_number}", vertices)
+    shape = QUERY_SHAPES[query_number % 3]
+    return shape.generate_dag(f"tpcds-q{query_number}", query_rng)
 
 
 def tpcds_query_dag(query_number: int, rng: Optional[RandomSource] = None) -> JobDag:

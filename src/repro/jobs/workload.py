@@ -14,6 +14,7 @@ from typing import List, Optional
 from repro.jobs.dag import JobDag
 from repro.jobs.tpcds import TpcdsWorkloadFactory
 from repro.simulation.random import RandomSource
+from repro.workload.distributions import Distribution, Exponential
 
 
 @dataclass(frozen=True)
@@ -37,6 +38,9 @@ class WorkloadGenerator:
             raise ValueError("mean_interarrival_seconds must be positive")
         self._factory = factory or TpcdsWorkloadFactory()
         self._mean_interarrival = mean_interarrival_seconds
+        # The gap distribution as a named workload distribution; sampling
+        # it is draw-identical to the inline ``rng.exponential`` calls.
+        self._interarrival: Distribution = Exponential(mean_interarrival_seconds)
         self._rng = rng or RandomSource(11)
 
     @property
@@ -56,7 +60,7 @@ class WorkloadGenerator:
         arrivals: List[JobArrival] = []
         time = 0.0
         while True:
-            time += self._rng.exponential(self._mean_interarrival)
+            time += self._interarrival.sample(self._rng)
             if time >= duration_seconds:
                 break
             arrivals.append(JobArrival(time=time, dag=self._rng.choice(queries)))
@@ -71,6 +75,6 @@ class WorkloadGenerator:
         arrivals: List[JobArrival] = []
         time = start_time
         for dag in self._rng.shuffle(self._factory.all_queries()):
-            time += self._rng.exponential(self._mean_interarrival)
+            time += self._interarrival.sample(self._rng)
             arrivals.append(JobArrival(time=time, dag=dag))
         return arrivals

@@ -467,19 +467,25 @@ class NameNode:
         count: int,
         rng: RandomSource,
         io_per_access: float = 0.05,
+        sampler=None,
     ) -> AccessBatch:
-        """Serve ``count`` uniformly sampled accesses at ``time``, effectfully.
+        """Serve ``count`` sampled accesses at ``time``, effectfully.
 
         The effectful twin of :meth:`check_accesses`: each access draws one
-        block (uniform over every block ever created, in creation order) and
-        — when served — one replica to read from, consuming ``rng`` exactly
-        as the per-access scalar loop did (``choice(block_ids)`` then
-        ``choice(candidate_servers)``).  Access counters are bumped per
-        block, and each served access scatters ``io_per_access`` onto the
-        serving server's io-load column.  Primary-aware NameNodes only read
-        from non-busy replicas and fail the access when all are busy;
-        oblivious ones read from any healthy replica (the interference cost
-        is the latency model's problem).
+        block (by default uniform over every block ever created, in creation
+        order) and — when served — one replica to read from, consuming
+        ``rng`` exactly as the per-access scalar loop did
+        (``choice(block_ids)`` then ``choice(candidate_servers)``).  Access
+        counters are bumped per block, and each served access scatters
+        ``io_per_access`` onto the serving server's io-load column.
+        Primary-aware NameNodes only read from non-busy replicas and fail
+        the access when all are busy; oblivious ones read from any healthy
+        replica (the interference cost is the latency model's problem).
+
+        ``sampler`` — an access-skew sampler from
+        :mod:`repro.workload.distributions` (``index(rng, n)``) — replaces
+        the uniform block draw; ``None`` keeps the historical uniform
+        stream bit for bit.
         """
         table = self._table
         io_load = np.zeros(table.num_servers)
@@ -490,7 +496,7 @@ class NameNode:
         busy = self._busy_mask(time) if aware else None
         served = failed = lost = 0
         for _ in range(count):
-            row = rng.integer(0, n)
+            row = rng.integer(0, n) if sampler is None else sampler.index(rng, n)
             table.record_access(row)
             healthy = table.healthy_servers_of(row)
             if not len(healthy):

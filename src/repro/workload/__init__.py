@@ -1,0 +1,123 @@
+"""Pluggable workload-generator substrate: synthetic specs + trace replay.
+
+Two interchangeable front-ends behind one interface:
+
+* **synthetic** — a :class:`~repro.workload.spec.WorkloadSpec` names
+  seeded parametric distributions for job/DAG shapes, tenant mixes
+  (including tenant *arrival* processes for elastic primary load), and
+  storage access skew; :mod:`repro.workload.synthetic` materializes a
+  spec into a deterministic plan of ``(time, operation)`` records;
+* **replay** — :mod:`repro.workload.trace` serializes any synthetic
+  run's plan as a versioned JSONL trace and loads it back bit-identically
+  through the same runner code path.
+"""
+
+from repro.workload.distributions import (
+    DISTRIBUTIONS,
+    SKEWS,
+    BoundedNormal,
+    Categorical,
+    Constant,
+    Distribution,
+    Exponential,
+    HotspotSkew,
+    IntegerRange,
+    Normal,
+    SkewSampler,
+    Uniform,
+    UniformSkew,
+    ZipfSkew,
+    distribution_from_dict,
+    make_distribution,
+    make_skew,
+    parse_distribution,
+    parse_skew,
+    skew_from_dict,
+)
+from repro.workload.processes import (
+    UTILIZATION_PROCESSES,
+    trace_days,
+    utilization_process,
+)
+from repro.workload.spec import (
+    DEFAULT_WORKLOAD,
+    JobShapeSpec,
+    TenantMixSpec,
+    WorkloadSpec,
+    parse_workload,
+    workload_from_param,
+)
+from repro.workload.synthetic import (
+    ShapeWorkloadFactory,
+    apply_spikes,
+    arrival_tenants,
+    arrivals_from_ops,
+    dag_from_record,
+    dag_to_record,
+    materialize_plan,
+    ops_in_stream,
+    plan_job_arrivals,
+    plan_server_classes,
+    plan_spikes,
+    plan_storm_reimages,
+    plan_tenant_arrivals,
+)
+from repro.workload.trace import (
+    TRACE_VERSION,
+    TraceError,
+    TraceVersionError,
+    read_trace,
+    read_trace_header,
+    write_trace,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "SKEWS",
+    "BoundedNormal",
+    "Categorical",
+    "Constant",
+    "Distribution",
+    "Exponential",
+    "HotspotSkew",
+    "IntegerRange",
+    "Normal",
+    "SkewSampler",
+    "Uniform",
+    "UniformSkew",
+    "ZipfSkew",
+    "distribution_from_dict",
+    "make_distribution",
+    "make_skew",
+    "parse_distribution",
+    "parse_skew",
+    "skew_from_dict",
+    "UTILIZATION_PROCESSES",
+    "trace_days",
+    "utilization_process",
+    "DEFAULT_WORKLOAD",
+    "JobShapeSpec",
+    "TenantMixSpec",
+    "WorkloadSpec",
+    "parse_workload",
+    "workload_from_param",
+    "ShapeWorkloadFactory",
+    "apply_spikes",
+    "arrival_tenants",
+    "arrivals_from_ops",
+    "dag_from_record",
+    "dag_to_record",
+    "materialize_plan",
+    "ops_in_stream",
+    "plan_job_arrivals",
+    "plan_server_classes",
+    "plan_spikes",
+    "plan_storm_reimages",
+    "plan_tenant_arrivals",
+    "TRACE_VERSION",
+    "TraceError",
+    "TraceVersionError",
+    "read_trace",
+    "read_trace_header",
+    "write_trace",
+]

@@ -1,0 +1,78 @@
+"""Named primary-tenant utilization processes.
+
+The services layer drives each testbed server's Lucene instance from a
+:class:`~repro.traces.utilization.UtilizationTrace`; this module names the
+*generating process* for those traces so a :class:`TenantMixSpec` can say
+"testbed" or "antagonist" instead of hard-coding
+:class:`~repro.traces.utilization.TraceSpec` parameters.  Tenant-arrival
+ops (elastic primary load) resolve their trace through the same registry,
+so a recorded trace replays the identical utilization series.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.traces.utilization import (
+    DAYS_PER_MONTH,
+    TraceSpec,
+    UtilizationPattern,
+)
+
+#: A process maps (pattern, mean utilization, days) -> a TraceSpec.
+ProcessFn = Callable[[UtilizationPattern, float, int], TraceSpec]
+
+
+def _testbed(pattern: UtilizationPattern, mean: float, days: int) -> TraceSpec:
+    """The paper's testbed behaviour: the module defaults, unmodified."""
+    return TraceSpec(pattern=pattern, mean_utilization=mean, days=days)
+
+
+def _calm(pattern: UtilizationPattern, mean: float, days: int) -> TraceSpec:
+    """Low-variance tenants: shallow diurnal swing, rare small bursts."""
+    return TraceSpec(
+        pattern=pattern,
+        mean_utilization=mean,
+        daily_amplitude=0.25,
+        noise_std=0.01,
+        burst_probability=0.002,
+        burst_magnitude=0.15,
+        days=days,
+    )
+
+
+def _antagonist(pattern: UtilizationPattern, mean: float, days: int) -> TraceSpec:
+    """Adversarial tenants: deep swings and frequent violent bursts."""
+    return TraceSpec(
+        pattern=pattern,
+        mean_utilization=mean,
+        daily_amplitude=0.9,
+        noise_std=0.04,
+        burst_probability=0.05,
+        burst_magnitude=0.6,
+        burst_duration_samples=60,
+        days=days,
+    )
+
+
+UTILIZATION_PROCESSES: Dict[str, ProcessFn] = {
+    "testbed": _testbed,
+    "calm": _calm,
+    "antagonist": _antagonist,
+}
+
+
+def utilization_process(name: str) -> ProcessFn:
+    """Resolve a named process; unknown names fail loudly."""
+    try:
+        return UTILIZATION_PROCESSES[name]
+    except KeyError:
+        known = ", ".join(sorted(UTILIZATION_PROCESSES))
+        raise ValueError(
+            f"unknown utilization process {name!r}; known: {known}"
+        ) from None
+
+
+def trace_days(horizon_seconds: float) -> int:
+    """Trace length covering ``horizon_seconds`` (at least one day)."""
+    return max(1, min(DAYS_PER_MONTH, int(horizon_seconds // 86400.0) + 1))

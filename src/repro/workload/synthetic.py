@@ -1,0 +1,479 @@
+"""Synthetic workload-plan generation, and its replay twin.
+
+A *plan* is a time-sorted list of JSON-native operation records — the
+exact shape the trace format stores — so the synthetic and replay
+front-ends meet behind one interface: runners always consume op records,
+whether those came from a seeded generator or a file.  Every generator
+here is a pure function of ``(spec fragment, seed)``; sub-streams are
+derived through :class:`~repro.simulation.random.ForkSequence` arithmetic
+so a plan regenerates identically from its recorded seed.
+
+Op vocabulary (each record also carries ``time`` and ``stream``):
+
+* ``submit-job`` — a fully materialized DAG (``dag`` field);
+* ``reimage`` — one server reimage inside a correlated storm
+  (``server_index``, ``storm``);
+* ``spike`` — an adversarial utilization spike (``tenant_index``,
+  ``magnitude``, ``duration``);
+* ``server`` — a server-capacity class draw (``index``, ``cls``,
+  ``cores``, ``memory_gb``);
+* ``tenant-arrival`` — an elastic primary tenant appearing mid-run
+  (``pattern``, ``mean``, ``seed``, ``cores``, ``memory_gb``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.jobs.dag import JobDag, Vertex
+from repro.simulation.random import RandomSource, child_seed
+from repro.traces.datacenter import PrimaryTenant, Server
+from repro.traces.utilization import (
+    SAMPLE_INTERVAL_SECONDS,
+    UtilizationPattern,
+    UtilizationTrace,
+    generate_trace,
+)
+from repro.workload.processes import trace_days, utilization_process
+from repro.workload.spec import JobShapeSpec, TenantMixSpec
+from repro.workload.distributions import Distribution
+from repro.workload.trace import TraceError, read_trace, write_trace
+
+Op = Dict[str, object]
+
+
+# ---------------------------------------------------------------------------
+# DAG <-> record
+# ---------------------------------------------------------------------------
+
+
+def dag_to_record(dag: JobDag) -> Dict[str, object]:
+    """A JSON-native image of a DAG (floats round-trip exactly)."""
+    return {
+        "name": dag.name,
+        "vertices": [
+            {
+                "name": v.name,
+                "tasks": v.num_tasks,
+                "duration": v.task_duration_seconds,
+                "upstream": list(v.upstream),
+            }
+            for v in dag.vertices.values()
+        ],
+        "cores": dag.container_resource_cores,
+        "memory_gb": dag.container_resource_memory_gb,
+    }
+
+
+def dag_from_record(record: Dict[str, object]) -> JobDag:
+    """Inverse of :func:`dag_to_record`."""
+    return JobDag(
+        str(record["name"]),
+        [
+            Vertex(
+                str(v["name"]),
+                int(v["tasks"]),
+                float(v["duration"]),
+                upstream=list(v["upstream"]),
+            )
+            for v in record["vertices"]
+        ],
+        container_resource_cores=float(record["cores"]),
+        container_resource_memory_gb=float(record["memory_gb"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plan generators (pure functions of spec fragment + seed)
+# ---------------------------------------------------------------------------
+
+
+def plan_job_arrivals(
+    shape: JobShapeSpec,
+    interarrival: Distribution,
+    horizon_seconds: float,
+    seed: int,
+    stream: str = "jobs",
+    name_prefix: str = "wl",
+) -> List[Op]:
+    """A Poisson-like arrival stream of freshly generated DAGs.
+
+    One gap draw per arrival off the stream's own source, then one
+    per-job fork (labelled ``job-{index}``) for the DAG shape draws, so
+    job shapes are independent of how many arrivals precede them.
+    """
+    rng = RandomSource(seed)
+    ops: List[Op] = []
+    time = 0.0
+    index = 0
+    while True:
+        time += float(interarrival.sample(rng))
+        if time >= horizon_seconds:
+            break
+        dag = shape.generate_dag(
+            f"{name_prefix}-{index}", rng.fork(f"job-{index}")
+        )
+        ops.append(
+            {"op": "submit-job", "time": time, "stream": stream,
+             "dag": dag_to_record(dag)}
+        )
+        index += 1
+    return ops
+
+
+def plan_storm_reimages(
+    num_servers: int,
+    rate_per_day: float,
+    fraction: float,
+    days: float,
+    seed: int,
+    stream: str = "storms",
+) -> List[Op]:
+    """Correlated reimage storms: an arrival process on the reimage stream.
+
+    Storm instants are exponential with mean ``1 / rate_per_day``; each
+    storm reimages a without-replacement sample of ``fraction`` of the
+    fleet at once (the redeployment bursts the paper identifies as the
+    main durability threat, but now dialable and recordable).
+    """
+    if rate_per_day <= 0:
+        raise ValueError(f"storm rate must be positive (got {rate_per_day})")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"storm fraction must be in (0, 1] (got {fraction})")
+    rng = RandomSource(seed)
+    horizon = days * 86400.0
+    batch = min(num_servers, max(1, int(round(fraction * num_servers))))
+    ops: List[Op] = []
+    time = 0.0
+    storm = 0
+    while True:
+        time += rng.exponential(86400.0 / rate_per_day)
+        if time >= horizon:
+            break
+        for server_index in rng.sample(range(num_servers), batch):
+            ops.append(
+                {"op": "reimage", "time": time, "stream": stream,
+                 "server_index": int(server_index), "storm": storm}
+            )
+        storm += 1
+    return ops
+
+
+def plan_spikes(
+    num_tenants: int,
+    rate_per_hour: float,
+    magnitude: Distribution,
+    duration_seconds: Distribution,
+    horizon_seconds: float,
+    seed: int,
+    stream: str = "spikes",
+) -> List[Op]:
+    """Adversarial utilization spikes against randomly chosen tenants."""
+    if rate_per_hour <= 0:
+        raise ValueError(f"spike rate must be positive (got {rate_per_hour})")
+    rng = RandomSource(seed)
+    ops: List[Op] = []
+    time = 0.0
+    while True:
+        time += rng.exponential(3600.0 / rate_per_hour)
+        if time >= horizon_seconds:
+            break
+        ops.append(
+            {
+                "op": "spike",
+                "time": time,
+                "stream": stream,
+                "tenant_index": int(rng.integer(0, num_tenants)),
+                "magnitude": float(magnitude.sample(rng)),
+                "duration": float(duration_seconds.sample(rng)),
+            }
+        )
+    return ops
+
+
+def plan_server_classes(
+    classes: Sequence[Tuple[str, float, float, float]],
+    num_servers: int,
+    seed: int,
+    stream: str = "servers",
+) -> List[Op]:
+    """One capacity-class draw per server index (heterogeneous fleets).
+
+    ``classes`` rows are ``(name, cores, memory_gb, weight)``; weights
+    must be non-negative with a positive sum.
+    """
+    if not classes:
+        raise ValueError("server class population must not be empty")
+    weights = [float(row[3]) for row in classes]
+    if any(w < 0 for w in weights):
+        raise ValueError(f"server class weights must be non-negative "
+                         f"(got {weights})")
+    if sum(weights) <= 0:
+        raise ValueError("server class weights must sum to a positive value")
+    rng = RandomSource(seed)
+    ops: List[Op] = []
+    for index in range(num_servers):
+        name, cores, memory_gb, _ = classes[rng.weighted_index(weights)]
+        ops.append(
+            {"op": "server", "time": 0.0, "stream": stream, "index": index,
+             "cls": str(name), "cores": float(cores),
+             "memory_gb": float(memory_gb)}
+        )
+    return ops
+
+
+def plan_tenant_arrivals(
+    mix: TenantMixSpec,
+    horizon_seconds: float,
+    seed: int,
+    stream: str = "tenants",
+    classes: Optional[Sequence[Tuple[str, float, float, float]]] = None,
+) -> List[Op]:
+    """Elastic primary load: new tenants arriving over the run.
+
+    Each op is self-describing — pattern, mean utilization, the trace
+    seed, and the arriving server's shape — so replay rebuilds the exact
+    same tenant without consuming any generator state.
+    """
+    if mix.tenant_arrivals_per_hour <= 0:
+        return []
+    rng = RandomSource(seed)
+    patterns = [p for p, _ in mix.share_weights()]
+    weights = [w for _, w in mix.share_weights()]
+    class_weights = [float(row[3]) for row in classes] if classes else None
+    ops: List[Op] = []
+    time = 0.0
+    index = 0
+    while True:
+        time += rng.exponential(3600.0 / mix.tenant_arrivals_per_hour)
+        if time >= horizon_seconds:
+            break
+        pattern = patterns[rng.weighted_index(weights)]
+        mean = float(mix.arrival_mean_utilization.sample(rng))
+        if classes:
+            name, cores, memory_gb, _ = classes[rng.weighted_index(class_weights)]
+        else:
+            name, cores, memory_gb = "standard", 12.0, 32.0
+        ops.append(
+            {
+                "op": "tenant-arrival",
+                "time": time,
+                "stream": stream,
+                "pattern": pattern,
+                "mean": mean,
+                "seed": rng.fork(f"tenant-{index}").seed,
+                "cls": str(name),
+                "cores": float(cores),
+                "memory_gb": float(memory_gb),
+            }
+        )
+        index += 1
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# Record / replay resolution
+# ---------------------------------------------------------------------------
+
+
+def materialize_plan(spec, kind: str, builder) -> List[Op]:
+    """The run's op plan: replayed from a trace, or built (and recorded).
+
+    ``builder()`` is only invoked on the synthetic path; the replay path
+    loads the ops verbatim and validates the header's kind.  When the
+    spec carries ``record_trace`` the freshly built plan is serialized
+    before use, so the written file is exactly what a replay will load.
+    """
+    replay = spec.param("replay_trace", None)
+    record = spec.param("record_trace", None)
+    if replay and record:
+        raise ValueError("cannot record and replay a trace in the same run")
+    if replay:
+        header, ops = read_trace(replay)
+        traced_kind = header.get("kind")
+        if traced_kind != kind:
+            raise TraceError(
+                f"trace kind mismatch: trace holds {traced_kind!r}, "
+                f"scenario runs {kind!r}"
+            )
+        return ops
+    ops = list(builder())
+    ops.sort(key=lambda op: (str(op.get("stream", "")), float(op["time"])))
+    if record:
+        write_trace(
+            record,
+            {"kind": kind, "scenario": spec.name, "seed": spec.seed,
+             "ops": len(ops)},
+            ops,
+        )
+    return ops
+
+
+def ops_in_stream(ops: Sequence[Op], stream: str) -> List[Op]:
+    """The plan's ops for one stream, in time order."""
+    mine = [op for op in ops if op.get("stream") == stream]
+    mine.sort(key=lambda op: float(op["time"]))
+    return mine
+
+
+def arrivals_from_ops(ops: Sequence[Op], stream: str = "jobs"):
+    """``submit-job`` ops of one stream as a ready arrival schedule."""
+    # Imported lazily: ``jobs.workload`` depends on ``jobs.tpcds``, which
+    # itself builds on this package's shape specs.
+    from repro.jobs.workload import JobArrival
+
+    return [
+        JobArrival(time=float(op["time"]), dag=dag_from_record(op["dag"]))
+        for op in ops_in_stream(ops, stream)
+        if op["op"] == "submit-job"
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Tenant materialization (elastic primary load, adversarial spikes)
+# ---------------------------------------------------------------------------
+
+
+def arrival_tenants(
+    ops: Sequence[Op],
+    mix: TenantMixSpec,
+    horizon_seconds: float,
+    stream: str = "tenants",
+) -> List[PrimaryTenant]:
+    """Build the elastic tenants a plan's ``tenant-arrival`` ops describe.
+
+    Each tenant owns one server and a trace from the mix's named
+    utilization process, zeroed before its arrival instant: the server
+    exists (and is fully harvestable) from the start, the primary load
+    switches on when the tenant arrives.
+    """
+    process = utilization_process(mix.utilization_process)
+    days = trace_days(horizon_seconds)
+    tenants: List[PrimaryTenant] = []
+    for index, op in enumerate(ops_in_stream(ops, stream)):
+        if op["op"] != "tenant-arrival":
+            continue
+        pattern = UtilizationPattern(str(op["pattern"]))
+        trace_spec = process(pattern, float(op["mean"]), days)
+        trace = generate_trace(trace_spec, RandomSource(int(op["seed"])))
+        values = trace.values.copy()
+        first_sample = min(
+            len(values), int(float(op["time"]) // SAMPLE_INTERVAL_SECONDS)
+        )
+        values[:first_sample] = 0.0
+        tenant_id = f"elastic-{index}"
+        tenant = PrimaryTenant(
+            tenant_id=tenant_id,
+            environment=f"elastic-env-{index % 4}",
+            machine_function=str(op["cls"]),
+            trace=UtilizationTrace(values, pattern),
+            pattern=pattern,
+        )
+        tenant.servers.append(
+            Server(
+                server_id=f"elastic-srv-{index}",
+                tenant_id=tenant_id,
+                rack=f"rack-{index % 8}",
+                cores=int(op["cores"]),
+                memory_gb=float(op["memory_gb"]),
+            )
+        )
+        tenants.append(tenant)
+    return tenants
+
+
+def apply_spikes(
+    tenants: Sequence[PrimaryTenant],
+    ops: Sequence[Op],
+    stream: str,
+) -> List[PrimaryTenant]:
+    """Tenant copies with one stream's spike ops burned into their traces.
+
+    Traces are copied before mutation so the shared prepared context stays
+    pristine — cells applying different spike streams never see each
+    other's writes (the serial/parallel bit-identity contract).
+    """
+    from repro.harness.builders import copy_tenant
+
+    spiked = list(ops_in_stream(ops, stream))
+    out: List[PrimaryTenant] = []
+    for index, tenant in enumerate(tenants):
+        mine = [op for op in spiked
+                if op["op"] == "spike" and int(op["tenant_index"]) == index]
+        if not mine or tenant.trace is None:
+            out.append(tenant)
+            continue
+        values = tenant.trace.values.copy()
+        for op in mine:
+            start = int(float(op["time"]) // SAMPLE_INTERVAL_SECONDS)
+            stop = start + max(
+                1, int(float(op["duration"]) // SAMPLE_INTERVAL_SECONDS)
+            )
+            start, stop = min(start, len(values)), min(stop, len(values))
+            window = values[start:stop] + float(op["magnitude"])
+            values[start:stop] = window.clip(0.0, 1.0)
+        out.append(
+            copy_tenant(tenant,
+                        trace=UtilizationTrace(values, tenant.trace.pattern))
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Spec-driven job factory (the traffic layer's synthetic front-end)
+# ---------------------------------------------------------------------------
+
+
+class ShapeWorkloadFactory:
+    """A fixed catalog of jobs drawn from a :class:`JobShapeSpec`.
+
+    The drop-in spec-driven twin of
+    :class:`~repro.jobs.tpcds.TpcdsWorkloadFactory`: same ``query`` /
+    ``all_queries`` / ``duration_distribution`` surface, so every traffic
+    driver and workload generator accepts either.  Job ``i``'s stream seed
+    is derived by pure fork arithmetic from the factory seed with ``i`` as
+    the fork index, so the catalog is independent of access order.
+    """
+
+    def __init__(
+        self,
+        shape: JobShapeSpec,
+        rng: RandomSource,
+        num_jobs: int = 32,
+        name_prefix: str = "shape",
+    ) -> None:
+        if num_jobs <= 0:
+            raise ValueError(f"num_jobs must be positive (got {num_jobs})")
+        self._shape = shape
+        self._rng = rng
+        self._num_jobs = num_jobs
+        self._prefix = name_prefix
+        self._dags: Dict[int, JobDag] = {}
+
+    @property
+    def num_jobs(self) -> int:
+        """Catalog size."""
+        return self._num_jobs
+
+    def query(self, number: int) -> JobDag:
+        """The (cached) DAG for catalog entry ``number`` (1-based)."""
+        if not 1 <= number <= self._num_jobs:
+            raise ValueError(
+                f"job number must be in [1, {self._num_jobs}] (got {number})"
+            )
+        if number not in self._dags:
+            self._dags[number] = self._shape.generate_dag(
+                f"{self._prefix}-{number}",
+                RandomSource(
+                    child_seed(self._rng.seed, number, f"job-{number}")
+                ),
+            )
+        return self._dags[number]
+
+    def all_queries(self) -> List[JobDag]:
+        """Every catalog DAG, in index order."""
+        return [self.query(number) for number in range(1, self._num_jobs + 1)]
+
+    def duration_distribution(self) -> List[float]:
+        """Critical-path durations of the catalog (threshold derivation)."""
+        return [dag.critical_path_seconds() for dag in self.all_queries()]

@@ -1,0 +1,114 @@
+"""Versioned JSONL traces of ``(time, operation)`` workload records.
+
+A trace file is one JSON object per line.  The first line is the header::
+
+    {"record": "header", "version": 1, "kind": "...", "scenario": "...", ...}
+
+and every following line is an operation record::
+
+    {"record": "op", "op": "submit-job", "time": 123.0, "stream": "jobs", ...}
+
+Synthetic runs *record* their materialized workload plan here
+(``--record-trace``); a *replay* run loads the ops in place of generating
+them and drives the identical runner code path.  Because Python's JSON
+round-trips floats exactly (shortest-repr) and the runner's other random
+streams are independent forks, a replayed run is bit-identical to the
+synthetic run that produced the trace.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+#: Current trace format version; bump on incompatible record changes.
+TRACE_VERSION = 1
+
+
+class TraceError(ValueError):
+    """A trace file is malformed or inconsistent with the run."""
+
+
+class TraceVersionError(TraceError):
+    """The trace was written by an incompatible format version."""
+
+
+def write_trace(path: Union[str, Path], meta: Dict[str, object],
+                ops: List[Dict[str, object]]) -> None:
+    """Write a header + op records trace; overwrites atomically."""
+    path = Path(path)
+    header = {"record": "header", "version": TRACE_VERSION, **meta}
+    lines = [json.dumps(header, sort_keys=True)]
+    for op in ops:
+        lines.append(json.dumps({"record": "op", **op}, sort_keys=True))
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text("\n".join(lines) + "\n")
+    tmp.replace(path)
+
+
+def read_trace(path: Union[str, Path]) -> Tuple[Dict[str, object],
+                                                List[Dict[str, object]]]:
+    """Load ``(header, ops)`` from a trace file, validating the envelope."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"replay trace not found: {path}")
+    header: Dict[str, object] = {}
+    ops: List[Dict[str, object]] = []
+    with path.open() as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceError(
+                    f"bad trace line {number} in {path}: {error}"
+                ) from None
+            if number == 1:
+                if record.get("record") != "header":
+                    raise TraceError(
+                        f"trace {path} must start with a header record"
+                    )
+                version = record.get("version")
+                if version != TRACE_VERSION:
+                    raise TraceVersionError(
+                        f"trace version mismatch: found {version}, "
+                        f"expected {TRACE_VERSION}"
+                    )
+                header = record
+            else:
+                if record.get("record") != "op":
+                    raise TraceError(
+                        f"bad trace line {number} in {path}: "
+                        f"expected an op record"
+                    )
+                record.pop("record")
+                ops.append(record)
+    if not header:
+        raise TraceError(f"trace {path} is empty")
+    return header, ops
+
+
+def read_trace_header(path: Union[str, Path]) -> Dict[str, object]:
+    """Load and validate only the header line (cheap pre-flight check)."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"replay trace not found: {path}")
+    with path.open() as handle:
+        first = handle.readline().strip()
+    if not first:
+        raise TraceError(f"trace {path} is empty")
+    try:
+        record = json.loads(first)
+    except json.JSONDecodeError as error:
+        raise TraceError(f"bad trace header in {path}: {error}") from None
+    if record.get("record") != "header":
+        raise TraceError(f"trace {path} must start with a header record")
+    version = record.get("version")
+    if version != TRACE_VERSION:
+        raise TraceVersionError(
+            f"trace version mismatch: found {version}, expected {TRACE_VERSION}"
+        )
+    return record

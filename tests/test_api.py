@@ -49,6 +49,18 @@ PARALLEL_CASES = [
             }
         },
     ),
+    ("failure-storm", 2, {}),
+    (
+        "heterogeneous-fleet",
+        3,
+        {"params": {"workload": "tenant_arrivals_per_hour=60"}},
+    ),
+    ("antagonist", 2, {"params": {"spike_rates_per_hour": (30.0,)}}),
+    (
+        "predictor-ablation",
+        2,
+        {"params": {"controller_interval_seconds": 120.0}},
+    ),
 ]
 
 

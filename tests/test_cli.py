@@ -116,3 +116,105 @@ class TestCommands:
         assert all(
             {"scenario", "kind", "figure", "description"} <= set(e) for e in listed
         )
+
+
+class TestWorkloadFlags:
+    """The workload-substrate CLI surface: eager validation + record/replay."""
+
+    def test_unknown_distribution_fails_before_running(self):
+        with pytest.raises(SystemExit, match="unknown distribution 'bogus'"):
+            main(
+                ["run-scenario", "heterogeneous-fleet",
+                 "--workload", "duration=bogus:mean=1"]
+            )
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(
+            SystemExit, match="share for 'periodic' must be non-negative"
+        ):
+            main(
+                ["run-scenario", "heterogeneous-fleet",
+                 "--workload", "shares=periodic:-3"]
+            )
+
+    def test_negative_tenant_arrival_rate_rejected(self):
+        with pytest.raises(
+            SystemExit, match="tenant_arrivals_per_hour must be non-negative"
+        ):
+            main(
+                ["run-scenario", "heterogeneous-fleet",
+                 "--workload", "tenant_arrivals_per_hour=-1"]
+            )
+
+    def test_unknown_skew_rejected(self):
+        with pytest.raises(SystemExit, match="unknown skew 'zorf'"):
+            main(
+                ["run-scenario", "failure-storm", "--skew", "zorf:alpha=1.2"]
+            )
+
+    def test_record_and_replay_conflict(self):
+        with pytest.raises(
+            SystemExit, match="cannot record and replay a trace in the same run"
+        ):
+            main(
+                ["run-scenario", "failure-storm",
+                 "--record-trace", "a.jsonl", "--replay-trace", "b.jsonl"]
+            )
+
+    def test_replay_file_missing(self):
+        with pytest.raises(SystemExit, match="replay trace not found"):
+            main(
+                ["run-scenario", "failure-storm",
+                 "--replay-trace", "does-not-exist.jsonl"]
+            )
+
+    def test_replay_version_mismatch(self, tmp_path):
+        import json
+
+        stale = tmp_path / "stale.jsonl"
+        stale.write_text(
+            json.dumps(
+                {"record": "header", "version": 99, "kind": "failure_storm"}
+            )
+            + "\n"
+        )
+        with pytest.raises(
+            SystemExit, match="trace version mismatch: found 99, expected 1"
+        ):
+            main(
+                ["run-scenario", "failure-storm", "--replay-trace", str(stale)]
+            )
+
+    def test_record_then_replay_round_trip(self, capsys, tmp_path):
+        import json
+
+        from repro.harness import get_scenario, register_scenario
+        from repro.harness.config import TINY_SCALE
+        from repro.harness.spec import _REGISTRY
+
+        register_scenario(
+            get_scenario("failure-storm").with_overrides(
+                name="cli-replay-smoke", scale=TINY_SCALE
+            ),
+            replace_existing=True,
+        )
+        trace = tmp_path / "storm.jsonl"
+
+        def run(*extra):
+            exit_code = main(
+                ["run-scenario", "cli-replay-smoke", "--json", *extra]
+            )
+            assert exit_code == 0
+            payload = json.loads(capsys.readouterr().out)
+            # Timing and provenance fields legitimately differ per run.
+            for key in ("wall_clock_seconds", "timings", "scheduler_counters"):
+                payload.pop(key, None)
+            return payload
+
+        try:
+            recorded = run("--record-trace", str(trace))
+            replayed = run("--replay-trace", str(trace))
+        finally:
+            _REGISTRY.pop("cli-replay-smoke", None)
+        assert trace.exists()
+        assert replayed == recorded

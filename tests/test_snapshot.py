@@ -40,7 +40,7 @@ from repro.harness.results import result_to_jsonable
 from repro.harness.runners import RUNNERS
 from repro.harness.spec import ScenarioSpec
 from repro.jobs.dag import JobDag, Vertex
-from repro.jobs.task_table import COMPLETED, KILLED, RUNNING, TaskTable
+from repro.jobs.task_table import COMPLETED, KILLED, TaskTable
 from repro.simulation.metrics import MetricRegistry
 from repro.simulation.random import ForkSequence, RandomSource, child_seed
 from repro.storage.block_table import BlockTable
@@ -79,6 +79,18 @@ KIND_CASES = [
                 "epoch_seconds": 300.0,
             }
         },
+    ),
+    ("failure-storm", {"max_tenants": 6, "servers_per_tenant_limit": 2,
+                       "params": {"storm_rates_per_day": (2.0,),
+                                  "storm_fraction": 0.15}}),
+    (
+        "heterogeneous-fleet",
+        {"params": {"workload": "tenant_arrivals_per_hour=60"}},
+    ),
+    ("antagonist", {"params": {"spike_rates_per_hour": (30.0,)}}),
+    (
+        "predictor-ablation",
+        {"params": {"controller_interval_seconds": 120.0}},
     ),
 ]
 KIND_IDS = [case[0] for case in KIND_CASES]
